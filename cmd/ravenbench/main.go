@@ -1,0 +1,76 @@
+// Command ravenbench regenerates every table and figure of the paper's
+// evaluation and prints them in paper-figure form. With -markdown it emits
+// the EXPERIMENTS.md body instead.
+//
+// Usage:
+//
+//	ravenbench [-quick] [-markdown] [-only Fig2a,Fig3] [-runs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"raven/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
+	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample)")
+	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+
+	type exp struct {
+		id string
+		fn func(bench.Config) (*bench.Table, error)
+	}
+	all := []exp{
+		{"Fig2a", bench.Fig2a},
+		{"Fig2b", bench.Fig2b},
+		{"Fig2c", bench.Fig2c},
+		{"Fig2d", bench.Fig2d},
+		{"Fig3", bench.Fig3},
+		{"PredPruning", bench.PredicatePruning},
+		{"BatchVsTuple", bench.BatchVsTuple},
+		{"StaticAnalysis", bench.StaticAnalysis},
+		{"RunningExample", bench.RunningExample},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	failed := false
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.id)
+		tb, err := e.fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		if *markdown {
+			fmt.Print(tb.Markdown())
+		} else {
+			tb.Print(os.Stdout)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Command ravensql executes a SQL script against a Raven engine preloaded
+// with the paper's demo workloads and stored models, printing query
+// results. It is the closest thing to the live demo the paper promises.
+//
+// Usage:
+//
+//	ravensql [-rows N] [-file script.sql]
+//	echo "SELECT COUNT(*) AS n FROM patient_info" | ravensql
+//
+// Preloaded: hospital tables (patient_info, blood_tests, prenatal_tests)
+// with a stored decision-tree model 'duration_of_stay', and the
+// flights_features table with an L1-sparse model 'flight_delay'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"raven"
+	"raven/internal/data"
+	"raven/internal/ml"
+	"raven/internal/train"
+)
+
+func main() {
+	rows := flag.Int("rows", 100000, "rows per generated table")
+	file := flag.String("file", "", "SQL script file ('-' or empty reads stdin)")
+	explain := flag.Bool("explain", false, "print plans instead of executing")
+	flag.Parse()
+
+	db, err := setup(*rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+
+	var script []byte
+	if *file == "" || *file == "-" {
+		script, err = io.ReadAll(os.Stdin)
+	} else {
+		script, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "read:", err)
+		os.Exit(1)
+	}
+
+	for _, stmt := range splitStatements(string(script)) {
+		if err := run(db, stmt, *explain); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func setup(rows int) (*raven.DB, error) {
+	db := raven.Open()
+	h, err := data.GenHospital(db.Catalog(), rows, 4000, 42)
+	if err != nil {
+		return nil, err
+	}
+	tree := train.FitTree(h.TrainX, h.TrainY, train.TreeOptions{MaxDepth: 6, MinLeaf: 10})
+	if err := db.StoreModel("duration_of_stay", &ml.Pipeline{Final: tree, InputColumns: h.FeatureCols}); err != nil {
+		return nil, err
+	}
+	fl, err := data.GenFlightsWide(db.Catalog(), rows, 100, 30, 4000, 7)
+	if err != nil {
+		return nil, err
+	}
+	lr := train.FitLogReg(fl.TrainX, fl.TrainY, train.LogRegOptions{L1: 0.02, Epochs: 60, Seed: 1})
+	if err := db.StoreModel("flight_delay", &ml.Pipeline{Final: lr, InputColumns: fl.FeatureCols}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// splitStatements breaks the script on top-level semicolons, keeping
+// DECLARE+SELECT pairs together so session variables bind.
+func splitStatements(s string) []string {
+	parts := strings.Split(s, ";")
+	var out []string
+	var pending string
+	for _, p := range parts {
+		t := strings.TrimSpace(p)
+		if t == "" {
+			continue
+		}
+		up := strings.ToUpper(t)
+		if strings.HasPrefix(up, "DECLARE") || strings.HasPrefix(up, "CREATE") || strings.HasPrefix(up, "INSERT") || strings.HasPrefix(up, "DROP") {
+			pending += t + ";\n"
+			continue
+		}
+		out = append(out, pending+t)
+		pending = ""
+	}
+	if strings.TrimSpace(pending) != "" {
+		out = append(out, strings.TrimSuffix(pending, ";\n"))
+	}
+	return out
+}
+
+func run(db *raven.DB, stmt string, explain bool) error {
+	up := strings.ToUpper(strings.TrimSpace(stmt))
+	isQuery := strings.Contains(up, "SELECT") && !strings.HasPrefix(up, "CREATE") && !strings.HasPrefix(up, "INSERT")
+	if !isQuery {
+		return db.Exec(stmt)
+	}
+	if explain {
+		out, err := db.Explain(stmt, raven.DefaultQueryOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	res, err := db.Query(stmt)
+	if err != nil {
+		return err
+	}
+	const maxPrint = 25
+	b := res.Batch
+	fmt.Println(strings.Join(b.Schema.Names(), "\t"))
+	n := b.Len()
+	for i := 0; i < n && i < maxPrint; i++ {
+		row := b.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprintf("%v", v)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	if n > maxPrint {
+		fmt.Printf("... (%d rows total)\n", n)
+	}
+	fmt.Printf("-- %d rows in %v", n, res.Elapsed.Round(100*1000))
+	if len(res.AppliedRules) > 0 {
+		fmt.Printf(" (rules: %s)", strings.Join(res.AppliedRules, ", "))
+	}
+	fmt.Println()
+	return nil
+}

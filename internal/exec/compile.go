@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"fmt"
+
+	"raven/internal/plan"
+	"raven/internal/types"
+)
+
+// Env carries what compilation needs beyond the plan: how to build
+// predictors for PREDICT nodes and the degree of parallelism.
+type Env struct {
+	// PredictorFactory builds a Predictor for a model against the given
+	// input schema. The runtime package provides the implementations.
+	PredictorFactory func(modelName string, inputSchema *types.Schema, outCols []types.Column) (Predictor, error)
+	// Parallelism is the scan fan-out. 1 forces sequential execution
+	// (the Fig 3 ablation); 0 defaults to 1.
+	Parallelism int
+	// ParallelThresholdRows gates parallel scans: below this the fan-out
+	// costs more than it saves. Default 50k rows.
+	ParallelThresholdRows int
+	// InputParts supplies the operators standing for plan.Input
+	// placeholders (one per partition). Codegen sets this when compiling a
+	// plan fragment that consumes rows produced by an ML stage below it.
+	InputParts []Operator
+}
+
+func (e *Env) parallelism() int {
+	if e == nil || e.Parallelism <= 1 {
+		return 1
+	}
+	return e.Parallelism
+}
+
+func (e *Env) threshold() int {
+	if e == nil || e.ParallelThresholdRows == 0 {
+		return 50000
+	}
+	return e.ParallelThresholdRows
+}
+
+// Compile lowers a logical plan into a physical operator tree. Chains of
+// per-row operators (filter, project, predict) over a large table scan are
+// compiled into one pipeline per partition under a Parallel exchange —
+// reproducing SQL Server's automatic parallel scan+PREDICT (paper §5,
+// observation iii).
+func Compile(n plan.Node, env *Env) (Operator, error) {
+	parts, err := compileParts(n, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Parallel{Parts: parts}, nil
+}
+
+// compileParts returns one operator per partition for parallelizable
+// subtrees, or a single-element slice otherwise.
+func compileParts(n plan.Node, env *Env) ([]Operator, error) {
+	switch x := n.(type) {
+	case *plan.Input:
+		if env == nil || len(env.InputParts) == 0 {
+			return nil, fmt.Errorf("exec: plan.Input with no bound input operators")
+		}
+		return env.InputParts, nil
+
+	case *plan.Scan:
+		p := env.parallelism()
+		rows := x.Table.NumRows()
+		if p <= 1 || rows < env.threshold() {
+			s, err := NewTableScan(x.Table, x.Cols)
+			if err != nil {
+				return nil, err
+			}
+			return []Operator{s}, nil
+		}
+		chunk := (rows + p - 1) / p
+		var parts []Operator
+		for w := 0; w < p; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > rows {
+				hi = rows
+			}
+			if lo >= hi {
+				break
+			}
+			s, err := NewTableScan(x.Table, x.Cols)
+			if err != nil {
+				return nil, err
+			}
+			s.Lo, s.Hi = lo, hi
+			parts = append(parts, s)
+		}
+		return parts, nil
+
+	case *plan.Filter:
+		parts, err := compileParts(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		for i := range parts {
+			parts[i] = &FilterOp{Child: parts[i], Pred: x.Pred}
+		}
+		return parts, nil
+
+	case *plan.Project:
+		parts, err := compileParts(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		for i := range parts {
+			p, err := NewProjectOp(parts[i], x.Exprs, x.Names)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = p
+		}
+		return parts, nil
+
+	case *plan.Predict:
+		parts, err := compileParts(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		if env == nil || env.PredictorFactory == nil {
+			return nil, fmt.Errorf("exec: plan contains PREDICT but Env has no PredictorFactory")
+		}
+		// One predictor shared across partitions: predictors are
+		// stateless per call (sessions are cached underneath).
+		pred, err := env.PredictorFactory(x.ModelName, x.Child.Schema(), x.OutputCols)
+		if err != nil {
+			return nil, err
+		}
+		for i := range parts {
+			parts[i] = NewPredictOp(parts[i], pred, x.OutputCols)
+		}
+		return parts, nil
+
+	case *plan.Join:
+		left, err := Compile(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		j, err := NewHashJoin(left, right, x.LeftCol, x.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		return []Operator{j}, nil
+
+	case *plan.Aggregate:
+		child, err := Compile(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		a, err := NewHashAggregate(child, x.GroupBy, x.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		return []Operator{a}, nil
+
+	case *plan.Sort:
+		child, err := Compile(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]SortKeySpec, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = SortKeySpec{Col: k.Col, Desc: k.Desc}
+		}
+		return []Operator{&SortOp{Child: child, Keys: keys}}, nil
+
+	case *plan.Limit:
+		child, err := Compile(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return []Operator{&LimitOp{Child: child, N: x.N}}, nil
+
+	case *plan.Distinct:
+		child, err := Compile(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return []Operator{&DistinctOp{Child: child}}, nil
+
+	default:
+		return nil, fmt.Errorf("exec: cannot compile plan node %T", n)
+	}
+}
+
+// CompileParts exposes partition-level compilation: it returns one
+// operator per partition for parallelizable subtrees. The runtime code
+// generator uses this to thread partitioned pipelines through ML stages
+// without collapsing them behind an exchange too early.
+func CompileParts(n plan.Node, env *Env) ([]Operator, error) {
+	return compileParts(n, env)
+}

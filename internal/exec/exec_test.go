@@ -1,0 +1,375 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"raven/internal/expr"
+	"raven/internal/plan"
+	"raven/internal/storage"
+	"raven/internal/types"
+)
+
+func numbersTable(t *testing.T, n int) *storage.Table {
+	t.Helper()
+	tb := storage.NewTable("nums", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "x", Type: types.Float},
+		types.Column{Name: "grp", Type: types.String},
+	))
+	for i := 0; i < n; i++ {
+		if err := tb.AppendRow(int64(i), float64(i)*0.5, fmt.Sprintf("g%d", i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestTableScanBatches(t *testing.T) {
+	tb := numbersTable(t, 10000)
+	s, err := NewTableScan(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10000 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	// projected scan
+	s2, err := NewTableScan(tb, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Collect(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Schema.Len() != 1 || o2.Vecs[0].Floats[3] != 1.5 {
+		t.Errorf("projected scan = %v", o2.Schema)
+	}
+	if _, err := NewTableScan(tb, []string{"nope"}); err == nil {
+		t.Error("bad projection should fail")
+	}
+}
+
+func TestTableScanRange(t *testing.T) {
+	tb := numbersTable(t, 100)
+	s, _ := NewTableScan(tb, nil)
+	s.Lo, s.Hi = 10, 20
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 || out.Vecs[0].Ints[0] != 10 {
+		t.Errorf("range scan = %d rows, first id %v", out.Len(), out.Vecs[0].Ints[0])
+	}
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	tb := numbersTable(t, 1000)
+	s, _ := NewTableScan(tb, nil)
+	f := &FilterOp{Child: s, Pred: expr.NewBinary(expr.OpGe, &expr.Column{Name: "x"}, expr.FloatLit(100))}
+	p, err := NewProjectOp(f, []expr.Expr{
+		&expr.Column{Name: "id"},
+		expr.NewBinary(expr.OpMul, &expr.Column{Name: "x"}, expr.FloatLit(2)),
+	}, []string{"id", "x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &LimitOp{Child: p, N: 5}
+	out, err := Collect(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	// first row with x >= 100 is id 200 (x = id*0.5)
+	if out.Vecs[0].Ints[0] != 200 || out.Vecs[1].Floats[0] != 200 {
+		t.Errorf("row0 = %v, %v", out.Vecs[0].Ints[0], out.Vecs[1].Floats[0])
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	left := storage.NewTable("l", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "a", Type: types.Float},
+	))
+	right := storage.NewTable("r", types.NewSchema(
+		types.Column{Name: "rid", Type: types.Int},
+		types.Column{Name: "b", Type: types.Float},
+	))
+	for i := 0; i < 100; i++ {
+		_ = left.AppendRow(int64(i), float64(i))
+	}
+	for i := 50; i < 150; i++ {
+		_ = right.AppendRow(int64(i), float64(i)*10)
+	}
+	ls, _ := NewTableScan(left, nil)
+	rs, _ := NewTableScan(right, nil)
+	j, err := NewHashJoin(ls, rs, "id", "rid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 50 {
+		t.Fatalf("join rows = %d, want 50", out.Len())
+	}
+	if out.Schema.Len() != 3 {
+		t.Fatalf("join schema = %v (right key should drop)", out.Schema)
+	}
+	// verify a matched pair
+	idv := out.Col("id")
+	bv := out.Col("b")
+	for i := 0; i < out.Len(); i++ {
+		if bv.Floats[i] != float64(idv.Ints[i])*10 {
+			t.Fatalf("mismatched join row %d", i)
+		}
+	}
+	if _, err := NewHashJoin(ls, rs, "nope", "rid"); err == nil {
+		t.Error("bad key should fail")
+	}
+}
+
+func TestHashJoinDuplicateKeys(t *testing.T) {
+	left := storage.NewTable("l", types.NewSchema(types.Column{Name: "k", Type: types.Int}))
+	right := storage.NewTable("r", types.NewSchema(
+		types.Column{Name: "k", Type: types.Int},
+		types.Column{Name: "v", Type: types.Int},
+	))
+	_ = left.AppendRow(int64(1))
+	_ = left.AppendRow(int64(2))
+	_ = right.AppendRow(int64(1), int64(10))
+	_ = right.AppendRow(int64(1), int64(11))
+	ls, _ := NewTableScan(left, nil)
+	rs, _ := NewTableScan(right, nil)
+	j, _ := NewHashJoin(ls, rs, "k", "k")
+	out, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("dup-key join rows = %d, want 2", out.Len())
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	tb := numbersTable(t, 9) // grp g0: ids 0,3,6; g1: 1,4,7; g2: 2,5,8
+	s, _ := NewTableScan(tb, nil)
+	a, err := NewHashAggregate(s, []string{"grp"}, []plan.AggSpec{
+		{Func: plan.AggCount, Name: "n"},
+		{Func: plan.AggSum, Arg: &expr.Column{Name: "x"}, Name: "sx"},
+		{Func: plan.AggAvg, Arg: &expr.Column{Name: "x"}, Name: "ax"},
+		{Func: plan.AggMin, Arg: &expr.Column{Name: "id"}, Name: "mn"},
+		{Func: plan.AggMax, Arg: &expr.Column{Name: "id"}, Name: "mx"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	// first-seen order: g0 first
+	if out.Col("grp").Strings[0] != "g0" {
+		t.Errorf("group order = %v", out.Col("grp").Strings)
+	}
+	if out.Col("n").Ints[0] != 3 {
+		t.Errorf("count = %v", out.Col("n").Ints)
+	}
+	// g0 x values: 0, 1.5, 3 -> sum 4.5, avg 1.5
+	if out.Col("sx").Floats[0] != 4.5 || out.Col("ax").Floats[0] != 1.5 {
+		t.Errorf("sum/avg = %v / %v", out.Col("sx").Floats[0], out.Col("ax").Floats[0])
+	}
+	if out.Col("mn").Ints[0] != 0 || out.Col("mx").Ints[0] != 6 {
+		t.Errorf("min/max = %v / %v", out.Col("mn").Ints[0], out.Col("mx").Ints[0])
+	}
+}
+
+func TestSortOp(t *testing.T) {
+	tb := numbersTable(t, 10)
+	s, _ := NewTableScan(tb, nil)
+	so := &SortOp{Child: s, Keys: []SortKeySpec{{Col: "grp"}, {Col: "id", Desc: true}}}
+	out, err := Collect(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g0 group first, descending ids within: 9, 6, 3, 0
+	g := out.Col("grp").Strings
+	ids := out.Col("id").Ints
+	if g[0] != "g0" || ids[0] != 9 || ids[3] != 0 {
+		t.Errorf("sorted = %v %v", g[:4], ids[:4])
+	}
+}
+
+func TestDistinctOp(t *testing.T) {
+	tb := numbersTable(t, 30)
+	s, _ := NewTableScan(tb, []string{"grp"})
+	d := &DistinctOp{Child: s}
+	out, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("distinct rows = %d", out.Len())
+	}
+}
+
+// constPredictor appends x+bias as the prediction, for pipeline tests.
+type constPredictor struct{ bias float64 }
+
+func (p constPredictor) PredictBatch(b *types.Batch) ([]*types.Vector, error) {
+	x := b.Col("x")
+	out := types.NewVector(types.Float, b.Len())
+	for i := range out.Floats {
+		out.Floats[i] = x.Floats[i] + p.bias
+	}
+	return []*types.Vector{out}, nil
+}
+
+func TestPredictOp(t *testing.T) {
+	tb := numbersTable(t, 100)
+	s, _ := NewTableScan(tb, nil)
+	p := NewPredictOp(s, constPredictor{bias: 1000}, []types.Column{{Name: "score", Type: types.Float}})
+	out, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.IndexOf("score") < 0 {
+		t.Fatal("score column missing")
+	}
+	if out.Col("score").Floats[4] != 1002 {
+		t.Errorf("score[4] = %v", out.Col("score").Floats[4])
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	tb := numbersTable(t, 100000)
+	build := func(lo, hi int) Operator {
+		s, _ := NewTableScan(tb, nil)
+		s.Lo, s.Hi = lo, hi
+		f := &FilterOp{Child: s, Pred: expr.NewBinary(expr.OpGt, &expr.Column{Name: "x"}, expr.FloatLit(10))}
+		return NewPredictOp(f, constPredictor{bias: 5}, []types.Column{{Name: "score", Type: types.Float}})
+	}
+	par := &Parallel{Parts: []Operator{build(0, 25000), build(25000, 50000), build(50000, 75000), build(75000, 100000)}}
+	pout, err := Collect(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := build(0, 100000)
+	sout, err := Collect(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pout.Len() != sout.Len() {
+		t.Fatalf("parallel %d rows vs sequential %d", pout.Len(), sout.Len())
+	}
+	// row-order may differ across partitions; compare checksums
+	var ps, ss float64
+	for _, v := range pout.Col("score").Floats {
+		ps += v
+	}
+	for _, v := range sout.Col("score").Floats {
+		ss += v
+	}
+	if ps != ss {
+		t.Errorf("checksum %v vs %v", ps, ss)
+	}
+}
+
+func TestCompilePlanWithParallelism(t *testing.T) {
+	tb := numbersTable(t, 200000)
+	scan := plan.NewScan(tb)
+	f := &plan.Filter{Child: scan, Pred: expr.NewBinary(expr.OpGt, &expr.Column{Name: "x"}, expr.FloatLit(1))}
+	pr := plan.NewPredict(f, "m", []types.Column{{Name: "score", Type: types.Float}})
+	env := &Env{
+		Parallelism: 4,
+		PredictorFactory: func(name string, in *types.Schema, out []types.Column) (Predictor, error) {
+			return constPredictor{bias: 1}, nil
+		},
+	}
+	op, err := Compile(pr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*Parallel); !ok {
+		t.Fatalf("compiled = %T, want *Parallel", op)
+	}
+	out, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 200000-3 { // x>1 excludes ids 0,1,2
+		t.Errorf("rows = %d", out.Len())
+	}
+
+	// sequential compile of the same plan
+	env.Parallelism = 1
+	op2, err := Compile(pr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op2.(*PredictOp); !ok {
+		t.Fatalf("sequential compiled = %T", op2)
+	}
+	out2, _ := Collect(op2)
+	if out2.Len() != out.Len() {
+		t.Error("parallel and sequential row counts differ")
+	}
+}
+
+func TestCompileJoinAggSortLimitDistinct(t *testing.T) {
+	tb := numbersTable(t, 100)
+	scan := plan.NewScan(tb)
+	scan2 := plan.NewScan(tb)
+	j, err := plan.NewJoin(scan, scan2, "id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := plan.NewAggregate(j, []string{"grp"}, []plan.AggSpec{{Func: plan.AggCount, Name: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root plan.Node = &plan.Limit{Child: &plan.Sort{Child: &plan.Distinct{Child: agg}, Keys: []plan.SortKey{{Col: "n", Desc: true}}}, N: 2}
+	op, err := Compile(root, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("rows = %d", out.Len())
+	}
+	if out.Col("n").Ints[0] != 34 { // g0 has 34 of 100 ids (0,3,...,99)
+		t.Errorf("top group count = %v", out.Col("n").Ints[0])
+	}
+}
+
+func TestCompilePredictWithoutFactory(t *testing.T) {
+	tb := numbersTable(t, 10)
+	pr := plan.NewPredict(plan.NewScan(tb), "m", []types.Column{{Name: "s", Type: types.Float}})
+	if _, err := Compile(pr, &Env{}); err == nil {
+		t.Error("PREDICT without factory should fail")
+	}
+}
+
+func TestParallelErrorPropagation(t *testing.T) {
+	tb := numbersTable(t, 100000)
+	s, _ := NewTableScan(tb, nil)
+	bad := &FilterOp{Child: s, Pred: &expr.Column{Name: "x"}} // non-bool predicate
+	par := &Parallel{Parts: []Operator{bad}}
+	if _, err := Collect(par); err == nil {
+		t.Error("error inside parallel worker should surface")
+	}
+}

@@ -1,0 +1,337 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"raven/internal/plan"
+	"raven/internal/types"
+)
+
+// HashJoin is an inner equi-join: build on the right input, probe with the
+// left. The output drops the right key column (matching plan.Join).
+type HashJoin struct {
+	Left, Right       Operator
+	LeftCol, RightCol string
+
+	schema   *types.Schema
+	leftIdx  int
+	rightIdx int
+	// built maps key to row ordinals in the materialized right side.
+	// builtInt is the allocation-free fast path for INT keys (the common
+	// case: surrogate-key joins); built handles everything else.
+	built    map[any][]int
+	builtInt map[int64][]int32
+	rightAll *types.Batch
+	rightSel []int // right columns kept in output order
+}
+
+// NewHashJoin builds the operator and resolves key ordinals.
+func NewHashJoin(left, right Operator, leftCol, rightCol string) (*HashJoin, error) {
+	li := left.Schema().IndexOf(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("exec: join key %q not in left schema", leftCol)
+	}
+	ri := right.Schema().IndexOf(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("exec: join key %q not in right schema", rightCol)
+	}
+	var cols []types.Column
+	cols = append(cols, left.Schema().Columns...)
+	var rightSel []int
+	for i, c := range right.Schema().Columns {
+		if i == ri {
+			continue
+		}
+		cols = append(cols, c)
+		rightSel = append(rightSel, i)
+	}
+	return &HashJoin{
+		Left: left, Right: right, LeftCol: leftCol, RightCol: rightCol,
+		schema: types.NewSchema(cols...), leftIdx: li, rightIdx: ri, rightSel: rightSel,
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *types.Schema { return j.schema }
+
+// Open implements Operator: materialize and hash the right input.
+func (j *HashJoin) Open() error {
+	all, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.rightAll = all
+	kv := all.Vecs[j.rightIdx]
+	if kv.Type == types.Int {
+		j.builtInt = make(map[int64][]int32, all.Len())
+		for i := 0; i < all.Len(); i++ {
+			k := kv.Ints[i]
+			j.builtInt[k] = append(j.builtInt[k], int32(i))
+		}
+	} else {
+		j.built = make(map[any][]int, all.Len())
+		for i := 0; i < all.Len(); i++ {
+			k := kv.Value(i)
+			j.built[k] = append(j.built[k], i)
+		}
+	}
+	return j.Left.Open()
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.built = nil
+	j.builtInt = nil
+	j.rightAll = nil
+	return j.Left.Close()
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*types.Batch, error) {
+	for {
+		b, err := j.Left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		kv := b.Vecs[j.leftIdx]
+		var leftSel, rightSel []int
+		if j.builtInt != nil && kv.Type == types.Int {
+			for i, k := range kv.Ints {
+				for _, r := range j.builtInt[k] {
+					leftSel = append(leftSel, i)
+					rightSel = append(rightSel, int(r))
+				}
+			}
+		} else {
+			for i := 0; i < b.Len(); i++ {
+				for _, r := range j.built[kv.Value(i)] {
+					leftSel = append(leftSel, i)
+					rightSel = append(rightSel, r)
+				}
+			}
+		}
+		if len(leftSel) == 0 {
+			continue
+		}
+		lpart := b.Gather(leftSel)
+		rpart := j.rightAll.Gather(rightSel).Project(j.rightSel)
+		vecs := make([]*types.Vector, 0, len(lpart.Vecs)+len(rpart.Vecs))
+		vecs = append(vecs, lpart.Vecs...)
+		vecs = append(vecs, rpart.Vecs...)
+		return &types.Batch{Schema: j.schema, Vecs: vecs}, nil
+	}
+}
+
+// HashAggregate groups rows and computes aggregates, emitting one batch in
+// first-seen group order.
+type HashAggregate struct {
+	Child   Operator
+	GroupBy []string
+	Aggs    []plan.AggSpec
+
+	schema *types.Schema
+	groups map[string]*aggGroup
+	order  []string
+	out    *types.Batch
+	done   bool
+}
+
+// aggGroup accumulates all aggregates for one group.
+type aggGroup struct {
+	keys   []any
+	counts []int64
+	sums   []float64
+	mins   []float64
+	maxs   []float64
+	minStr []string
+	maxStr []string
+}
+
+// NewHashAggregate builds the operator; schema mirrors plan.NewAggregate.
+func NewHashAggregate(child Operator, groupBy []string, aggs []plan.AggSpec) (*HashAggregate, error) {
+	var cols []types.Column
+	cs := child.Schema()
+	for _, g := range groupBy {
+		i := cs.IndexOf(g)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: GROUP BY column %q not found", g)
+		}
+		cols = append(cols, cs.Columns[i])
+	}
+	for _, a := range aggs {
+		t := types.Float
+		if a.Func == plan.AggCount {
+			t = types.Int
+		} else if a.Arg != nil && (a.Func == plan.AggMin || a.Func == plan.AggMax) {
+			at, err := a.Arg.Type(cs)
+			if err != nil {
+				return nil, err
+			}
+			t = at
+		}
+		cols = append(cols, types.Column{Name: a.Name, Type: t})
+	}
+	return &HashAggregate{Child: child, GroupBy: groupBy, Aggs: aggs, schema: types.NewSchema(cols...)}, nil
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() *types.Schema { return h.schema }
+
+// Open implements Operator: consume the child and aggregate.
+func (h *HashAggregate) Open() error {
+	h.done = false
+	h.groups = make(map[string]*aggGroup)
+	h.order = nil
+	if err := h.Child.Open(); err != nil {
+		return err
+	}
+	defer h.Child.Close()
+
+	keyIdx := make([]int, len(h.GroupBy))
+	for i, g := range h.GroupBy {
+		keyIdx[i] = h.Child.Schema().IndexOf(g)
+	}
+	for {
+		b, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		argVals := make([]*types.Vector, len(h.Aggs))
+		for ai, a := range h.Aggs {
+			if a.Arg != nil {
+				v, err := a.Arg.Eval(b)
+				if err != nil {
+					return err
+				}
+				argVals[ai] = v
+			}
+		}
+		for i := 0; i < b.Len(); i++ {
+			var kb []byte
+			for _, ki := range keyIdx {
+				kb = append(kb, fmt.Sprintf("%v|", b.Vecs[ki].Value(i))...)
+			}
+			key := string(kb)
+			st, ok := h.groups[key]
+			if !ok {
+				st = &aggGroup{
+					keys:   make([]any, len(keyIdx)),
+					counts: make([]int64, len(h.Aggs)),
+					sums:   make([]float64, len(h.Aggs)),
+					mins:   make([]float64, len(h.Aggs)),
+					maxs:   make([]float64, len(h.Aggs)),
+					minStr: make([]string, len(h.Aggs)),
+					maxStr: make([]string, len(h.Aggs)),
+				}
+				for a := range st.mins {
+					st.mins[a] = math.Inf(1)
+					st.maxs[a] = math.Inf(-1)
+				}
+				for k, ki := range keyIdx {
+					st.keys[k] = b.Vecs[ki].Value(i)
+				}
+				h.groups[key] = st
+				h.order = append(h.order, key)
+			}
+			for ai, a := range h.Aggs {
+				if a.Func == plan.AggCount {
+					st.counts[ai]++
+					continue
+				}
+				v := argVals[ai]
+				if v.Type == types.String {
+					s := v.Strings[i]
+					if st.counts[ai] == 0 || s < st.minStr[ai] {
+						st.minStr[ai] = s
+					}
+					if st.counts[ai] == 0 || s > st.maxStr[ai] {
+						st.maxStr[ai] = s
+					}
+					st.counts[ai]++
+					continue
+				}
+				x := v.AsFloat(i)
+				st.counts[ai]++
+				st.sums[ai] += x
+				if x < st.mins[ai] {
+					st.mins[ai] = x
+				}
+				if x > st.maxs[ai] {
+					st.maxs[ai] = x
+				}
+			}
+		}
+	}
+	return h.emit()
+}
+
+func (h *HashAggregate) emit() error {
+	out := types.NewBatch(h.schema)
+	for _, key := range h.order {
+		st := h.groups[key]
+		row := make([]any, 0, h.schema.Len())
+		row = append(row, st.keys...)
+		for ai, a := range h.Aggs {
+			idx := len(h.GroupBy) + ai
+			switch a.Func {
+			case plan.AggCount:
+				row = append(row, st.counts[ai])
+			case plan.AggSum:
+				row = append(row, st.sums[ai])
+			case plan.AggAvg:
+				if st.counts[ai] == 0 {
+					row = append(row, 0.0)
+				} else {
+					row = append(row, st.sums[ai]/float64(st.counts[ai]))
+				}
+			case plan.AggMin, plan.AggMax:
+				switch h.schema.Columns[idx].Type {
+				case types.String:
+					if a.Func == plan.AggMin {
+						row = append(row, st.minStr[ai])
+					} else {
+						row = append(row, st.maxStr[ai])
+					}
+				case types.Int:
+					if a.Func == plan.AggMin {
+						row = append(row, int64(st.mins[ai]))
+					} else {
+						row = append(row, int64(st.maxs[ai]))
+					}
+				default:
+					if a.Func == plan.AggMin {
+						row = append(row, st.mins[ai])
+					} else {
+						row = append(row, st.maxs[ai])
+					}
+				}
+			}
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return err
+		}
+	}
+	h.out = out
+	h.groups = nil
+	h.order = nil
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (*types.Batch, error) {
+	if h.done {
+		return nil, nil
+	}
+	h.done = true
+	return h.out, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.out = nil
+	return nil
+}

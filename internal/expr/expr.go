@@ -1,0 +1,540 @@
+// Package expr implements typed, vectorized expression evaluation over
+// columnar batches: column references, literals, arithmetic, comparisons,
+// boolean connectives and CASE/WHEN. It also provides the analysis the
+// optimizers need — conjunct extraction, column usage, constant folding,
+// and predicate-to-interval derivation for predicate-based model pruning.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"raven/internal/types"
+)
+
+// Expr is a typed expression evaluable against a batch.
+type Expr interface {
+	// Eval computes one value per batch row.
+	Eval(b *types.Batch) (*types.Vector, error)
+	// Type resolves the result type against an input schema.
+	Type(s *types.Schema) (types.DataType, error)
+	fmt.Stringer
+}
+
+// Column references a named input column, optionally qualified ("d.age").
+type Column struct {
+	Name string
+}
+
+// Eval implements Expr.
+func (c *Column) Eval(b *types.Batch) (*types.Vector, error) {
+	v := b.Col(c.Name)
+	if v == nil {
+		// qualified name fallback: match on suffix after '.'
+		if i := strings.LastIndexByte(c.Name, '.'); i >= 0 {
+			v = b.Col(c.Name[i+1:])
+		}
+	}
+	if v == nil {
+		return nil, fmt.Errorf("expr: column %q not found in %v", c.Name, b.Schema)
+	}
+	return v, nil
+}
+
+// Type implements Expr.
+func (c *Column) Type(s *types.Schema) (types.DataType, error) {
+	i := s.IndexOf(c.Name)
+	if i < 0 {
+		if j := strings.LastIndexByte(c.Name, '.'); j >= 0 {
+			i = s.IndexOf(c.Name[j+1:])
+		}
+	}
+	if i < 0 {
+		return types.Unknown, fmt.Errorf("expr: column %q not found in %v", c.Name, s)
+	}
+	return s.Columns[i].Type, nil
+}
+
+func (c *Column) String() string { return c.Name }
+
+// BareName returns the unqualified column name.
+func (c *Column) BareName() string {
+	if i := strings.LastIndexByte(c.Name, '.'); i >= 0 {
+		return c.Name[i+1:]
+	}
+	return c.Name
+}
+
+// Literal is a constant of a specific type.
+type Literal struct {
+	DT types.DataType
+	F  float64
+	I  int64
+	B  bool
+	S  string
+}
+
+// FloatLit builds a FLOAT literal.
+func FloatLit(x float64) *Literal { return &Literal{DT: types.Float, F: x} }
+
+// IntLit builds an INT literal.
+func IntLit(x int64) *Literal { return &Literal{DT: types.Int, I: x} }
+
+// BoolLit builds a BOOL literal.
+func BoolLit(x bool) *Literal { return &Literal{DT: types.Bool, B: x} }
+
+// StringLit builds a VARCHAR literal.
+func StringLit(x string) *Literal { return &Literal{DT: types.String, S: x} }
+
+// Eval implements Expr.
+func (l *Literal) Eval(b *types.Batch) (*types.Vector, error) {
+	n := b.Len()
+	switch l.DT {
+	case types.Float:
+		return types.ConstFloat(l.F, n), nil
+	case types.Int:
+		return types.ConstInt(l.I, n), nil
+	case types.Bool:
+		return types.ConstBool(l.B, n), nil
+	case types.String:
+		return types.ConstString(l.S, n), nil
+	default:
+		return nil, fmt.Errorf("expr: literal of unknown type")
+	}
+}
+
+// Type implements Expr.
+func (l *Literal) Type(*types.Schema) (types.DataType, error) { return l.DT, nil }
+
+func (l *Literal) String() string {
+	switch l.DT {
+	case types.Float:
+		return strconv.FormatFloat(l.F, 'g', -1, 64)
+	case types.Int:
+		return strconv.FormatInt(l.I, 10)
+	case types.Bool:
+		if l.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case types.String:
+		return "'" + l.S + "'"
+	default:
+		return "?"
+	}
+}
+
+// AsFloat returns the numeric value of a numeric/bool literal.
+func (l *Literal) AsFloat() float64 {
+	switch l.DT {
+	case types.Float:
+		return l.F
+	case types.Int:
+		return float64(l.I)
+	case types.Bool:
+		if l.B {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+// IsComparison reports whether op yields a boolean from two operands.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// Binary applies op to two subexpressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NewBinary constructs a binary expression.
+func NewBinary(op BinOp, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, binOpNames[e.Op], e.R)
+}
+
+// Type implements Expr.
+func (e *Binary) Type(s *types.Schema) (types.DataType, error) {
+	lt, err := e.L.Type(s)
+	if err != nil {
+		return types.Unknown, err
+	}
+	rt, err := e.R.Type(s)
+	if err != nil {
+		return types.Unknown, err
+	}
+	switch {
+	case e.Op == OpAnd || e.Op == OpOr:
+		if lt != types.Bool || rt != types.Bool {
+			return types.Unknown, fmt.Errorf("expr: %s needs BOOL operands, got %v and %v", binOpNames[e.Op], lt, rt)
+		}
+		return types.Bool, nil
+	case e.Op.IsComparison():
+		if lt == types.String || rt == types.String {
+			if lt != rt {
+				return types.Unknown, fmt.Errorf("expr: cannot compare %v with %v", lt, rt)
+			}
+			return types.Bool, nil
+		}
+		return types.Bool, nil
+	default: // arithmetic
+		if !lt.IsNumeric() && lt != types.Bool || !rt.IsNumeric() && rt != types.Bool {
+			return types.Unknown, fmt.Errorf("expr: arithmetic needs numeric operands, got %v and %v", lt, rt)
+		}
+		if lt == types.Int && rt == types.Int && e.Op != OpDiv {
+			return types.Int, nil
+		}
+		return types.Float, nil
+	}
+}
+
+// Eval implements Expr.
+func (e *Binary) Eval(b *types.Batch) (*types.Vector, error) {
+	lv, err := e.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	switch {
+	case e.Op == OpAnd || e.Op == OpOr:
+		if lv.Type != types.Bool || rv.Type != types.Bool {
+			return nil, fmt.Errorf("expr: %s over non-bool vectors", binOpNames[e.Op])
+		}
+		out := types.NewVector(types.Bool, n)
+		if e.Op == OpAnd {
+			for i := 0; i < n; i++ {
+				out.Bools[i] = lv.Bools[i] && rv.Bools[i]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				out.Bools[i] = lv.Bools[i] || rv.Bools[i]
+			}
+		}
+		return out, nil
+	case e.Op.IsComparison():
+		return evalCompare(e.Op, lv, rv, n)
+	default:
+		return evalArith(e.Op, lv, rv, n)
+	}
+}
+
+func evalCompare(op BinOp, lv, rv *types.Vector, n int) (*types.Vector, error) {
+	out := types.NewVector(types.Bool, n)
+	if lv.Type == types.String || rv.Type == types.String {
+		if lv.Type != rv.Type {
+			return nil, fmt.Errorf("expr: cannot compare %v with %v", lv.Type, rv.Type)
+		}
+		for i := 0; i < n; i++ {
+			out.Bools[i] = cmpResult(op, strings.Compare(lv.Strings[i], rv.Strings[i]))
+		}
+		return out, nil
+	}
+	// fast path: both int
+	if lv.Type == types.Int && rv.Type == types.Int {
+		for i := 0; i < n; i++ {
+			out.Bools[i] = cmpResult(op, cmpInt(lv.Ints[i], rv.Ints[i]))
+		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		a, c := lv.AsFloat(i), rv.AsFloat(i)
+		out.Bools[i] = cmpResult(op, cmpFloat(a, c))
+	}
+	return out, nil
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpResult(op BinOp, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func evalArith(op BinOp, lv, rv *types.Vector, n int) (*types.Vector, error) {
+	if lv.Type == types.String || rv.Type == types.String {
+		return nil, fmt.Errorf("expr: arithmetic over VARCHAR")
+	}
+	if lv.Type == types.Int && rv.Type == types.Int && op != OpDiv {
+		out := types.NewVector(types.Int, n)
+		for i := 0; i < n; i++ {
+			a, b := lv.Ints[i], rv.Ints[i]
+			switch op {
+			case OpAdd:
+				out.Ints[i] = a + b
+			case OpSub:
+				out.Ints[i] = a - b
+			case OpMul:
+				out.Ints[i] = a * b
+			}
+		}
+		return out, nil
+	}
+	out := types.NewVector(types.Float, n)
+	for i := 0; i < n; i++ {
+		a, b := lv.AsFloat(i), rv.AsFloat(i)
+		switch op {
+		case OpAdd:
+			out.Floats[i] = a + b
+		case OpSub:
+			out.Floats[i] = a - b
+		case OpMul:
+			out.Floats[i] = a * b
+		case OpDiv:
+			out.Floats[i] = a / b
+		}
+	}
+	return out, nil
+}
+
+// Not negates a boolean expression.
+type Not struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (e *Not) Eval(b *types.Batch) (*types.Vector, error) {
+	v, err := e.E.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type != types.Bool {
+		return nil, fmt.Errorf("expr: NOT over %v", v.Type)
+	}
+	out := types.NewVector(types.Bool, v.Len())
+	for i := range v.Bools {
+		out.Bools[i] = !v.Bools[i]
+	}
+	return out, nil
+}
+
+// Type implements Expr.
+func (e *Not) Type(s *types.Schema) (types.DataType, error) {
+	t, err := e.E.Type(s)
+	if err != nil {
+		return types.Unknown, err
+	}
+	if t != types.Bool {
+		return types.Unknown, fmt.Errorf("expr: NOT over %v", t)
+	}
+	return types.Bool, nil
+}
+
+func (e *Not) String() string { return fmt.Sprintf("(NOT %s)", e.E) }
+
+// When is one CASE arm.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is a searched CASE expression: CASE WHEN c1 THEN v1 ... ELSE e END.
+// Model inlining (§4.2) compiles decision trees into nested Case trees.
+type Case struct {
+	Whens []When
+	Else  Expr
+}
+
+// Type implements Expr. Arm result types must agree exactly, except that
+// mixed numeric arms (INT/FLOAT/BOOL) promote to FLOAT, matching SQL's
+// implicit numeric coercion in CASE.
+func (e *Case) Type(s *types.Schema) (types.DataType, error) {
+	if len(e.Whens) == 0 || e.Else == nil {
+		return types.Unknown, fmt.Errorf("expr: CASE needs at least one WHEN and an ELSE")
+	}
+	arms := make([]types.DataType, 0, len(e.Whens)+1)
+	for _, w := range e.Whens {
+		ct, err := w.Cond.Type(s)
+		if err != nil {
+			return types.Unknown, err
+		}
+		if ct != types.Bool {
+			return types.Unknown, fmt.Errorf("expr: CASE condition is %v, not BOOL", ct)
+		}
+		at, err := w.Then.Type(s)
+		if err != nil {
+			return types.Unknown, err
+		}
+		arms = append(arms, at)
+	}
+	et, err := e.Else.Type(s)
+	if err != nil {
+		return types.Unknown, err
+	}
+	arms = append(arms, et)
+	out := arms[0]
+	for _, a := range arms[1:] {
+		if a == out {
+			continue
+		}
+		numeric := func(t types.DataType) bool { return t.IsNumeric() || t == types.Bool }
+		if numeric(a) && numeric(out) {
+			out = types.Float
+			continue
+		}
+		return types.Unknown, fmt.Errorf("expr: CASE arms have incompatible types %v and %v", out, a)
+	}
+	return out, nil
+}
+
+// Eval implements Expr. Evaluation is mask-driven: each arm's THEN runs
+// only on the rows its condition selects (gathered into a sub-batch), so a
+// decision tree inlined as nested CASEs costs O(depth·n) — the same
+// asymptotics as native tree traversal, but vectorized.
+func (e *Case) Eval(b *types.Batch) (*types.Vector, error) {
+	n := b.Len()
+	t, err := e.Type(b.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := types.NewVector(t, n)
+	// idx maps current sub-batch positions to output rows.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	cur := b
+	scatter := func(vals *types.Vector, rows []int) {
+		for k, i := range rows {
+			switch t {
+			case types.Float:
+				out.Floats[i] = vals.AsFloat(k)
+			case types.Int:
+				out.Ints[i] = vals.Ints[k]
+			case types.Bool:
+				out.Bools[i] = vals.Bools[k]
+			case types.String:
+				out.Strings[i] = vals.Strings[k]
+			}
+		}
+	}
+	for _, w := range e.Whens {
+		if len(idx) == 0 {
+			return out, nil
+		}
+		cond, err := w.Cond.Eval(cur)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type != types.Bool {
+			return nil, fmt.Errorf("expr: CASE condition evaluated to %v", cond.Type)
+		}
+		var selT, selF []int // positions within cur
+		for k, ok := range cond.Bools {
+			if ok {
+				selT = append(selT, k)
+			} else {
+				selF = append(selF, k)
+			}
+		}
+		if len(selT) > 0 {
+			sub := cur
+			rows := idx
+			if len(selT) < len(idx) {
+				sub = cur.Gather(selT)
+				rows = make([]int, len(selT))
+				for k, p := range selT {
+					rows[k] = idx[p]
+				}
+			}
+			vals, err := w.Then.Eval(sub)
+			if err != nil {
+				return nil, err
+			}
+			scatter(vals, rows)
+		}
+		if len(selF) == 0 {
+			return out, nil
+		}
+		if len(selF) < len(idx) {
+			cur = cur.Gather(selF)
+			nidx := make([]int, len(selF))
+			for k, p := range selF {
+				nidx[k] = idx[p]
+			}
+			idx = nidx
+		}
+	}
+	vals, err := e.Else.Eval(cur)
+	if err != nil {
+		return nil, err
+	}
+	scatter(vals, idx)
+	return out, nil
+}
+
+func (e *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	fmt.Fprintf(&sb, " ELSE %s END", e.Else)
+	return sb.String()
+}

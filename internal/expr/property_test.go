@@ -1,0 +1,163 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"raven/internal/types"
+)
+
+// randExpr generates a random boolean-or-numeric expression tree over
+// columns {a FLOAT, b INT, ok BOOL}.
+func randExpr(rng *rand.Rand, depth int, wantBool bool) Expr {
+	if depth == 0 {
+		if wantBool {
+			switch rng.Intn(3) {
+			case 0:
+				return BoolLit(rng.Intn(2) == 0)
+			case 1:
+				return &Column{Name: "ok"}
+			default:
+				return NewBinary(OpGt, &Column{Name: "a"}, FloatLit(rng.NormFloat64()))
+			}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return FloatLit(rng.NormFloat64() * 10)
+		case 1:
+			return IntLit(int64(rng.Intn(20) - 10))
+		case 2:
+			return &Column{Name: "a"}
+		default:
+			return &Column{Name: "b"}
+		}
+	}
+	if wantBool {
+		switch rng.Intn(4) {
+		case 0:
+			return NewBinary(OpAnd, randExpr(rng, depth-1, true), randExpr(rng, depth-1, true))
+		case 1:
+			return NewBinary(OpOr, randExpr(rng, depth-1, true), randExpr(rng, depth-1, true))
+		case 2:
+			return &Not{E: randExpr(rng, depth-1, true)}
+		default:
+			ops := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+			return NewBinary(ops[rng.Intn(len(ops))], randExpr(rng, depth-1, false), randExpr(rng, depth-1, false))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return NewBinary(OpAdd, randExpr(rng, depth-1, false), randExpr(rng, depth-1, false))
+	case 1:
+		return NewBinary(OpSub, randExpr(rng, depth-1, false), randExpr(rng, depth-1, false))
+	case 2:
+		return NewBinary(OpMul, randExpr(rng, depth-1, false), randExpr(rng, depth-1, false))
+	default:
+		return &Case{
+			Whens: []When{{Cond: randExpr(rng, depth-1, true), Then: randExpr(rng, depth-1, false)}},
+			Else:  randExpr(rng, depth-1, false),
+		}
+	}
+}
+
+func propBatch(rng *rand.Rand, n int) *types.Batch {
+	s := types.NewSchema(
+		types.Column{Name: "a", Type: types.Float},
+		types.Column{Name: "b", Type: types.Int},
+		types.Column{Name: "ok", Type: types.Bool},
+	)
+	b := types.NewBatch(s)
+	for i := 0; i < n; i++ {
+		_ = b.AppendRow(rng.NormFloat64()*5, int64(rng.Intn(10)-5), rng.Intn(2) == 0)
+	}
+	return b
+}
+
+// Property: Simplify preserves evaluation semantics on every row. Numeric
+// comparisons are exact because folding uses the same float64 arithmetic.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := propBatch(rng, 64)
+		e := randExpr(rng, 4, rng.Intn(2) == 0)
+		s := Simplify(e)
+		v1, err1 := e.Eval(b)
+		v2, err2 := s.Eval(b)
+		if (err1 == nil) != (err2 == nil) {
+			// Simplification may fold away a subexpression whose sibling
+			// errors; our generator produces only well-typed trees, so
+			// errors must agree.
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if v1.Type != v2.Type {
+			// int+int folding may widen via literals; compare as floats
+			for i := 0; i < b.Len(); i++ {
+				if v1.AsFloat(i) != v2.AsFloat(i) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < b.Len(); i++ {
+			switch v1.Type {
+			case types.Bool:
+				if v1.Bools[i] != v2.Bools[i] {
+					return false
+				}
+			case types.Int:
+				if v1.Ints[i] != v2.Ints[i] {
+					return false
+				}
+			default:
+				if v1.AsFloat(i) != v2.AsFloat(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DeriveRanges never produces a range excluding a row that
+// satisfies the predicate (soundness of predicate→interval derivation).
+func TestDeriveRangesSound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := propBatch(rng, 128)
+		// conjunctions of comparisons only (the shape DeriveRanges reads)
+		var cs []Expr
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			ops := []BinOp{OpEq, OpLt, OpLe, OpGt, OpGe}
+			col := []string{"a", "b"}[rng.Intn(2)]
+			cs = append(cs, NewBinary(ops[rng.Intn(len(ops))], &Column{Name: col}, FloatLit(float64(rng.Intn(8)-4))))
+		}
+		pred := And(cs)
+		ranges := DeriveRanges(pred)
+		mask, err := pred.Eval(b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < b.Len(); i++ {
+			if !mask.Bools[i] {
+				continue
+			}
+			for col, r := range ranges {
+				v := b.Col(col).AsFloat(i)
+				if v < r.Lo || v > r.Hi {
+					return false // satisfied row outside derived range: unsound
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package ir defines Raven's unified intermediate representation (paper
+// §3): a single DAG mixing relational-algebra (RA) operators, classical-ML
+// operators and featurizers (MLD), linear-algebra graphs (LA), and opaque
+// UDFs. SQL queries lower into RA nodes; model pipelines extracted by the
+// static analyzer lower into MLD chains; NN translation rewrites MLD chains
+// into LA nodes. The cross optimizer (package xopt) rewrites this graph.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"raven/internal/ml"
+	"raven/internal/ort"
+	"raven/internal/plan"
+	"raven/internal/types"
+)
+
+// Category classifies operators per the paper's taxonomy (§3.1).
+type Category uint8
+
+// Operator categories.
+const (
+	RA Category = iota
+	LA
+	MLD
+	UDF
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case RA:
+		return "RA"
+	case LA:
+		return "LA"
+	case MLD:
+		return "MLD"
+	default:
+		return "UDF"
+	}
+}
+
+// Engine names the runtime chosen to execute a node (paper §4.3: part of
+// optimization is picking the engine per operator).
+type Engine uint8
+
+// Engines.
+const (
+	EngineUnassigned Engine = iota
+	EngineDB
+	EngineML
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineDB:
+		return "db"
+	case EngineML:
+		return "ml"
+	default:
+		return "?"
+	}
+}
+
+// Node is one unified-IR operator.
+type Node interface {
+	// Input returns the upstream node (nil for sources).
+	Input() Node
+	// SetInput replaces the upstream node.
+	SetInput(Node)
+	// Cat is the operator category.
+	Cat() Category
+	fmt.Stringer
+}
+
+// RelNode wraps a relational subplan. For graph sources, Plan is a full
+// scan/join/filter tree and In is nil. Elsewhere Plan operates on the rows
+// produced by In, with a plan.Input placeholder at its leaf.
+type RelNode struct {
+	Plan   plan.Node
+	In     Node
+	Engine Engine
+}
+
+// Input implements Node.
+func (n *RelNode) Input() Node { return n.In }
+
+// SetInput implements Node.
+func (n *RelNode) SetInput(i Node) { n.In = i }
+
+// Cat implements Node.
+func (n *RelNode) Cat() Category { return RA }
+
+func (n *RelNode) String() string {
+	first := strings.SplitN(plan.Explain(n.Plan), "\n", 2)[0]
+	return fmt.Sprintf("RA:%s", first)
+}
+
+// TransformNode is one featurization step (MLD category).
+type TransformNode struct {
+	T      ml.Transformer
+	In     Node
+	Engine Engine
+}
+
+// Input implements Node.
+func (n *TransformNode) Input() Node { return n.In }
+
+// SetInput implements Node.
+func (n *TransformNode) SetInput(i Node) { n.In = i }
+
+// Cat implements Node.
+func (n *TransformNode) Cat() Category { return MLD }
+
+func (n *TransformNode) String() string { return "MLD:transform:" + n.T.Kind() }
+
+// ModelNode is the final predictor of a pipeline (MLD category). Its
+// output is the input rows with OutputCol appended.
+type ModelNode struct {
+	M ml.Model
+	// InputCols names the relational columns feeding feature 0..d-1 of the
+	// first transform (or the model itself when there are no transforms).
+	InputCols []string
+	OutputCol types.Column
+	In        Node
+	Engine    Engine
+}
+
+// Input implements Node.
+func (n *ModelNode) Input() Node { return n.In }
+
+// SetInput implements Node.
+func (n *ModelNode) SetInput(i Node) { n.In = i }
+
+// Cat implements Node.
+func (n *ModelNode) Cat() Category { return MLD }
+
+func (n *ModelNode) String() string {
+	return fmt.Sprintf("MLD:model:%s -> %s", n.M.Kind(), n.OutputCol.Name)
+}
+
+// LANode holds a compiled tensor graph (the result of NN translation).
+// Input "X" of the graph is fed from InputCols; output "Y" lands in
+// OutputCol.
+type LANode struct {
+	G         *ort.Graph
+	InputCols []string
+	OutputCol types.Column
+	In        Node
+	Engine    Engine
+	// UseGPU requests the simulated accelerator provider.
+	UseGPU bool
+}
+
+// Input implements Node.
+func (n *LANode) Input() Node { return n.In }
+
+// SetInput implements Node.
+func (n *LANode) SetInput(i Node) { n.In = i }
+
+// Cat implements Node.
+func (n *LANode) Cat() Category { return LA }
+
+func (n *LANode) String() string {
+	return fmt.Sprintf("LA:graph(%d nodes) -> %s", n.G.NumNodes(), n.OutputCol.Name)
+}
+
+// UDFNode wraps opaque row-at-a-time code the static analyzer could not
+// translate (paper §3.1). Fn maps an input batch to an output batch.
+type UDFNode struct {
+	Name   string
+	Fn     func(*types.Batch) (*types.Batch, error)
+	Out    *types.Schema
+	In     Node
+	Engine Engine
+}
+
+// Input implements Node.
+func (n *UDFNode) Input() Node { return n.In }
+
+// SetInput implements Node.
+func (n *UDFNode) SetInput(i Node) { n.In = i }
+
+// Cat implements Node.
+func (n *UDFNode) Cat() Category { return UDF }
+
+func (n *UDFNode) String() string { return "UDF:" + n.Name }
+
+// SplitNode unions two alternative subchains, each guarded by a predicate
+// on the source rows — the result of model/query splitting (paper §2).
+// Rows satisfying Cond flow through Left, the rest through Right.
+type SplitNode struct {
+	CondCol   string // source column tested
+	Threshold float64
+	// Left handles rows with CondCol <= Threshold, Right the rest.
+	Left, Right Node
+	In          Node
+}
+
+// Input implements Node.
+func (n *SplitNode) Input() Node { return n.In }
+
+// SetInput implements Node.
+func (n *SplitNode) SetInput(i Node) { n.In = i }
+
+// Cat implements Node.
+func (n *SplitNode) Cat() Category { return RA }
+
+func (n *SplitNode) String() string {
+	return fmt.Sprintf("RA:split(%s <= %v)", n.CondCol, n.Threshold)
+}
+
+// Graph is a unified-IR plan: a chain/DAG ending at Root (typically
+// sink-RA ← model ← transforms ← source-RA).
+type Graph struct {
+	Root Node
+}
+
+// Chain returns the nodes from source to root, linearized. SplitNode
+// branches contribute their nodes depth-first.
+func (g *Graph) Chain() []Node {
+	var out []Node
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n == nil {
+			return
+		}
+		walk(n.Input())
+		if s, ok := n.(*SplitNode); ok {
+			walk(s.Left)
+			walk(s.Right)
+		}
+		out = append(out, n)
+	}
+	walk(g.Root)
+	return out
+}
+
+// Source returns the bottom-most node.
+func (g *Graph) Source() Node {
+	n := g.Root
+	for n.Input() != nil {
+		n = n.Input()
+	}
+	return n
+}
+
+// Explain renders the IR with categories and engine assignments, the
+// unified-IR view the paper's Fig 1 shows.
+func (g *Graph) Explain() string {
+	var sb strings.Builder
+	nodes := g.Chain()
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		eng := ""
+		switch x := n.(type) {
+		case *RelNode:
+			eng = x.Engine.String()
+		case *TransformNode:
+			eng = x.Engine.String()
+		case *ModelNode:
+			eng = x.Engine.String()
+		case *LANode:
+			eng = x.Engine.String()
+		case *UDFNode:
+			eng = x.Engine.String()
+		}
+		fmt.Fprintf(&sb, "[%s/%s] %s\n", n.Cat(), eng, n)
+	}
+	return sb.String()
+}
+
+// Find returns the first node in the chain satisfying pred, or nil.
+func (g *Graph) Find(pred func(Node) bool) Node {
+	for _, n := range g.Chain() {
+		if pred(n) {
+			return n
+		}
+	}
+	return nil
+}
+
+// CountCategory counts chain nodes in the given category.
+func (g *Graph) CountCategory(c Category) int {
+	n := 0
+	for _, node := range g.Chain() {
+		if node.Cat() == c {
+			n++
+		}
+	}
+	return n
+}

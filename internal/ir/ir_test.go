@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"raven/internal/ml"
+	"raven/internal/plan"
+	"raven/internal/storage"
+	"raven/internal/types"
+)
+
+func smallTable(t *testing.T, name string) *storage.Table {
+	t.Helper()
+	tb := storage.NewTable(name, types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "x", Type: types.Float},
+	))
+	for i := 0; i < 5; i++ {
+		if err := tb.AppendRow(int64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func testPipeline() *ml.Pipeline {
+	return &ml.Pipeline{
+		Steps:        []ml.Transformer{&ml.StandardScaler{Mean: []float64{0}, Scale: []float64{1}}},
+		Final:        &ml.LogisticRegression{W: []float64{1}, B: 0},
+		InputColumns: []string{"x"},
+	}
+}
+
+func resolver(p *ml.Pipeline) PipelineResolver {
+	return func(name string) (*ml.Pipeline, error) {
+		if name == "m" {
+			return p, nil
+		}
+		return nil, fmt.Errorf("no model %q", name)
+	}
+}
+
+func TestFromPlanNoPredict(t *testing.T) {
+	tb := smallTable(t, "t")
+	g, err := FromPlan(plan.NewScan(tb), resolver(testPipeline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Root.(*RelNode); !ok {
+		t.Fatalf("root = %T", g.Root)
+	}
+	if g.CountCategory(MLD) != 0 {
+		t.Error("phantom MLD nodes")
+	}
+}
+
+func TestFromPlanExpandsPredict(t *testing.T) {
+	tb := smallTable(t, "t")
+	pr := plan.NewPredict(plan.NewScan(tb), "m", []types.Column{{Name: "score", Type: types.Float}})
+	g, err := FromPlan(pr, resolver(testPipeline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := g.Chain()
+	// source RelNode, TransformNode, ModelNode
+	if len(chain) != 3 {
+		t.Fatalf("chain = %d nodes:\n%s", len(chain), g.Explain())
+	}
+	if chain[0].Cat() != RA || chain[1].Cat() != MLD || chain[2].Cat() != MLD {
+		t.Errorf("categories = %v %v %v", chain[0].Cat(), chain[1].Cat(), chain[2].Cat())
+	}
+	mn := chain[2].(*ModelNode)
+	if mn.OutputCol.Name != "score" || len(mn.InputCols) != 1 {
+		t.Errorf("model node = %+v", mn)
+	}
+	if g.SourcePlan() == nil {
+		t.Error("source plan missing")
+	}
+}
+
+func TestFromPlanSinkAbovePredict(t *testing.T) {
+	tb := smallTable(t, "t")
+	pr := plan.NewPredict(plan.NewScan(tb), "m", []types.Column{{Name: "score", Type: types.Float}})
+	lim := &plan.Limit{Child: pr, N: 3}
+	g, err := FromPlan(lim, resolver(testPipeline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := g.SinkRel()
+	if sink == nil {
+		t.Fatal("no sink rel")
+	}
+	s := plan.Explain(sink.Plan)
+	if !strings.Contains(s, "Limit") || !strings.Contains(s, "Input") {
+		t.Errorf("sink plan:\n%s", s)
+	}
+}
+
+func TestFromPlanUnknownModel(t *testing.T) {
+	tb := smallTable(t, "t")
+	pr := plan.NewPredict(plan.NewScan(tb), "nope", []types.Column{{Name: "s", Type: types.Float}})
+	if _, err := FromPlan(pr, resolver(testPipeline())); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestFromPlanMultiOutputRejected(t *testing.T) {
+	tb := smallTable(t, "t")
+	pr := plan.NewPredict(plan.NewScan(tb), "m", []types.Column{
+		{Name: "a", Type: types.Float}, {Name: "b", Type: types.Float},
+	})
+	if _, err := FromPlan(pr, resolver(testPipeline())); err == nil {
+		t.Error("multi-output PREDICT should fail")
+	}
+}
+
+func TestExplainAndFind(t *testing.T) {
+	tb := smallTable(t, "t")
+	pr := plan.NewPredict(plan.NewScan(tb), "m", []types.Column{{Name: "score", Type: types.Float}})
+	g, err := FromPlan(pr, resolver(testPipeline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Explain()
+	if !strings.Contains(s, "MLD") || !strings.Contains(s, "RA") {
+		t.Errorf("explain:\n%s", s)
+	}
+	n := g.Find(func(n Node) bool { _, ok := n.(*ModelNode); return ok })
+	if n == nil {
+		t.Error("Find failed")
+	}
+	if g.Find(func(n Node) bool { return false }) != nil {
+		t.Error("Find should return nil")
+	}
+}
+
+func TestCategoryAndEngineStrings(t *testing.T) {
+	if RA.String() != "RA" || LA.String() != "LA" || MLD.String() != "MLD" || UDF.String() != "UDF" {
+		t.Error("category strings")
+	}
+	if EngineDB.String() != "db" || EngineML.String() != "ml" || EngineUnassigned.String() != "?" {
+		t.Error("engine strings")
+	}
+}
+
+func TestSplitNodeChain(t *testing.T) {
+	tb := smallTable(t, "t")
+	src := &RelNode{Plan: plan.NewScan(tb)}
+	l := &ModelNode{M: &ml.LogisticRegression{W: []float64{1}}, InputCols: []string{"x"}, OutputCol: types.Column{Name: "s", Type: types.Float}}
+	r := &ModelNode{M: &ml.LogisticRegression{W: []float64{2}}, InputCols: []string{"x"}, OutputCol: types.Column{Name: "s", Type: types.Float}}
+	sp := &SplitNode{CondCol: "x", Threshold: 2, Left: l, Right: r, In: src}
+	g := &Graph{Root: sp}
+	chain := g.Chain()
+	if len(chain) != 4 { // src, l, r, split
+		t.Errorf("chain = %d", len(chain))
+	}
+	if !strings.Contains(sp.String(), "split") {
+		t.Error("split String()")
+	}
+}

@@ -1,0 +1,125 @@
+// Package ml implements the classical ("MLD") machine-learning operators
+// and featurizers of the paper's unified IR: decision trees, tree
+// ensembles, linear and logistic regression, multi-layer perceptrons, and
+// the scikit-learn-style featurizers (scaling, one-hot encoding, feature
+// union) composed into Pipelines. This package is the reproduction's
+// stand-in for scikit-learn: models are evaluated the way an interpreted
+// classical framework evaluates them (per-row recursive tree traversal,
+// per-step featurizer passes), which is exactly the baseline the paper's
+// operator transformations beat (§4.2).
+package ml
+
+import (
+	"fmt"
+)
+
+// Matrix is a flat row-major feature matrix: n rows of d features.
+type Matrix struct {
+	Data []float64
+	Rows int
+	Cols int
+}
+
+// NewMatrix wraps data as an n×d matrix.
+func NewMatrix(data []float64, rows, cols int) (Matrix, error) {
+	if len(data) != rows*cols {
+		return Matrix{}, fmt.Errorf("ml: matrix %dx%d needs %d elems, got %d", rows, cols, rows*cols, len(data))
+	}
+	return Matrix{Data: data, Rows: rows, Cols: cols}, nil
+}
+
+// Row returns a view of row i.
+func (m Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Transformer is a fitted featurization step: it maps an input matrix to an
+// output matrix with possibly different width.
+type Transformer interface {
+	// Transform applies the step.
+	Transform(in Matrix) (Matrix, error)
+	// OutputDim reports the output width for a given input width.
+	OutputDim(inputDim int) (int, error)
+	// Kind names the step type ("scaler", "onehot", ...).
+	Kind() string
+}
+
+// Model is a fitted predictor over a feature matrix.
+type Model interface {
+	// Predict returns one score per row: the predicted regression value,
+	// or for classifiers the positive-class probability (binary) /
+	// predicted label (multi-class trees).
+	Predict(in Matrix) ([]float64, error)
+	// NumFeatures is the expected input width.
+	NumFeatures() int
+	// UsedFeatures returns the sorted set of input feature indices the
+	// model actually reads. Model-projection pushdown (paper §4.1) keys
+	// off this: anything absent can be projected out upstream.
+	UsedFeatures() []int
+	// Kind names the model type ("tree", "forest", "logreg", ...).
+	Kind() string
+}
+
+// Pipeline is a fitted chain of featurizers ending in a model — the "model
+// pipeline" unit the paper stores in the database (§1).
+type Pipeline struct {
+	Steps []Transformer
+	Final Model
+	// InputColumns names the relational columns the pipeline consumes, in
+	// order. The static analyzer fills this so the optimizer can relate
+	// model features back to table columns.
+	InputColumns []string
+}
+
+// Predict featurizes and scores the matrix.
+func (p *Pipeline) Predict(in Matrix) ([]float64, error) {
+	cur := in
+	var err error
+	for i, s := range p.Steps {
+		cur, err = s.Transform(cur)
+		if err != nil {
+			return nil, fmt.Errorf("ml: pipeline step %d (%s): %w", i, s.Kind(), err)
+		}
+	}
+	if p.Final == nil {
+		return nil, fmt.Errorf("ml: pipeline has no final model")
+	}
+	out, err := p.Final.Predict(cur)
+	if err != nil {
+		return nil, fmt.Errorf("ml: pipeline model (%s): %w", p.Final.Kind(), err)
+	}
+	return out, nil
+}
+
+// FeatureDim traces the width through the steps, returning the width the
+// final model sees for a given input width.
+func (p *Pipeline) FeatureDim(inputDim int) (int, error) {
+	d := inputDim
+	var err error
+	for _, s := range p.Steps {
+		d, err = s.OutputDim(d)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return d, nil
+}
+
+// Validate checks internal width consistency against the declared input.
+func (p *Pipeline) Validate() error {
+	if p.Final == nil {
+		return fmt.Errorf("ml: pipeline has no final model")
+	}
+	if len(p.InputColumns) == 0 {
+		return nil // width unknown until bound to a query
+	}
+	d, err := p.FeatureDim(len(p.InputColumns))
+	if err != nil {
+		return err
+	}
+	if d != p.Final.NumFeatures() {
+		return fmt.Errorf("ml: pipeline produces %d features, model expects %d", d, p.Final.NumFeatures())
+	}
+	return nil
+}

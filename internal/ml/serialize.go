@@ -1,0 +1,51 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+func init() {
+	// Concrete types that may appear behind the Transformer/Model
+	// interfaces in a serialized Pipeline.
+	gob.Register(&StandardScaler{})
+	gob.Register(&OneHotEncoder{})
+	gob.Register(&ColumnSelect{})
+	gob.Register(&FeatureUnion{})
+	gob.Register(&DecisionTree{})
+	gob.Register(&RandomForest{})
+	gob.Register(&LinearRegression{})
+	gob.Register(&LogisticRegression{})
+	gob.Register(&MLP{})
+}
+
+// gobPipeline avoids encoding nil interface fields, which gob rejects.
+type gobPipeline struct {
+	Steps        []Transformer
+	Final        Model
+	InputColumns []string
+}
+
+// Marshal serializes a pipeline for the model store ("gob-pipeline"
+// format).
+func Marshal(p *Pipeline) ([]byte, error) {
+	if p.Final == nil {
+		return nil, fmt.Errorf("ml: cannot marshal pipeline without final model")
+	}
+	var buf bytes.Buffer
+	gp := gobPipeline{Steps: p.Steps, Final: p.Final, InputColumns: p.InputColumns}
+	if err := gob.NewEncoder(&buf).Encode(&gp); err != nil {
+		return nil, fmt.Errorf("ml: marshal pipeline: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reverses Marshal.
+func Unmarshal(data []byte) (*Pipeline, error) {
+	var gp gobPipeline
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&gp); err != nil {
+		return nil, fmt.Errorf("ml: unmarshal pipeline: %w", err)
+	}
+	return &Pipeline{Steps: gp.Steps, Final: gp.Final, InputColumns: gp.InputColumns}, nil
+}

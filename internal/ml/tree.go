@@ -1,0 +1,300 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DecisionTree is a fitted binary decision tree in array form (the layout
+// scikit-learn uses). Internal node i tests Feature[i] <= Threshold[i]:
+// true goes to Left[i], false to Right[i]. Leaves have Feature[i] == -1 and
+// predict Value[i] (class-1 probability for classifiers, mean for
+// regressors). Node 0 is the root.
+type DecisionTree struct {
+	Feature   []int
+	Threshold []float64
+	Left      []int
+	Right     []int
+	Value     []float64
+	NFeat     int
+}
+
+// Leaf reports whether node i is a leaf.
+func (t *DecisionTree) Leaf(i int) bool { return t.Feature[i] < 0 }
+
+// NumNodes returns the node count.
+func (t *DecisionTree) NumNodes() int { return len(t.Feature) }
+
+// Depth returns the maximum root-to-leaf depth.
+func (t *DecisionTree) Depth() int {
+	var walk func(i int) int
+	walk = func(i int) int {
+		if t.Leaf(i) {
+			return 0
+		}
+		l, r := walk(t.Left[i]), walk(t.Right[i])
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if t.NumNodes() == 0 {
+		return 0
+	}
+	return walk(0)
+}
+
+// NumFeatures implements Model.
+func (t *DecisionTree) NumFeatures() int { return t.NFeat }
+
+// Kind implements Model.
+func (t *DecisionTree) Kind() string { return "tree" }
+
+// Predict implements Model: per-row root-to-leaf traversal, the way an
+// interpreted classical framework scores a tree.
+func (t *DecisionTree) Predict(in Matrix) ([]float64, error) {
+	if in.Cols != t.NFeat {
+		return nil, fmt.Errorf("ml: tree expects %d features, got %d", t.NFeat, in.Cols)
+	}
+	out := make([]float64, in.Rows)
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		n := 0
+		for !t.Leaf(n) {
+			if row[t.Feature[n]] <= t.Threshold[n] {
+				n = t.Left[n]
+			} else {
+				n = t.Right[n]
+			}
+		}
+		out[i] = t.Value[n]
+	}
+	return out, nil
+}
+
+// UsedFeatures implements Model.
+func (t *DecisionTree) UsedFeatures() []int {
+	seen := make(map[int]bool)
+	for _, f := range t.Feature {
+		if f >= 0 {
+			seen[f] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Interval is a closed range of feature values known to hold at scoring
+// time (derived from query predicates or data statistics).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point builds the degenerate interval [v, v] for equality predicates.
+func Point(v float64) Interval { return Interval{Lo: v, Hi: v} }
+
+// FullInterval covers all reals.
+func FullInterval() Interval { return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)} }
+
+// Constraints maps feature ordinal to its known interval.
+type Constraints map[int]Interval
+
+// Prune returns a new tree with branches unreachable under the constraints
+// removed — the paper's predicate-based model pruning (§4.1): a filter
+// pregnant=1 makes the pregnant<=0 branch dead, so it is cut and the tree
+// gets cheaper to evaluate (29% in the paper's example).
+func (t *DecisionTree) Prune(c Constraints) *DecisionTree {
+	nt := &DecisionTree{NFeat: t.NFeat}
+	root := buildWith(t, nt, 0, c)
+	if root != 0 {
+		// buildWith appends nodes post-order, so the root may not be node
+		// 0; renumber so callers can assume root 0.
+		nt = nt.rerooted(root)
+	}
+	return nt
+}
+
+func tighten(c Constraints, f int, thr float64, left bool) Constraints {
+	out := make(Constraints, len(c)+1)
+	for k, v := range c {
+		out[k] = v
+	}
+	iv, ok := out[f]
+	if !ok {
+		iv = FullInterval()
+	}
+	if left && thr < iv.Hi {
+		iv.Hi = thr
+	}
+	if !left && thr >= iv.Lo {
+		// going right means x > thr; approximate open bound with nextafter
+		iv.Lo = math.Nextafter(thr, math.Inf(1))
+	}
+	out[f] = iv
+	return out
+}
+
+func buildWith(src, dst *DecisionTree, i int, c Constraints) int {
+	if src.Leaf(i) {
+		return dst.addLeaf(src.Value[i])
+	}
+	f, thr := src.Feature[i], src.Threshold[i]
+	if iv, ok := c[f]; ok {
+		if iv.Hi <= thr {
+			return buildWith(src, dst, src.Left[i], c)
+		}
+		if iv.Lo > thr {
+			return buildWith(src, dst, src.Right[i], c)
+		}
+	}
+	l := buildWith(src, dst, src.Left[i], tighten(c, f, thr, true))
+	r := buildWith(src, dst, src.Right[i], tighten(c, f, thr, false))
+	return dst.addSplit(f, thr, l, r)
+}
+
+func (t *DecisionTree) addLeaf(v float64) int {
+	t.Feature = append(t.Feature, -1)
+	t.Threshold = append(t.Threshold, 0)
+	t.Left = append(t.Left, -1)
+	t.Right = append(t.Right, -1)
+	t.Value = append(t.Value, v)
+	return len(t.Feature) - 1
+}
+
+func (t *DecisionTree) addSplit(f int, thr float64, l, r int) int {
+	t.Feature = append(t.Feature, f)
+	t.Threshold = append(t.Threshold, thr)
+	t.Left = append(t.Left, l)
+	t.Right = append(t.Right, r)
+	t.Value = append(t.Value, 0)
+	return len(t.Feature) - 1
+}
+
+// rerooted returns a copy whose root is node 0 (nodes renumbered by
+// preorder from the given root).
+func (t *DecisionTree) rerooted(root int) *DecisionTree {
+	nt := &DecisionTree{NFeat: t.NFeat}
+	var copyNode func(i int) int
+	copyNode = func(i int) int {
+		if t.Leaf(i) {
+			return nt.addLeaf(t.Value[i])
+		}
+		self := nt.addSplit(t.Feature[i], t.Threshold[i], -1, -1)
+		l := copyNode(t.Left[i])
+		r := copyNode(t.Right[i])
+		nt.Left[self], nt.Right[self] = l, r
+		return self
+	}
+	copyNode(root)
+	return nt
+}
+
+// RemapFeatures renumbers feature ordinals via the given old→new map. Used
+// after model-projection pushdown narrows the input matrix. Features absent
+// from the map must be unused by the tree.
+func (t *DecisionTree) RemapFeatures(remap map[int]int, newDim int) (*DecisionTree, error) {
+	nt := &DecisionTree{
+		Feature:   make([]int, len(t.Feature)),
+		Threshold: append([]float64(nil), t.Threshold...),
+		Left:      append([]int(nil), t.Left...),
+		Right:     append([]int(nil), t.Right...),
+		Value:     append([]float64(nil), t.Value...),
+		NFeat:     newDim,
+	}
+	for i, f := range t.Feature {
+		if f < 0 {
+			nt.Feature[i] = -1
+			continue
+		}
+		nf, ok := remap[f]
+		if !ok {
+			return nil, fmt.Errorf("ml: tree uses feature %d which the remap drops", f)
+		}
+		nt.Feature[i] = nf
+	}
+	return nt, nil
+}
+
+// SplitOnRoot partitions the tree on its root test into the two subtrees,
+// returning (condition feature, threshold, left model, right model). This
+// is the paper's model/query splitting (§2): the pruned model becomes a
+// cheap model for one branch and a complex one for the other, each side
+// separately optimizable.
+func (t *DecisionTree) SplitOnRoot() (feature int, threshold float64, left, right *DecisionTree, err error) {
+	if t.NumNodes() == 0 || t.Leaf(0) {
+		return 0, 0, nil, nil, fmt.Errorf("ml: tree has no root split")
+	}
+	l := t.rerooted(t.Left[0])
+	r := t.rerooted(t.Right[0])
+	return t.Feature[0], t.Threshold[0], l, r, nil
+}
+
+// RandomForest averages an ensemble of trees (bagging). Predict returns the
+// mean of tree outputs, i.e. the class-1 probability for classification
+// forests built from class-probability leaves.
+type RandomForest struct {
+	Trees []*DecisionTree
+}
+
+// NumFeatures implements Model.
+func (f *RandomForest) NumFeatures() int {
+	if len(f.Trees) == 0 {
+		return 0
+	}
+	return f.Trees[0].NFeat
+}
+
+// Kind implements Model.
+func (f *RandomForest) Kind() string { return "forest" }
+
+// Predict implements Model.
+func (f *RandomForest) Predict(in Matrix) ([]float64, error) {
+	if len(f.Trees) == 0 {
+		return nil, fmt.Errorf("ml: empty forest")
+	}
+	out := make([]float64, in.Rows)
+	for _, t := range f.Trees {
+		p, err := t.Predict(in)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(f.Trees))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// UsedFeatures implements Model.
+func (f *RandomForest) UsedFeatures() []int {
+	seen := make(map[int]bool)
+	for _, t := range f.Trees {
+		for _, u := range t.UsedFeatures() {
+			seen[u] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Prune applies predicate-based pruning to every tree in the forest.
+func (f *RandomForest) Prune(c Constraints) *RandomForest {
+	out := &RandomForest{Trees: make([]*DecisionTree, len(f.Trees))}
+	for i, t := range f.Trees {
+		out.Trees[i] = t.Prune(c)
+	}
+	return out
+}

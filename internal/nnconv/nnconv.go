@@ -1,0 +1,343 @@
+// Package nnconv implements the paper's NN-translation operator
+// transformations (§4.2): classical ML operators and data featurizers (the
+// MLD category of the unified IR) are compiled into linear-algebra graphs
+// executable by the ort tensor runtime, unlocking batch scoring, intra-op
+// parallelism and (simulated) hardware acceleration.
+//
+// Decision trees use the GEMM strategy later popularized by Hummingbird:
+// three dense matrix products evaluate all root-to-leaf paths at once,
+// trading FLOPs for hardware-friendly regularity.
+package nnconv
+
+import (
+	"fmt"
+
+	"raven/internal/ml"
+	"raven/internal/ort"
+	"raven/internal/tensor"
+)
+
+// translator accumulates a graph while generating unique tensor names.
+type translator struct {
+	g   *ort.Graph
+	seq int
+}
+
+func (t *translator) fresh(prefix string) string {
+	t.seq++
+	return fmt.Sprintf("%s_%d", prefix, t.seq)
+}
+
+// TranslatePipeline compiles a full model pipeline into a single graph with
+// input "X" (n × len(InputColumns) or the raw feature width) and output
+// "Y" (n × 1 scores).
+func TranslatePipeline(p *ml.Pipeline) (*ort.Graph, error) {
+	tr := &translator{g: ort.NewGraph("pipeline")}
+	tr.g.Inputs = []string{"X"}
+	cur := "X"
+	var err error
+	for i, s := range p.Steps {
+		cur, err = tr.transformer(s, cur)
+		if err != nil {
+			return nil, fmt.Errorf("nnconv: step %d (%s): %w", i, s.Kind(), err)
+		}
+	}
+	out, err := tr.model(p.Final, cur)
+	if err != nil {
+		return nil, fmt.Errorf("nnconv: model (%s): %w", p.Final.Kind(), err)
+	}
+	tr.g.Add("Identity", []string{out}, []string{"Y"}, nil)
+	tr.g.Outputs = []string{"Y"}
+	if err := tr.g.Validate(); err != nil {
+		return nil, err
+	}
+	return tr.g, nil
+}
+
+// TranslateModel compiles a bare model (no featurizers).
+func TranslateModel(m ml.Model) (*ort.Graph, error) {
+	return TranslatePipeline(&ml.Pipeline{Final: m})
+}
+
+func (t *translator) transformer(s ml.Transformer, in string) (string, error) {
+	switch x := s.(type) {
+	case *ml.StandardScaler:
+		return t.scaler(x, in)
+	case *ml.OneHotEncoder:
+		return t.oneHot(x, in)
+	case *ml.ColumnSelect:
+		out := t.fresh("sel")
+		t.g.Add("Gather", []string{in}, []string{out}, ort.Attrs{"cols": append([]int(nil), x.Indices...)})
+		return out, nil
+	case *ml.FeatureUnion:
+		var parts []string
+		for _, p := range x.Parts {
+			o, err := t.transformer(p, in)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, o)
+		}
+		out := t.fresh("union")
+		t.g.Add("Concat", parts, []string{out}, nil)
+		return out, nil
+	default:
+		return "", fmt.Errorf("no NN translation for transformer %q", s.Kind())
+	}
+}
+
+func (t *translator) scaler(s *ml.StandardScaler, in string) (string, error) {
+	d := len(s.Mean)
+	mean := &tensor.Tensor{Shape: []int{d}, Data: append([]float64(nil), s.Mean...)}
+	scale := &tensor.Tensor{Shape: []int{d}, Data: append([]float64(nil), s.Scale...)}
+	mn, sn := t.fresh("mean"), t.fresh("scale")
+	t.g.AddInitializer(mn, mean)
+	t.g.AddInitializer(sn, scale)
+	centered := t.fresh("centered")
+	t.g.Add("Sub", []string{in, mn}, []string{centered}, nil)
+	out := t.fresh("scaled")
+	t.g.Add("Div", []string{centered, sn}, []string{out}, nil)
+	return out, nil
+}
+
+// oneHot emits: passthrough columns via Gather, then per categorical column
+// an Equal against the category row vector (x replicated across k columns
+// by a rank-1 MatMul), concatenated in the encoder's output order.
+func (t *translator) oneHot(e *ml.OneHotEncoder, in string) (string, error) {
+	isCat := make(map[int]bool, len(e.Cols))
+	maxCol := -1
+	for _, c := range e.Cols {
+		isCat[c] = true
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	// Fitted encoders record their input width; hand-built ones fall back
+	// to the minimal width containing all categorical columns.
+	width := e.InputDim
+	if width == 0 {
+		width = maxCol + 1
+	}
+	var pass []int
+	for j := 0; j < width; j++ {
+		if !isCat[j] {
+			pass = append(pass, j)
+		}
+	}
+	var parts []string
+	if len(pass) > 0 {
+		p := t.fresh("pass")
+		t.g.Add("Gather", []string{in}, []string{p}, ort.Attrs{"cols": pass})
+		parts = append(parts, p)
+	}
+	for ci, c := range e.Cols {
+		cats := e.Categories[ci]
+		k := len(cats)
+		col := t.fresh("cat")
+		t.g.Add("Gather", []string{in}, []string{col}, ort.Attrs{"cols": []int{c}})
+		// replicate (n×1) across k columns: x · ones(1×k)
+		onesName := t.fresh("ones")
+		ones := tensor.New(1, k)
+		for i := range ones.Data {
+			ones.Data[i] = 1
+		}
+		t.g.AddInitializer(onesName, ones)
+		rep := t.fresh("rep")
+		t.g.Add("MatMul", []string{col, onesName}, []string{rep}, nil)
+		catName := t.fresh("cats")
+		t.g.AddInitializer(catName, &tensor.Tensor{Shape: []int{k}, Data: append([]float64(nil), cats...)})
+		ind := t.fresh("onehot")
+		t.g.Add("Equal", []string{rep, catName}, []string{ind}, nil)
+		parts = append(parts, ind)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	out := t.fresh("enc")
+	t.g.Add("Concat", parts, []string{out}, nil)
+	return out, nil
+}
+
+func (t *translator) model(m ml.Model, in string) (string, error) {
+	switch x := m.(type) {
+	case *ml.LinearRegression:
+		return t.linear(x.W, x.B, in, false)
+	case *ml.LogisticRegression:
+		return t.linear(x.W, x.B, in, true)
+	case *ml.DecisionTree:
+		return t.tree(x, in)
+	case *ml.RandomForest:
+		return t.forest(x, in)
+	case *ml.MLP:
+		return t.mlp(x, in)
+	default:
+		return "", fmt.Errorf("no NN translation for model %q", m.Kind())
+	}
+}
+
+func (t *translator) linear(w []float64, b float64, in string, sigmoid bool) (string, error) {
+	d := len(w)
+	wt, _ := tensor.FromSlice(append([]float64(nil), w...), d, 1)
+	bt, _ := tensor.FromSlice([]float64{b}, 1, 1)
+	wn, bn := t.fresh("W"), t.fresh("B")
+	t.g.AddInitializer(wn, wt)
+	t.g.AddInitializer(bn, bt)
+	z := t.fresh("z")
+	t.g.Add("Gemm", []string{in, wn, bn}, []string{z}, ort.Attrs{"alpha": 1.0, "beta": 1.0})
+	if !sigmoid {
+		return z, nil
+	}
+	y := t.fresh("proba")
+	t.g.Add("Sigmoid", []string{z}, []string{y}, nil)
+	return y, nil
+}
+
+// tree compiles one decision tree with the GEMM strategy:
+//
+//	C = (X·A <= B)          n×I test outcomes, A: d×I one-hot of tested feature
+//	R = C·E                 n×L path agreement, E[i,l] ∈ {+1 (left), -1 (right), 0}
+//	P = (R == F)            n×L leaf indicator, F[l] = #left-edges on path to l
+//	Y = P·V                 n×1 leaf values
+func (t *translator) tree(dt *ml.DecisionTree, in string) (string, error) {
+	var internal, leaves []int
+	for i := 0; i < dt.NumNodes(); i++ {
+		if dt.Leaf(i) {
+			leaves = append(leaves, i)
+		} else {
+			internal = append(internal, i)
+		}
+	}
+	if len(internal) == 0 {
+		// Constant tree: Y = 0·X(first col) + value. Use a Gemm against a
+		// zero weight so the graph still consumes X (keeps shapes aligned).
+		if dt.NumNodes() == 0 {
+			return "", fmt.Errorf("empty tree")
+		}
+		return t.linear(make([]float64, dt.NFeat), dt.Value[leaves[0]], in, false)
+	}
+	iIdx := make(map[int]int, len(internal))
+	for k, n := range internal {
+		iIdx[n] = k
+	}
+	lIdx := make(map[int]int, len(leaves))
+	for k, n := range leaves {
+		lIdx[n] = k
+	}
+	d, I, L := dt.NFeat, len(internal), len(leaves)
+
+	A := tensor.New(d, I)
+	B := tensor.New(I)
+	for k, n := range internal {
+		A.Set(dt.Feature[n], k, 1)
+		B.Data[k] = dt.Threshold[n]
+	}
+	E := tensor.New(I, L)
+	F := tensor.New(L)
+	V := tensor.New(L, 1)
+	for k, leaf := range leaves {
+		V.Data[k] = dt.Value[leaf]
+	}
+	// Walk root-to-leaf paths, filling E and F. Paths are copied on each
+	// branch to avoid append aliasing between siblings.
+	var walk func(node int, path []int, dirs []bool)
+	walk = func(node int, path []int, dirs []bool) {
+		if dt.Leaf(node) {
+			l := lIdx[node]
+			for p, anc := range path {
+				if dirs[p] {
+					E.Set(iIdx[anc], l, 1)
+					F.Data[l]++
+				} else {
+					E.Set(iIdx[anc], l, -1)
+				}
+			}
+			return
+		}
+		lp := append(append([]int(nil), path...), node)
+		walk(dt.Left[node], lp, append(append([]bool(nil), dirs...), true))
+		walk(dt.Right[node], lp, append(append([]bool(nil), dirs...), false))
+	}
+	walk(0, nil, nil)
+
+	an, bn, en, fn, vn := t.fresh("A"), t.fresh("B"), t.fresh("E"), t.fresh("F"), t.fresh("V")
+	t.g.AddInitializer(an, A)
+	t.g.AddInitializer(bn, B)
+	t.g.AddInitializer(en, E)
+	t.g.AddInitializer(fn, F)
+	t.g.AddInitializer(vn, V)
+
+	xa := t.fresh("xa")
+	t.g.Add("MatMul", []string{in, an}, []string{xa}, nil)
+	c := t.fresh("tests")
+	t.g.Add("LessOrEqual", []string{xa, bn}, []string{c}, nil)
+	r := t.fresh("agree")
+	t.g.Add("MatMul", []string{c, en}, []string{r}, nil)
+	p := t.fresh("leafind")
+	t.g.Add("Equal", []string{r, fn}, []string{p}, nil)
+	y := t.fresh("treeval")
+	t.g.Add("MatMul", []string{p, vn}, []string{y}, nil)
+	return y, nil
+}
+
+// forest averages per-tree outputs.
+func (t *translator) forest(f *ml.RandomForest, in string) (string, error) {
+	if len(f.Trees) == 0 {
+		return "", fmt.Errorf("empty forest")
+	}
+	outs := make([]string, len(f.Trees))
+	for i, dt := range f.Trees {
+		o, err := t.tree(dt, in)
+		if err != nil {
+			return "", fmt.Errorf("tree %d: %w", i, err)
+		}
+		outs[i] = o
+	}
+	if len(outs) == 1 {
+		return outs[0], nil
+	}
+	// Concat n×1 outputs to n×T, then average with a T×1 GEMM — one dense
+	// op instead of a T-deep Add chain.
+	cat := t.fresh("treecat")
+	t.g.Add("Concat", outs, []string{cat}, nil)
+	avgW := tensor.New(len(outs), 1)
+	for i := range avgW.Data {
+		avgW.Data[i] = 1 / float64(len(outs))
+	}
+	wn := t.fresh("avgW")
+	t.g.AddInitializer(wn, avgW)
+	out := t.fresh("forestavg")
+	t.g.Add("MatMul", []string{cat, wn}, []string{out}, nil)
+	return out, nil
+}
+
+func (t *translator) mlp(m *ml.MLP, in string) (string, error) {
+	if len(m.Dims) < 2 {
+		return "", fmt.Errorf("mlp has no layers")
+	}
+	cur := in
+	for l := 0; l < len(m.Weights); l++ {
+		din, dout := m.Dims[l], m.Dims[l+1]
+		w, err := tensor.FromSlice(append([]float64(nil), m.Weights[l]...), din, dout)
+		if err != nil {
+			return "", err
+		}
+		b := &tensor.Tensor{Shape: []int{dout}, Data: append([]float64(nil), m.Biases[l]...)}
+		wn, bn := t.fresh("W"), t.fresh("B")
+		t.g.AddInitializer(wn, w)
+		t.g.AddInitializer(bn, b)
+		z := t.fresh("z")
+		t.g.Add("Gemm", []string{cur, wn, bn}, []string{z}, ort.Attrs{"alpha": 1.0, "beta": 1.0})
+		cur = z
+		if l < len(m.Weights)-1 {
+			a := t.fresh("relu")
+			t.g.Add("Relu", []string{cur}, []string{a}, nil)
+			cur = a
+		}
+	}
+	if m.Classifier {
+		s := t.fresh("proba")
+		t.g.Add("Sigmoid", []string{cur}, []string{s}, nil)
+		cur = s
+	}
+	return cur, nil
+}

@@ -1,0 +1,309 @@
+package nnconv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raven/internal/ml"
+	"raven/internal/ort"
+	"raven/internal/tensor"
+	"raven/internal/train"
+)
+
+// runGraph compiles and executes a graph on x, returning the Y column.
+func runGraph(t *testing.T, g *ort.Graph, x ml.Matrix) []float64 {
+	t.Helper()
+	s, err := ort.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, err := tensor.FromSlice(x.Data, x.Rows, x.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := s.Run(map[string]*tensor.Tensor{"X": xt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out["Y"].Data
+}
+
+func assertSame(t *testing.T, name string, want, got []float64, tol float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", name, len(want), len(got))
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > tol {
+			t.Fatalf("%s: diverges at %d: %v vs %v", name, i, want[i], got[i])
+		}
+	}
+}
+
+func randMatrix(n, d int, seed int64) ml.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*d)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	return ml.Matrix{Data: data, Rows: n, Cols: d}
+}
+
+func trainedTree(t *testing.T, n, d int, seed int64) (*ml.DecisionTree, ml.Matrix) {
+	t.Helper()
+	x := randMatrix(n, d, seed)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0)+x.At(i, 1) > 0 {
+			y[i] = 1
+		}
+	}
+	return train.FitTree(x, y, train.TreeOptions{MaxDepth: 6, MinLeaf: 5}), x
+}
+
+func TestTreeTranslationMatchesTree(t *testing.T) {
+	tree, x := trainedTree(t, 800, 4, 1)
+	want, err := tree.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslateModel(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "tree-nn", want, got, 1e-9)
+}
+
+func TestConstantTreeTranslation(t *testing.T) {
+	// single-leaf tree
+	tree := &ml.DecisionTree{NFeat: 2, Feature: []int{-1}, Threshold: []float64{0}, Left: []int{-1}, Right: []int{-1}, Value: []float64{3.5}}
+	g, err := TranslateModel(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randMatrix(5, 2, 3)
+	got := runGraph(t, g, x)
+	for _, v := range got {
+		if v != 3.5 {
+			t.Fatalf("constant tree = %v", got)
+		}
+	}
+}
+
+func TestForestTranslationMatchesForest(t *testing.T) {
+	x := randMatrix(500, 5, 7)
+	y := make([]float64, 500)
+	for i := range y {
+		if x.At(i, 2) > 0 {
+			y[i] = 1
+		}
+	}
+	forest := train.FitForest(x, y, train.ForestOptions{NumTrees: 7, Seed: 3, Tree: train.TreeOptions{MaxDepth: 5, MinLeaf: 5}})
+	want, err := forest.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslateModel(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "forest-nn", want, got, 1e-9)
+}
+
+func TestLogRegTranslation(t *testing.T) {
+	m := &ml.LogisticRegression{W: []float64{0.5, -1, 2}, B: 0.25}
+	x := randMatrix(100, 3, 11)
+	want, _ := m.Predict(x)
+	g, err := TranslateModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "logreg-nn", want, got, 1e-12)
+}
+
+func TestLinRegTranslation(t *testing.T) {
+	m := &ml.LinearRegression{W: []float64{1.5, -2}, B: 3}
+	x := randMatrix(50, 2, 13)
+	want, _ := m.Predict(x)
+	g, err := TranslateModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "linreg-nn", want, got, 1e-12)
+}
+
+func TestMLPTranslation(t *testing.T) {
+	x := randMatrix(300, 4, 17)
+	y := make([]float64, 300)
+	for i := range y {
+		if x.At(i, 0) > 0 {
+			y[i] = 1
+		}
+	}
+	m := train.FitMLP(x, y, train.MLPOptions{Hidden: []int{8, 4}, Epochs: 3, Seed: 5, Classifier: true})
+	want, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslateModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "mlp-nn", want, got, 1e-9)
+}
+
+func TestScalerAndSelectTranslation(t *testing.T) {
+	sc := &ml.StandardScaler{Mean: []float64{1, 2, 3}, Scale: []float64{2, 4, 8}}
+	cs := &ml.ColumnSelect{Indices: []int{2, 0}}
+	lg := &ml.LogisticRegression{W: []float64{1, -1}, B: 0}
+	p := &ml.Pipeline{Steps: []ml.Transformer{sc, cs}, Final: lg}
+	x := randMatrix(80, 3, 19)
+	want, err := p.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslatePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "scaler+select-nn", want, got, 1e-12)
+}
+
+func TestOneHotTranslation(t *testing.T) {
+	// 3 columns: [num, cat(2 values), cat(3 values)]
+	n := 200
+	rng := rand.New(rand.NewSource(23))
+	data := make([]float64, n*3)
+	for i := 0; i < n; i++ {
+		data[i*3] = rng.NormFloat64()
+		data[i*3+1] = float64(rng.Intn(2)) * 5
+		data[i*3+2] = float64(rng.Intn(3)) * 7
+	}
+	x := ml.Matrix{Data: data, Rows: n, Cols: 3}
+	enc := ml.FitOneHot(x, []int{1, 2})
+	lg := &ml.LogisticRegression{W: []float64{0.5, 1, -1, 0.25, -0.25, 2}, B: 0.1}
+	p := &ml.Pipeline{Steps: []ml.Transformer{enc}, Final: lg}
+	want, err := p.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslatePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "onehot-nn", want, got, 1e-12)
+}
+
+func TestFeatureUnionTranslation(t *testing.T) {
+	// union of (scaled all columns) and (raw column 0): width 3.
+	sc := &ml.StandardScaler{Mean: []float64{1, 2}, Scale: []float64{2, 2}}
+	u := &ml.FeatureUnion{Parts: []ml.Transformer{sc, &ml.ColumnSelect{Indices: []int{0}}}}
+	lg := &ml.LogisticRegression{W: []float64{1, -1, 0.5}, B: 0}
+	p := &ml.Pipeline{Steps: []ml.Transformer{u}, Final: lg}
+	x := randMatrix(60, 2, 29)
+	want, err := p.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslatePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "union-nn", want, got, 1e-12)
+}
+
+func TestFullPipelineTranslation(t *testing.T) {
+	// onehot -> scaler -> forest: the Fig 3 pipeline shape.
+	n := 400
+	rng := rand.New(rand.NewSource(31))
+	data := make([]float64, n*3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		data[i*3] = rng.NormFloat64()
+		data[i*3+1] = rng.NormFloat64() * 3
+		data[i*3+2] = float64(rng.Intn(3))
+		if data[i*3]+data[i*3+1] > 0 {
+			y[i] = 1
+		}
+	}
+	x := ml.Matrix{Data: data, Rows: n, Cols: 3}
+	enc := ml.FitOneHot(x, []int{2})
+	fx, err := enc.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ml.FitScaler(fx)
+	sx, _ := sc.Transform(fx)
+	forest := train.FitForest(sx, y, train.ForestOptions{NumTrees: 5, Seed: 9, Tree: train.TreeOptions{MaxDepth: 4, MinLeaf: 5}})
+	p := &ml.Pipeline{Steps: []ml.Transformer{enc, sc}, Final: forest}
+	want, err := p.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslatePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, x)
+	assertSame(t, "pipeline-nn", want, got, 1e-9)
+}
+
+func TestTranslationRejectsUnknowns(t *testing.T) {
+	if _, err := TranslateModel(fakeModel{}); err == nil {
+		t.Error("unknown model should fail")
+	}
+	p := &ml.Pipeline{Steps: []ml.Transformer{fakeTransformer{}}, Final: &ml.LinearRegression{W: []float64{1}}}
+	if _, err := TranslatePipeline(p); err == nil {
+		t.Error("unknown transformer should fail")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Predict(ml.Matrix) ([]float64, error) { return nil, nil }
+func (fakeModel) NumFeatures() int                     { return 0 }
+func (fakeModel) UsedFeatures() []int                  { return nil }
+func (fakeModel) Kind() string                         { return "fake" }
+
+type fakeTransformer struct{}
+
+func (fakeTransformer) Transform(ml.Matrix) (ml.Matrix, error) { return ml.Matrix{}, nil }
+func (fakeTransformer) OutputDim(int) (int, error)             { return 0, nil }
+func (fakeTransformer) Kind() string                           { return "fake" }
+
+// Property-style check: pruned tree and its translation stay consistent.
+func TestPrunedTreeTranslationConsistency(t *testing.T) {
+	tree, x := trainedTree(t, 600, 4, 41)
+	pruned := tree.Prune(ml.Constraints{0: {Lo: 0, Hi: math.Inf(1)}})
+	// evaluate only on rows satisfying the constraint
+	var rows []int
+	for i := 0; i < x.Rows; i++ {
+		if x.At(i, 0) >= 0 {
+			rows = append(rows, i)
+		}
+	}
+	sub := make([]float64, 0, len(rows)*4)
+	for _, i := range rows {
+		sub = append(sub, x.Row(i)...)
+	}
+	sx := ml.Matrix{Data: sub, Rows: len(rows), Cols: 4}
+	want, err := pruned.Predict(sx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TranslateModel(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, sx)
+	assertSame(t, "pruned-tree-nn", want, got, 1e-9)
+}

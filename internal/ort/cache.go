@@ -1,0 +1,158 @@
+package ort
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+
+	"raven/internal/tensor"
+)
+
+// SessionCache keys compiled sessions by model content hash. It reproduces
+// SQL Server's model/inference-session caching across queries (paper §5,
+// observation ii: 3 ms vs 20 ms on 100 tuples because the standalone
+// runtime reloads the model from disk while the DB serves a cached session).
+type SessionCache struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	hits     int
+	misses   int
+}
+
+// NewSessionCache returns an empty cache.
+func NewSessionCache() *SessionCache {
+	return &SessionCache{sessions: make(map[string]*Session)}
+}
+
+// Get returns the cached session for key, or compiles one via build and
+// caches it. build runs under the cache lock — compilation is assumed to be
+// cheap relative to thundering-herd recompiles.
+func (c *SessionCache) Get(key string, build func() (*Session, error)) (*Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sessions[key]; ok {
+		c.hits++
+		return s, nil
+	}
+	s, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	c.sessions[key] = s
+	return s, nil
+}
+
+// Invalidate drops the cached session for key (model updated in the store).
+func (c *SessionCache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, key)
+}
+
+// Stats returns (hits, misses).
+func (c *SessionCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached sessions.
+func (c *SessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// serializable mirrors Graph for gob: maps with interface values need
+// registration, so attrs are encoded via a concrete holder.
+type gobGraph struct {
+	Name        string
+	Nodes       []gobNode
+	Inputs      []string
+	Outputs     []string
+	InitNames   []string
+	InitTensors []tensor.Tensor
+}
+
+type gobNode struct {
+	Op      string
+	Name    string
+	Inputs  []string
+	Outputs []string
+	AttrK   []string
+	AttrV   []gobAttr
+}
+
+type gobAttr struct {
+	Kind byte // 'f' float, 'i' int, 'I' []int, 's' string
+	F    float64
+	I    int
+	IS   []int
+	S    string
+}
+
+// Marshal serializes a graph to bytes (the model format stored in the
+// database model store).
+func Marshal(g *Graph) ([]byte, error) {
+	gg := gobGraph{Name: g.Name, Inputs: g.Inputs, Outputs: g.Outputs}
+	for name, t := range g.Initializers {
+		gg.InitNames = append(gg.InitNames, name)
+		gg.InitTensors = append(gg.InitTensors, *t)
+	}
+	for _, n := range g.Nodes {
+		gn := gobNode{Op: n.Op, Name: n.Name, Inputs: n.Inputs, Outputs: n.Outputs}
+		for k, v := range n.Attrs {
+			gn.AttrK = append(gn.AttrK, k)
+			switch x := v.(type) {
+			case float64:
+				gn.AttrV = append(gn.AttrV, gobAttr{Kind: 'f', F: x})
+			case int:
+				gn.AttrV = append(gn.AttrV, gobAttr{Kind: 'i', I: x})
+			case []int:
+				gn.AttrV = append(gn.AttrV, gobAttr{Kind: 'I', IS: x})
+			case string:
+				gn.AttrV = append(gn.AttrV, gobAttr{Kind: 's', S: x})
+			}
+		}
+		gg.Nodes = append(gg.Nodes, gn)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gg); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reverses Marshal.
+func Unmarshal(data []byte) (*Graph, error) {
+	var gg gobGraph
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&gg); err != nil {
+		return nil, err
+	}
+	g := NewGraph(gg.Name)
+	g.Inputs = gg.Inputs
+	g.Outputs = gg.Outputs
+	for i, name := range gg.InitNames {
+		t := gg.InitTensors[i]
+		g.Initializers[name] = &t
+	}
+	for _, gn := range gg.Nodes {
+		attrs := make(Attrs, len(gn.AttrK))
+		for i, k := range gn.AttrK {
+			a := gn.AttrV[i]
+			switch a.Kind {
+			case 'f':
+				attrs[k] = a.F
+			case 'i':
+				attrs[k] = a.I
+			case 'I':
+				attrs[k] = a.IS
+			case 's':
+				attrs[k] = a.S
+			}
+		}
+		g.Nodes = append(g.Nodes, &Node{Op: gn.Op, Name: gn.Name, Inputs: gn.Inputs, Outputs: gn.Outputs, Attrs: attrs})
+	}
+	return g, nil
+}

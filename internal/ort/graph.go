@@ -1,0 +1,161 @@
+// Package ort is the reproduction's stand-in for ONNX Runtime: a dataflow
+// graph of linear-algebra operators, a graph optimizer (constant folding,
+// dead-code and identity elimination, Gemm fusion), compiled inference
+// sessions with a model/session cache, and pluggable execution providers
+// (CPU with intra-op parallelism, plus a simulated GPU for the Fig 2(d)
+// hardware-acceleration experiment).
+package ort
+
+import (
+	"fmt"
+	"strings"
+
+	"raven/internal/tensor"
+)
+
+// Attrs carries per-node attributes (alpha/beta for Gemm, depth for
+// OneHot, column lists for Gather, …).
+type Attrs map[string]any
+
+// Float fetches a float attribute with a default.
+func (a Attrs) Float(key string, def float64) float64 {
+	if v, ok := a[key]; ok {
+		switch x := v.(type) {
+		case float64:
+			return x
+		case int:
+			return float64(x)
+		}
+	}
+	return def
+}
+
+// Int fetches an int attribute with a default.
+func (a Attrs) Int(key string, def int) int {
+	if v, ok := a[key]; ok {
+		switch x := v.(type) {
+		case int:
+			return x
+		case float64:
+			return int(x)
+		}
+	}
+	return def
+}
+
+// Ints fetches an []int attribute.
+func (a Attrs) Ints(key string) []int {
+	if v, ok := a[key]; ok {
+		if x, ok := v.([]int); ok {
+			return x
+		}
+	}
+	return nil
+}
+
+// Node is one operator application in a graph. Inputs and Outputs name
+// tensors (edges); the same name space covers graph inputs, initializers
+// and intermediate values.
+type Node struct {
+	Op      string
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Attrs   Attrs
+}
+
+// Graph is a dataflow DAG over named tensors, mirroring an ONNX ModelProto:
+// external Inputs, constant Initializers (weights) and produced Outputs.
+type Graph struct {
+	Name         string
+	Nodes        []*Node
+	Inputs       []string
+	Outputs      []string
+	Initializers map[string]*tensor.Tensor
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, Initializers: make(map[string]*tensor.Tensor)}
+}
+
+// AddInitializer registers a constant tensor under the given name.
+func (g *Graph) AddInitializer(name string, t *tensor.Tensor) {
+	g.Initializers[name] = t
+}
+
+// Add appends a node and returns it.
+func (g *Graph) Add(op string, inputs []string, outputs []string, attrs Attrs) *Node {
+	n := &Node{Op: op, Name: fmt.Sprintf("%s_%d", strings.ToLower(op), len(g.Nodes)), Inputs: inputs, Outputs: outputs, Attrs: attrs}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// Clone deep-copies the graph structure. Initializer tensors are shared
+// (they are treated as immutable).
+func (g *Graph) Clone() *Graph {
+	out := NewGraph(g.Name)
+	out.Inputs = append([]string(nil), g.Inputs...)
+	out.Outputs = append([]string(nil), g.Outputs...)
+	for k, v := range g.Initializers {
+		out.Initializers[k] = v
+	}
+	for _, n := range g.Nodes {
+		attrs := make(Attrs, len(n.Attrs))
+		for k, v := range n.Attrs {
+			attrs[k] = v
+		}
+		out.Nodes = append(out.Nodes, &Node{
+			Op:      n.Op,
+			Name:    n.Name,
+			Inputs:  append([]string(nil), n.Inputs...),
+			Outputs: append([]string(nil), n.Outputs...),
+			Attrs:   attrs,
+		})
+	}
+	return out
+}
+
+// Validate checks that every node input is produced by an earlier node, an
+// initializer, or a graph input, and that graph outputs exist.
+func (g *Graph) Validate() error {
+	avail := make(map[string]bool, len(g.Inputs)+len(g.Initializers))
+	for _, in := range g.Inputs {
+		avail[in] = true
+	}
+	for name := range g.Initializers {
+		avail[name] = true
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if !avail[in] {
+				return fmt.Errorf("ort: graph %s: node %s input %q undefined (graph not topologically ordered?)", g.Name, n.Name, in)
+			}
+		}
+		for _, out := range n.Outputs {
+			if avail[out] {
+				return fmt.Errorf("ort: graph %s: tensor %q defined twice", g.Name, out)
+			}
+			avail[out] = true
+		}
+	}
+	for _, out := range g.Outputs {
+		if !avail[out] {
+			return fmt.Errorf("ort: graph %s: output %q never produced", g.Name, out)
+		}
+	}
+	return nil
+}
+
+// NumNodes returns the node count (used by optimizer tests and EXPLAIN).
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// String renders a compact textual form of the graph for EXPLAIN output.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s (inputs: %s) -> (%s)\n", g.Name, strings.Join(g.Inputs, ", "), strings.Join(g.Outputs, ", "))
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %-12s %s <- %s\n", n.Op, strings.Join(n.Outputs, ","), strings.Join(n.Inputs, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package ort
+
+import (
+	"fmt"
+
+	"raven/internal/tensor"
+)
+
+// Kernel executes one operator: inputs in, outputs out. threads is the
+// intra-op parallelism budget granted by the execution provider.
+type Kernel func(inputs []*tensor.Tensor, attrs Attrs, threads int) ([]*tensor.Tensor, error)
+
+// kernels is the operator registry. The set covers what NN translation of
+// classical ML pipelines needs (paper §4.2) plus the MLP path of Fig 3.
+var kernels = map[string]Kernel{}
+
+// RegisterKernel installs a kernel for an op type, replacing any previous
+// registration. Exposed so substrates (e.g. the runtime package) can add
+// custom ops without touching this package.
+func RegisterKernel(op string, k Kernel) { kernels[op] = k }
+
+// HasKernel reports whether an op is executable.
+func HasKernel(op string) bool { _, ok := kernels[op]; return ok }
+
+func arity(op string, inputs []*tensor.Tensor, want int) error {
+	if len(inputs) != want {
+		return fmt.Errorf("ort: %s expects %d inputs, got %d", op, want, len(inputs))
+	}
+	return nil
+}
+
+func one(t *tensor.Tensor, err error) ([]*tensor.Tensor, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*tensor.Tensor{t}, nil
+}
+
+func init() {
+	RegisterKernel("MatMul", func(in []*tensor.Tensor, _ Attrs, threads int) ([]*tensor.Tensor, error) {
+		if err := arity("MatMul", in, 2); err != nil {
+			return nil, err
+		}
+		return one(tensor.MatMul(in[0], in[1], threads))
+	})
+	RegisterKernel("Gemm", func(in []*tensor.Tensor, attrs Attrs, threads int) ([]*tensor.Tensor, error) {
+		if len(in) != 2 && len(in) != 3 {
+			return nil, fmt.Errorf("ort: Gemm expects 2 or 3 inputs, got %d", len(in))
+		}
+		var c *tensor.Tensor
+		if len(in) == 3 {
+			c = in[2]
+		}
+		alpha := attrs.Float("alpha", 1)
+		beta := attrs.Float("beta", 1)
+		return one(tensor.Gemm(in[0], in[1], c, alpha, beta, threads))
+	})
+	RegisterKernel("Add", binKernel(tensor.Add))
+	RegisterKernel("Sub", binKernel(tensor.Sub))
+	RegisterKernel("Mul", binKernel(tensor.Mul))
+	RegisterKernel("Div", binKernel(tensor.Div))
+	RegisterKernel("Greater", binKernel(tensor.Greater))
+	RegisterKernel("LessOrEqual", binKernel(tensor.LessOrEqual))
+	RegisterKernel("Equal", binKernel(tensor.Equal))
+	RegisterKernel("Relu", unaryKernel(tensor.Relu))
+	RegisterKernel("Sigmoid", unaryKernel(tensor.Sigmoid))
+	RegisterKernel("Tanh", unaryKernel(tensor.Tanh))
+	RegisterKernel("Exp", unaryKernel(tensor.Exp))
+	RegisterKernel("Softmax", func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("Softmax", in, 1); err != nil {
+			return nil, err
+		}
+		return one(tensor.Softmax(in[0]))
+	})
+	RegisterKernel("ArgMax", func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("ArgMax", in, 1); err != nil {
+			return nil, err
+		}
+		return one(tensor.ArgMax(in[0]))
+	})
+	RegisterKernel("ReduceSum", func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("ReduceSum", in, 1); err != nil {
+			return nil, err
+		}
+		return one(tensor.ReduceSumAxis1(in[0]))
+	})
+	RegisterKernel("Gather", func(in []*tensor.Tensor, attrs Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("Gather", in, 1); err != nil {
+			return nil, err
+		}
+		cols := attrs.Ints("cols")
+		return one(tensor.GatherCols(in[0], cols))
+	})
+	RegisterKernel("Concat", func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if len(in) == 0 {
+			return nil, fmt.Errorf("ort: Concat of nothing")
+		}
+		return one(tensor.ConcatCols(in...))
+	})
+	RegisterKernel("OneHot", func(in []*tensor.Tensor, attrs Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("OneHot", in, 1); err != nil {
+			return nil, err
+		}
+		depth := attrs.Int("depth", 0)
+		if depth <= 0 {
+			return nil, fmt.Errorf("ort: OneHot needs positive depth attr")
+		}
+		return one(tensor.OneHot(in[0], depth))
+	})
+	RegisterKernel("Identity", func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("Identity", in, 1); err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{in[0]}, nil
+	})
+	RegisterKernel("Reshape", func(in []*tensor.Tensor, attrs Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("Reshape", in, 1); err != nil {
+			return nil, err
+		}
+		return one(in[0].Reshape(attrs.Ints("shape")...))
+	})
+	RegisterKernel("Transpose", func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if err := arity("Transpose", in, 1); err != nil {
+			return nil, err
+		}
+		return one(tensor.Transpose(in[0]))
+	})
+}
+
+func binKernel(fn func(a, b *tensor.Tensor) (*tensor.Tensor, error)) Kernel {
+	return func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if len(in) != 2 {
+			return nil, fmt.Errorf("ort: binary op expects 2 inputs, got %d", len(in))
+		}
+		return one(fn(in[0], in[1]))
+	}
+}
+
+func unaryKernel(fn func(a *tensor.Tensor) *tensor.Tensor) Kernel {
+	return func(in []*tensor.Tensor, _ Attrs, _ int) ([]*tensor.Tensor, error) {
+		if len(in) != 1 {
+			return nil, fmt.Errorf("ort: unary op expects 1 input, got %d", len(in))
+		}
+		return []*tensor.Tensor{fn(in[0])}, nil
+	}
+}
+
+// opFLOPs estimates the floating-point work of one node given resolved
+// input shapes; the simulated GPU provider prices kernels with it.
+func opFLOPs(op string, in []*tensor.Tensor) int64 {
+	switch op {
+	case "MatMul", "Gemm":
+		if len(in) >= 2 && in[0].Rank() == 2 && in[1].Rank() == 2 {
+			return 2 * int64(in[0].Shape[0]) * int64(in[0].Shape[1]) * int64(in[1].Shape[1])
+		}
+	case "Sigmoid", "Tanh", "Exp", "Softmax":
+		if len(in) >= 1 {
+			return 8 * int64(in[0].Len()) // transcendental ≈ several flops
+		}
+	default:
+		if len(in) >= 1 {
+			return int64(in[0].Len())
+		}
+	}
+	return 0
+}
+
+// opBytes estimates memory traffic (read inputs + write one output).
+func opBytes(in []*tensor.Tensor, out []*tensor.Tensor) int64 {
+	var b int64
+	for _, t := range in {
+		b += int64(t.Len()) * 8
+	}
+	for _, t := range out {
+		b += int64(t.Len()) * 8
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package ort
+
+import (
+	"fmt"
+
+	"raven/internal/tensor"
+)
+
+// Optimize runs the graph-level optimizer passes the paper exercises inside
+// ONNX Runtime (§4.1 constant folding, plus the housekeeping passes any
+// real graph compiler needs) and returns a new graph:
+//
+//  1. identity elimination
+//  2. constant folding (nodes whose inputs are all initializers)
+//  3. MatMul+Add → Gemm fusion
+//  4. dead-code elimination
+//
+// Passes run to fixpoint because folding can expose more folding.
+func Optimize(g *Graph) (*Graph, error) {
+	out := g.Clone()
+	for i := 0; i < 16; i++ {
+		changed := false
+		c, err := eliminateIdentity(out)
+		if err != nil {
+			return nil, err
+		}
+		changed = changed || c
+		c, err = foldConstants(out)
+		if err != nil {
+			return nil, err
+		}
+		changed = changed || c
+		c = fuseGemm(out)
+		changed = changed || c
+		c = eliminateDead(out)
+		changed = changed || c
+		if !changed {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// eliminateIdentity rewires consumers of Identity nodes to the identity's
+// input. Identities feeding graph outputs are kept (they rename).
+func eliminateIdentity(g *Graph) (bool, error) {
+	outputs := make(map[string]bool, len(g.Outputs))
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	rename := make(map[string]string)
+	var kept []*Node
+	for _, n := range g.Nodes {
+		if n.Op == "Identity" && !outputs[n.Outputs[0]] {
+			src := n.Inputs[0]
+			if to, ok := rename[src]; ok {
+				src = to
+			}
+			rename[n.Outputs[0]] = src
+			continue
+		}
+		kept = append(kept, n)
+	}
+	if len(rename) == 0 {
+		return false, nil
+	}
+	for _, n := range kept {
+		for i, in := range n.Inputs {
+			if to, ok := rename[in]; ok {
+				n.Inputs[i] = to
+			}
+		}
+	}
+	g.Nodes = kept
+	return true, nil
+}
+
+// foldConstants evaluates nodes whose inputs are all initializers and
+// replaces them with initializers. This is the ONNX Runtime
+// constant-folding pass the paper points at for predicate-derived constant
+// propagation (§4.1): once the cross optimizer pins an input column to a
+// constant, whole subgraphs collapse here.
+func foldConstants(g *Graph) (bool, error) {
+	changed := false
+	var kept []*Node
+	for _, n := range g.Nodes {
+		allConst := len(n.Inputs) > 0
+		for _, in := range n.Inputs {
+			if _, ok := g.Initializers[in]; !ok {
+				allConst = false
+				break
+			}
+		}
+		if !allConst || !HasKernel(n.Op) {
+			kept = append(kept, n)
+			continue
+		}
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for i, name := range n.Inputs {
+			ins[i] = g.Initializers[name]
+		}
+		outs, err := kernels[n.Op](ins, n.Attrs, 1)
+		if err != nil {
+			return false, fmt.Errorf("ort: constant folding %s (%s): %w", n.Name, n.Op, err)
+		}
+		for i, name := range n.Outputs {
+			g.Initializers[name] = outs[i]
+		}
+		changed = true
+	}
+	g.Nodes = kept
+	return changed, nil
+}
+
+// fuseGemm rewrites MatMul followed by a bias Add into a single Gemm when
+// the MatMul result has exactly one consumer.
+func fuseGemm(g *Graph) bool {
+	consumers := make(map[string]int)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			consumers[in]++
+		}
+	}
+	for _, o := range g.Outputs {
+		consumers[o]++
+	}
+	producer := make(map[string]*Node)
+	for _, n := range g.Nodes {
+		for _, out := range n.Outputs {
+			producer[out] = n
+		}
+	}
+	changed := false
+	removed := make(map[*Node]bool)
+	for _, n := range g.Nodes {
+		if n.Op != "Add" || removed[n] {
+			continue
+		}
+		var mm *Node
+		var biasInput string
+		if p := producer[n.Inputs[0]]; p != nil && p.Op == "MatMul" && !removed[p] && consumers[n.Inputs[0]] == 1 {
+			mm, biasInput = p, n.Inputs[1]
+		} else if p := producer[n.Inputs[1]]; p != nil && p.Op == "MatMul" && !removed[p] && consumers[n.Inputs[1]] == 1 {
+			mm, biasInput = p, n.Inputs[0]
+		}
+		if mm == nil {
+			continue
+		}
+		// Rewrite the Add node into a Gemm in place; drop the MatMul.
+		n.Op = "Gemm"
+		n.Inputs = []string{mm.Inputs[0], mm.Inputs[1], biasInput}
+		n.Attrs = Attrs{"alpha": 1.0, "beta": 1.0}
+		removed[mm] = true
+		changed = true
+	}
+	if !changed {
+		return false
+	}
+	var kept []*Node
+	for _, n := range g.Nodes {
+		if !removed[n] {
+			kept = append(kept, n)
+		}
+	}
+	g.Nodes = kept
+	return true
+}
+
+// eliminateDead removes nodes whose outputs reach no graph output, and
+// initializers that no node references.
+func eliminateDead(g *Graph) bool {
+	needed := make(map[string]bool, len(g.Outputs))
+	for _, o := range g.Outputs {
+		needed[o] = true
+	}
+	// Walk nodes backwards; graph is topologically ordered.
+	var keep []*Node
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		used := false
+		for _, out := range n.Outputs {
+			if needed[out] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		for _, in := range n.Inputs {
+			needed[in] = true
+		}
+		keep = append(keep, n)
+	}
+	changed := len(keep) != len(g.Nodes)
+	// keep is reversed
+	for i, j := 0, len(keep)-1; i < j; i, j = i+1, j-1 {
+		keep[i], keep[j] = keep[j], keep[i]
+	}
+	g.Nodes = keep
+	for name := range g.Initializers {
+		if !needed[name] {
+			delete(g.Initializers, name)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// PinInput turns a graph input into a constant initializer with the given
+// value, then re-optimizes. This is the mechanism behind the paper's
+// "the pregnant variable is a constant in our example query and can be
+// propagated inside the NN" (§2, compiler optimizations).
+func PinInput(g *Graph, input string, value *tensor.Tensor) (*Graph, error) {
+	found := false
+	out := g.Clone()
+	var rest []string
+	for _, in := range out.Inputs {
+		if in == input {
+			found = true
+			continue
+		}
+		rest = append(rest, in)
+	}
+	if !found {
+		return nil, fmt.Errorf("ort: PinInput: %q is not a graph input", input)
+	}
+	out.Inputs = rest
+	out.AddInitializer(input, value)
+	return Optimize(out)
+}

@@ -1,0 +1,500 @@
+package pyanal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// value is the symbolic value domain of the abstract interpreter.
+type value interface{ isValue() }
+
+type strVal string
+type numVal float64
+
+type listVal struct{ items []value }
+type tupleVal struct{ items []value }
+
+// estimator is a constructed sklearn-like object mapped via the KB.
+type estimator struct {
+	Kind   string // "scaler", "onehot", "tree", "forest", "logreg", "linreg", "mlp", "union", "pipeline", "udf"
+	Params map[string]float64
+	// Steps for pipeline/union composites.
+	Steps []*estimator
+	// Name of the unknown callable for UDFs.
+	UDFName string
+}
+
+// frame is a data-frame-shaped value: a table/SQL source with column
+// selection applied.
+type frame struct {
+	Source string
+	Cols   []string
+}
+
+func (strVal) isValue()     {}
+func (numVal) isValue()     {}
+func (listVal) isValue()    {}
+func (tupleVal) isValue()   {}
+func (*estimator) isValue() {}
+func (*frame) isValue()     {}
+
+// Spec is the static-analysis result: the pipeline structure recovered
+// from the script, ready to be paired with training data or matched
+// against a stored fitted pipeline.
+type Spec struct {
+	// Imports lists imported modules (dependency metadata, §3.2).
+	Imports []string
+	// Source is the table name or SQL text the data comes from.
+	Source string
+	// InputColumns is the column selection applied to the source.
+	InputColumns []string
+	// Pipeline is the recovered estimator tree (root usually "pipeline").
+	Pipeline *estimator
+	// UDFs lists calls that fell back to black-box operators.
+	UDFs []string
+	// Warnings records constructs outside the translatable subset (loops,
+	// conditionals — one plan per path is future work, §3.2).
+	Warnings []string
+}
+
+// Steps flattens the pipeline into featurizer specs plus the final model.
+func (s *Spec) Steps() (featurizers []*estimator, model *estimator, err error) {
+	if s.Pipeline == nil {
+		return nil, nil, fmt.Errorf("pyanal: script defines no pipeline")
+	}
+	var flat []*estimator
+	var flatten func(e *estimator)
+	flatten = func(e *estimator) {
+		if e.Kind == "pipeline" {
+			for _, st := range e.Steps {
+				flatten(st)
+			}
+			return
+		}
+		flat = append(flat, e)
+	}
+	flatten(s.Pipeline)
+	if len(flat) == 0 {
+		return nil, nil, fmt.Errorf("pyanal: pipeline is empty")
+	}
+	last := flat[len(flat)-1]
+	switch last.Kind {
+	case "tree", "forest", "logreg", "linreg", "mlp":
+		return flat[:len(flat)-1], last, nil
+	default:
+		return nil, nil, fmt.Errorf("pyanal: pipeline does not end in a model (last step %q)", last.Kind)
+	}
+}
+
+// knowledge base: constructor name -> IR operator kind (paper §3.2's
+// "in-house knowledge base of APIs of popular data science libraries").
+var kb = map[string]string{
+	"StandardScaler":         "scaler",
+	"OneHotEncoder":          "onehot",
+	"DecisionTreeClassifier": "tree",
+	"DecisionTreeRegressor":  "tree",
+	"RandomForestClassifier": "forest",
+	"RandomForestRegressor":  "forest",
+	"LogisticRegression":     "logreg",
+	"LinearRegression":       "linreg",
+	"MLPClassifier":          "mlp",
+	"MLPRegressor":           "mlp",
+	"Pipeline":               "pipeline",
+	"FeatureUnion":           "union",
+}
+
+// Analyze runs the static analyzer over a Python pipeline script.
+func Analyze(src string) (*Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{toks: toks, env: make(map[string]value), spec: &Spec{}}
+	if err := a.run(); err != nil {
+		return nil, err
+	}
+	// The pipeline is whatever pipeline-valued variable was assigned last,
+	// or the single estimator if no composite was built.
+	if a.lastPipeline != nil {
+		a.spec.Pipeline = a.lastPipeline
+	}
+	return a.spec, nil
+}
+
+type analyzer struct {
+	toks         []token
+	pos          int
+	env          map[string]value
+	spec         *Spec
+	lastPipeline *estimator
+}
+
+func (a *analyzer) cur() token { return a.toks[a.pos] }
+func (a *analyzer) next() token {
+	t := a.toks[a.pos]
+	a.pos++
+	return t
+}
+
+func (a *analyzer) atSym(s string) bool {
+	t := a.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (a *analyzer) acceptSym(s string) bool {
+	if a.atSym(s) {
+		a.pos++
+		return true
+	}
+	return false
+}
+
+func (a *analyzer) expectSym(s string) error {
+	if a.acceptSym(s) {
+		return nil
+	}
+	return fmt.Errorf("pyanal: line %d: expected %q, found %q", a.cur().line, s, a.cur().text)
+}
+
+func (a *analyzer) run() error {
+	for {
+		t := a.cur()
+		switch {
+		case t.kind == tokEOF:
+			return nil
+		case t.kind == tokNewline:
+			a.pos++
+		case t.kind == tokName && (t.text == "import" || t.text == "from"):
+			a.skipImport()
+		case t.kind == tokName && (t.text == "for" || t.text == "while" || t.text == "if" || t.text == "def" || t.text == "class"):
+			a.spec.Warnings = append(a.spec.Warnings,
+				fmt.Sprintf("line %d: %q is outside the straight-line subset; enclosing statement treated as UDF", t.line, t.text))
+			a.skipLine()
+		case t.kind == tokName:
+			if err := a.statement(); err != nil {
+				return err
+			}
+		default:
+			a.skipLine()
+		}
+	}
+}
+
+func (a *analyzer) skipImport() {
+	start := a.pos
+	a.skipLine()
+	// record the module name (token after import/from)
+	if start+1 < len(a.toks) && a.toks[start+1].kind == tokName {
+		a.spec.Imports = append(a.spec.Imports, a.toks[start+1].text)
+	}
+}
+
+func (a *analyzer) skipLine() {
+	for a.cur().kind != tokNewline && a.cur().kind != tokEOF {
+		a.pos++
+	}
+}
+
+// statement handles `name = expr` and bare expressions.
+func (a *analyzer) statement() error {
+	name := a.next().text
+	if !a.acceptSym("=") {
+		// bare expression (e.g. a method call); evaluate for effects and
+		// UDF recording, then discard.
+		a.pos--
+		if _, err := a.expr(); err != nil {
+			return err
+		}
+		a.skipLine()
+		return nil
+	}
+	v, err := a.expr()
+	if err != nil {
+		return err
+	}
+	a.env[name] = v
+	if est, ok := v.(*estimator); ok && (est.Kind == "pipeline" || isModelKind(est.Kind)) {
+		if est.Kind != "pipeline" {
+			// a bare model assignment acts as a single-step pipeline
+			a.lastPipeline = &estimator{Kind: "pipeline", Steps: []*estimator{est}}
+		} else {
+			a.lastPipeline = est
+		}
+	}
+	if fr, ok := v.(*frame); ok {
+		a.spec.Source = fr.Source
+		a.spec.InputColumns = fr.Cols
+	}
+	a.skipLine()
+	return nil
+}
+
+func isModelKind(k string) bool {
+	switch k {
+	case "tree", "forest", "logreg", "linreg", "mlp":
+		return true
+	}
+	return false
+}
+
+// expr evaluates the symbolic expression grammar: names, attribute chains,
+// calls, subscripts, lists, tuples, literals.
+func (a *analyzer) expr() (value, error) {
+	v, err := a.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case a.acceptSym("."):
+			attr := a.next()
+			if attr.kind != tokName {
+				return nil, fmt.Errorf("pyanal: line %d: expected attribute name", attr.line)
+			}
+			if a.atSym("(") {
+				v, err = a.call(attrName(v, attr.text), v)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				// plain attribute access keeps the receiver symbolic
+				v = strVal(attrName(v, attr.text))
+			}
+		case a.atSym("("):
+			name := ""
+			if s, ok := v.(strVal); ok {
+				name = string(s)
+			}
+			var err error
+			v, err = a.call(name, nil)
+			if err != nil {
+				return nil, err
+			}
+		case a.atSym("["):
+			var err error
+			v, err = a.subscript(v)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return v, nil
+		}
+	}
+}
+
+func attrName(recv value, attr string) string {
+	if s, ok := recv.(strVal); ok {
+		return string(s) + "." + attr
+	}
+	return attr
+}
+
+func (a *analyzer) primary() (value, error) {
+	t := a.cur()
+	switch {
+	case t.kind == tokString:
+		a.pos++
+		return strVal(t.text), nil
+	case t.kind == tokNumber:
+		a.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pyanal: line %d: bad number %q", t.line, t.text)
+		}
+		return numVal(f), nil
+	case t.kind == tokName:
+		a.pos++
+		if v, ok := a.env[t.text]; ok {
+			return v, nil
+		}
+		switch t.text {
+		case "True":
+			return numVal(1), nil
+		case "False", "None":
+			return numVal(0), nil
+		}
+		return strVal(t.text), nil
+	case a.acceptSym("["):
+		var items []value
+		for !a.atSym("]") {
+			if a.cur().kind == tokNewline {
+				a.pos++
+				continue
+			}
+			v, err := a.expr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+			if !a.acceptSym(",") {
+				break
+			}
+		}
+		if err := a.expectSym("]"); err != nil {
+			return nil, err
+		}
+		return listVal{items: items}, nil
+	case a.acceptSym("("):
+		var items []value
+		for !a.atSym(")") {
+			if a.cur().kind == tokNewline {
+				a.pos++
+				continue
+			}
+			v, err := a.expr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+			if !a.acceptSym(",") {
+				break
+			}
+		}
+		if err := a.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if len(items) == 1 {
+			return items[0], nil
+		}
+		return tupleVal{items: items}, nil
+	default:
+		return nil, fmt.Errorf("pyanal: line %d: unexpected token %q", t.line, t.text)
+	}
+}
+
+// call evaluates fn(args...) against the knowledge base.
+func (a *analyzer) call(name string, recv value) (value, error) {
+	if err := a.expectSym("("); err != nil {
+		return nil, err
+	}
+	var args []value
+	kwargs := make(map[string]value)
+	for !a.atSym(")") {
+		if a.cur().kind == tokNewline {
+			a.pos++
+			continue
+		}
+		// kwarg?
+		if a.cur().kind == tokName && a.toks[a.pos+1].kind == tokSymbol && a.toks[a.pos+1].text == "=" {
+			key := a.next().text
+			a.pos++ // =
+			v, err := a.expr()
+			if err != nil {
+				return nil, err
+			}
+			kwargs[key] = v
+		} else {
+			v, err := a.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, v)
+		}
+		if !a.acceptSym(",") {
+			break
+		}
+	}
+	if err := a.expectSym(")"); err != nil {
+		return nil, err
+	}
+	base := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		base = name[i+1:]
+	}
+	// knowledge-base dispatch
+	if kind, ok := kb[base]; ok {
+		return a.buildEstimator(kind, args, kwargs)
+	}
+	switch base {
+	case "read_sql", "read_sql_query", "read_sql_table":
+		src := "unknown"
+		if len(args) > 0 {
+			if s, ok := args[0].(strVal); ok {
+				src = string(s)
+			}
+		}
+		return &frame{Source: src}, nil
+	case "fit", "fit_transform", "predict", "transform":
+		// training-time calls: keep the receiver value flowing
+		if recv != nil {
+			return recv, nil
+		}
+		return numVal(0), nil
+	case "merge", "join":
+		// pandas joins stay relational; keep the frame
+		if fr, ok := recv.(*frame); ok {
+			return fr, nil
+		}
+		return &frame{Source: "merge"}, nil
+	default:
+		a.spec.UDFs = append(a.spec.UDFs, name)
+		return &estimator{Kind: "udf", UDFName: name}, nil
+	}
+}
+
+func (a *analyzer) buildEstimator(kind string, args []value, kwargs map[string]value) (value, error) {
+	e := &estimator{Kind: kind, Params: make(map[string]float64)}
+	for k, v := range kwargs {
+		if n, ok := v.(numVal); ok {
+			e.Params[k] = float64(n)
+		}
+	}
+	if kind == "pipeline" || kind == "union" {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("pyanal: %s expects a list of steps", kind)
+		}
+		lst, ok := args[0].(listVal)
+		if !ok {
+			return nil, fmt.Errorf("pyanal: %s expects a list of steps", kind)
+		}
+		for _, item := range lst.items {
+			var stepVal value = item
+			// steps are ("name", estimator) tuples
+			if tp, ok := item.(tupleVal); ok {
+				if len(tp.items) != 2 {
+					return nil, fmt.Errorf("pyanal: pipeline step tuple must be (name, estimator)")
+				}
+				stepVal = tp.items[1]
+			}
+			est, ok := stepVal.(*estimator)
+			if !ok {
+				return nil, fmt.Errorf("pyanal: pipeline step is not an estimator")
+			}
+			e.Steps = append(e.Steps, est)
+		}
+	}
+	return e, nil
+}
+
+// subscript handles data[["a", "b"]] column selection and data["a"].
+func (a *analyzer) subscript(recv value) (value, error) {
+	if err := a.expectSym("["); err != nil {
+		return nil, err
+	}
+	idx, err := a.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.expectSym("]"); err != nil {
+		return nil, err
+	}
+	fr, ok := recv.(*frame)
+	if !ok {
+		return recv, nil
+	}
+	out := &frame{Source: fr.Source}
+	switch ix := idx.(type) {
+	case listVal:
+		for _, it := range ix.items {
+			if s, ok := it.(strVal); ok {
+				out.Cols = append(out.Cols, string(s))
+			}
+		}
+	case strVal:
+		out.Cols = []string{string(ix)}
+	default:
+		out.Cols = fr.Cols
+	}
+	return out, nil
+}

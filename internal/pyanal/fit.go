@@ -1,0 +1,134 @@
+package pyanal
+
+import (
+	"fmt"
+
+	"raven/internal/ml"
+	"raven/internal/train"
+)
+
+// Fit turns the statically-recovered pipeline structure into a fitted
+// ml.Pipeline by training on the provided sample — the bridge between the
+// script the data scientist wrote and the executable model pipeline Raven
+// stores (paper §1: model + preprocessing + dependencies form the stored
+// unit).
+func (s *Spec) Fit(x ml.Matrix, y []float64, seed int64) (*ml.Pipeline, error) {
+	feats, modelSpec, err := s.Steps()
+	if err != nil {
+		return nil, err
+	}
+	pipe := &ml.Pipeline{InputColumns: append([]string(nil), s.InputColumns...)}
+	cur := x
+	for _, f := range feats {
+		var t ml.Transformer
+		switch f.Kind {
+		case "scaler":
+			t = ml.FitScaler(cur)
+		case "onehot":
+			// categorical_cols param lists column ordinals packed as a
+			// float (c0*1 + c1*100...) is too clever; instead the KB
+			// convention is that OneHotEncoder applies to the trailing
+			// "cat_cols" ordinals given via the categorical_cols kwarg
+			// count, defaulting to none (identity would be useless), so we
+			// detect integer-coded columns: ones whose sampled values are
+			// all integral with small cardinality.
+			cols := detectCategorical(cur)
+			if n, ok := f.Params["n_categorical"]; ok && int(n) <= cur.Cols {
+				cols = trailing(cur.Cols, int(n))
+			}
+			if len(cols) == 0 {
+				return nil, fmt.Errorf("pyanal: OneHotEncoder found no categorical columns")
+			}
+			t = ml.FitOneHot(cur, cols)
+		case "udf":
+			return nil, fmt.Errorf("pyanal: pipeline contains untranslatable step %q (UDF); use external execution", f.UDFName)
+		default:
+			return nil, fmt.Errorf("pyanal: unsupported featurizer %q", f.Kind)
+		}
+		pipe.Steps = append(pipe.Steps, t)
+		cur, err = t.Transform(cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	param := func(name string, def float64) float64 {
+		if v, ok := modelSpec.Params[name]; ok {
+			return v
+		}
+		return def
+	}
+	switch modelSpec.Kind {
+	case "tree":
+		pipe.Final = train.FitTree(cur, y, train.TreeOptions{
+			MaxDepth: int(param("max_depth", 8)),
+			MinLeaf:  int(param("min_samples_leaf", 8)),
+		})
+	case "forest":
+		pipe.Final = train.FitForest(cur, y, train.ForestOptions{
+			NumTrees: int(param("n_estimators", 10)),
+			Seed:     seed,
+			Tree: train.TreeOptions{
+				MaxDepth: int(param("max_depth", 8)),
+				MinLeaf:  int(param("min_samples_leaf", 8)),
+			},
+		})
+	case "logreg":
+		// sklearn's C is inverse regularization strength; penalty l1 maps
+		// to our proximal L1 with strength 1/C.
+		l1 := 0.0
+		if c := param("C", 0); c > 0 {
+			l1 = 1 / c
+		}
+		pipe.Final = train.FitLogReg(cur, y, train.LogRegOptions{L1: l1, Seed: seed})
+	case "linreg":
+		lr := train.FitLogReg(cur, y, train.LogRegOptions{Seed: seed})
+		pipe.Final = &ml.LinearRegression{W: lr.W, B: lr.B}
+	case "mlp":
+		hidden := []int{int(param("hidden_layer_sizes", 16))}
+		pipe.Final = train.FitMLP(cur, y, train.MLPOptions{
+			Hidden:     hidden,
+			Epochs:     int(param("max_iter", 10)),
+			Seed:       seed,
+			Classifier: true,
+		})
+	default:
+		return nil, fmt.Errorf("pyanal: unsupported model kind %q", modelSpec.Kind)
+	}
+	return pipe, nil
+}
+
+// detectCategorical flags columns whose values are all integral with at
+// most 32 distinct values.
+func detectCategorical(x ml.Matrix) []int {
+	var out []int
+	for j := 0; j < x.Cols; j++ {
+		distinct := make(map[float64]bool)
+		ok := true
+		for i := 0; i < x.Rows; i++ {
+			v := x.At(i, j)
+			if v != float64(int64(v)) {
+				ok = false
+				break
+			}
+			distinct[v] = true
+			if len(distinct) > 32 {
+				ok = false
+				break
+			}
+		}
+		// binary 0/1 columns are already usable as features; only encode
+		// multi-valued codes
+		if ok && len(distinct) > 2 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func trailing(width, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = width - n + i
+	}
+	return out
+}

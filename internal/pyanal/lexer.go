@@ -1,0 +1,136 @@
+// Package pyanal is Raven's Static Analyzer (paper §3.2): it lexes and
+// parses Python model-pipeline scripts (the straight-line subset that
+// covers the vast majority of notebook code per the paper's 4.6M-notebook
+// study), extracts the dataflow, and maps data-science API calls onto
+// unified-IR operators through a knowledge base of sklearn/pandas
+// signatures. Constructs it cannot translate become UDF steps; loops and
+// conditionals are reported, matching the paper's stated limitations.
+package pyanal
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokName
+	tokNumber
+	tokString
+	tokSymbol
+	tokNewline
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lex tokenizes a Python-subset script. Indentation is not tracked (the
+// analyzer accepts straight-line top-level statements only); comments and
+// blank lines are skipped; newlines inside brackets are suppressed, as in
+// Python.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	depth := 0 // bracket nesting
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+			if depth == 0 {
+				if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+					toks = append(toks, token{kind: tokNewline, line: line})
+				}
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\\' && i+1 < n && src[i+1] == '\n': // line continuation
+			line++
+			i += 2
+		case isNameStart(rune(c)):
+			start := i
+			for i < n && isNamePart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokName, text: src[start:i], line: line})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' || src[i] == 'e' || src[i] == '-' && (src[i-1] == 'e')) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], line: line})
+		case c == '\'' || c == '"':
+			quote := c
+			// triple-quoted strings
+			if i+2 < n && src[i+1] == quote && src[i+2] == quote {
+				end := strings.Index(src[i+3:], string([]byte{quote, quote, quote}))
+				if end < 0 {
+					return nil, fmt.Errorf("pyanal: unterminated triple-quoted string at line %d", line)
+				}
+				body := src[i+3 : i+3+end]
+				line += strings.Count(body, "\n")
+				toks = append(toks, token{kind: tokString, text: body, line: line})
+				i += 3 + end + 3
+				continue
+			}
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					sb.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				if src[i] == quote {
+					closed = true
+					i++
+					break
+				}
+				if src[i] == '\n' {
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("pyanal: unterminated string at line %d", line)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+		default:
+			switch c {
+			case '(', '[', '{':
+				depth++
+				toks = append(toks, token{kind: tokSymbol, text: string(c), line: line})
+				i++
+			case ')', ']', '}':
+				depth--
+				toks = append(toks, token{kind: tokSymbol, text: string(c), line: line})
+				i++
+			case ',', '=', '.', ':', '*', '+', '-', '/', '<', '>', '%':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), line: line})
+				i++
+			default:
+				return nil, fmt.Errorf("pyanal: unexpected character %q at line %d", c, line)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokNewline, line: line})
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isNameStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isNamePart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

@@ -1,0 +1,243 @@
+package pyanal
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"raven/internal/ml"
+)
+
+// runningExample is the paper's Fig 1 model script shape.
+const runningExample = `
+import pandas as pd
+from sklearn.pipeline import Pipeline
+from sklearn.preprocessing import StandardScaler
+from sklearn.tree import DecisionTreeClassifier
+
+data = pd.read_sql("SELECT * FROM patients", conn)
+features = data[["pregnant", "age", "bp"]]
+model_pipeline = Pipeline([
+    ("scaler", StandardScaler()),
+    ("clf", DecisionTreeClassifier(max_depth=4)),
+])
+model_pipeline.fit(features, labels)
+`
+
+func TestAnalyzeRunningExample(t *testing.T) {
+	spec, err := Analyze(runningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Imports) == 0 {
+		t.Error("imports not recorded")
+	}
+	if spec.Source != "SELECT * FROM patients" {
+		t.Errorf("source = %q", spec.Source)
+	}
+	if len(spec.InputColumns) != 3 || spec.InputColumns[0] != "pregnant" {
+		t.Errorf("input columns = %v", spec.InputColumns)
+	}
+	feats, model, err := spec.Steps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 1 || feats[0].Kind != "scaler" {
+		t.Errorf("featurizers = %+v", feats)
+	}
+	if model.Kind != "tree" || model.Params["max_depth"] != 4 {
+		t.Errorf("model = %+v", model)
+	}
+}
+
+func TestAnalyzeBareModel(t *testing.T) {
+	spec, err := Analyze(`
+from sklearn.linear_model import LogisticRegression
+m = LogisticRegression(C=0.5)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, model, err := spec.Steps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 0 || model.Kind != "logreg" || model.Params["C"] != 0.5 {
+		t.Errorf("spec = %+v %+v", feats, model)
+	}
+}
+
+func TestAnalyzeFeatureUnion(t *testing.T) {
+	spec, err := Analyze(`
+p = Pipeline([
+  ("u", FeatureUnion([("s", StandardScaler()), ("s2", StandardScaler())])),
+  ("clf", RandomForestClassifier(n_estimators=5)),
+])
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, model, err := spec.Steps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 1 || feats[0].Kind != "union" || len(feats[0].Steps) != 2 {
+		t.Errorf("union = %+v", feats)
+	}
+	if model.Kind != "forest" || model.Params["n_estimators"] != 5 {
+		t.Errorf("model = %+v", model)
+	}
+}
+
+func TestAnalyzeUDFFallback(t *testing.T) {
+	spec, err := Analyze(`
+x = my_custom_featurizer(data)
+m = DecisionTreeClassifier()
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.UDFs) != 1 || !strings.Contains(spec.UDFs[0], "my_custom_featurizer") {
+		t.Errorf("UDFs = %v", spec.UDFs)
+	}
+}
+
+func TestAnalyzeLoopsWarn(t *testing.T) {
+	spec, err := Analyze(`
+for i in range(10):
+m = DecisionTreeClassifier()
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Warnings) == 0 {
+		t.Error("loop should produce a warning")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(`x = "unterminated`); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	spec, err := Analyze(`x = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := spec.Steps(); err == nil {
+		t.Error("script without pipeline should fail Steps()")
+	}
+	// pipeline not ending in a model
+	spec2, err := Analyze(`p = Pipeline([("s", StandardScaler())])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := spec2.Steps(); err == nil {
+		t.Error("model-less pipeline should fail")
+	}
+}
+
+func TestFitFromScript(t *testing.T) {
+	spec, err := Analyze(runningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// training data: 3 features, label depends on feature 2
+	rng := rand.New(rand.NewSource(1))
+	n := 1500
+	x := make([]float64, n*3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i*3] = float64(rng.Intn(2))
+		x[i*3+1] = 20 + rng.Float64()*60
+		x[i*3+2] = 90 + rng.Float64()*80
+		if x[i*3+2] > 140 {
+			y[i] = 1
+		}
+	}
+	m := ml.Matrix{Data: x, Rows: n, Cols: 3}
+	pipe, err := spec.Fit(m, y, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Steps) != 1 || pipe.Final.Kind() != "tree" {
+		t.Fatalf("pipe = %+v", pipe)
+	}
+	if len(pipe.InputColumns) != 3 {
+		t.Errorf("input cols = %v", pipe.InputColumns)
+	}
+	pred, err := pipe.Predict(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range pred {
+		p := 0.0
+		if pred[i] > 0.5 {
+			p = 1
+		}
+		if p == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.9 {
+		t.Errorf("fitted pipeline accuracy = %v", acc)
+	}
+}
+
+func TestFitMLPAndForestFromScript(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 600
+	x := make([]float64, n*2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i*2] = rng.NormFloat64()
+		x[i*2+1] = rng.NormFloat64()
+		if x[i*2] > 0 {
+			y[i] = 1
+		}
+	}
+	m := ml.Matrix{Data: x, Rows: n, Cols: 2}
+	for _, script := range []string{
+		`p = Pipeline([("clf", MLPClassifier(hidden_layer_sizes=8, max_iter=5))])`,
+		`p = Pipeline([("clf", RandomForestClassifier(n_estimators=3, max_depth=4))])`,
+		`p = Pipeline([("s", StandardScaler()), ("clf", LogisticRegression(C=10))])`,
+	} {
+		spec, err := Analyze(script)
+		if err != nil {
+			t.Fatalf("%s: %v", script, err)
+		}
+		pipe, err := spec.Fit(m, y, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", script, err)
+		}
+		if _, err := pipe.Predict(m); err != nil {
+			t.Fatalf("%s: %v", script, err)
+		}
+	}
+}
+
+func TestFitRejectsUDFStep(t *testing.T) {
+	spec, err := Analyze(`p = Pipeline([("w", weird_step()), ("clf", DecisionTreeClassifier())])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ml.Matrix{Data: []float64{1, 2}, Rows: 2, Cols: 1}
+	if _, err := spec.Fit(m, []float64{0, 1}, 1); err == nil {
+		t.Error("UDF step should fail Fit (external execution path)")
+	}
+}
+
+func TestTripleQuotedAndComments(t *testing.T) {
+	spec, err := Analyze(`
+# a comment
+doc = """multi
+line"""
+m = DecisionTreeClassifier()  # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Pipeline == nil {
+		t.Error("pipeline missed after triple-quoted string")
+	}
+}

@@ -1,0 +1,446 @@
+// Package relopt implements the standard relational optimizations the
+// paper leans on (§2 "standard DB optimizations"): predicate pushdown
+// (through joins and below PREDICT), projection pushdown / column pruning
+// into scans, join elimination on unique keys, filter merging and
+// constant folding. The cross optimizer invokes these after its
+// model-driven rewrites (e.g. dropped features enable join elimination).
+package relopt
+
+import (
+	"fmt"
+	"strings"
+
+	"raven/internal/expr"
+	"raven/internal/plan"
+	"raven/internal/storage"
+	"raven/internal/types"
+)
+
+// Optimizer rewrites logical plans.
+type Optimizer struct {
+	Catalog *storage.Catalog
+	// ModelInputs resolves the input columns a PREDICT node consumes, so
+	// column pruning keeps them. nil treats PREDICT as needing everything.
+	ModelInputs func(modelName string) ([]string, error)
+	// AssumeRI allows join elimination on declared unique keys assuming
+	// referential integrity (every probe row matches exactly one build
+	// row). The synthetic generators guarantee this.
+	AssumeRI bool
+}
+
+// Optimize runs all rules to fixpoint (bounded), returning a new root.
+// The root's full output schema is treated as required.
+func (o *Optimizer) Optimize(root plan.Node) (plan.Node, error) {
+	all := make([]string, 0, root.Schema().Len())
+	for _, c := range root.Schema().Columns {
+		all = append(all, c.Name)
+	}
+	return o.OptimizeFor(root, all)
+}
+
+// OptimizeFor runs all rules to fixpoint (bounded) with an explicit set of
+// required output columns — the cross optimizer passes the model's input
+// columns here so projection pushdown can cut everything else.
+func (o *Optimizer) OptimizeFor(root plan.Node, required []string) (plan.Node, error) {
+	var err error
+	for i := 0; i < 8; i++ {
+		changed := false
+		root, changed, err = o.pushFilters(root)
+		if err != nil {
+			return nil, err
+		}
+		c2 := false
+		root, c2, err = o.mergeAndSimplifyFilters(root)
+		if err != nil {
+			return nil, err
+		}
+		root, err = o.prune(root, required)
+		if err != nil {
+			return nil, err
+		}
+		c3 := false
+		root, c3, err = o.eliminateJoins(root)
+		if err != nil {
+			return nil, err
+		}
+		if !changed && !c2 && !c3 {
+			break
+		}
+	}
+	return root, nil
+}
+
+// schemaCols returns lower-cased column names of a node's schema.
+func schemaCols(n plan.Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range n.Schema().Columns {
+		out[strings.ToLower(c.Name)] = true
+	}
+	return out
+}
+
+func subset(cols []string, set map[string]bool) bool {
+	for _, c := range cols {
+		if !set[strings.ToLower(c)] {
+			return false
+		}
+	}
+	return true
+}
+
+// pushFilters moves filter conjuncts as close to the scans as legality
+// allows: through joins (side-wise), below PREDICT when the conjunct does
+// not reference prediction outputs, and below per-row projections that
+// simply rename columns.
+func (o *Optimizer) pushFilters(n plan.Node) (plan.Node, bool, error) {
+	changed := false
+	// recurse first
+	for i, c := range n.Children() {
+		nc, ch, err := o.pushFilters(c)
+		if err != nil {
+			return nil, false, err
+		}
+		if ch {
+			changed = true
+		}
+		n.SetChild(i, nc)
+	}
+	f, ok := n.(*plan.Filter)
+	if !ok {
+		return n, changed, nil
+	}
+	conjuncts := expr.Conjuncts(f.Pred)
+	var kept []expr.Expr
+
+	switch child := f.Child.(type) {
+	case *plan.Join:
+		leftCols := schemaCols(child.Left)
+		rightCols := schemaCols(child.Right)
+		var leftPush, rightPush []expr.Expr
+		for _, c := range conjuncts {
+			cols := expr.Columns(c)
+			switch {
+			case subset(cols, leftCols):
+				leftPush = append(leftPush, c)
+				// Transitive propagation across the equi-join: a predicate
+				// on the left join key holds for the right key too, so the
+				// build side can filter before hashing.
+				if len(cols) == 1 && strings.EqualFold(cols[0], child.LeftCol) {
+					rightPush = append(rightPush, renameColumn(c, child.LeftCol, child.RightCol))
+				}
+			case subset(cols, rightCols):
+				rightPush = append(rightPush, c)
+				if len(cols) == 1 && strings.EqualFold(cols[0], child.RightCol) {
+					leftPush = append(leftPush, renameColumn(c, child.RightCol, child.LeftCol))
+				}
+			default:
+				kept = append(kept, c)
+			}
+		}
+		if len(leftPush) > 0 {
+			child.Left = &plan.Filter{Child: child.Left, Pred: expr.And(leftPush)}
+			changed = true
+		}
+		if len(rightPush) > 0 {
+			child.Right = &plan.Filter{Child: child.Right, Pred: expr.And(rightPush)}
+			changed = true
+		}
+		if len(kept) == 0 {
+			return child, true, nil
+		}
+		if len(kept) < len(conjuncts) {
+			return &plan.Filter{Child: child, Pred: expr.And(kept)}, true, nil
+		}
+		return f, changed, nil
+
+	case *plan.Predict:
+		outCols := make(map[string]bool)
+		for _, c := range child.OutputCols {
+			outCols[strings.ToLower(c.Name)] = true
+		}
+		var push []expr.Expr
+		for _, c := range conjuncts {
+			refsOutput := false
+			for _, col := range expr.Columns(c) {
+				if outCols[col] {
+					refsOutput = true
+					break
+				}
+			}
+			if refsOutput {
+				kept = append(kept, c)
+			} else {
+				push = append(push, c)
+			}
+		}
+		if len(push) == 0 {
+			return f, changed, nil
+		}
+		child.SetChild(0, &plan.Filter{Child: child.Children()[0], Pred: expr.And(push)})
+		if len(kept) == 0 {
+			return child, true, nil
+		}
+		return &plan.Filter{Child: child, Pred: expr.And(kept)}, true, nil
+
+	case *plan.Filter:
+		// merge immediately-adjacent filters so later passes see one
+		merged := &plan.Filter{Child: child.Child, Pred: expr.NewBinary(expr.OpAnd, child.Pred, f.Pred)}
+		return merged, true, nil
+
+	default:
+		return f, changed, nil
+	}
+}
+
+// renameColumn returns e with every reference to column `from` replaced by
+// `to` (used for transitive join-key predicate propagation).
+func renameColumn(e expr.Expr, from, to string) expr.Expr {
+	switch x := e.(type) {
+	case *expr.Column:
+		if strings.EqualFold(x.BareName(), from) {
+			return &expr.Column{Name: to}
+		}
+		return x
+	case *expr.Binary:
+		return expr.NewBinary(x.Op, renameColumn(x.L, from, to), renameColumn(x.R, from, to))
+	case *expr.Not:
+		return &expr.Not{E: renameColumn(x.E, from, to)}
+	default:
+		return e
+	}
+}
+
+// mergeAndSimplifyFilters folds constants in predicates and drops
+// always-true filters.
+func (o *Optimizer) mergeAndSimplifyFilters(n plan.Node) (plan.Node, bool, error) {
+	changed := false
+	for i, c := range n.Children() {
+		nc, ch, err := o.mergeAndSimplifyFilters(c)
+		if err != nil {
+			return nil, false, err
+		}
+		if ch {
+			changed = true
+		}
+		n.SetChild(i, nc)
+	}
+	if f, ok := n.(*plan.Filter); ok {
+		s := expr.Simplify(f.Pred)
+		if l, ok := s.(*expr.Literal); ok && l.DT == types.Bool && l.B {
+			return f.Child, true, nil
+		}
+		if s.String() != f.Pred.String() {
+			f.Pred = s
+			changed = true
+		}
+	}
+	return n, changed, nil
+}
+
+func (o *Optimizer) prune(n plan.Node, required []string) (plan.Node, error) {
+	uniq := func(cols []string) []string {
+		seen := make(map[string]bool)
+		var out []string
+		for _, c := range cols {
+			lc := strings.ToLower(c)
+			if !seen[lc] {
+				seen[lc] = true
+				out = append(out, lc)
+			}
+		}
+		return out
+	}
+	required = uniq(required)
+
+	switch x := n.(type) {
+	case *plan.Input:
+		return x, nil
+
+	case *plan.Scan:
+		// order columns as in the table schema for determinism
+		var cols []string
+		for _, c := range x.Table.Schema().Columns {
+			for _, r := range required {
+				if strings.EqualFold(c.Name, r) {
+					cols = append(cols, c.Name)
+					break
+				}
+			}
+		}
+		if len(cols) == 0 && x.Table.Schema().Len() > 0 {
+			cols = []string{x.Table.Schema().Columns[0].Name}
+		}
+		if len(cols) == x.Table.Schema().Len() {
+			return x, nil // full width; leave as-is
+		}
+		if err := x.SetCols(cols); err != nil {
+			return nil, err
+		}
+		return x, nil
+
+	case *plan.Filter:
+		need := append(required, expr.Columns(x.Pred)...)
+		child, err := o.prune(x.Child, need)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = child
+		return x, nil
+
+	case *plan.Project:
+		var need []string
+		for _, e := range x.Exprs {
+			need = append(need, expr.Columns(e)...)
+		}
+		child, err := o.prune(x.Child, need)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = child
+		return x, nil
+
+	case *plan.Predict:
+		need := append([]string(nil), required...)
+		if o.ModelInputs != nil {
+			ins, err := o.ModelInputs(x.ModelName)
+			if err != nil {
+				return nil, err
+			}
+			need = append(need, ins...)
+		} else {
+			for _, c := range x.Child.Schema().Columns {
+				need = append(need, c.Name)
+			}
+		}
+		// prediction outputs are produced here, not consumed below
+		outSet := make(map[string]bool)
+		for _, c := range x.OutputCols {
+			outSet[strings.ToLower(c.Name)] = true
+		}
+		var childNeed []string
+		for _, c := range need {
+			if !outSet[strings.ToLower(c)] {
+				childNeed = append(childNeed, c)
+			}
+		}
+		child, err := o.prune(x.Child, childNeed)
+		if err != nil {
+			return nil, err
+		}
+		x.SetChild(0, child)
+		return x, nil
+
+	case *plan.Join:
+		leftCols := schemaCols(x.Left)
+		rightCols := schemaCols(x.Right)
+		var leftNeed, rightNeed []string
+		for _, r := range required {
+			if leftCols[r] {
+				leftNeed = append(leftNeed, r)
+			} else if rightCols[r] {
+				rightNeed = append(rightNeed, r)
+			}
+		}
+		leftNeed = append(leftNeed, x.LeftCol)
+		rightNeed = append(rightNeed, x.RightCol)
+		left, err := o.prune(x.Left, leftNeed)
+		if err != nil {
+			return nil, err
+		}
+		right, err := o.prune(x.Right, rightNeed)
+		if err != nil {
+			return nil, err
+		}
+		x.Left, x.Right = left, right
+		if err := x.Rebuild(); err != nil {
+			return nil, err
+		}
+		return x, nil
+
+	case *plan.Aggregate:
+		need := append([]string(nil), x.GroupBy...)
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				need = append(need, expr.Columns(a.Arg)...)
+			}
+		}
+		child, err := o.prune(x.Child, need)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = child
+		return x, nil
+
+	case *plan.Sort:
+		need := append([]string(nil), required...)
+		for _, k := range x.Keys {
+			need = append(need, k.Col)
+		}
+		child, err := o.prune(x.Child, need)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = child
+		return x, nil
+
+	case *plan.Limit:
+		child, err := o.prune(x.Child, required)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = child
+		return x, nil
+
+	case *plan.Distinct:
+		// distinct needs every column of its output
+		var need []string
+		for _, c := range x.Child.Schema().Columns {
+			need = append(need, c.Name)
+		}
+		child, err := o.prune(x.Child, need)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = child
+		return x, nil
+
+	default:
+		return nil, fmt.Errorf("relopt: cannot prune %T", n)
+	}
+}
+
+// eliminateJoins removes joins whose build side contributes no columns —
+// the join exists only to locate a matching row, which is guaranteed to
+// exist (unique key + referential integrity). This is the paper's §2
+// example: after model-projection pushdown, the prenatal_tests join feeds
+// no features and is dropped.
+func (o *Optimizer) eliminateJoins(n plan.Node) (plan.Node, bool, error) {
+	changed := false
+	for i, c := range n.Children() {
+		nc, ch, err := o.eliminateJoins(c)
+		if err != nil {
+			return nil, false, err
+		}
+		if ch {
+			changed = true
+		}
+		n.SetChild(i, nc)
+	}
+	j, ok := n.(*plan.Join)
+	if !ok || !o.AssumeRI {
+		return n, changed, nil
+	}
+	// Right side must be a bare scan whose only surviving column is the
+	// join key, declared unique.
+	rs, ok := j.Right.(*plan.Scan)
+	if !ok {
+		return n, changed, nil
+	}
+	if rs.Schema().Len() != 1 || !strings.EqualFold(rs.Schema().Columns[0].Name, j.RightCol) {
+		return n, changed, nil
+	}
+	if o.Catalog == nil || !o.Catalog.IsUniqueKey(rs.Table.Name, j.RightCol) {
+		return n, changed, nil
+	}
+	return j.Left, true, nil
+}

@@ -1,0 +1,207 @@
+package relopt
+
+import (
+	"strings"
+	"testing"
+
+	"raven/internal/expr"
+	"raven/internal/plan"
+	"raven/internal/sql"
+	"raven/internal/storage"
+	"raven/internal/types"
+)
+
+func hospitalCatalog(t *testing.T) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	pi := storage.NewTable("patient_info", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "age", Type: types.Float},
+		types.Column{Name: "pregnant", Type: types.Int},
+		types.Column{Name: "gender", Type: types.Int},
+	))
+	bt := storage.NewTable("blood_tests", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "bp", Type: types.Float},
+	))
+	pt := storage.NewTable("prenatal_tests", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "fetal_hr", Type: types.Float},
+	))
+	for i := 0; i < 20; i++ {
+		_ = pi.AppendRow(int64(i), float64(20+i), int64(i%2), int64(i%2))
+		_ = bt.AppendRow(int64(i), float64(100+i))
+		_ = pt.AppendRow(int64(i), float64(120+i))
+	}
+	for _, tb := range []*storage.Table{pi, bt, pt} {
+		if err := cat.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+		cat.SetUniqueKey(tb.Name, "id")
+	}
+	return cat
+}
+
+func bindQ(t *testing.T, cat *storage.Catalog, q string) plan.Node {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := plan.NewBinder(cat)
+	p, err := b.BindSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPredicatePushdownThroughJoin(t *testing.T) {
+	cat := hospitalCatalog(t)
+	p := bindQ(t, cat, `SELECT pi.age FROM patient_info AS pi
+		JOIN blood_tests AS bt ON pi.id = bt.id
+		WHERE pi.pregnant = 1 AND bt.bp > 120`)
+	o := &Optimizer{Catalog: cat, AssumeRI: true}
+	opt, err := o.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Explain(opt)
+	// No filter should remain above the join; both conjuncts land on scans.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if strings.Contains(lines[0], "Filter") || strings.Contains(lines[1], "Filter") && strings.Contains(lines[1], "AND") {
+		t.Errorf("filter not pushed:\n%s", s)
+	}
+	if !strings.Contains(s, "Filter((pregnant = 1))") && !strings.Contains(s, "Filter((pi.pregnant = 1))") {
+		t.Errorf("pregnant filter missing below join:\n%s", s)
+	}
+}
+
+func TestPredicatePushdownBelowPredict(t *testing.T) {
+	cat := hospitalCatalog(t)
+	tb, _ := cat.Table("patient_info")
+	scan := plan.NewScan(tb)
+	pr := plan.NewPredict(scan, "m", []types.Column{{Name: "score", Type: types.Float}})
+	pred := expr.And([]expr.Expr{
+		expr.NewBinary(expr.OpEq, &expr.Column{Name: "pregnant"}, expr.IntLit(1)),
+		expr.NewBinary(expr.OpGt, &expr.Column{Name: "score"}, expr.FloatLit(7)),
+	})
+	root := &plan.Filter{Child: pr, Pred: pred}
+	o := &Optimizer{Catalog: cat, AssumeRI: true}
+	opt, err := o.Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Explain(opt)
+	// score predicate stays above Predict; pregnant predicate goes below.
+	iPredict := strings.Index(s, "Predict")
+	iScore := strings.Index(s, "score")
+	iPreg := strings.Index(s, "pregnant")
+	if iScore > iPredict || iPreg < iPredict {
+		t.Errorf("pushdown wrong:\n%s", s)
+	}
+}
+
+func TestColumnPruningIntoScan(t *testing.T) {
+	cat := hospitalCatalog(t)
+	p := bindQ(t, cat, "SELECT age FROM patient_info WHERE pregnant = 1")
+	o := &Optimizer{Catalog: cat, AssumeRI: true}
+	opt, err := o.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Explain(opt)
+	if !strings.Contains(s, "cols=[age,pregnant]") {
+		t.Errorf("scan not pruned:\n%s", s)
+	}
+}
+
+func TestJoinEliminationOnUnusedSide(t *testing.T) {
+	cat := hospitalCatalog(t)
+	// prenatal_tests contributes no output columns: with unique key + RI
+	// the join is dropped (paper §2).
+	p := bindQ(t, cat, `SELECT pi.age, bt.bp FROM patient_info AS pi
+		JOIN blood_tests AS bt ON pi.id = bt.id
+		JOIN prenatal_tests AS pt ON bt.id = pt.id`)
+	o := &Optimizer{Catalog: cat, AssumeRI: true}
+	opt, err := o.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Explain(opt)
+	if strings.Contains(s, "prenatal_tests") {
+		t.Errorf("join not eliminated:\n%s", s)
+	}
+	if !strings.Contains(s, "blood_tests") {
+		t.Errorf("needed join over-eliminated:\n%s", s)
+	}
+
+	// Without RI assumption the join must stay.
+	p2 := bindQ(t, cat, `SELECT pi.age FROM patient_info AS pi
+		JOIN prenatal_tests AS pt ON pi.id = pt.id`)
+	o2 := &Optimizer{Catalog: cat, AssumeRI: false}
+	opt2, err := o2.Optimize(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(opt2), "prenatal_tests") {
+		t.Error("join eliminated without RI assumption")
+	}
+}
+
+func TestConstantFoldingDropsTrueFilter(t *testing.T) {
+	cat := hospitalCatalog(t)
+	tb, _ := cat.Table("patient_info")
+	root := &plan.Filter{
+		Child: plan.NewScan(tb),
+		Pred:  expr.NewBinary(expr.OpGt, expr.IntLit(2), expr.IntLit(1)),
+	}
+	o := &Optimizer{Catalog: cat}
+	opt, err := o.Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opt.(*plan.Scan); !ok {
+		t.Errorf("always-true filter not dropped: %s", plan.Explain(opt))
+	}
+}
+
+func TestModelInputsKeptByPruning(t *testing.T) {
+	cat := hospitalCatalog(t)
+	tb, _ := cat.Table("patient_info")
+	pr := plan.NewPredict(plan.NewScan(tb), "m", []types.Column{{Name: "score", Type: types.Float}})
+	proj, err := plan.NewProject(pr, []expr.Expr{&expr.Column{Name: "score"}}, []string{"score"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimizer{
+		Catalog:  cat,
+		AssumeRI: true,
+		ModelInputs: func(name string) ([]string, error) {
+			return []string{"age", "pregnant"}, nil
+		},
+	}
+	opt, err := o.Optimize(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Explain(opt)
+	if !strings.Contains(s, "cols=[age,pregnant]") {
+		t.Errorf("model inputs not preserved by pruning:\n%s", s)
+	}
+}
+
+func TestOptimizedPlanStillBindsSchemas(t *testing.T) {
+	cat := hospitalCatalog(t)
+	p := bindQ(t, cat, `SELECT pi.age, bt.bp FROM patient_info AS pi
+		JOIN blood_tests AS bt ON pi.id = bt.id WHERE pi.age > 30`)
+	o := &Optimizer{Catalog: cat, AssumeRI: true}
+	opt, err := o.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := opt.Schema()
+	if sch.Len() != 2 || sch.IndexOf("age") < 0 || sch.IndexOf("bp") < 0 {
+		t.Errorf("schema broken after optimize: %v", sch)
+	}
+}

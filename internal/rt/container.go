@@ -1,0 +1,165 @@
+package rt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"raven/internal/ml"
+	"raven/internal/types"
+)
+
+// ContainerServer is the REST scoring endpoint of the containerized
+// fallback (paper §5): a real HTTP server on localhost exposing
+// POST /v1/predict with a JSON body {"rows": [[...], ...]} returning
+// {"scores": [...]}.
+type ContainerServer struct {
+	Pipe *ml.Pipeline
+
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+	once sync.Once
+}
+
+// Start launches the server on an ephemeral localhost port.
+func (c *ContainerServer) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("rt: container listen: %w", err)
+	}
+	c.ln = ln
+	c.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", c.handlePredict)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	c.srv = &http.Server{Handler: mux}
+	go func() { _ = c.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns "host:port" once started.
+func (c *ContainerServer) Addr() string { return c.addr }
+
+// Stop shuts the server down.
+func (c *ContainerServer) Stop() error {
+	if c.srv == nil {
+		return nil
+	}
+	return c.srv.Close()
+}
+
+type predictRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+type predictResponse struct {
+	Scores []float64 `json:"scores"`
+	Error  string    `json:"error,omitempty"`
+}
+
+func (c *ContainerServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req predictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var resp predictResponse
+	if len(req.Rows) > 0 {
+		d := len(req.Rows[0])
+		flat := make([]float64, 0, len(req.Rows)*d)
+		for _, row := range req.Rows {
+			if len(row) != d {
+				writeJSON(w, http.StatusBadRequest, predictResponse{Error: "ragged rows"})
+				return
+			}
+			flat = append(flat, row...)
+		}
+		scores, err := c.Pipe.Predict(ml.Matrix{Data: flat, Rows: len(req.Rows), Cols: d})
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, predictResponse{Error: err.Error()})
+			return
+		}
+		resp.Scores = scores
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ContainerPredictor scores batches through a ContainerServer endpoint.
+type ContainerPredictor struct {
+	URL       string // e.g. "http://127.0.0.1:9999"
+	InputCols []string
+	OutType   types.DataType
+	Client    *http.Client
+}
+
+// NewContainerPredictor starts a server for the pipeline and returns a
+// predictor bound to it plus the server handle for shutdown.
+func NewContainerPredictor(p *ml.Pipeline, outType types.DataType) (*ContainerPredictor, *ContainerServer, error) {
+	srv := &ContainerServer{Pipe: p}
+	if err := srv.Start(); err != nil {
+		return nil, nil, err
+	}
+	pred := &ContainerPredictor{
+		URL:       "http://" + srv.Addr(),
+		InputCols: p.InputColumns,
+		OutType:   outType,
+		Client:    &http.Client{Timeout: 30 * time.Second},
+	}
+	return pred, srv, nil
+}
+
+// PredictBatch implements exec.Predictor.
+func (p *ContainerPredictor) PredictBatch(b *types.Batch) ([]*types.Vector, error) {
+	d := len(p.InputCols)
+	flat, n, err := b.FloatMatrix(p.InputCols)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = flat[i*d : (i+1)*d]
+	}
+	body, err := json.Marshal(predictRequest{Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.Client.Post(p.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("rt: container request: %w", err)
+	}
+	defer resp.Body.Close()
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	if pr.Error != "" {
+		return nil, fmt.Errorf("rt: container error: %s", pr.Error)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rt: container status %d", resp.StatusCode)
+	}
+	return []*types.Vector{floatVector(pr.Scores, p.OutType)}, nil
+}

@@ -1,0 +1,226 @@
+package rt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"raven/internal/ml"
+	"raven/internal/types"
+)
+
+func testPipe() *ml.Pipeline {
+	return &ml.Pipeline{
+		Steps:        []ml.Transformer{&ml.StandardScaler{Mean: []float64{5, 0}, Scale: []float64{2, 1}}},
+		Final:        &ml.LogisticRegression{W: []float64{1, -0.5}, B: 0.2},
+		InputColumns: []string{"a", "b"},
+	}
+}
+
+func testBatch(t *testing.T, n int) *types.Batch {
+	t.Helper()
+	s := types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "a", Type: types.Float},
+		types.Column{Name: "b", Type: types.Float},
+	)
+	b := types.NewBatch(s)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(int64(i), rng.Float64()*10, rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// expected computes the reference scores directly through the pipeline.
+func expected(t *testing.T, b *types.Batch) []float64 {
+	t.Helper()
+	p := testPipe()
+	data, n, err := b.FloatMatrix(p.InputColumns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Predict(ml.Matrix{Data: data, Rows: n, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertScores(t *testing.T, want []float64, got []*types.Vector) {
+	t.Helper()
+	if len(got) != 1 {
+		t.Fatalf("predictor returned %d vectors", len(got))
+	}
+	if got[0].Len() != len(want) {
+		t.Fatalf("lengths: %d vs %d", got[0].Len(), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[0].Floats[i]-want[i]) > 1e-9 {
+			t.Fatalf("score %d: %v vs %v", i, got[0].Floats[i], want[i])
+		}
+	}
+}
+
+func TestPipelinePredictor(t *testing.T) {
+	b := testBatch(t, 100)
+	p := NewPipelinePredictor(testPipe(), types.Float)
+	got, err := p.PredictBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScores(t, expected(t, b), got)
+}
+
+func TestNNPredictorMatchesPipeline(t *testing.T) {
+	b := testBatch(t, 200)
+	r := NewRuntime()
+	p, err := r.NNPredictor("key", testPipe(), types.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.PredictBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScores(t, expected(t, b), got)
+	charged, runs := p.Charged()
+	if runs != 1 || charged <= 0 {
+		t.Errorf("charged stats = %v, %d", charged, runs)
+	}
+}
+
+func TestNNPredictorSessionCacheSharing(t *testing.T) {
+	r := NewRuntime()
+	p1, err := r.NNPredictor("same", testPipe(), types.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.NNPredictor("same", testPipe(), types.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Session != p2.Session {
+		t.Error("sessions with same key should be shared")
+	}
+	p3, err := r.NNPredictor("", testPipe(), types.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Session == p1.Session {
+		t.Error("empty key must bypass the cache")
+	}
+}
+
+func TestOutOfProcessPredictor(t *testing.T) {
+	b := testBatch(t, 50)
+	inner := NewPipelinePredictor(testPipe(), types.Float)
+	p := &OutOfProcessPredictor{Inner: inner, Startup: 30 * time.Millisecond}
+	start := time.Now()
+	got, err := p.PredictBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := time.Since(start)
+	if first < 30*time.Millisecond {
+		t.Errorf("startup latency not charged: %v", first)
+	}
+	assertScores(t, expected(t, b), got)
+	// second call: no startup
+	start = time.Now()
+	if _, err := p.PredictBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if second := time.Since(start); second > 25*time.Millisecond {
+		t.Errorf("startup charged twice: %v", second)
+	}
+}
+
+func TestContainerPredictor(t *testing.T) {
+	b := testBatch(t, 30)
+	pred, srv, err := NewContainerPredictor(testPipe(), types.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	got, err := pred.PredictBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScores(t, expected(t, b), got)
+}
+
+func TestContainerServerErrors(t *testing.T) {
+	// pipeline whose model expects the wrong width yields a 500
+	bad := &ml.Pipeline{Final: &ml.LogisticRegression{W: []float64{1, 2, 3}}, InputColumns: []string{"a", "b"}}
+	pred, srv, err := NewContainerPredictor(bad, types.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	b := testBatch(t, 5)
+	if _, err := pred.PredictBatch(b); err == nil {
+		t.Error("width mismatch should surface as container error")
+	}
+}
+
+func TestFloatVectorConversions(t *testing.T) {
+	scores := []float64{0.2, 0.9, 1.6}
+	f := floatVector(scores, types.Float)
+	if f.Type != types.Float || f.Floats[2] != 1.6 {
+		t.Error("float conversion")
+	}
+	i := floatVector(scores, types.Int)
+	if i.Type != types.Int || i.Ints[2] != 1 {
+		t.Error("int conversion")
+	}
+	bo := floatVector(scores, types.Bool)
+	if bo.Type != types.Bool || bo.Bools[0] || !bo.Bools[1] {
+		t.Error("bool conversion")
+	}
+}
+
+func TestBatchWireRoundTrip(t *testing.T) {
+	b := testBatch(t, 10)
+	wire, err := encodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeBatch(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != b.Len() || back.Schema.Len() != b.Schema.Len() {
+		t.Fatalf("round trip shape: %d/%d", back.Len(), back.Schema.Len())
+	}
+	if back.Col("a").Floats[3] != b.Col("a").Floats[3] {
+		t.Error("round trip data")
+	}
+	if _, err := decodeBatch([]byte("junk")); err == nil {
+		t.Error("junk should fail decode")
+	}
+}
+
+func TestPredictorErrorsOnMissingColumn(t *testing.T) {
+	s := types.NewSchema(types.Column{Name: "zzz", Type: types.Float})
+	b := types.NewBatch(s)
+	_ = b.AppendRow(1.0)
+	p := NewPipelinePredictor(testPipe(), types.Float)
+	if _, err := p.PredictBatch(b); err == nil {
+		t.Error("missing input column should fail")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeInProcess: "in-process", ModeInProcessNN: "in-process-nn",
+		ModeOutOfProcess: "out-of-process", ModeContainer: "container",
+	} {
+		if m.String() != want {
+			t.Errorf("%d = %q", m, m.String())
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package sql implements the SQL front end of the engine: a lexer, an AST,
+// and a recursive-descent parser for the dialect the paper's inference
+// queries use — SELECT/JOIN/WHERE/GROUP BY, WITH common table expressions,
+// CREATE TABLE / INSERT, DECLARE @variables, and the SQL Server PREDICT
+// table function that invokes a stored model (paper §2, Fig 1).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokVariable // @name
+	TokSymbol   // punctuation and operators
+)
+
+// Token is one lexeme with position for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased, identifiers preserved
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "ON": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"GROUP": true, "BY": true, "ORDER": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "WITH": true, "CREATE": true, "TABLE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DECLARE": true, "PREDICT": true,
+	"TRUE": true, "FALSE": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "UNION": true,
+	"ALL": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "FLOAT": true, "INT": true, "BIGINT": true, "BOOL": true,
+	"BIT": true, "VARCHAR": true, "PRIMARY": true, "KEY": true, "DROP": true,
+	"DISTINCT": true,
+}
+
+// Lex tokenizes input; it returns an error for unterminated strings or
+// illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					if d == 'e' || d == 'E' {
+						// scientific notation
+						i++
+						if i < n && (input[i] == '+' || input[i] == '-') {
+							i++
+						}
+						continue
+					}
+					break
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '@':
+			start := i
+			i++
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("sql: bare '@' at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokVariable, Text: input[start+1 : i], Pos: start})
+		default:
+			start := i
+			// multi-char operators first
+			if i+1 < n {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					if two == "!=" {
+						two = "<>"
+					}
+					toks = append(toks, Token{Kind: TokSymbol, Text: two, Pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', ';', '=', '<', '>', '+', '-', '*', '/', '.':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, start)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

@@ -1,0 +1,301 @@
+package sql
+
+import (
+	"testing"
+
+	"raven/internal/types"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a.b, 'it''s', 3.5, @m <= >= <> != -- comment\nFROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"SELECT", "a", ".", "b", ",", "it's", ",", "3.5", ",", "m", "<=", ">=", "<>", "<>", "FROM", "t", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("texts = %q", texts)
+	}
+	for i, w := range want {
+		if texts[i] != w {
+			t.Errorf("tok %d = %q, want %q", i, texts[i], w)
+		}
+	}
+	if kinds[0] != TokKeyword || kinds[1] != TokIdent || kinds[5] != TokString || kinds[9] != TokVariable {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("SELECT #"); err == nil {
+		t.Error("illegal char should fail")
+	}
+	if _, err := Lex("SELECT @ x"); err == nil {
+		t.Error("bare @ should fail")
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	st, err := Parse("SELECT id, age * 2 AS dbl FROM patients WHERE age > 30 ORDER BY id DESC LIMIT 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "dbl" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	tn, ok := sel.From.(*TableName)
+	if !ok || tn.Name != "patients" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if sel.Where == nil || sel.Limit != 10 {
+		t.Errorf("where/limit = %v %d", sel.Where, sel.Limit)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+}
+
+func TestParseStarAndImplicitAlias(t *testing.T) {
+	st, err := Parse("SELECT * FROM t x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if !sel.Items[0].Star {
+		t.Error("star not detected")
+	}
+	if sel.From.(*TableName).Alias != "x" {
+		t.Error("implicit alias not picked up")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	st, err := Parse(`SELECT pi.id FROM patient_info AS pi
+		JOIN blood_tests AS bt ON pi.id = bt.id
+		JOIN prenatal_tests pt ON bt.id = pt.id
+		WHERE pi.pregnant = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	j, ok := sel.From.(*JoinRef)
+	if !ok {
+		t.Fatalf("from = %T", sel.From)
+	}
+	j2, ok := j.Left.(*JoinRef)
+	if !ok {
+		t.Fatalf("left of outer join = %T", j.Left)
+	}
+	if j2.Left.(*TableName).Alias != "pi" || j2.Right.(*TableName).Alias != "bt" {
+		t.Error("join aliases wrong")
+	}
+}
+
+func TestParsePredict(t *testing.T) {
+	q := `
+DECLARE @model = 'duration_of_stay';
+WITH data AS (
+  SELECT * FROM patient_info AS pi
+  JOIN blood_tests AS bt ON pi.id = bt.id
+)
+SELECT d.id, p.length_of_stay
+FROM PREDICT(MODEL = @model, DATA = data AS d)
+WITH (length_of_stay FLOAT) AS p
+WHERE d.pregnant = 1 AND p.length_of_stay > 7;`
+	stmts, err := ParseScript(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	decl := stmts[0].(*DeclareStmt)
+	if decl.Name != "model" || decl.Value != "duration_of_stay" {
+		t.Errorf("declare = %+v", decl)
+	}
+	sel := stmts[1].(*SelectStmt)
+	if len(sel.CTEs) != 1 || sel.CTEs[0].Name != "data" {
+		t.Fatalf("ctes = %+v", sel.CTEs)
+	}
+	pr, ok := sel.From.(*PredictRef)
+	if !ok {
+		t.Fatalf("from = %T", sel.From)
+	}
+	if pr.ModelVar != "model" || pr.Alias != "p" || pr.DataAlias != "d" {
+		t.Errorf("predict = %+v", pr)
+	}
+	if len(pr.OutputCols) != 1 || pr.OutputCols[0].Name != "length_of_stay" || pr.OutputCols[0].Type != types.Float {
+		t.Errorf("output cols = %+v", pr.OutputCols)
+	}
+}
+
+func TestParsePredictLiteralModel(t *testing.T) {
+	st, err := Parse(`SELECT p.score FROM PREDICT(MODEL='m1', DATA=flights AS f) WITH (score FLOAT) AS p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := st.(*SelectStmt).From.(*PredictRef)
+	if pr.ModelName != "m1" {
+		t.Errorf("model = %+v", pr)
+	}
+	if _, ok := pr.Data.(*TableName); !ok {
+		t.Errorf("data = %T", pr.Data)
+	}
+}
+
+func TestParseCreateInsertDrop(t *testing.T) {
+	st, err := Parse("CREATE TABLE t (id INT PRIMARY KEY, x FLOAT, name VARCHAR(20), ok BIT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if len(ct.Cols) != 4 || ct.PrimaryKey != "id" {
+		t.Errorf("create = %+v", ct)
+	}
+	if ct.Cols[2].Type != types.String || ct.Cols[3].Type != types.Bool {
+		t.Errorf("types = %+v", ct.Cols)
+	}
+
+	st2, err := Parse("INSERT INTO t VALUES (1, 2.5, 'a', TRUE), (2, 3.5, 'b', FALSE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st2.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 4 {
+		t.Errorf("insert = %+v", ins)
+	}
+
+	st3, err := Parse("DROP TABLE t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.(*DropTableStmt).Name != "t" {
+		t.Error("drop parse")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	st, err := Parse("SELECT dest, COUNT(*) AS n, AVG(delay) FROM flights GROUP BY dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	f := sel.Items[1].Expr.(*FuncE)
+	if f.Name != "COUNT" || !f.Star {
+		t.Errorf("count = %+v", f)
+	}
+	a := sel.Items[2].Expr.(*FuncE)
+	if a.Name != "AVG" || len(a.Args) != 1 {
+		t.Errorf("avg = %+v", a)
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0] != "dest" {
+		t.Errorf("group by = %v", sel.GroupBy)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	st, err := Parse("SELECT CASE WHEN x <= 1 THEN 'a' WHEN x <= 2 THEN 'b' ELSE 'c' END AS lbl FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.(*SelectStmt).Items[0].Expr.(*CaseE)
+	if len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("case = %+v", c)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.(*SelectStmt).Where.(*BinaryE)
+	if w.Op != "OR" {
+		t.Fatalf("top op = %s, want OR (AND binds tighter)", w.Op)
+	}
+	if w.R.(*BinaryE).Op != "AND" {
+		t.Error("right side should be AND")
+	}
+	// arithmetic precedence: 1 + 2 * 3
+	st2, err := Parse("SELECT * FROM t WHERE x = 1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := st2.(*SelectStmt).Where.(*BinaryE)
+	add := cmp.R.(*BinaryE)
+	if add.Op != "+" || add.R.(*BinaryE).Op != "*" {
+		t.Error("mul should bind tighter than add")
+	}
+}
+
+func TestParseUnaryMinusAndNot(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE NOT x > -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*SelectStmt).Where.(*NotE); !ok {
+		t.Error("NOT not parsed")
+	}
+}
+
+func TestParseSubqueryInFrom(t *testing.T) {
+	st, err := Parse("SELECT s.a FROM (SELECT a FROM t WHERE a > 1) AS s WHERE s.a < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, ok := st.(*SelectStmt).From.(*SubqueryRef)
+	if !ok || sq.Alias != "s" {
+		t.Fatalf("from = %+v", st.(*SelectStmt).From)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"FROB x",
+		"SELECT * FROM t LIMIT x",
+		"PREDICT(MODEL=1, DATA=t) WITH (x FLOAT) AS p",
+		"SELECT * FROM PREDICT(MODEL='m', DATA=t AS d) WITH () AS p",
+		"CREATE TABLE t (x BLOB)",
+		"SELECT * FROM t; garbage",
+		"DECLARE @x = 5",
+		"SELECT CASE END FROM t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseScriptMultiple(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	st, err := Parse("SELECT DISTINCT dest FROM flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.(*SelectStmt).Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+}

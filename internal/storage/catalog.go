@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Catalog names tables and the model store. It is the single source of
+// truth the binder and the cross optimizer consult.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	Models *ModelStore
+	// uniqueKeys records columns known to be unique per table (primary
+	// keys). The relational optimizer uses this for join elimination.
+	uniqueKeys map[string]map[string]bool
+}
+
+// NewCatalog returns an empty catalog with a fresh model store.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:     make(map[string]*Table),
+		Models:     NewModelStore(),
+		uniqueKeys: make(map[string]map[string]bool),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// AddTable registers a table; it fails if the name is taken.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("storage: table %q already exists", t.Name)
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// DropTable removes a table by name.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("storage: table %q does not exist", name)
+	}
+	delete(c.tables, k)
+	delete(c.uniqueKeys, k)
+	return nil
+}
+
+// Table looks a table up by (case-insensitive) name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// TableNames returns all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetUniqueKey declares that column col of table is unique (e.g. a primary
+// key). Join elimination relies on this.
+func (c *Catalog) SetUniqueKey(table, col string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(table)
+	if c.uniqueKeys[k] == nil {
+		c.uniqueKeys[k] = make(map[string]bool)
+	}
+	c.uniqueKeys[k][key(col)] = true
+}
+
+// IsUniqueKey reports whether col is a declared unique key of table.
+func (c *Catalog) IsUniqueKey(table, col string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.uniqueKeys[key(table)][key(col)]
+}

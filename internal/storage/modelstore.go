@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StoredModel is one immutable version of a named model pipeline as kept in
+// the database. Bytes is the serialized pipeline (the engine above decides
+// the encoding: a Python script, gob, or JSON); Format names it.
+type StoredModel struct {
+	Name      string
+	Version   int
+	Format    string // e.g. "python-pipeline", "gob-pipeline", "nn-graph"
+	Bytes     []byte
+	Hash      string // content hash, used as a session-cache key
+	CreatedAt time.Time
+	Meta      map[string]string
+}
+
+// AuditEntry records one model-store mutation, mirroring the auditability
+// guarantee the paper inherits from the RDBMS (paper §2).
+type AuditEntry struct {
+	Time    time.Time
+	Op      string // "put", "delete", "rollback"
+	Name    string
+	Version int
+	TxID    uint64
+}
+
+// ModelStore is a versioned, transactional store for model pipelines.
+// Writes happen inside transactions: either every model put in the
+// transaction becomes visible, or none does (single-node atomicity via a
+// commit lock, which is what the paper's transactionality claim needs).
+type ModelStore struct {
+	mu       sync.RWMutex
+	versions map[string][]*StoredModel // name -> versions, ascending
+	audit    []AuditEntry
+	nextTx   uint64
+}
+
+// NewModelStore returns an empty store.
+func NewModelStore() *ModelStore {
+	return &ModelStore{versions: make(map[string][]*StoredModel)}
+}
+
+// Tx is an open model-store transaction. It buffers writes until Commit.
+type Tx struct {
+	store   *ModelStore
+	id      uint64
+	puts    []*StoredModel
+	deletes []string
+	done    bool
+}
+
+// Begin opens a transaction.
+func (s *ModelStore) Begin() *Tx {
+	s.mu.Lock()
+	s.nextTx++
+	id := s.nextTx
+	s.mu.Unlock()
+	return &Tx{store: s, id: id}
+}
+
+// Put stages a new version of the named model in the transaction.
+func (t *Tx) Put(name, format string, data []byte, meta map[string]string) {
+	h := sha256.Sum256(data)
+	t.puts = append(t.puts, &StoredModel{
+		Name:   name,
+		Format: format,
+		Bytes:  data,
+		Hash:   hex.EncodeToString(h[:]),
+		Meta:   meta,
+	})
+}
+
+// Delete stages removal of all versions of the named model.
+func (t *Tx) Delete(name string) { t.deletes = append(t.deletes, name) }
+
+// Commit atomically applies all staged writes.
+func (t *Tx) Commit() error {
+	if t.done {
+		return fmt.Errorf("storage: transaction %d already finished", t.id)
+	}
+	t.done = true
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for _, name := range t.deletes {
+		k := key(name)
+		if _, ok := s.versions[k]; !ok {
+			return fmt.Errorf("storage: delete of unknown model %q aborts tx %d", name, t.id)
+		}
+	}
+	for _, name := range t.deletes {
+		k := key(name)
+		delete(s.versions, k)
+		s.audit = append(s.audit, AuditEntry{Time: now, Op: "delete", Name: name, TxID: t.id})
+	}
+	for _, m := range t.puts {
+		k := key(m.Name)
+		m.Version = len(s.versions[k]) + 1
+		m.CreatedAt = now
+		s.versions[k] = append(s.versions[k], m)
+		s.audit = append(s.audit, AuditEntry{Time: now, Op: "put", Name: m.Name, Version: m.Version, TxID: t.id})
+	}
+	return nil
+}
+
+// Rollback discards staged writes.
+func (t *Tx) Rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	s := t.store
+	s.mu.Lock()
+	s.audit = append(s.audit, AuditEntry{Time: time.Now(), Op: "rollback", TxID: t.id})
+	s.mu.Unlock()
+}
+
+// PutModel is the non-transactional convenience path: one put, one commit.
+func (s *ModelStore) PutModel(name, format string, data []byte, meta map[string]string) error {
+	tx := s.Begin()
+	tx.Put(name, format, data, meta)
+	return tx.Commit()
+}
+
+// Latest returns the newest version of the named model.
+func (s *ModelStore) Latest(name string) (*StoredModel, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.versions[key(name)]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("storage: model %q not found", name)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// Version returns a specific version of the named model.
+func (s *ModelStore) Version(name string, version int) (*StoredModel, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.versions[key(name)]
+	if version < 1 || version > len(vs) {
+		return nil, fmt.Errorf("storage: model %q has no version %d", name, version)
+	}
+	return vs[version-1], nil
+}
+
+// Names lists stored model names, sorted.
+func (s *ModelStore) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.versions))
+	for _, vs := range s.versions {
+		out = append(out, vs[0].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Audit returns a copy of the audit log.
+func (s *ModelStore) Audit() []AuditEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]AuditEntry, len(s.audit))
+	copy(out, s.audit)
+	return out
+}

@@ -1,0 +1,163 @@
+// Package storage implements the in-memory columnar storage engine and
+// catalog that play the role of SQL Server in the reproduction: tables,
+// table statistics, and the transactional, versioned model store that gives
+// models the same governance guarantees as data (paper §1, §2).
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"raven/internal/types"
+)
+
+// Table is an append-only columnar table. Reads take a snapshot length so
+// concurrent appends never tear a scan.
+type Table struct {
+	Name   string
+	schema *types.Schema
+
+	mu   sync.RWMutex
+	cols []*types.Vector
+	rows int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *types.Schema) *Table {
+	cols := make([]*types.Vector, schema.Len())
+	for i, c := range schema.Columns {
+		cols[i] = types.NewVector(c.Type, 0)
+	}
+	return &Table{Name: name, schema: schema, cols: cols}
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// AppendRow appends a single row of raw Go values in schema order.
+func (t *Table) AppendRow(vals ...any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("storage: table %s: row arity %d != %d", t.Name, len(vals), len(t.cols))
+	}
+	for i, v := range vals {
+		if err := t.cols[i].Append(v); err != nil {
+			return fmt.Errorf("storage: table %s: %w", t.Name, err)
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// AppendBatch appends all rows of a batch whose columns match the schema.
+func (t *Table) AppendBatch(b *types.Batch) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(b.Vecs) != len(t.cols) {
+		return fmt.Errorf("storage: table %s: batch arity %d != %d", t.Name, len(b.Vecs), len(t.cols))
+	}
+	for i := range t.cols {
+		if err := t.cols[i].AppendVector(b.Vecs[i]); err != nil {
+			return fmt.Errorf("storage: table %s: %w", t.Name, err)
+		}
+	}
+	t.rows += b.Len()
+	return nil
+}
+
+// ScanRange returns a zero-copy batch over rows [lo, hi). Callers must not
+// mutate the returned vectors.
+func (t *Table) ScanRange(lo, hi int) *types.Batch {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if hi > t.rows {
+		hi = t.rows
+	}
+	if lo > hi {
+		lo = hi
+	}
+	vecs := make([]*types.Vector, len(t.cols))
+	for i, c := range t.cols {
+		vecs[i] = c.Slice(lo, hi)
+	}
+	return &types.Batch{Schema: t.schema, Vecs: vecs}
+}
+
+// Scan returns the whole table as one zero-copy batch.
+func (t *Table) Scan() *types.Batch { return t.ScanRange(0, t.NumRows()) }
+
+// ColumnStats summarizes one column for optimizer use: min/max for numeric
+// columns, and the set of distinct values when small. The cross optimizer
+// uses these to derive predicates from data properties (paper §4.1,
+// "predicate-based pruning ... based on data properties").
+type ColumnStats struct {
+	Name          string
+	Min, Max      float64
+	DistinctCount int
+	// Distinct holds the distinct values when DistinctCount <= maxDistinct
+	// (as float64 for numeric columns; strings use DistinctStrings).
+	Distinct        []float64
+	DistinctStrings []string
+	NumRows         int
+}
+
+const maxDistinct = 64
+
+// Stats computes fresh statistics for the named column. Statistics are
+// computed on demand rather than cached: tables in this engine are
+// bulk-loaded once per experiment.
+func (t *Table) Stats(col string) (*ColumnStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx := t.schema.IndexOf(col)
+	if idx < 0 {
+		return nil, fmt.Errorf("storage: table %s has no column %q", t.Name, col)
+	}
+	v := t.cols[idx]
+	st := &ColumnStats{Name: col, Min: math.Inf(1), Max: math.Inf(-1), NumRows: t.rows}
+	switch v.Type {
+	case types.Float, types.Int, types.Bool:
+		seen := make(map[float64]struct{})
+		for i := 0; i < t.rows; i++ {
+			x := v.AsFloat(i)
+			if x < st.Min {
+				st.Min = x
+			}
+			if x > st.Max {
+				st.Max = x
+			}
+			if len(seen) <= maxDistinct {
+				seen[x] = struct{}{}
+			}
+		}
+		st.DistinctCount = len(seen)
+		if len(seen) <= maxDistinct {
+			for x := range seen {
+				st.Distinct = append(st.Distinct, x)
+			}
+		}
+	case types.String:
+		seen := make(map[string]struct{})
+		for i := 0; i < t.rows; i++ {
+			if len(seen) <= maxDistinct {
+				seen[v.Strings[i]] = struct{}{}
+			}
+		}
+		st.DistinctCount = len(seen)
+		if len(seen) <= maxDistinct {
+			for s := range seen {
+				st.DistinctStrings = append(st.DistinctStrings, s)
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,496 @@
+// Package tensor provides the dense float64 tensor type and the kernel
+// library underneath the ort graph runtime: GEMM, broadcast elementwise
+// ops, activations, reductions, gather and concat. Kernels are written for
+// the 2-D (batch × feature) shapes that dominate model scoring, with
+// optional intra-op parallelism for the large GEMMs NN translation produces.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: shape, Data: make([]float64, NumElems(shape))}
+}
+
+// FromSlice wraps data (not copied) with the given shape.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	if NumElems(shape) != len(data) {
+		return nil, fmt.Errorf("tensor: shape %v needs %d elems, got %d", shape, NumElems(shape), len(data))
+	}
+	return &Tensor{Shape: shape, Data: data}, nil
+}
+
+// Scalar builds a 0-d tensor holding x.
+func Scalar(x float64) *Tensor { return &Tensor{Shape: []int{}, Data: []float64{x}} }
+
+// NumElems returns the product of the dims.
+func NumElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// Len returns the total element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Dim returns dimension i, or 1 when out of range (broadcast-friendly).
+func (t *Tensor) Dim(i int) int {
+	if i < 0 || i >= len(t.Shape) {
+		return 1
+	}
+	return t.Shape[i]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view with a new shape (same element count).
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	// A single -1 dim is inferred, as in ONNX Reshape.
+	infer := -1
+	n := 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				return nil, fmt.Errorf("tensor: multiple -1 dims in reshape %v", shape)
+			}
+			infer = i
+		} else {
+			n *= d
+		}
+	}
+	out := append([]int(nil), shape...)
+	if infer >= 0 {
+		if n == 0 || len(t.Data)%n != 0 {
+			return nil, fmt.Errorf("tensor: cannot infer dim in reshape %v of %v", shape, t.Shape)
+		}
+		out[infer] = len(t.Data) / n
+	} else if n != len(t.Data) {
+		return nil, fmt.Errorf("tensor: reshape %v incompatible with %v", shape, t.Shape)
+	}
+	return &Tensor{Shape: out, Data: t.Data}, nil
+}
+
+// At returns the element at 2-D index (i, j) of a rank-2 tensor.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Shape[1]+j] }
+
+// Set assigns the element at 2-D index (i, j) of a rank-2 tensor.
+func (t *Tensor) Set(i, j int, x float64) { t.Data[i*t.Shape[1]+j] = x }
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelThreshold is the work size above which kernels fan out across
+// goroutines; below it the goroutine overhead costs more than it saves.
+const parallelThreshold = 1 << 15
+
+// parallelFor runs fn over [0,n) split across workers when n*costHint is
+// large enough; otherwise it runs inline.
+func parallelFor(n, costHint, maxWorkers int, fn func(lo, hi int)) {
+	if maxWorkers <= 1 || n*costHint < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes a (m×k) × (k×n) product. threads<=1 forces sequential
+// execution; threads==0 uses GOMAXPROCS.
+func MatMul(a, b *Tensor, threads int) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul wants rank-2, got %v × %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dims %d != %d", k, k2)
+	}
+	if threads == 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	out := New(m, n)
+	// ikj loop order: streams through b and out rows, friendly to the
+	// hardware prefetcher.
+	parallelFor(m, k*n, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j := range brow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Gemm computes alpha*a×b + beta*c with c broadcast over rows when it is a
+// vector, matching the ONNX Gemm contract used by NN translation.
+func Gemm(a, b, c *Tensor, alpha, beta float64, threads int) (*Tensor, error) {
+	out, err := MatMul(a, b, threads)
+	if err != nil {
+		return nil, err
+	}
+	if alpha != 1 {
+		for i := range out.Data {
+			out.Data[i] *= alpha
+		}
+	}
+	if c == nil || beta == 0 {
+		return out, nil
+	}
+	m, n := out.Shape[0], out.Shape[1]
+	switch {
+	case c.Len() == n: // bias row vector broadcast over rows
+		for i := 0; i < m; i++ {
+			row := out.Data[i*n : (i+1)*n]
+			for j := range row {
+				row[j] += beta * c.Data[j]
+			}
+		}
+	case c.Len() == m*n:
+		for i := range out.Data {
+			out.Data[i] += beta * c.Data[i]
+		}
+	case c.Len() == 1:
+		for i := range out.Data {
+			out.Data[i] += beta * c.Data[0]
+		}
+	default:
+		return nil, fmt.Errorf("tensor: Gemm bias shape %v does not broadcast to (%d,%d)", c.Shape, m, n)
+	}
+	return out, nil
+}
+
+// ewBinary applies fn elementwise with limited broadcasting: identical
+// shapes, scalar on either side, or a row vector against a matrix.
+func ewBinary(a, b *Tensor, fn func(x, y float64) float64) (*Tensor, error) {
+	switch {
+	case SameShape(a, b):
+		out := &Tensor{Shape: append([]int(nil), a.Shape...), Data: make([]float64, len(a.Data))}
+		for i := range a.Data {
+			out.Data[i] = fn(a.Data[i], b.Data[i])
+		}
+		return out, nil
+	case b.Len() == 1:
+		out := a.Clone()
+		y := b.Data[0]
+		for i := range out.Data {
+			out.Data[i] = fn(out.Data[i], y)
+		}
+		return out, nil
+	case a.Len() == 1:
+		out := b.Clone()
+		x := a.Data[0]
+		for i := range out.Data {
+			out.Data[i] = fn(x, out.Data[i])
+		}
+		return out, nil
+	case a.Rank() == 2 && b.Len() == a.Shape[1]:
+		// matrix op row-vector, broadcast over rows
+		m, n := a.Shape[0], a.Shape[1]
+		out := New(m, n)
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*n : (i+1)*n]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := range arow {
+				orow[j] = fn(arow[j], b.Data[j])
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("tensor: shapes %v and %v do not broadcast", a.Shape, b.Shape)
+	}
+}
+
+// Add returns a + b with broadcasting.
+func Add(a, b *Tensor) (*Tensor, error) {
+	return ewBinary(a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a - b with broadcasting.
+func Sub(a, b *Tensor) (*Tensor, error) {
+	return ewBinary(a, b, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a * b elementwise with broadcasting.
+func Mul(a, b *Tensor) (*Tensor, error) {
+	return ewBinary(a, b, func(x, y float64) float64 { return x * y })
+}
+
+// Div returns a / b elementwise with broadcasting.
+func Div(a, b *Tensor) (*Tensor, error) {
+	return ewBinary(a, b, func(x, y float64) float64 { return x / y })
+}
+
+// Greater returns 1.0 where a > b else 0.0, with broadcasting.
+func Greater(a, b *Tensor) (*Tensor, error) {
+	return ewBinary(a, b, func(x, y float64) float64 {
+		if x > y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// LessOrEqual returns 1.0 where a <= b else 0.0, with broadcasting.
+func LessOrEqual(a, b *Tensor) (*Tensor, error) {
+	return ewBinary(a, b, func(x, y float64) float64 {
+		if x <= y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Equal returns 1.0 where a == b else 0.0, with broadcasting.
+func Equal(a, b *Tensor) (*Tensor, error) {
+	return ewBinary(a, b, func(x, y float64) float64 {
+		if x == y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Relu applies max(0, x) elementwise.
+func Relu(a *Tensor) *Tensor {
+	out := a.Clone()
+	for i, x := range out.Data {
+		if x < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := a.Clone()
+	for i, x := range out.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-x))
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Tensor) *Tensor {
+	out := a.Clone()
+	for i, x := range out.Data {
+		out.Data[i] = math.Tanh(x)
+	}
+	return out
+}
+
+// Exp applies e^x elementwise.
+func Exp(a *Tensor) *Tensor {
+	out := a.Clone()
+	for i, x := range out.Data {
+		out.Data[i] = math.Exp(x)
+	}
+	return out
+}
+
+// Softmax normalizes each row of a rank-2 tensor into a distribution.
+func Softmax(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Softmax wants rank-2, got %v", a.Shape)
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		mx := math.Inf(-1)
+		for _, x := range row {
+			if x > mx {
+				mx = x
+			}
+		}
+		sum := 0.0
+		orow := out.Data[i*n : (i+1)*n]
+		for j, x := range row {
+			e := math.Exp(x - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out, nil
+}
+
+// ArgMax returns per-row argmax of a rank-2 tensor as an (m×1) tensor.
+func ArgMax(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: ArgMax wants rank-2, got %v", a.Shape)
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, 1)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		best, bx := 0, row[0]
+		for j := 1; j < n; j++ {
+			if row[j] > bx {
+				best, bx = j, row[j]
+			}
+		}
+		out.Data[i] = float64(best)
+	}
+	return out, nil
+}
+
+// ReduceSumAxis1 sums each row of a rank-2 tensor into an (m×1) tensor.
+func ReduceSumAxis1(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: ReduceSumAxis1 wants rank-2, got %v", a.Shape)
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, 1)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for _, x := range a.Data[i*n : (i+1)*n] {
+			s += x
+		}
+		out.Data[i] = s
+	}
+	return out, nil
+}
+
+// GatherCols picks the listed columns from a rank-2 tensor.
+func GatherCols(a *Tensor, cols []int) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: GatherCols wants rank-2, got %v", a.Shape)
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, len(cols))
+	for _, c := range cols {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("tensor: GatherCols index %d out of range [0,%d)", c, n)
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*len(cols) : (i+1)*len(cols)]
+		for j, c := range cols {
+			orow[j] = arow[c]
+		}
+	}
+	return out, nil
+}
+
+// ConcatCols concatenates rank-2 tensors with equal row counts along axis 1.
+func ConcatCols(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("tensor: ConcatCols of nothing")
+	}
+	m := ts[0].Dim(0)
+	n := 0
+	for _, t := range ts {
+		if t.Rank() != 2 || t.Shape[0] != m {
+			return nil, fmt.Errorf("tensor: ConcatCols shape mismatch %v", t.Shape)
+		}
+		n += t.Shape[1]
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		off := 0
+		orow := out.Data[i*n : (i+1)*n]
+		for _, t := range ts {
+			w := t.Shape[1]
+			copy(orow[off:off+w], t.Data[i*w:(i+1)*w])
+			off += w
+		}
+	}
+	return out, nil
+}
+
+// OneHot expands an (m×1) tensor of small non-negative integer codes into an
+// m×depth indicator matrix. Out-of-range codes produce an all-zero row
+// (matching scikit-learn's handle_unknown="ignore").
+func OneHot(a *Tensor, depth int) (*Tensor, error) {
+	if a.Rank() != 2 || a.Shape[1] != 1 {
+		return nil, fmt.Errorf("tensor: OneHot wants (m×1), got %v", a.Shape)
+	}
+	m := a.Shape[0]
+	out := New(m, depth)
+	for i := 0; i < m; i++ {
+		c := int(a.Data[i])
+		if c >= 0 && c < depth {
+			out.Data[i*depth+c] = 1
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Transpose wants rank-2, got %v", a.Shape)
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out, nil
+}

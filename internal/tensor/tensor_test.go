@@ -1,0 +1,304 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMatMulSmall(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, _ := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := MatMul(a, b, 1); err == nil {
+		t.Error("inner-dim mismatch should fail")
+	}
+	if _, err := MatMul(New(4), b, 1); err == nil {
+		t.Error("rank-1 should fail")
+	}
+}
+
+// Property: parallel MatMul equals sequential MatMul.
+func TestMatMulParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newRng(seed)
+		m, k, n := 17, 23, 31
+		a := randT(rng, m, k)
+		b := randT(rng, k, n)
+		s, err1 := MatMul(a, b, 1)
+		p, err2 := MatMul(a, b, 8)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range s.Data {
+			if !almostEq(s.Data[i], p.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Tiny xorshift so property tests are deterministic per seed without
+// importing math/rand.
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng {
+	u := uint64(seed)
+	if u == 0 {
+		u = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: u}
+}
+
+func (r *rng) next() float64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return float64(r.s%2000)/1000 - 1
+}
+
+func randT(r *rng, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.next()
+	}
+	return t
+}
+
+func TestGemm(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b, _ := FromSlice([]float64{1, 0, 0, 1}, 2, 2)
+	bias, _ := FromSlice([]float64{10, 20}, 1, 2)
+	c, err := Gemm(a, b, bias, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 22, 13, 24}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("gemm[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+	// alpha/beta scaling
+	c2, err := Gemm(a, b, bias, 2, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Data[0] != 2*1+0.5*10 {
+		t.Errorf("gemm alpha/beta = %v", c2.Data[0])
+	}
+	// nil bias
+	c3, err := Gemm(a, b, nil, 1, 1, 1)
+	if err != nil || c3.Data[3] != 4 {
+		t.Errorf("gemm nil bias: %v %v", c3, err)
+	}
+	// bad bias
+	if _, err := Gemm(a, b, New(3, 7), 1, 1, 1); err == nil {
+		t.Error("non-broadcastable bias should fail")
+	}
+}
+
+func TestBroadcastOps(t *testing.T) {
+	m, _ := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	row, _ := FromSlice([]float64{10, 20}, 1, 2)
+	sum, err := Add(m, &Tensor{Shape: []int{2}, Data: row.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 22, 13, 24}
+	for i, w := range want {
+		if sum.Data[i] != w {
+			t.Errorf("add[%d] = %v want %v", i, sum.Data[i], w)
+		}
+	}
+	sc := Scalar(2)
+	p, err := Mul(m, sc)
+	if err != nil || p.Data[3] != 8 {
+		t.Errorf("scalar mul: %v %v", p, err)
+	}
+	p2, err := Sub(sc, m)
+	if err != nil || p2.Data[0] != 1 {
+		t.Errorf("scalar-lhs sub: %v %v", p2, err)
+	}
+	d, err := Div(m, sc)
+	if err != nil || d.Data[1] != 1 {
+		t.Errorf("div: %v %v", d, err)
+	}
+	if _, err := Add(New(2, 2), New(3, 3)); err == nil {
+		t.Error("non-broadcastable add should fail")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 5, 3}, 1, 3)
+	b, _ := FromSlice([]float64{2, 2, 3}, 1, 3)
+	g, _ := Greater(a, b)
+	le, _ := LessOrEqual(a, b)
+	eq, _ := Equal(a, b)
+	if g.Data[0] != 0 || g.Data[1] != 1 || g.Data[2] != 0 {
+		t.Errorf("Greater = %v", g.Data)
+	}
+	if le.Data[0] != 1 || le.Data[1] != 0 || le.Data[2] != 1 {
+		t.Errorf("LessOrEqual = %v", le.Data)
+	}
+	if eq.Data[2] != 1 || eq.Data[0] != 0 {
+		t.Errorf("Equal = %v", eq.Data)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	a, _ := FromSlice([]float64{-1, 0, 2}, 1, 3)
+	r := Relu(a)
+	if r.Data[0] != 0 || r.Data[2] != 2 {
+		t.Errorf("Relu = %v", r.Data)
+	}
+	s := Sigmoid(a)
+	if !almostEq(s.Data[1], 0.5) {
+		t.Errorf("Sigmoid(0) = %v", s.Data[1])
+	}
+	th := Tanh(a)
+	if !almostEq(th.Data[1], 0) {
+		t.Errorf("Tanh(0) = %v", th.Data[1])
+	}
+	e := Exp(a)
+	if !almostEq(e.Data[1], 1) {
+		t.Errorf("Exp(0) = %v", e.Data[1])
+	}
+	// input untouched
+	if a.Data[0] != -1 {
+		t.Error("activation mutated input")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 1000, 1001, 1002}, 2, 3)
+	s, err := Softmax(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sum := s.Data[i*3] + s.Data[i*3+1] + s.Data[i*3+2]
+		if !almostEq(sum, 1) {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// large-value row must not produce NaN (max-subtraction stability)
+	for _, x := range s.Data {
+		if math.IsNaN(x) {
+			t.Fatal("softmax overflow produced NaN")
+		}
+	}
+}
+
+func TestArgMaxReduceSum(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 5, 3, 9, 2, 2}, 2, 3)
+	am, _ := ArgMax(a)
+	if am.Data[0] != 1 || am.Data[1] != 0 {
+		t.Errorf("ArgMax = %v", am.Data)
+	}
+	rs, _ := ReduceSumAxis1(a)
+	if rs.Data[0] != 9 || rs.Data[1] != 13 {
+		t.Errorf("ReduceSum = %v", rs.Data)
+	}
+}
+
+func TestGatherConcatOneHotTranspose(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	g, err := GatherCols(a, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data[0] != 3 || g.Data[1] != 1 || g.Data[2] != 6 || g.Data[3] != 4 {
+		t.Errorf("GatherCols = %v", g.Data)
+	}
+	if _, err := GatherCols(a, []int{5}); err == nil {
+		t.Error("out-of-range gather should fail")
+	}
+	cc, err := ConcatCols(a, g)
+	if err != nil || cc.Shape[1] != 5 || cc.Data[3] != 3 {
+		t.Errorf("ConcatCols = %v %v", cc, err)
+	}
+	codes, _ := FromSlice([]float64{0, 2, 7}, 3, 1)
+	oh, err := OneHot(codes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh.Data[0] != 1 || oh.Data[5] != 1 {
+		t.Errorf("OneHot = %v", oh.Data)
+	}
+	// out-of-range code → zero row
+	if oh.Data[6] != 0 && oh.Data[7] != 0 && oh.Data[8] != 0 {
+		t.Errorf("OneHot unknown code row = %v", oh.Data[6:9])
+	}
+	tr, err := Transpose(a)
+	if err != nil || tr.Shape[0] != 3 || tr.At(0, 1) != 4 {
+		t.Errorf("Transpose = %v %v", tr, err)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a := New(2, 6)
+	r, err := a.Reshape(3, 4)
+	if err != nil || r.Shape[0] != 3 {
+		t.Fatalf("Reshape: %v %v", r, err)
+	}
+	r2, err := a.Reshape(-1, 3)
+	if err != nil || r2.Shape[0] != 4 {
+		t.Fatalf("Reshape -1: %v %v", r2, err)
+	}
+	if _, err := a.Reshape(5, 5); err == nil {
+		t.Error("bad reshape should fail")
+	}
+	if _, err := a.Reshape(-1, -1); err == nil {
+		t.Error("double -1 should fail")
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	if _, err := FromSlice([]float64{1, 2, 3}, 2, 2); err == nil {
+		t.Error("shape/len mismatch should fail")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newRng(seed)
+		a := randT(r, 4, 6)
+		b := randT(r, 6, 5)
+		ab, _ := MatMul(a, b, 1)
+		abT, _ := Transpose(ab)
+		aT, _ := Transpose(a)
+		bT, _ := Transpose(b)
+		ba, _ := MatMul(bT, aT, 1)
+		for i := range abT.Data {
+			if !almostEq(abT.Data[i], ba.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package train fits the models the paper's experiments need so the
+// optimizer has realistic structure to exploit: CART decision trees and
+// bagged forests (tree shape for pruning/inlining), L1-regularized
+// logistic regression (weight sparsity for model-projection pushdown),
+// k-means (model clustering), and a small SGD MLP (Fig 3). It also
+// provides AUC, the metric the paper uses to pick models.
+package train
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"raven/internal/ml"
+)
+
+// TreeOptions configures CART fitting.
+type TreeOptions struct {
+	MaxDepth int // maximum tree depth (default 8)
+	MinLeaf  int // minimum samples per leaf (default 8)
+	// Regression fits mean-value leaves with MSE splits; otherwise leaves
+	// hold class-1 fractions and splits use gini impurity.
+	Regression bool
+	// MaxFeatures > 0 subsamples features per split (forests); 0 uses all.
+	MaxFeatures int
+	// Rng used for feature subsampling; nil means deterministic full scan.
+	Rng *rand.Rand
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 8
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 8
+	}
+	return o
+}
+
+// FitTree fits a CART decision tree on X with targets y (class labels 0/1
+// or regression values).
+func FitTree(x ml.Matrix, y []float64, opts TreeOptions) *ml.DecisionTree {
+	opts = opts.withDefaults()
+	b := &treeBuilder{x: x, y: y, opts: opts}
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.tree = &ml.DecisionTree{NFeat: x.Cols}
+	b.build(idx, opts.MaxDepth)
+	return b.tree
+}
+
+type treeBuilder struct {
+	x    ml.Matrix
+	y    []float64
+	opts TreeOptions
+	tree *ml.DecisionTree
+}
+
+func (b *treeBuilder) leafValue(idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += b.y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// build appends the subtree over idx and returns its node ordinal.
+func (b *treeBuilder) build(idx []int, depth int) int {
+	val := b.leafValue(idx)
+	if depth == 0 || len(idx) < 2*b.opts.MinLeaf || pure(b.y, idx) {
+		return addLeaf(b.tree, val)
+	}
+	f, thr, ok := b.bestSplit(idx)
+	if !ok {
+		return addLeaf(b.tree, val)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x.At(i, f) <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.opts.MinLeaf || len(right) < b.opts.MinLeaf {
+		return addLeaf(b.tree, val)
+	}
+	self := addSplit(b.tree, f, thr)
+	l := b.build(left, depth-1)
+	r := b.build(right, depth-1)
+	b.tree.Left[self], b.tree.Right[self] = l, r
+	return self
+}
+
+func pure(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit scans candidate features for the impurity-minimizing threshold.
+func (b *treeBuilder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+	feats := b.candidateFeatures()
+	bestScore := math.Inf(1)
+	type fv struct{ v, y float64 }
+	buf := make([]fv, len(idx))
+	for _, f := range feats {
+		for k, i := range idx {
+			buf[k] = fv{b.x.At(i, f), b.y[i]}
+		}
+		sort.Slice(buf, func(a, c int) bool { return buf[a].v < buf[c].v })
+		// prefix sums for O(n) split evaluation
+		n := len(buf)
+		var sumL, sumL2 float64
+		var sumR, sumR2 float64
+		for _, e := range buf {
+			sumR += e.y
+			sumR2 += e.y * e.y
+		}
+		for k := 0; k < n-1; k++ {
+			sumL += buf[k].y
+			sumL2 += buf[k].y * buf[k].y
+			sumR -= buf[k].y
+			sumR2 -= buf[k].y * buf[k].y
+			if buf[k].v == buf[k+1].v {
+				continue
+			}
+			nl, nr := float64(k+1), float64(n-k-1)
+			var score float64
+			if b.opts.Regression {
+				score = (sumL2 - sumL*sumL/nl) + (sumR2 - sumR*sumR/nr)
+			} else {
+				pl, pr := sumL/nl, sumR/nr
+				score = nl*2*pl*(1-pl) + nr*2*pr*(1-pr)
+			}
+			if score < bestScore {
+				bestScore = score
+				feature = b.featAt(feats, f)
+				threshold = (buf[k].v + buf[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+func (b *treeBuilder) featAt(_ []int, f int) int { return f }
+
+func (b *treeBuilder) candidateFeatures() []int {
+	d := b.x.Cols
+	all := make([]int, d)
+	for i := range all {
+		all[i] = i
+	}
+	if b.opts.MaxFeatures <= 0 || b.opts.MaxFeatures >= d || b.opts.Rng == nil {
+		return all
+	}
+	b.opts.Rng.Shuffle(d, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:b.opts.MaxFeatures]
+}
+
+// addLeaf/addSplit mirror the unexported builders in package ml; trees are
+// assembled through exported slices so training stays decoupled from ml.
+func addLeaf(t *ml.DecisionTree, v float64) int {
+	t.Feature = append(t.Feature, -1)
+	t.Threshold = append(t.Threshold, 0)
+	t.Left = append(t.Left, -1)
+	t.Right = append(t.Right, -1)
+	t.Value = append(t.Value, v)
+	return len(t.Feature) - 1
+}
+
+func addSplit(t *ml.DecisionTree, f int, thr float64) int {
+	t.Feature = append(t.Feature, f)
+	t.Threshold = append(t.Threshold, thr)
+	t.Left = append(t.Left, -1)
+	t.Right = append(t.Right, -1)
+	t.Value = append(t.Value, 0)
+	return len(t.Feature) - 1
+}
+
+// ForestOptions configures bagged-forest fitting.
+type ForestOptions struct {
+	NumTrees int
+	Tree     TreeOptions
+	Seed     int64
+}
+
+// FitForest fits a bagged random forest: each tree sees a bootstrap sample
+// and sqrt(d) candidate features per split.
+func FitForest(x ml.Matrix, y []float64, opts ForestOptions) *ml.RandomForest {
+	if opts.NumTrees == 0 {
+		opts.NumTrees = 10
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.Tree.MaxFeatures == 0 {
+		opts.Tree.MaxFeatures = int(math.Sqrt(float64(x.Cols))) + 1
+	}
+	f := &ml.RandomForest{}
+	for t := 0; t < opts.NumTrees; t++ {
+		bootIdx := make([]int, x.Rows)
+		for i := range bootIdx {
+			bootIdx[i] = rng.Intn(x.Rows)
+		}
+		bx := make([]float64, x.Rows*x.Cols)
+		by := make([]float64, x.Rows)
+		for i, src := range bootIdx {
+			copy(bx[i*x.Cols:(i+1)*x.Cols], x.Row(src))
+			by[i] = y[src]
+		}
+		topts := opts.Tree
+		topts.Rng = rand.New(rand.NewSource(opts.Seed + int64(t) + 1))
+		bm := ml.Matrix{Data: bx, Rows: x.Rows, Cols: x.Cols}
+		f.Trees = append(f.Trees, FitTree(bm, by, topts))
+	}
+	return f
+}

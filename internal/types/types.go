@@ -1,0 +1,378 @@
+// Package types defines the columnar data model shared by the relational
+// engine and the ML runtimes: data types, schemas, typed vectors and
+// batches. Execution is vectorized: operators exchange Batch values holding
+// a fixed number of rows in columnar form.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DataType enumerates the column types supported by the engine.
+type DataType uint8
+
+const (
+	// Unknown is the zero DataType; it is never valid in a bound schema.
+	Unknown DataType = iota
+	// Float is a 64-bit IEEE float (SQL FLOAT).
+	Float
+	// Int is a 64-bit signed integer (SQL BIGINT).
+	Int
+	// Bool is a boolean (SQL BIT).
+	Bool
+	// String is a variable-length UTF-8 string (SQL VARCHAR).
+	String
+)
+
+// String implements fmt.Stringer.
+func (t DataType) String() string {
+	switch t {
+	case Float:
+		return "FLOAT"
+	case Int:
+		return "INT"
+	case Bool:
+		return "BOOL"
+	case String:
+		return "VARCHAR"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// IsNumeric reports whether t can participate in arithmetic.
+func (t DataType) IsNumeric() bool { return t == Float || t == Int }
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Type DataType
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from (name, type) pairs.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// IndexOf returns the ordinal of the named column, or -1 if absent.
+// Lookup is case-insensitive, matching SQL identifier semantics.
+func (s *Schema) IndexOf(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the i-th column descriptor.
+func (s *Schema) Column(i int) Column { return s.Columns[i] }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	return &Schema{Columns: cols}
+}
+
+// Project returns a new schema containing the columns at the given ordinals.
+func (s *Schema) Project(idx []int) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Columns[j]
+	}
+	return &Schema{Columns: cols}
+}
+
+// Concat returns a schema with the columns of s followed by those of other.
+func (s *Schema) Concat(other *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(other.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, other.Columns...)
+	return &Schema{Columns: cols}
+}
+
+// String renders the schema as "(a FLOAT, b INT)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Vector is a typed column of values. Exactly one of the data slices is
+// populated, chosen by Type. Nulls are represented by a nil or absent
+// validity mask being all-true; a non-nil Nulls slice marks NULL rows.
+type Vector struct {
+	Type    DataType
+	Floats  []float64
+	Ints    []int64
+	Bools   []bool
+	Strings []string
+	// Nulls[i] is true when row i is NULL. A nil slice means no NULLs.
+	Nulls []bool
+}
+
+// NewVector allocates a vector of the given type with length n.
+func NewVector(t DataType, n int) *Vector {
+	v := &Vector{Type: t}
+	switch t {
+	case Float:
+		v.Floats = make([]float64, n)
+	case Int:
+		v.Ints = make([]int64, n)
+	case Bool:
+		v.Bools = make([]bool, n)
+	case String:
+		v.Strings = make([]string, n)
+	default:
+		panic(fmt.Sprintf("types: NewVector of %v", t))
+	}
+	return v
+}
+
+// Len returns the number of rows in the vector.
+func (v *Vector) Len() int {
+	switch v.Type {
+	case Float:
+		return len(v.Floats)
+	case Int:
+		return len(v.Ints)
+	case Bool:
+		return len(v.Bools)
+	case String:
+		return len(v.Strings)
+	default:
+		return 0
+	}
+}
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool { return v.Nulls != nil && v.Nulls[i] }
+
+// SetNull marks row i as NULL, allocating the mask lazily.
+func (v *Vector) SetNull(i int) {
+	if v.Nulls == nil {
+		v.Nulls = make([]bool, v.Len())
+	}
+	v.Nulls[i] = true
+}
+
+// Value returns row i as an interface value (nil when NULL). Intended for
+// tests, result rendering and row-at-a-time UDFs, not the hot path.
+func (v *Vector) Value(i int) any {
+	if v.IsNull(i) {
+		return nil
+	}
+	switch v.Type {
+	case Float:
+		return v.Floats[i]
+	case Int:
+		return v.Ints[i]
+	case Bool:
+		return v.Bools[i]
+	case String:
+		return v.Strings[i]
+	default:
+		return nil
+	}
+}
+
+// AsFloat returns row i coerced to float64. Bool maps to 0/1.
+func (v *Vector) AsFloat(i int) float64 {
+	switch v.Type {
+	case Float:
+		return v.Floats[i]
+	case Int:
+		return float64(v.Ints[i])
+	case Bool:
+		if v.Bools[i] {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Append adds a raw Go value to the vector, converting compatible types.
+func (v *Vector) Append(val any) error {
+	switch v.Type {
+	case Float:
+		switch x := val.(type) {
+		case float64:
+			v.Floats = append(v.Floats, x)
+		case int64:
+			v.Floats = append(v.Floats, float64(x))
+		case int:
+			v.Floats = append(v.Floats, float64(x))
+		default:
+			return fmt.Errorf("types: cannot append %T to FLOAT vector", val)
+		}
+	case Int:
+		switch x := val.(type) {
+		case int64:
+			v.Ints = append(v.Ints, x)
+		case int:
+			v.Ints = append(v.Ints, int64(x))
+		default:
+			return fmt.Errorf("types: cannot append %T to INT vector", val)
+		}
+	case Bool:
+		x, ok := val.(bool)
+		if !ok {
+			return fmt.Errorf("types: cannot append %T to BOOL vector", val)
+		}
+		v.Bools = append(v.Bools, x)
+	case String:
+		x, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("types: cannot append %T to VARCHAR vector", val)
+		}
+		v.Strings = append(v.Strings, x)
+	default:
+		return fmt.Errorf("types: append to vector of unknown type")
+	}
+	if v.Nulls != nil {
+		v.Nulls = append(v.Nulls, val == nil)
+	}
+	return nil
+}
+
+// Slice returns a zero-copy view of rows [lo, hi).
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{Type: v.Type}
+	switch v.Type {
+	case Float:
+		out.Floats = v.Floats[lo:hi]
+	case Int:
+		out.Ints = v.Ints[lo:hi]
+	case Bool:
+		out.Bools = v.Bools[lo:hi]
+	case String:
+		out.Strings = v.Strings[lo:hi]
+	}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[lo:hi]
+	}
+	return out
+}
+
+// Gather returns a new vector with rows picked by sel, in order.
+func (v *Vector) Gather(sel []int) *Vector {
+	out := NewVector(v.Type, len(sel))
+	switch v.Type {
+	case Float:
+		for i, j := range sel {
+			out.Floats[i] = v.Floats[j]
+		}
+	case Int:
+		for i, j := range sel {
+			out.Ints[i] = v.Ints[j]
+		}
+	case Bool:
+		for i, j := range sel {
+			out.Bools[i] = v.Bools[j]
+		}
+	case String:
+		for i, j := range sel {
+			out.Strings[i] = v.Strings[j]
+		}
+	}
+	if v.Nulls != nil {
+		out.Nulls = make([]bool, len(sel))
+		for i, j := range sel {
+			out.Nulls[i] = v.Nulls[j]
+		}
+	}
+	return out
+}
+
+// AppendVector appends all rows of src (same type) to v.
+func (v *Vector) AppendVector(src *Vector) error {
+	if v.Type != src.Type {
+		return fmt.Errorf("types: append %v vector to %v vector", src.Type, v.Type)
+	}
+	n := v.Len()
+	switch v.Type {
+	case Float:
+		v.Floats = append(v.Floats, src.Floats...)
+	case Int:
+		v.Ints = append(v.Ints, src.Ints...)
+	case Bool:
+		v.Bools = append(v.Bools, src.Bools...)
+	case String:
+		v.Strings = append(v.Strings, src.Strings...)
+	}
+	if v.Nulls != nil || src.Nulls != nil {
+		if v.Nulls == nil {
+			v.Nulls = make([]bool, n, n+src.Len())
+		}
+		if src.Nulls != nil {
+			v.Nulls = append(v.Nulls, src.Nulls...)
+		} else {
+			v.Nulls = append(v.Nulls, make([]bool, src.Len())...)
+		}
+	}
+	return nil
+}
+
+// ConstFloat builds a length-n FLOAT vector filled with x.
+func ConstFloat(x float64, n int) *Vector {
+	v := NewVector(Float, n)
+	for i := range v.Floats {
+		v.Floats[i] = x
+	}
+	return v
+}
+
+// ConstInt builds a length-n INT vector filled with x.
+func ConstInt(x int64, n int) *Vector {
+	v := NewVector(Int, n)
+	for i := range v.Ints {
+		v.Ints[i] = x
+	}
+	return v
+}
+
+// ConstBool builds a length-n BOOL vector filled with x.
+func ConstBool(x bool, n int) *Vector {
+	v := NewVector(Bool, n)
+	for i := range v.Bools {
+		v.Bools[i] = x
+	}
+	return v
+}
+
+// ConstString builds a length-n VARCHAR vector filled with x.
+func ConstString(x string, n int) *Vector {
+	v := NewVector(String, n)
+	for i := range v.Strings {
+		v.Strings[i] = x
+	}
+	return v
+}

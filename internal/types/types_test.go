@@ -1,0 +1,270 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := NewSchema(Column{"id", Int}, Column{"Age", Float}, Column{"name", String})
+	if got := s.IndexOf("age"); got != 1 {
+		t.Errorf("IndexOf(age) = %d, want 1 (case-insensitive)", got)
+	}
+	if got := s.IndexOf("AGE"); got != 1 {
+		t.Errorf("IndexOf(AGE) = %d, want 1", got)
+	}
+	if got := s.IndexOf("missing"); got != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", got)
+	}
+}
+
+func TestSchemaProjectConcat(t *testing.T) {
+	s := NewSchema(Column{"a", Int}, Column{"b", Float}, Column{"c", Bool})
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.Columns[0].Name != "c" || p.Columns[1].Name != "a" {
+		t.Fatalf("Project = %v", p)
+	}
+	q := s.Concat(p)
+	if q.Len() != 5 {
+		t.Fatalf("Concat len = %d, want 5", q.Len())
+	}
+	// Concat must not alias the source slices.
+	q.Columns[0].Name = "zz"
+	if s.Columns[0].Name != "a" {
+		t.Error("Concat aliased source schema")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema(Column{"a", Int}, Column{"b", String})
+	if got := s.String(); got != "(a INT, b VARCHAR)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestVectorAppendAndValue(t *testing.T) {
+	v := NewVector(Float, 0)
+	for _, x := range []any{1.5, int64(2), 3} {
+		if err := v.Append(x); err != nil {
+			t.Fatalf("Append(%v): %v", x, err)
+		}
+	}
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	want := []float64{1.5, 2, 3}
+	for i, w := range want {
+		if v.Floats[i] != w {
+			t.Errorf("Floats[%d] = %v, want %v", i, v.Floats[i], w)
+		}
+	}
+	if err := v.Append("nope"); err == nil {
+		t.Error("Append(string) to FLOAT vector should fail")
+	}
+}
+
+func TestVectorTypeMismatchAppends(t *testing.T) {
+	cases := []struct {
+		typ DataType
+		val any
+	}{
+		{Int, 1.5},
+		{Bool, 1},
+		{String, 1},
+	}
+	for _, c := range cases {
+		v := NewVector(c.typ, 0)
+		if err := v.Append(c.val); err == nil {
+			t.Errorf("Append(%T) to %v vector should fail", c.val, c.typ)
+		}
+	}
+}
+
+func TestVectorSliceGather(t *testing.T) {
+	v := NewVector(Int, 5)
+	for i := range v.Ints {
+		v.Ints[i] = int64(i * 10)
+	}
+	s := v.Slice(1, 4)
+	if s.Len() != 3 || s.Ints[0] != 10 || s.Ints[2] != 30 {
+		t.Fatalf("Slice = %v", s.Ints)
+	}
+	g := v.Gather([]int{4, 0, 2})
+	if g.Ints[0] != 40 || g.Ints[1] != 0 || g.Ints[2] != 20 {
+		t.Fatalf("Gather = %v", g.Ints)
+	}
+	// Gather must copy, not alias.
+	g.Ints[0] = -1
+	if v.Ints[4] != 40 {
+		t.Error("Gather aliased source")
+	}
+}
+
+func TestVectorNulls(t *testing.T) {
+	v := NewVector(Float, 3)
+	if v.IsNull(1) {
+		t.Error("fresh vector should have no NULLs")
+	}
+	v.SetNull(1)
+	if !v.IsNull(1) || v.IsNull(0) || v.IsNull(2) {
+		t.Error("SetNull(1) wrong mask")
+	}
+	if v.Value(1) != nil {
+		t.Error("Value of NULL row should be nil")
+	}
+	g := v.Gather([]int{1, 0})
+	if !g.IsNull(0) || g.IsNull(1) {
+		t.Error("Gather lost null mask")
+	}
+}
+
+func TestVectorAsFloat(t *testing.T) {
+	b := NewVector(Bool, 2)
+	b.Bools[0] = true
+	if b.AsFloat(0) != 1 || b.AsFloat(1) != 0 {
+		t.Error("Bool AsFloat")
+	}
+	i := NewVector(Int, 1)
+	i.Ints[0] = -7
+	if i.AsFloat(0) != -7 {
+		t.Error("Int AsFloat")
+	}
+}
+
+func TestBatchAppendRowAndRow(t *testing.T) {
+	s := NewSchema(Column{"id", Int}, Column{"x", Float}, Column{"ok", Bool})
+	b := NewBatch(s)
+	if err := b.AppendRow(int64(1), 2.5, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(2, 3.5, false); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	row := b.Row(1)
+	if row[0] != int64(2) || row[1] != 3.5 || row[2] != false {
+		t.Errorf("Row(1) = %v", row)
+	}
+	if err := b.AppendRow(1); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestBatchProjectGatherSlice(t *testing.T) {
+	s := NewSchema(Column{"a", Int}, Column{"b", Float})
+	b := NewBatch(s)
+	for i := 0; i < 4; i++ {
+		if err := b.AppendRow(int64(i), float64(i)*1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := b.Project([]int{1})
+	if p.Schema.Len() != 1 || p.Schema.Columns[0].Name != "b" {
+		t.Fatalf("Project schema = %v", p.Schema)
+	}
+	g := b.Gather([]int{3, 1})
+	if g.Len() != 2 || g.Vecs[0].Ints[0] != 3 || g.Vecs[0].Ints[1] != 1 {
+		t.Fatalf("Gather = %v", g.Vecs[0].Ints)
+	}
+	sl := b.Slice(2, 4)
+	if sl.Len() != 2 || sl.Vecs[0].Ints[0] != 2 {
+		t.Fatalf("Slice = %v", sl.Vecs[0].Ints)
+	}
+}
+
+func TestBatchFloatMatrix(t *testing.T) {
+	s := NewSchema(Column{"a", Int}, Column{"b", Float}, Column{"c", Bool}, Column{"s", String})
+	b := NewBatch(s)
+	if err := b.AppendRow(int64(1), 0.5, true, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(int64(2), 1.5, false, "y"); err != nil {
+		t.Fatal(err)
+	}
+	m, n, err := b.FloatMatrix([]string{"b", "a", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	want := []float64{0.5, 1, 1, 1.5, 2, 0}
+	for i, w := range want {
+		if m[i] != w {
+			t.Errorf("m[%d] = %v, want %v", i, m[i], w)
+		}
+	}
+	if _, _, err := b.FloatMatrix([]string{"s"}); err == nil {
+		t.Error("FloatMatrix over VARCHAR should fail")
+	}
+	if _, _, err := b.FloatMatrix([]string{"zzz"}); err == nil {
+		t.Error("FloatMatrix over missing column should fail")
+	}
+}
+
+func TestBatchAppend(t *testing.T) {
+	s := NewSchema(Column{"a", Int})
+	b1, b2 := NewBatch(s), NewBatch(s)
+	_ = b1.AppendRow(int64(1))
+	_ = b2.AppendRow(int64(2))
+	_ = b2.AppendRow(int64(3))
+	if err := b1.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.Len() != 3 || b1.Vecs[0].Ints[2] != 3 {
+		t.Fatalf("Append result = %v", b1.Vecs[0].Ints)
+	}
+}
+
+// Property: Gather(Slice) indices compose — gathering from a slice equals
+// gathering shifted indices from the original.
+func TestVectorSliceGatherCompose(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		v := &Vector{Type: Float, Floats: raw}
+		s := v.Slice(1, len(raw)-1)
+		sel := []int{0, s.Len() - 1}
+		g1 := s.Gather(sel)
+		g2 := v.Gather([]int{1, len(raw) - 2})
+		return g1.Floats[0] == g2.Floats[0] && g1.Floats[1] == g2.Floats[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ConstFloat produces a vector where every element equals the
+// constant and the length matches.
+func TestConstVectorsProperty(t *testing.T) {
+	f := func(x float64, n uint8) bool {
+		v := ConstFloat(x, int(n))
+		if v.Len() != int(n) {
+			return false
+		}
+		for _, e := range v.Floats {
+			if e != x && !(e != e && x != x) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstHelpers(t *testing.T) {
+	if v := ConstInt(7, 3); v.Len() != 3 || v.Ints[2] != 7 {
+		t.Error("ConstInt")
+	}
+	if v := ConstBool(true, 2); !v.Bools[1] {
+		t.Error("ConstBool")
+	}
+	if v := ConstString("x", 2); v.Strings[0] != "x" {
+		t.Error("ConstString")
+	}
+}

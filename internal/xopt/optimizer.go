@@ -1,0 +1,289 @@
+package xopt
+
+import (
+	"raven/internal/expr"
+	"raven/internal/ir"
+	"raven/internal/plan"
+	"raven/internal/relopt"
+)
+
+// Options selects which rules run. The zero value disables everything;
+// DefaultOptions enables the paper's standard set.
+type Options struct {
+	PredicateModelPruning   bool
+	UseDataStatistics       bool // derive predicates from table stats (§4.1)
+	ModelProjectionPushdown bool
+	ModelInlining           bool
+	NNTranslation           bool
+	UseGPU                  bool // LA nodes request the simulated accelerator
+	ModelQuerySplitting     bool
+	// Relational enables the standard DB optimizations pass over the
+	// source plan (predicate/projection pushdown, join elimination).
+	Relational bool
+	RelOpt     *relopt.Optimizer
+}
+
+// DefaultOptions enables the heuristic rule set of §4.3: cross-IR
+// information passing first, then operator transformations, then standard
+// relational optimization. Inlining wins over NN translation for small
+// trees, so both default on and the driver prefers inlining when it fires.
+func DefaultOptions(ro *relopt.Optimizer) Options {
+	return Options{
+		PredicateModelPruning:   true,
+		ModelProjectionPushdown: true,
+		ModelInlining:           true,
+		NNTranslation:           true,
+		Relational:              true,
+		RelOpt:                  ro,
+	}
+}
+
+// Result reports what the optimizer did.
+type Result struct {
+	Graph   *ir.Graph
+	Applied []string
+}
+
+// Optimize runs the heuristic cross optimizer: rules fire in a fixed
+// order, each at most once, mirroring the paper's initial (pre-Cascades)
+// optimizer (§4.3).
+func Optimize(g *ir.Graph, opts Options) (*Result, error) {
+	res := &Result{Graph: g}
+	apply := func(name string, fn func() (bool, error)) error {
+		ok, err := fn()
+		if err != nil {
+			return err
+		}
+		if ok {
+			res.Applied = append(res.Applied, name)
+		}
+		return nil
+	}
+
+	// 1. Cross-IR information passing.
+	if opts.PredicateModelPruning {
+		if err := apply("predicate-based-model-pruning", func() (bool, error) {
+			return rulePredicateModelPruning(g, opts.UseDataStatistics)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if opts.ModelProjectionPushdown {
+		if err := apply("model-projection-pushdown", func() (bool, error) {
+			return ruleModelProjectionPushdown(g)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Operator transformations. Splitting first (it needs the raw
+	// tree); then inlining; NN translation only when inlining didn't fire
+	// (an inlined model has already left the MLD category).
+	if opts.ModelQuerySplitting {
+		if err := apply("model-query-splitting", func() (bool, error) {
+			return ruleModelQuerySplitting(g)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	inlined := false
+	if opts.ModelInlining {
+		if err := apply("model-inlining", func() (bool, error) {
+			ok, err := ruleModelInlining(g)
+			inlined = ok
+			return ok, err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if opts.NNTranslation && !inlined {
+		if err := apply("nn-translation", func() (bool, error) {
+			return ruleNNTranslation(g, opts.UseGPU)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Standard relational optimizations over the source plan (the
+	// paper's §2 "standard DB optimizations": pushdown + join elimination
+	// enabled by the narrowed model inputs).
+	if opts.Relational && opts.RelOpt != nil {
+		if err := apply("relational-optimizations", func() (bool, error) {
+			return optimizeSourcePlan(g, opts.RelOpt)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Engine placement (§4.3): RA nodes to the DB engine, MLD/LA nodes
+	// to the ML runtime.
+	placeEngines(g)
+	return res, nil
+}
+
+// optimizeSourcePlan runs the relational optimizer over the source plan
+// with the model's (possibly narrowed) input columns as the required set.
+func optimizeSourcePlan(g *ir.Graph, ro *relopt.Optimizer) (bool, error) {
+	src, ok := g.Source().(*ir.RelNode)
+	if !ok {
+		return false, nil
+	}
+	inputs := modelInputColumns(g)
+	saved := ro.ModelInputs
+	if inputs != nil {
+		ro.ModelInputs = func(string) ([]string, error) { return inputs, nil }
+	}
+	defer func() { ro.ModelInputs = saved }()
+
+	before := plan.Explain(src.Plan)
+	// Wrap with a synthetic Predict so pruning keeps the model inputs; we
+	// instead call prune directly via a projection-preserving trick: the
+	// optimizer prunes to the root schema, so temporarily cap the plan
+	// with a projection of needed columns when inputs are known.
+	needed := inputs
+	if needed == nil {
+		// No ML stage (e.g. after model inlining): the columns the middle
+		// and sink RA fragments reference are what the source must keep.
+		needed = middleReferencedColumns(g)
+	}
+	if needed == nil {
+		for _, c := range src.Plan.Schema().Columns {
+			needed = append(needed, c.Name)
+		}
+	} else {
+		// prediction consumers above may reference extra columns (e.g.
+		// SELECT d.id): keep every column the sink references too.
+		needed = append(needed, sinkReferencedColumns(g)...)
+	}
+	opt, err := ro.OptimizeFor(src.Plan, needed)
+	if err != nil {
+		return false, err
+	}
+	src.Plan = opt
+	return plan.Explain(opt) != before, nil
+}
+
+// modelInputColumns returns the columns the ML stage consumes, or nil when
+// there is no ML stage.
+func modelInputColumns(g *ir.Graph) []string {
+	for _, n := range g.Chain() {
+		switch x := n.(type) {
+		case *ir.ModelNode:
+			return x.InputCols
+		case *ir.LANode:
+			return x.InputCols
+		case *ir.SplitNode:
+			cols := map[string]bool{x.CondCol: true}
+			var out []string
+			for c := range cols {
+				out = append(out, c)
+			}
+			if m, ok := x.Left.(*ir.ModelNode); ok {
+				out = append(out, m.InputCols...)
+			}
+			if m, ok := x.Right.(*ir.ModelNode); ok {
+				out = append(out, m.InputCols...)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// middleReferencedColumns collects the columns referenced by RA fragments
+// between source and root (e.g. an inlined CASE projection). It returns
+// nil when there are no such fragments.
+func middleReferencedColumns(g *ir.Graph) []string {
+	src := g.Source()
+	seen := make(map[string]bool)
+	found := false
+	for _, n := range g.Chain() {
+		rn, ok := n.(*ir.RelNode)
+		if !ok || rn == src || rn.In == nil {
+			continue
+		}
+		found = true
+		walkPlan(rn.Plan, func(p plan.Node) {
+			switch x := p.(type) {
+			case *plan.Filter:
+				for _, c := range expr.Columns(x.Pred) {
+					seen[c] = true
+				}
+			case *plan.Project:
+				for _, e := range x.Exprs {
+					for _, c := range expr.Columns(e) {
+						seen[c] = true
+					}
+				}
+			}
+		})
+	}
+	if !found {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	return out
+}
+
+// sinkReferencedColumns collects the source columns the sink plan touches.
+func sinkReferencedColumns(g *ir.Graph) []string {
+	sink := g.SinkRel()
+	if sink == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	walkPlan(sink.Plan, func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Filter:
+			for _, c := range expr.Columns(x.Pred) {
+				seen[c] = true
+			}
+		case *plan.Project:
+			for _, e := range x.Exprs {
+				for _, c := range expr.Columns(e) {
+					seen[c] = true
+				}
+			}
+		case *plan.Sort:
+			for _, k := range x.Keys {
+				seen[k.Col] = true
+			}
+		case *plan.Aggregate:
+			for _, gc := range x.GroupBy {
+				seen[gc] = true
+			}
+			for _, a := range x.Aggs {
+				if a.Arg != nil {
+					for _, c := range expr.Columns(a.Arg) {
+						seen[c] = true
+					}
+				}
+			}
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	return out
+}
+
+func placeEngines(g *ir.Graph) {
+	for _, n := range g.Chain() {
+		switch x := n.(type) {
+		case *ir.RelNode:
+			x.Engine = ir.EngineDB
+		case *ir.TransformNode:
+			x.Engine = ir.EngineML
+		case *ir.ModelNode:
+			x.Engine = ir.EngineML
+		case *ir.LANode:
+			x.Engine = ir.EngineML
+		case *ir.UDFNode:
+			x.Engine = ir.EngineML
+		}
+	}
+}

@@ -1,0 +1,543 @@
+// Package raven is a Go reproduction of "Extending Relational Query
+// Processing with ML Inference" (Karanasos et al., CIDR 2020): an
+// in-memory relational engine with models stored in the database, a
+// unified intermediate representation mixing relational and ML operators,
+// a cross optimizer (predicate-based model pruning, model-projection
+// pushdown, model inlining, NN translation, model clustering, model/query
+// splitting), and an in-process tensor runtime with session caching plus
+// out-of-process and containerized fallbacks.
+//
+// Typical use:
+//
+//	db := raven.Open()
+//	db.Exec(`CREATE TABLE patients (id INT PRIMARY KEY, age FLOAT, bp FLOAT)`)
+//	db.StoreModel("los", pipeline)                  // or StoreModelScript
+//	res, err := db.Query(`SELECT p.score FROM
+//	    PREDICT(MODEL='los', DATA=patients AS d) WITH (score FLOAT) AS p
+//	    WHERE d.bp > 120`)
+package raven
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"raven/internal/codegen"
+	"raven/internal/exec"
+	"raven/internal/expr"
+	"raven/internal/ir"
+	"raven/internal/ml"
+	"raven/internal/plan"
+	"raven/internal/pyanal"
+	"raven/internal/relopt"
+	"raven/internal/rt"
+	"raven/internal/sql"
+	"raven/internal/storage"
+	"raven/internal/types"
+	"raven/internal/xopt"
+)
+
+// Mode re-exports the runtime execution modes for model invocations.
+type Mode = rt.Mode
+
+// Execution modes for MLD model stages.
+const (
+	// ModeInProcess interprets classical pipelines inside the engine.
+	ModeInProcess = rt.ModeInProcess
+	// ModeInProcessNN compiles pipelines to tensor graphs run in-process
+	// with session caching (the Raven PREDICT path).
+	ModeInProcessNN = rt.ModeInProcessNN
+	// ModeOutOfProcess scores through an external-runtime boundary
+	// (startup latency + serialization), like sp_execute_external_script.
+	ModeOutOfProcess = rt.ModeOutOfProcess
+	// ModeContainer scores over a localhost REST endpoint.
+	ModeContainer = rt.ModeContainer
+)
+
+// QueryOptions tunes one query's optimization and execution.
+type QueryOptions struct {
+	// CrossOptimize enables the cross optimizer (default set of rules).
+	CrossOptimize bool
+	// UseStatistics derives pruning predicates from table statistics.
+	UseStatistics bool
+	// ModelQuerySplitting enables the splitting transformation.
+	ModelQuerySplitting bool
+	// DisableInlining / DisableNNTranslation / DisablePruning /
+	// DisableProjectionPushdown ablate single rules.
+	DisableInlining           bool
+	DisableNNTranslation      bool
+	DisablePruning            bool
+	DisableProjectionPushdown bool
+	// UseGPU runs LA stages on the simulated accelerator.
+	UseGPU bool
+	// Mode executes remaining MLD stages (default ModeInProcess).
+	Mode Mode
+	// Parallelism is the scan fan-out; 0 = engine default, 1 = sequential.
+	Parallelism int
+	// DisableSessionCache compiles a fresh session per query (the
+	// standalone-runtime behaviour in Fig 3).
+	DisableSessionCache bool
+}
+
+// DefaultQueryOptions is the engine's standard configuration: all
+// cross-optimizations on, in-process execution, parallel scans.
+func DefaultQueryOptions() QueryOptions {
+	return QueryOptions{CrossOptimize: true, Mode: rt.ModeInProcess, Parallelism: 0}
+}
+
+// Result is a completed query.
+type Result struct {
+	Batch *types.Batch
+	// AppliedRules lists the cross-optimizer rules that fired.
+	AppliedRules []string
+	// Elapsed is end-to-end latency (optimize + execute).
+	Elapsed time.Duration
+}
+
+// DB is an embedded Raven engine instance.
+type DB struct {
+	mu      sync.Mutex
+	catalog *storage.Catalog
+	runtime *rt.Runtime
+	vars    map[string]string
+	// DefaultParallelism is the scan fan-out for queries that leave
+	// QueryOptions.Parallelism at 0. Defaults to 8.
+	DefaultParallelism int
+}
+
+// Open creates an empty engine.
+func Open() *DB {
+	return &DB{
+		catalog:            storage.NewCatalog(),
+		runtime:            rt.NewRuntime(),
+		vars:               make(map[string]string),
+		DefaultParallelism: 8,
+	}
+}
+
+// Catalog exposes the table catalog (for generators and tools).
+func (db *DB) Catalog() *storage.Catalog { return db.catalog }
+
+// Runtime exposes the inference runtime (session cache, providers).
+func (db *DB) Runtime() *rt.Runtime { return db.runtime }
+
+// Exec runs DDL/DML statements (CREATE TABLE, DROP TABLE, INSERT,
+// DECLARE). Multiple statements may be separated by semicolons; SELECTs
+// are rejected here — use Query.
+func (db *DB) Exec(script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if err := db.execOne(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) execOne(st sql.Statement) error {
+	switch x := st.(type) {
+	case *sql.CreateTableStmt:
+		t := storage.NewTable(x.Name, types.NewSchema(x.Cols...))
+		if err := db.catalog.AddTable(t); err != nil {
+			return err
+		}
+		if x.PrimaryKey != "" {
+			db.catalog.SetUniqueKey(x.Name, x.PrimaryKey)
+		}
+		return nil
+	case *sql.DropTableStmt:
+		return db.catalog.DropTable(x.Name)
+	case *sql.InsertStmt:
+		return db.execInsert(x)
+	case *sql.DeclareStmt:
+		db.mu.Lock()
+		db.vars[x.Name] = x.Value
+		db.mu.Unlock()
+		return nil
+	case *sql.SelectStmt:
+		return fmt.Errorf("raven: use Query for SELECT statements")
+	default:
+		return fmt.Errorf("raven: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) execInsert(x *sql.InsertStmt) error {
+	t, err := db.catalog.Table(x.Table)
+	if err != nil {
+		return err
+	}
+	sch := t.Schema()
+	for _, row := range x.Rows {
+		if len(row) != sch.Len() {
+			return fmt.Errorf("raven: INSERT row has %d values, table %s has %d columns", len(row), x.Table, sch.Len())
+		}
+		vals := make([]any, len(row))
+		for i, e := range row {
+			v, err := literalValue(e, sch.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("raven: INSERT into %s column %s: %w", x.Table, sch.Columns[i].Name, err)
+			}
+			vals[i] = v
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func literalValue(e sql.Expr, want types.DataType) (any, error) {
+	switch v := e.(type) {
+	case *sql.NumLit:
+		switch want {
+		case types.Int:
+			if v.IsInt {
+				return v.I, nil
+			}
+			return int64(v.F), nil
+		case types.Float:
+			if v.IsInt {
+				return float64(v.I), nil
+			}
+			return v.F, nil
+		case types.Bool:
+			if v.IsInt {
+				return v.I != 0, nil
+			}
+			return v.F != 0, nil
+		}
+		return nil, fmt.Errorf("numeric value for %v column", want)
+	case *sql.StrLit:
+		if want != types.String {
+			return nil, fmt.Errorf("string value for %v column", want)
+		}
+		return v.S, nil
+	case *sql.BoolLitE:
+		if want != types.Bool {
+			return nil, fmt.Errorf("bool value for %v column", want)
+		}
+		return v.B, nil
+	default:
+		return nil, fmt.Errorf("INSERT values must be literals, got %T", e)
+	}
+}
+
+// StoreModel stores a fitted pipeline under name (versioned,
+// transactional). Subsequent queries invoke it via PREDICT(MODEL='name').
+func (db *DB) StoreModel(name string, p *ml.Pipeline) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("raven: model %q: %w", name, err)
+	}
+	blob, err := ml.Marshal(p)
+	if err != nil {
+		return err
+	}
+	if err := db.catalog.Models.PutModel(name, "gob-pipeline", blob, nil); err != nil {
+		return err
+	}
+	// A new version invalidates any cached inference session.
+	if m, err := db.catalog.Models.Latest(name); err == nil {
+		db.runtime.Cache.Invalidate(m.Hash)
+	}
+	return nil
+}
+
+// StoreModelScript statically analyzes a Python pipeline script (paper
+// §3.2), fits it on the provided training sample, and stores the result.
+// The returned pipeline is also handed back for inspection.
+func (db *DB) StoreModelScript(name, script string, trainX ml.Matrix, trainY []float64, seed int64) (*ml.Pipeline, error) {
+	spec, err := pyanal.Analyze(script)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := spec.Fit(trainX, trainY, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.StoreModel(name, pipe); err != nil {
+		return nil, err
+	}
+	return pipe, nil
+}
+
+// LoadModel fetches the latest stored version of a pipeline.
+func (db *DB) LoadModel(name string) (*ml.Pipeline, error) {
+	m, err := db.catalog.Models.Latest(name)
+	if err != nil {
+		return nil, err
+	}
+	return ml.Unmarshal(m.Bytes)
+}
+
+// Query parses, binds, optimizes and executes a SELECT (optionally with
+// PREDICT), with default options.
+func (db *DB) Query(q string) (*Result, error) {
+	return db.QueryWithOptions(q, DefaultQueryOptions())
+}
+
+// QueryWithOptions runs a SELECT under explicit optimization/execution
+// options.
+func (db *DB) QueryWithOptions(q string, opts QueryOptions) (*Result, error) {
+	start := time.Now()
+	op, applied, err := db.compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Batch: batch, AppliedRules: applied, Elapsed: time.Since(start)}, nil
+}
+
+// compile runs the full front half: parse → bind → unified IR → cross
+// optimizer → runtime code generation.
+func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, error) {
+	stmts, err := sql.ParseScript(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sel *sql.SelectStmt
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *sql.DeclareStmt:
+			db.mu.Lock()
+			db.vars[x.Name] = x.Value
+			db.mu.Unlock()
+		case *sql.SelectStmt:
+			if sel != nil {
+				return nil, nil, fmt.Errorf("raven: multiple SELECTs in one Query call")
+			}
+			sel = x
+		default:
+			if err := db.execOne(st); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if sel == nil {
+		return nil, nil, fmt.Errorf("raven: Query needs a SELECT statement")
+	}
+
+	binder := plan.NewBinder(db.catalog)
+	db.mu.Lock()
+	for k, v := range db.vars {
+		binder.Vars[k] = v
+	}
+	db.mu.Unlock()
+	logical, err := binder.BindSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The cache key must be derived before IR construction: FromPlan
+	// splices the Predict node out of the plan.
+	cacheKey := db.modelCacheKey(logical)
+
+	graph, err := ir.FromPlan(logical, db.resolvePipeline)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var applied []string
+	if opts.DisableSessionCache {
+		cacheKey = ""
+	}
+	if !opts.CrossOptimize {
+		// Standard DB optimizations (predicate/projection pushdown, join
+		// elimination) always run — SQL Server's optimizer does not switch
+		// off. Only the cross-IR rules are gated by CrossOptimize.
+		xo := xopt.Options{Relational: true, RelOpt: &relopt.Optimizer{Catalog: db.catalog, AssumeRI: true}}
+		if _, err := xopt.Optimize(graph, xo); err != nil {
+			return nil, nil, err
+		}
+	}
+	if opts.CrossOptimize {
+		xo := xopt.DefaultOptions(&relopt.Optimizer{Catalog: db.catalog, AssumeRI: true})
+		xo.UseDataStatistics = opts.UseStatistics
+		xo.ModelQuerySplitting = opts.ModelQuerySplitting
+		if opts.DisableInlining {
+			xo.ModelInlining = false
+		}
+		if opts.DisableNNTranslation {
+			xo.NNTranslation = false
+		}
+		if opts.DisablePruning {
+			xo.PredicateModelPruning = false
+		}
+		if opts.DisableProjectionPushdown {
+			xo.ModelProjectionPushdown = false
+		}
+		xo.UseGPU = opts.UseGPU
+		res, err := xopt.Optimize(graph, xo)
+		if err != nil {
+			return nil, nil, err
+		}
+		applied = res.Applied
+		graph = res.Graph
+		// The optimized model is specialized to this query's predicates:
+		// key the session cache by model hash + query fingerprint so
+		// differently-specialized sessions never collide, while identical
+		// repeated queries (warm runs) still hit.
+		if cacheKey != "" && len(applied) > 0 {
+			sum := sha256.Sum256([]byte(q))
+			cacheKey += "#" + hex.EncodeToString(sum[:8])
+		}
+	}
+
+	par := opts.Parallelism
+	if par == 0 {
+		par = db.DefaultParallelism
+	}
+	cfg := &codegen.Config{
+		Runtime:     db.runtime,
+		Mode:        opts.Mode,
+		Parallelism: par,
+		CacheKey:    cacheKey,
+	}
+	op, err := codegen.Compile(graph, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, applied, nil
+}
+
+// resolvePipeline loads the stored pipeline behind a model name.
+func (db *DB) resolvePipeline(name string) (*ml.Pipeline, error) {
+	return db.LoadModel(name)
+}
+
+// modelCacheKey derives the session-cache key from the (first) PREDICT
+// model's stored hash.
+func (db *DB) modelCacheKey(p plan.Node) string {
+	var key string
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if key != "" {
+			return
+		}
+		if pr, ok := n.(*plan.Predict); ok {
+			if m, err := db.catalog.Models.Latest(pr.ModelName); err == nil {
+				key = m.Hash
+			}
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p)
+	return key
+}
+
+// Explain returns a report of the query's plans: the bound logical plan,
+// the unified IR before and after cross optimization (with engine
+// placement), and the regenerated SQL.
+func (db *DB) Explain(q string, opts QueryOptions) (string, error) {
+	stmts, err := sql.ParseScript(q)
+	if err != nil {
+		return "", err
+	}
+	var sel *sql.SelectStmt
+	for _, st := range stmts {
+		if x, ok := st.(*sql.SelectStmt); ok {
+			sel = x
+		} else if d, ok := st.(*sql.DeclareStmt); ok {
+			db.mu.Lock()
+			db.vars[d.Name] = d.Value
+			db.mu.Unlock()
+		}
+	}
+	if sel == nil {
+		return "", fmt.Errorf("raven: Explain needs a SELECT")
+	}
+	binder := plan.NewBinder(db.catalog)
+	db.mu.Lock()
+	for k, v := range db.vars {
+		binder.Vars[k] = v
+	}
+	db.mu.Unlock()
+	logical, err := binder.BindSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("== logical plan ==\n")
+	sb.WriteString(plan.Explain(logical))
+
+	graph, err := ir.FromPlan(logical, db.resolvePipeline)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\n== unified IR ==\n")
+	sb.WriteString(graph.Explain())
+
+	if opts.CrossOptimize {
+		xo := xopt.DefaultOptions(&relopt.Optimizer{Catalog: db.catalog, AssumeRI: true})
+		xo.UseDataStatistics = opts.UseStatistics
+		xo.ModelQuerySplitting = opts.ModelQuerySplitting
+		if opts.DisableInlining {
+			xo.ModelInlining = false
+		}
+		if opts.DisableNNTranslation {
+			xo.NNTranslation = false
+		}
+		res, err := xopt.Optimize(graph, xo)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString("\n== optimized IR (rules: " + strings.Join(res.Applied, ", ") + ") ==\n")
+		sb.WriteString(res.Graph.Explain())
+		sb.WriteString("\n== regenerated SQL ==\n")
+		sb.WriteString(codegen.GenerateSQL(res.Graph))
+	}
+	return sb.String(), nil
+}
+
+// QuerySQLOnly executes a SELECT without the IR/cross-optimizer machinery
+// (pure relational path with the standard optimizer); useful for data
+// exploration and tests.
+func (db *DB) QuerySQLOnly(q string) (*types.Batch, error) {
+	st, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("raven: QuerySQLOnly needs a SELECT")
+	}
+	binder := plan.NewBinder(db.catalog)
+	logical, err := binder.BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ro := &relopt.Optimizer{Catalog: db.catalog, AssumeRI: true}
+	logical, err = ro.Optimize(logical)
+	if err != nil {
+		return nil, err
+	}
+	op, err := exec.Compile(logical, &exec.Env{Parallelism: db.DefaultParallelism})
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(op)
+}
+
+// Filter is re-exported so examples can build predicates programmatically.
+type Filter = expr.Expr
+
+// ClusteredModel re-exports the model-clustering facility (paper §4.1): a
+// k-means router over per-cluster specialized models.
+type ClusteredModel = xopt.ClusteredModel
+
+// BuildClusteredModel precompiles per-cluster specialized models for a
+// logistic regression over a data sample.
+func BuildClusteredModel(lr *ml.LogisticRegression, sample ml.Matrix, k int, eps float64, seed int64) (*ClusteredModel, error) {
+	return xopt.BuildClusteredModel(lr, sample, k, eps, seed)
+}
