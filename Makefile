@@ -1,0 +1,27 @@
+# One-command tier-1 gate: `make ci` is what every PR must keep green.
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the parallel executor
+# tests (internal/exec, internal/ort, package raven) are written to hammer
+# shared tables, predictors and the session cache when run this way.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates the paper experiment tables at quick scale.
+bench:
+	$(GO) run ./cmd/ravenbench -quick
+
+ci: build vet test race

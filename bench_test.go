@@ -62,6 +62,10 @@ func BenchmarkStaticAnalysis(b *testing.B) { runExperiment(b, bench.StaticAnalys
 // optimizations against the unoptimized external path.
 func BenchmarkRunningExample(b *testing.B) { runExperiment(b, bench.RunningExample) }
 
+// BenchmarkParallelScaling measures the morsel-parallel scan+PREDICT
+// pipeline against the serial plan.
+func BenchmarkParallelScaling(b *testing.B) { runExperiment(b, bench.ParallelScaling) }
+
 // BenchmarkQueryOptimizedVsBaseline measures one optimized inference query
 // end to end (per-iteration latency rather than whole-experiment time).
 func BenchmarkQueryOptimizedVsBaseline(b *testing.B) {

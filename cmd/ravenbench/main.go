@@ -19,8 +19,10 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
-	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample)")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling)")
 	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
+	parallelism := flag.Int("parallelism", 0, "degree of parallelism for experiment engines (0 = engine default, 1 = serial)")
+	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -30,6 +32,8 @@ func main() {
 	if *runs > 0 {
 		cfg.Runs = *runs
 	}
+	cfg.Parallelism = *parallelism
+	cfg.MorselSize = *morsel
 
 	type exp struct {
 		id string
@@ -45,6 +49,7 @@ func main() {
 		{"BatchVsTuple", bench.BatchVsTuple},
 		{"StaticAnalysis", bench.StaticAnalysis},
 		{"RunningExample", bench.RunningExample},
+		{"ParallelScaling", bench.ParallelScaling},
 	}
 	want := map[string]bool{}
 	if *only != "" {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ravensql [-rows N] [-file script.sql]
+//	ravensql [-rows N] [-file script.sql] [-parallelism N] [-morsel N]
 //	echo "SELECT COUNT(*) AS n FROM patient_info" | ravensql
 //
 // Preloaded: hospital tables (patient_info, blood_tests, prenatal_tests)
@@ -29,9 +29,11 @@ func main() {
 	rows := flag.Int("rows", 100000, "rows per generated table")
 	file := flag.String("file", "", "SQL script file ('-' or empty reads stdin)")
 	explain := flag.Bool("explain", false, "print plans instead of executing")
+	parallelism := flag.Int("parallelism", 0, "degree of parallelism for query execution (0 = GOMAXPROCS, 1 = serial)")
+	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
 	flag.Parse()
 
-	db, err := setup(*rows)
+	db, err := setup(*rows, *parallelism, *morsel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup:", err)
 		os.Exit(1)
@@ -56,8 +58,8 @@ func main() {
 	}
 }
 
-func setup(rows int) (*raven.DB, error) {
-	db := raven.Open()
+func setup(rows, parallelism, morsel int) (*raven.DB, error) {
+	db := raven.Open(raven.WithParallelism(parallelism), raven.WithMorselSize(morsel))
 	h, err := data.GenHospital(db.Catalog(), rows, 4000, 42)
 	if err != nil {
 		return nil, err

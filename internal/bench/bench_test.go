@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -177,6 +178,9 @@ func TestExperimentsQuick(t *testing.T) {
 				b4096 = r.Millis
 			}
 		}
+		if raceEnabled {
+			t.Skip("race instrumentation skews the per-batch overhead ratio")
+		}
 		if b1 < 4*b4096 {
 			t.Errorf("batching gain too small: batch=1 %.1fms vs batch=4096 %.1fms", b1, b4096)
 		}
@@ -187,7 +191,7 @@ func TestExperimentsQuick(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if tb.Rows[0].Millis > 10 {
+		if !raceEnabled && tb.Rows[0].Millis > 10 {
 			t.Errorf("static analysis took %.2fms, paper claims <10ms", tb.Rows[0].Millis)
 		}
 	})
@@ -199,6 +203,32 @@ func TestExperimentsQuick(t *testing.T) {
 		}
 		if sp := tb.Speedup("no optimization (external)", "Raven optimized", "Fig1 query"); sp < 2 {
 			t.Errorf("running example speedup = %.2fx, want >= 2x", sp)
+		}
+	})
+
+	t.Run("ParallelScaling", func(t *testing.T) {
+		tb, err := ParallelScaling(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// serial + at least DOP=2 and DOP=4 points, each measured.
+		if len(tb.Rows) < 3 {
+			t.Fatalf("rows = %d: %+v", len(tb.Rows), tb.Rows)
+		}
+		for _, r := range tb.Rows {
+			if r.Millis <= 0 {
+				t.Errorf("series %s has no measurement", r.Series)
+			}
+		}
+		if !strings.Contains(tb.Rows[0].Note, "speedup") {
+			t.Error("no speedup recorded")
+		}
+		// Speedup thresholds are only meaningful with real cores and no
+		// race instrumentation.
+		if !raceEnabled && runtime.GOMAXPROCS(0) >= 4 {
+			if sp := tb.Speedup("serial (DOP=1)", "morsel (DOP=4)", FmtRows(100000)); sp < 1.5 {
+				t.Errorf("morsel-parallel speedup = %.2fx, want >= 1.5x on a multi-core host", sp)
+			}
 		}
 	})
 }

@@ -23,6 +23,17 @@ type Config struct {
 	Quick bool
 	// Warm and Runs control timing (paper: averages over warm runs).
 	Warm, Runs int
+	// Parallelism and MorselSize configure the engines the experiments
+	// build (0 keeps the engine defaults). Experiments that ablate DOP
+	// explicitly (e.g. ParallelScaling's serial baseline) override per
+	// query and are unaffected.
+	Parallelism int
+	MorselSize  int
+}
+
+// open builds an engine honoring the configured DOP and morsel size.
+func (c Config) open() *raven.DB {
+	return raven.Open(raven.WithParallelism(c.Parallelism), raven.WithMorselSize(c.MorselSize))
 }
 
 // DefaultConfig mirrors the paper's methodology at laptop scale.
@@ -74,7 +85,7 @@ func Fig2a(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		rows, d = 50000, 100
 	}
-	db := raven.Open()
+	db := cfg.open()
 	fl, err := data.GenFlightsWide(db.Catalog(), rows, d, d/3, 4000, 21)
 	if err != nil {
 		return nil, err
@@ -220,7 +231,7 @@ func Fig2b(cfg Config) (*Table, error) {
 	}
 	// hospital control: categorical features are already binary, so the
 	// encoder drops (almost) nothing and clustering does not pay.
-	hcat := raven.Open().Catalog()
+	hcat := cfg.open().Catalog()
 	h, err := data.GenHospital(hcat, 1000, min(rows, 200000), 7)
 	if err != nil {
 		return nil, err
@@ -255,7 +266,7 @@ func Fig2c(cfg Config) (*Table, error) {
 	}
 	sizes := cfg.sizes([]int{1000, 10000, 100000, 300000})
 	maxRows := sizes[len(sizes)-1]
-	db := raven.Open()
+	db := cfg.open()
 	h, err := data.GenHospital(db.Catalog(), maxRows, 4000, 42)
 	if err != nil {
 		return nil, err
@@ -320,7 +331,7 @@ func Fig2d(cfg Config) (*Table, error) {
 		PaperShape: "RF-NN CPU ~2x sklearn at 1K; GPU wins more with scale (up to 15x at 1M); CPU gap closes at scale",
 	}
 	sizes := cfg.sizes([]int{1000, 10000, 100000, 1000000})
-	cat := raven.Open().Catalog()
+	cat := cfg.open().Catalog()
 	h, err := data.GenHospital(cat, 1000, 4000, 42)
 	if err != nil {
 		return nil, err
@@ -397,7 +408,7 @@ func Fig3(cfg Config) (*Table, error) {
 	}
 	sizes := cfg.sizes([]int{100, 10000, 100000, 1000000})
 	maxRows := sizes[len(sizes)-1]
-	db := raven.Open()
+	db := cfg.open()
 	h, err := data.GenHospital(db.Catalog(), maxRows, 4000, 42)
 	if err != nil {
 		return nil, err
@@ -519,7 +530,7 @@ func PredicatePruning(cfg Config) (*Table, error) {
 	}
 	// Tree: deep tree over hospital-like features where pregnant splits
 	// appear throughout.
-	cat := raven.Open().Catalog()
+	cat := cfg.open().Catalog()
 	h, err := data.GenHospital(cat, 1000, 8000, 17)
 	if err != nil {
 		return nil, err
@@ -657,7 +668,7 @@ func BatchVsTuple(cfg Config) (*Table, error) {
 		Title:      "batch inference vs one prediction per tuple",
 		PaperShape: "batching gains about an order of magnitude",
 	}
-	cat := raven.Open().Catalog()
+	cat := cfg.open().Catalog()
 	h, err := data.GenHospital(cat, 1000, 4000, 42)
 	if err != nil {
 		return nil, err
@@ -744,7 +755,7 @@ func RunningExample(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		rows = 30000
 	}
-	db := raven.Open()
+	db := cfg.open()
 	h, err := data.GenHospital(db.Catalog(), rows, 4000, 42)
 	if err != nil {
 		return nil, err
@@ -798,7 +809,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"Fig2a", Fig2a}, {"Fig2b", Fig2b}, {"Fig2c", Fig2c}, {"Fig2d", Fig2d},
 		{"Fig3", Fig3}, {"PredicatePruning", PredicatePruning},
 		{"BatchVsTuple", BatchVsTuple}, {"StaticAnalysis", StaticAnalysis},
-		{"RunningExample", RunningExample},
+		{"RunningExample", RunningExample}, {"ParallelScaling", ParallelScaling},
 	}
 	var out []*Table
 	for _, e := range exps {

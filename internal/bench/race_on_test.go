@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation skews wall-clock ratios; timing
+// threshold assertions are skipped so `make race` stays a pure
+// correctness gate.
+const raceEnabled = true

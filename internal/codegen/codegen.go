@@ -25,10 +25,12 @@ type Config struct {
 	// Mode selects how MLD chains execute. LA nodes always run on the
 	// tensor runtime.
 	Mode rt.Mode
-	// Parallelism is the scan fan-out (1 = sequential).
+	// Parallelism is the morsel-exchange worker count (1 = sequential).
 	Parallelism int
 	// ParallelThresholdRows gates parallel scans.
 	ParallelThresholdRows int
+	// MorselSize is the rows-per-morsel of parallel scans (0 = default).
+	MorselSize int
 	// CacheKey identifies the model for session caching; empty disables
 	// caching (the standalone-runtime behaviour).
 	CacheKey string
@@ -57,6 +59,7 @@ func env(cfg *Config, inputParts []exec.Operator) *exec.Env {
 	return &exec.Env{
 		Parallelism:           cfg.Parallelism,
 		ParallelThresholdRows: cfg.ParallelThresholdRows,
+		MorselSize:            cfg.MorselSize,
 		InputParts:            inputParts,
 	}
 }
@@ -98,11 +101,7 @@ func compileNode(n ir.Node, cfg *Config) ([]exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]exec.Operator, len(inputParts))
-		for i, p := range inputParts {
-			out[i] = exec.NewPredictOp(p, pred, []types.Column{x.OutputCol})
-		}
-		return out, nil
+		return predictParts(cfg, inputParts, pred, x.OutputCol)
 
 	case *ir.LANode:
 		steps, below := collectTransforms(x.In)
@@ -136,13 +135,11 @@ func compileNode(n ir.Node, cfg *Config) ([]exec.Operator, error) {
 			return nil, err
 		}
 		pred := &rt.SessionPredictor{Session: sess, InputCols: x.InputCols, OutType: x.OutputCol.Type}
-		out := make([]exec.Operator, len(inputParts))
-		for i, p := range inputParts {
-			out[i] = exec.NewPredictOp(p, pred, []types.Column{x.OutputCol})
-		}
-		return out, nil
+		return predictParts(cfg, inputParts, pred, x.OutputCol)
 
 	case *ir.UDFNode:
+		// UDFs wrap serially (sealing any exchange below): the opaque batch
+		// function carries no concurrency-safety contract.
 		inputParts, err := compileNode(x.In, cfg)
 		if err != nil {
 			return nil, err
@@ -159,6 +156,28 @@ func compileNode(n ir.Node, cfg *Config) ([]exec.Operator, error) {
 	default:
 		return nil, fmt.Errorf("codegen: cannot compile IR node %T", n)
 	}
+}
+
+// predictParts lowers an ML scoring stage over its input partitions. When
+// the input is a still-growing morsel exchange the score becomes one more
+// stage in the same pipeline, so scan, filter and inference all run on the
+// exchange's workers; otherwise each partition is wrapped in a PredictOp
+// that falls back to slice-parallel inference on oversized batches.
+func predictParts(cfg *Config, inputParts []exec.Operator, pred exec.Predictor, outCol types.Column) ([]exec.Operator, error) {
+	if ex, ok := exec.PushableExchange(inputParts); ok {
+		if err := ex.Push(&exec.PredictStage{Predictor: pred, OutputCols: []types.Column{outCol}}); err != nil {
+			return nil, err
+		}
+		return inputParts, nil
+	}
+	out := make([]exec.Operator, len(inputParts))
+	for i, p := range inputParts {
+		op := exec.NewPredictOp(p, pred, []types.Column{outCol})
+		op.Parallelism = cfg.Parallelism
+		op.MorselSize = cfg.MorselSize
+		out[i] = op
+	}
+	return out, nil
 }
 
 // collectTransforms walks down consecutive TransformNodes, returning the
@@ -212,8 +231,14 @@ func compileSplit(s *ir.SplitNode, cfg *Config) ([]exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i := range parts {
-			parts[i] = &exec.FilterOp{Child: parts[i], Pred: cond}
+		if ex, ok := exec.PushableExchange(parts); ok {
+			if err := ex.Push(&exec.FilterStage{Pred: cond}); err != nil {
+				return nil, err
+			}
+		} else {
+			for i := range parts {
+				parts[i] = &exec.FilterOp{Child: parts[i], Pred: cond}
+			}
 		}
 		model, ok := m.(*ir.ModelNode)
 		if !ok {
@@ -224,10 +249,7 @@ func compileSplit(s *ir.SplitNode, cfg *Config) ([]exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i := range parts {
-			parts[i] = exec.NewPredictOp(parts[i], pred, []types.Column{model.OutputCol})
-		}
-		return parts, nil
+		return predictParts(cfg, parts, pred, model.OutputCol)
 	}
 	col := &expr.Column{Name: s.CondCol}
 	leftParts, err := build(s.Left, expr.NewBinary(expr.OpLe, col, expr.FloatLit(s.Threshold)))

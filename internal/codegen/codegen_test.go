@@ -219,8 +219,8 @@ func TestParallelCompileThroughModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := op.(*exec.Parallel); !ok {
-		t.Fatalf("compiled = %T, want Parallel (model stage inside workers)", op)
+	if _, ok := op.(*exec.Exchange); !ok {
+		t.Fatalf("compiled = %T, want Exchange (model stage inside workers)", op)
 	}
 	out := collect(t, op)
 	if out.Len() != 200000 {

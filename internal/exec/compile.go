@@ -13,12 +13,15 @@ type Env struct {
 	// PredictorFactory builds a Predictor for a model against the given
 	// input schema. The runtime package provides the implementations.
 	PredictorFactory func(modelName string, inputSchema *types.Schema, outCols []types.Column) (Predictor, error)
-	// Parallelism is the scan fan-out. 1 forces sequential execution
-	// (the Fig 3 ablation); 0 defaults to 1.
+	// Parallelism is the morsel-exchange worker count. 1 forces sequential
+	// execution (the Fig 3 ablation); 0 defaults to 1.
 	Parallelism int
 	// ParallelThresholdRows gates parallel scans: below this the fan-out
 	// costs more than it saves. Default 50k rows.
 	ParallelThresholdRows int
+	// MorselSize is the rows-per-morsel of parallel scans; 0 means
+	// DefaultMorselSize.
+	MorselSize int
 	// InputParts supplies the operators standing for plan.Input
 	// placeholders (one per partition). Codegen sets this when compiling a
 	// plan fragment that consumes rows produced by an ML stage below it.
@@ -33,17 +36,25 @@ func (e *Env) parallelism() int {
 }
 
 func (e *Env) threshold() int {
-	if e == nil || e.ParallelThresholdRows == 0 {
+	if e == nil || e.ParallelThresholdRows <= 0 {
 		return 50000
 	}
 	return e.ParallelThresholdRows
 }
 
+func (e *Env) morselSize() int {
+	if e == nil || e.MorselSize <= 0 {
+		return DefaultMorselSize
+	}
+	return e.MorselSize
+}
+
 // Compile lowers a logical plan into a physical operator tree. Chains of
-// per-row operators (filter, project, predict) over a large table scan are
-// compiled into one pipeline per partition under a Parallel exchange —
-// reproducing SQL Server's automatic parallel scan+PREDICT (paper §5,
-// observation iii).
+// per-row operators (filter, project, predict) over a large table scan
+// compile into one morsel-parallel Exchange: workers claim fixed-size row
+// morsels from a shared cursor, run the whole chain on each, and results
+// merge back in scan order — reproducing SQL Server's automatic parallel
+// scan+PREDICT (paper §5, observation iii) with deterministic output.
 func Compile(n plan.Node, env *Env) (Operator, error) {
 	parts, err := compileParts(n, env)
 	if err != nil {
@@ -75,30 +86,22 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 			}
 			return []Operator{s}, nil
 		}
-		chunk := (rows + p - 1) / p
-		var parts []Operator
-		for w := 0; w < p; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > rows {
-				hi = rows
-			}
-			if lo >= hi {
-				break
-			}
-			s, err := NewTableScan(x.Table, x.Cols)
-			if err != nil {
-				return nil, err
-			}
-			s.Lo, s.Hi = lo, hi
-			parts = append(parts, s)
+		src, err := NewTableMorselSource(x.Table, x.Cols, env.morselSize())
+		if err != nil {
+			return nil, err
 		}
-		return parts, nil
+		return []Operator{NewExchange(src, p)}, nil
 
 	case *plan.Filter:
 		parts, err := compileParts(x.Child, env)
 		if err != nil {
 			return nil, err
+		}
+		if ex, ok := PushableExchange(parts); ok {
+			if err := ex.Push(&FilterStage{Pred: x.Pred}); err != nil {
+				return nil, err
+			}
+			return parts, nil
 		}
 		for i := range parts {
 			parts[i] = &FilterOp{Child: parts[i], Pred: x.Pred}
@@ -109,6 +112,12 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 		parts, err := compileParts(x.Child, env)
 		if err != nil {
 			return nil, err
+		}
+		if ex, ok := PushableExchange(parts); ok {
+			if err := ex.Push(&ProjectStage{Exprs: x.Exprs, Names: x.Names}); err != nil {
+				return nil, err
+			}
+			return parts, nil
 		}
 		for i := range parts {
 			p, err := NewProjectOp(parts[i], x.Exprs, x.Names)
@@ -133,8 +142,17 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ex, ok := PushableExchange(parts); ok {
+			if err := ex.Push(&PredictStage{Predictor: pred, OutputCols: x.OutputCols}); err != nil {
+				return nil, err
+			}
+			return parts, nil
+		}
 		for i := range parts {
-			parts[i] = NewPredictOp(parts[i], pred, x.OutputCols)
+			op := NewPredictOp(parts[i], pred, x.OutputCols)
+			op.Parallelism = env.parallelism()
+			op.MorselSize = env.morselSize()
+			parts[i] = op
 		}
 		return parts, nil
 

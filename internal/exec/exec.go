@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"raven/internal/expr"
 	"raven/internal/storage"
@@ -26,6 +27,8 @@ type Operator interface {
 
 // Predictor scores batches; the runtime package provides implementations
 // for the in-process, out-of-process and containerized modes.
+// Implementations must be safe for concurrent PredictBatch calls: one
+// predictor instance is shared by all workers of a morsel-parallel plan.
 type Predictor interface {
 	// PredictBatch returns one output vector per declared output column.
 	PredictBatch(b *types.Batch) ([]*types.Vector, error)
@@ -111,7 +114,9 @@ func (s *TableScan) Next() (*types.Batch, error) {
 // Close implements Operator.
 func (s *TableScan) Close() error { return nil }
 
-// FilterOp drops rows whose predicate is false.
+// FilterOp drops rows whose predicate is false. It is the serial adapter
+// over FilterStage, so serial and morsel-parallel plans share one
+// filtering implementation.
 type FilterOp struct {
 	Child Operator
 	Pred  expr.Expr
@@ -128,52 +133,39 @@ func (f *FilterOp) Close() error { return f.Child.Close() }
 
 // Next implements Operator.
 func (f *FilterOp) Next() (*types.Batch, error) {
+	st := FilterStage{Pred: f.Pred}
 	for {
 		b, err := f.Child.Next()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		mask, err := f.Pred.Eval(b)
+		out, err := st.Apply(b)
 		if err != nil {
 			return nil, err
 		}
-		if mask.Type != types.Bool {
-			return nil, fmt.Errorf("exec: filter predicate has type %v", mask.Type)
-		}
-		sel := make([]int, 0, b.Len())
-		for i, keep := range mask.Bools {
-			if keep {
-				sel = append(sel, i)
-			}
-		}
-		if len(sel) == 0 {
+		if out == nil {
 			continue
 		}
-		if len(sel) == b.Len() {
-			return b, nil
-		}
-		return b.Gather(sel), nil
+		return out, nil
 	}
 }
 
-// ProjectOp computes expressions.
+// ProjectOp computes expressions. It is the serial adapter over
+// ProjectStage.
 type ProjectOp struct {
 	Child  Operator
-	Exprs  []expr.Expr
+	stage  *ProjectStage
 	schema *types.Schema
 }
 
 // NewProjectOp builds a projection operator with a precomputed schema.
 func NewProjectOp(child Operator, exprs []expr.Expr, names []string) (*ProjectOp, error) {
-	cols := make([]types.Column, len(exprs))
-	for i, e := range exprs {
-		t, err := e.Type(child.Schema())
-		if err != nil {
-			return nil, err
-		}
-		cols[i] = types.Column{Name: names[i], Type: t}
+	st := &ProjectStage{Exprs: exprs, Names: names}
+	schema, err := st.OutSchema(child.Schema())
+	if err != nil {
+		return nil, err
 	}
-	return &ProjectOp{Child: child, Exprs: exprs, schema: types.NewSchema(cols...)}, nil
+	return &ProjectOp{Child: child, stage: st, schema: schema}, nil
 }
 
 // Schema implements Operator.
@@ -191,15 +183,7 @@ func (p *ProjectOp) Next() (*types.Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	vecs := make([]*types.Vector, len(p.Exprs))
-	for i, e := range p.Exprs {
-		v, err := e.Eval(b)
-		if err != nil {
-			return nil, err
-		}
-		vecs[i] = v
-	}
-	return &types.Batch{Schema: p.schema, Vecs: vecs}, nil
+	return p.stage.Apply(b)
 }
 
 // LimitOp truncates the stream after N rows.
@@ -235,11 +219,20 @@ func (l *LimitOp) Next() (*types.Batch, error) {
 }
 
 // PredictOp appends model output columns to each batch — the physical
-// PREDICT operator.
+// PREDICT operator. It is the serial fallback used above pipeline breakers
+// (sort, join, aggregate); under a large enough batch it still scores
+// morsel-size slices concurrently when Parallelism > 1.
 type PredictOp struct {
 	Child      Operator
 	Predictor  Predictor
 	OutputCols []types.Column
+	// Parallelism > 1 splits batches of at least two morsels into
+	// MorselSize slices scored concurrently (inference is embarrassingly
+	// row-parallel). Sort feeds its entire output as one batch, so this is
+	// where post-breaker inference wins its cores back.
+	Parallelism int
+	// MorselSize is rows per concurrent slice; 0 means DefaultMorselSize.
+	MorselSize int
 	schema     *types.Schema
 }
 
@@ -268,17 +261,71 @@ func (p *PredictOp) Next() (*types.Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	outs, err := p.Predictor.PredictBatch(b)
+	outs, err := p.predict(b)
 	if err != nil {
 		return nil, err
 	}
-	if len(outs) != len(p.OutputCols) {
-		return nil, fmt.Errorf("exec: predictor returned %d columns, declared %d", len(outs), len(p.OutputCols))
+	return appendPredictions(b, outs, len(p.OutputCols), p.schema)
+}
+
+// predict scores b, splitting large batches into morsel-size slices scored
+// concurrently when Parallelism allows.
+func (p *PredictOp) predict(b *types.Batch) ([]*types.Vector, error) {
+	ms := p.MorselSize
+	if ms <= 0 {
+		ms = DefaultMorselSize
 	}
-	vecs := make([]*types.Vector, 0, len(b.Vecs)+len(outs))
-	vecs = append(vecs, b.Vecs...)
-	vecs = append(vecs, outs...)
-	return &types.Batch{Schema: p.schema, Vecs: vecs}, nil
+	if p.Parallelism <= 1 || b.Len() < 2*ms {
+		return p.Predictor.PredictBatch(b)
+	}
+	n := (b.Len() + ms - 1) / ms
+	outs := make([][]*types.Vector, n)
+	errs := make([]error, n)
+	workers := p.Parallelism
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1) - 1)
+				if c >= n {
+					return
+				}
+				lo := c * ms
+				hi := lo + ms
+				if hi > b.Len() {
+					hi = b.Len()
+				}
+				outs[c], errs[c] = p.Predictor.PredictBatch(b.Slice(lo, hi))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Concatenate slice outputs in order.
+	merged := make([]*types.Vector, len(outs[0]))
+	for j := range merged {
+		v := types.NewVector(outs[0][j].Type, 0)
+		for c := 0; c < n; c++ {
+			if len(outs[c]) != len(merged) {
+				return nil, fmt.Errorf("exec: predictor returned ragged outputs across slices")
+			}
+			if err := v.AppendVector(outs[c][j]); err != nil {
+				return nil, err
+			}
+		}
+		merged[j] = v
+	}
+	return merged, nil
 }
 
 // Collect drains an operator into a single batch (for results and tests).
@@ -434,20 +481,20 @@ func rowKey(b *types.Batch, i int) string {
 }
 
 // Parallel runs one operator pipeline per partition concurrently and
-// streams their batches in arrival order. Each pipeline must be
-// independent (its own scan range). This is the exchange operator behind
-// the automatic scan+PREDICT parallelism of Fig 3.
+// merges their batch streams deterministically: all of part 0's batches in
+// order, then part 1's, and so on — the order a serial execution of the
+// parts back to back would produce. Each pipeline must be independent (its
+// own scan range or branch). Morsel-level parallelism inside one pipeline
+// is Exchange's job; Parallel unions whole pipelines (e.g. the two
+// branches of model/query splitting).
 type Parallel struct {
 	Parts []Operator
 
-	ch     chan parallelMsg
-	wg     sync.WaitGroup
+	chs    []chan *types.Batch
+	errs   chan error
+	cur    int
 	cancel chan struct{}
-}
-
-type parallelMsg struct {
-	b   *types.Batch
-	err error
+	failed error
 }
 
 // Schema implements Operator.
@@ -455,58 +502,73 @@ func (p *Parallel) Schema() *types.Schema { return p.Parts[0].Schema() }
 
 // Open implements Operator.
 func (p *Parallel) Open() error {
-	p.ch = make(chan parallelMsg, len(p.Parts)*2)
+	p.chs = make([]chan *types.Batch, len(p.Parts))
+	// Errors bypass the per-part data channels so a failure in a later
+	// part aborts the query immediately instead of after the earlier
+	// parts drain. Buffered to part count: error sends never block.
+	p.errs = make(chan error, len(p.Parts))
 	p.cancel = make(chan struct{})
-	for _, part := range p.Parts {
-		p.wg.Add(1)
-		go func(op Operator) {
-			defer p.wg.Done()
+	cancel, errs := p.cancel, p.errs
+	p.cur = 0
+	p.failed = nil
+	for i, part := range p.Parts {
+		ch := make(chan *types.Batch, 4)
+		p.chs[i] = ch
+		go func(op Operator, ch chan *types.Batch) {
+			defer close(ch)
 			if err := op.Open(); err != nil {
-				p.send(parallelMsg{err: err})
+				errs <- err
 				return
 			}
 			defer op.Close()
 			for {
 				b, err := op.Next()
 				if err != nil {
-					p.send(parallelMsg{err: err})
+					errs <- err
 					return
 				}
 				if b == nil {
 					return
 				}
-				if !p.send(parallelMsg{b: b}) {
+				select {
+				case ch <- b:
+				case <-cancel:
 					return
 				}
 			}
-		}(part)
+		}(part, ch)
 	}
-	go func() {
-		p.wg.Wait()
-		close(p.ch)
-	}()
 	return nil
 }
 
-func (p *Parallel) send(m parallelMsg) bool {
-	select {
-	case p.ch <- m:
-		return true
-	case <-p.cancel:
-		return false
-	}
-}
-
-// Next implements Operator.
+// Next implements Operator. Like Exchange, the first error is latched so
+// re-polling after a failure keeps failing instead of resuming the
+// surviving parts and passing off a truncated union as end-of-stream.
 func (p *Parallel) Next() (*types.Batch, error) {
-	m, ok := <-p.ch
-	if !ok {
+	if p.failed != nil {
+		return nil, p.failed
+	}
+	for p.cur < len(p.chs) {
+		select {
+		case b, ok := <-p.chs[p.cur]:
+			if !ok {
+				p.cur++
+				continue
+			}
+			return b, nil
+		case err := <-p.errs:
+			p.failed = err
+			return nil, err
+		}
+	}
+	// All data streams drained; surface any straggling error.
+	select {
+	case err := <-p.errs:
+		p.failed = err
+		return nil, err
+	default:
 		return nil, nil
 	}
-	if m.err != nil {
-		return nil, m.err
-	}
-	return m.b, nil
 }
 
 // Close implements Operator.
@@ -515,11 +577,12 @@ func (p *Parallel) Close() error {
 		close(p.cancel)
 		p.cancel = nil
 	}
-	// drain so workers unblock and exit
-	if p.ch != nil {
-		for range p.ch {
+	// drain so workers unblock and exit (errs is buffered and never blocks)
+	for _, ch := range p.chs {
+		for range ch {
 		}
-		p.ch = nil
 	}
+	p.chs = nil
+	p.errs = nil
 	return nil
 }

@@ -301,8 +301,8 @@ func TestCompilePlanWithParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := op.(*Parallel); !ok {
-		t.Fatalf("compiled = %T, want *Parallel", op)
+	if _, ok := op.(*Exchange); !ok {
+		t.Fatalf("compiled = %T, want *Exchange", op)
 	}
 	out, err := Collect(op)
 	if err != nil {
@@ -323,7 +323,16 @@ func TestCompilePlanWithParallelism(t *testing.T) {
 	}
 	out2, _ := Collect(op2)
 	if out2.Len() != out.Len() {
-		t.Error("parallel and sequential row counts differ")
+		t.Fatal("parallel and sequential row counts differ")
+	}
+	// the exchange merges morsels in scan order: rows must match 1:1
+	for _, col := range []string{"x", "score"} {
+		a, b := out.Col(col).Floats, out2.Col(col).Floats
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: parallel %v vs sequential %v", col, i, a[i], b[i])
+			}
+		}
 	}
 }
 
@@ -368,8 +377,27 @@ func TestParallelErrorPropagation(t *testing.T) {
 	tb := numbersTable(t, 100000)
 	s, _ := NewTableScan(tb, nil)
 	bad := &FilterOp{Child: s, Pred: &expr.Column{Name: "x"}} // non-bool predicate
-	par := &Parallel{Parts: []Operator{bad}}
-	if _, err := Collect(par); err == nil {
-		t.Error("error inside parallel worker should surface")
+	good, _ := NewTableScan(tb, nil)
+	par := &Parallel{Parts: []Operator{good, bad}}
+	if err := par.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	var firstErr error
+	for {
+		b, err := par.Next()
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if b == nil {
+			t.Fatal("error inside parallel worker should surface, got clean EOF")
+		}
+	}
+	// Latched: re-polling must keep failing, not resume the healthy part.
+	if _, err := par.Next(); err == nil {
+		t.Error("re-poll after failure should return the latched error")
+	} else if err.Error() != firstErr.Error() {
+		t.Errorf("re-poll error = %v, want %v", err, firstErr)
 	}
 }

@@ -1,0 +1,451 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"raven/internal/expr"
+	"raven/internal/storage"
+	"raven/internal/types"
+)
+
+// DefaultMorselSize is the row count of one morsel — the unit of work a
+// worker claims from a shared source. Larger than a batch so the claim
+// (one atomic add) amortizes, small enough that GOMAXPROCS workers load-
+// balance across a table even when per-row cost is skewed.
+const DefaultMorselSize = 4 * types.DefaultBatchSize
+
+// MorselSource hands out table fragments to exchange workers. NextMorsel
+// must be safe for concurrent use and return dense sequence numbers
+// 0,1,2,... in claim order so the exchange can merge results back into
+// source order; a nil batch signals exhaustion.
+type MorselSource interface {
+	Open() error
+	NextMorsel() (seq int, b *types.Batch, err error)
+	Close() error
+	Schema() *types.Schema
+}
+
+// TableMorselSource splits a storage.Table row range into fixed-size
+// morsels claimed from a shared atomic cursor. Claims are contention-free
+// (one Add per morsel) and scans are zero-copy column slices.
+type TableMorselSource struct {
+	Table *storage.Table
+	// Cols projects a subset; nil scans all columns.
+	Cols []string
+	// Lo, Hi bound the row range; Hi==0 means the table end (snapshot at
+	// Open).
+	Lo, Hi int
+	// MorselSize is rows per claim; 0 means DefaultMorselSize.
+	MorselSize int
+
+	schema *types.Schema
+	colIdx []int
+	cursor atomic.Int64
+	end    int64
+}
+
+// NewTableMorselSource builds a morsel source over t, resolving the
+// projection eagerly so Schema is available before Open.
+func NewTableMorselSource(t *storage.Table, cols []string, morselSize int) (*TableMorselSource, error) {
+	s := &TableMorselSource{Table: t, Cols: cols, MorselSize: morselSize}
+	if cols == nil {
+		s.schema = t.Schema()
+	} else {
+		s.colIdx = make([]int, len(cols))
+		for i, c := range cols {
+			j := t.Schema().IndexOf(c)
+			if j < 0 {
+				return nil, fmt.Errorf("exec: table %s has no column %q", t.Name, c)
+			}
+			s.colIdx[i] = j
+		}
+		s.schema = t.Schema().Project(s.colIdx)
+	}
+	return s, nil
+}
+
+// Schema implements MorselSource.
+func (s *TableMorselSource) Schema() *types.Schema { return s.schema }
+
+// Open implements MorselSource. It snapshots the table length so
+// concurrent appends never tear the scan.
+func (s *TableMorselSource) Open() error {
+	if s.MorselSize <= 0 {
+		s.MorselSize = DefaultMorselSize
+	}
+	end := s.Hi
+	if end == 0 || end > s.Table.NumRows() {
+		end = s.Table.NumRows()
+	}
+	s.end = int64(end)
+	s.cursor.Store(int64(s.Lo))
+	return nil
+}
+
+// NextMorsel implements MorselSource.
+func (s *TableMorselSource) NextMorsel() (int, *types.Batch, error) {
+	size := int64(s.MorselSize)
+	lo := s.cursor.Add(size) - size
+	if lo >= s.end {
+		return 0, nil, nil
+	}
+	hi := lo + size
+	if hi > s.end {
+		hi = s.end
+	}
+	b := s.Table.ScanRange(int(lo), int(hi))
+	if s.colIdx != nil {
+		b = b.Project(s.colIdx)
+	}
+	return int((lo - int64(s.Lo)) / size), b, nil
+}
+
+// Close implements MorselSource.
+func (s *TableMorselSource) Close() error { return nil }
+
+// Stage is one per-morsel transformation inside an Exchange: the morsel-
+// parallel counterparts of FilterOp/ProjectOp/PredictOp. OutSchema is
+// called once (single-threaded, before Open) and may cache derived state;
+// Apply runs on every worker concurrently and must not mutate the stage.
+// A nil batch from Apply drops the morsel (all rows filtered out).
+type Stage interface {
+	OutSchema(in *types.Schema) (*types.Schema, error)
+	Apply(b *types.Batch) (*types.Batch, error)
+}
+
+// FilterStage drops rows whose predicate is false.
+type FilterStage struct {
+	Pred expr.Expr
+}
+
+// OutSchema implements Stage.
+func (s *FilterStage) OutSchema(in *types.Schema) (*types.Schema, error) { return in, nil }
+
+// Apply implements Stage.
+func (s *FilterStage) Apply(b *types.Batch) (*types.Batch, error) {
+	mask, err := s.Pred.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if mask.Type != types.Bool {
+		return nil, fmt.Errorf("exec: filter predicate has type %v", mask.Type)
+	}
+	sel := make([]int, 0, b.Len())
+	for i, keep := range mask.Bools {
+		if keep {
+			sel = append(sel, i)
+		}
+	}
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	if len(sel) == b.Len() {
+		return b, nil
+	}
+	return b.Gather(sel), nil
+}
+
+// ProjectStage computes expressions.
+type ProjectStage struct {
+	Exprs []expr.Expr
+	Names []string
+
+	out *types.Schema
+}
+
+// OutSchema implements Stage.
+func (s *ProjectStage) OutSchema(in *types.Schema) (*types.Schema, error) {
+	cols := make([]types.Column, len(s.Exprs))
+	for i, e := range s.Exprs {
+		t, err := e.Type(in)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = types.Column{Name: s.Names[i], Type: t}
+	}
+	s.out = types.NewSchema(cols...)
+	return s.out, nil
+}
+
+// Apply implements Stage.
+func (s *ProjectStage) Apply(b *types.Batch) (*types.Batch, error) {
+	vecs := make([]*types.Vector, len(s.Exprs))
+	for i, e := range s.Exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	return &types.Batch{Schema: s.out, Vecs: vecs}, nil
+}
+
+// PredictStage appends model output columns to each morsel. The Predictor
+// is shared by all workers and must be safe for concurrent PredictBatch
+// calls (all predictors in this repo are).
+type PredictStage struct {
+	Predictor  Predictor
+	OutputCols []types.Column
+
+	out *types.Schema
+}
+
+// OutSchema implements Stage.
+func (s *PredictStage) OutSchema(in *types.Schema) (*types.Schema, error) {
+	s.out = in.Concat(types.NewSchema(s.OutputCols...))
+	return s.out, nil
+}
+
+// Apply implements Stage.
+func (s *PredictStage) Apply(b *types.Batch) (*types.Batch, error) {
+	outs, err := s.Predictor.PredictBatch(b)
+	if err != nil {
+		return nil, err
+	}
+	return appendPredictions(b, outs, len(s.OutputCols), s.out)
+}
+
+// appendPredictions validates the predictor's output arity and appends the
+// output vectors to b's columns under schema — shared by PredictStage and
+// the serial PredictOp so the two paths cannot drift.
+func appendPredictions(b *types.Batch, outs []*types.Vector, want int, schema *types.Schema) (*types.Batch, error) {
+	if len(outs) != want {
+		return nil, fmt.Errorf("exec: predictor returned %d columns, declared %d", len(outs), want)
+	}
+	vecs := make([]*types.Vector, 0, len(b.Vecs)+len(outs))
+	vecs = append(vecs, b.Vecs...)
+	vecs = append(vecs, outs...)
+	return &types.Batch{Schema: schema, Vecs: vecs}, nil
+}
+
+// Exchange is the generic parallel exchange operator: DOP workers claim
+// morsels from a shared source, run the stage chain on each, and a
+// consumer-side reorder buffer merges results back into source order — so
+// a parallel plan returns exactly the rows, in exactly the order, the
+// serial plan would. Workers never coordinate beyond the claim and the
+// result channel; per-row work (filter, project, predict) scales with
+// GOMAXPROCS.
+type Exchange struct {
+	Source MorselSource
+	Stages []Stage
+	// DOP is the worker count; 0 means GOMAXPROCS.
+	DOP int
+
+	schema  *types.Schema
+	opened  bool
+	results chan morselResult
+	cancel  chan struct{}
+	window  chan struct{}
+	pending map[int]*types.Batch
+	next    int
+	failed  error
+}
+
+// windowPerWorker bounds how many morsels may be claimed but not yet
+// consumed, per worker. The consumer must drain the results channel while
+// waiting for the next in-order morsel (refusing would deadlock the worker
+// holding it), so without a claim-time bound one stalled worker would let
+// the others materialize the whole table into the reorder buffer.
+const windowPerWorker = 4
+
+type morselResult struct {
+	seq int
+	b   *types.Batch
+	err error
+}
+
+// NewExchange builds an exchange over src with no stages yet.
+func NewExchange(src MorselSource, dop int) *Exchange {
+	return &Exchange{Source: src, DOP: dop, schema: src.Schema()}
+}
+
+// Push appends a stage to the chain. Stages can only be added before the
+// first Open; compilation uses this to grow one morsel pipeline instead of
+// nesting operators.
+func (e *Exchange) Push(s Stage) error {
+	if e.opened {
+		return fmt.Errorf("exec: cannot push a stage onto an opened exchange")
+	}
+	out, err := s.OutSchema(e.schema)
+	if err != nil {
+		return err
+	}
+	e.Stages = append(e.Stages, s)
+	e.schema = out
+	return nil
+}
+
+// PushableExchange returns parts[0] as an Exchange that still accepts
+// stages. Compilation calls this to decide between extending the morsel
+// pipeline and wrapping a serial operator around it.
+func PushableExchange(parts []Operator) (*Exchange, bool) {
+	if len(parts) != 1 {
+		return nil, false
+	}
+	ex, ok := parts[0].(*Exchange)
+	if !ok || ex.opened {
+		return nil, false
+	}
+	return ex, true
+}
+
+// Schema implements Operator.
+func (e *Exchange) Schema() *types.Schema { return e.schema }
+
+func (e *Exchange) dop() int {
+	if e.DOP <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.DOP
+}
+
+// Open implements Operator.
+func (e *Exchange) Open() error {
+	e.opened = true
+	if err := e.Source.Open(); err != nil {
+		return err
+	}
+	dop := e.dop()
+	e.results = make(chan morselResult, dop*2)
+	e.cancel = make(chan struct{})
+	e.window = make(chan struct{}, dop*windowPerWorker)
+	for i := 0; i < cap(e.window); i++ {
+		e.window <- struct{}{}
+	}
+	e.pending = make(map[int]*types.Batch)
+	e.next = 0
+	e.failed = nil
+	// Workers receive the channels as locals so Close can safely reset the
+	// fields without racing reads inside still-draining goroutines.
+	results, cancel, window := e.results, e.cancel, e.window
+	var wg sync.WaitGroup
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.work(results, cancel, window)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	return nil
+}
+
+// work is one worker's loop: take a window token, claim a morsel, run the
+// stages, report. Tokens come back as the consumer advances, keeping the
+// claimed-but-unconsumed span (and so the reorder buffer) bounded.
+func (e *Exchange) work(results chan morselResult, cancel chan struct{}, window chan struct{}) {
+	send := func(m morselResult) bool {
+		select {
+		case results <- m:
+			return true
+		case <-cancel:
+			return false
+		}
+	}
+	for {
+		select {
+		case <-window:
+		case <-cancel:
+			return
+		}
+		seq, b, err := e.Source.NextMorsel()
+		if err != nil {
+			send(morselResult{seq: seq, err: err})
+			return
+		}
+		if b == nil {
+			return
+		}
+		for _, st := range e.Stages {
+			b, err = st.Apply(b)
+			if err != nil {
+				send(morselResult{seq: seq, err: err})
+				return
+			}
+			if b == nil || b.Len() == 0 {
+				b = nil
+				break
+			}
+		}
+		if !send(morselResult{seq: seq, b: b}) {
+			return
+		}
+	}
+}
+
+// Next implements Operator. It emits batches in morsel sequence order,
+// stashing out-of-order arrivals; dropped morsels (fully filtered) are
+// recorded as nil so the sequence stays dense. The first worker error is
+// latched: re-polling after a failure keeps failing instead of skipping
+// the dead morsel and passing off a truncated result as end-of-stream.
+func (e *Exchange) Next() (*types.Batch, error) {
+	if e.failed != nil {
+		return nil, e.failed
+	}
+	for {
+		if b, ok := e.pending[e.next]; ok {
+			delete(e.pending, e.next)
+			e.next++
+			// Consuming a seq frees one claim slot for the workers. The
+			// non-blocking send guards the post-error path where a claimed
+			// morsel's token was already lost with its worker.
+			select {
+			case e.window <- struct{}{}:
+			default:
+			}
+			if b != nil {
+				return b, nil
+			}
+			continue
+		}
+		m, ok := <-e.results
+		if !ok {
+			// Workers are done: everything claimed has been delivered, so
+			// any remaining pending entries are ahead of gaps that will
+			// never fill only if a worker died on error — which was
+			// returned already. Drain what is left in order.
+			if len(e.pending) == 0 {
+				return nil, nil
+			}
+			e.drainPending()
+			continue
+		}
+		if m.err != nil {
+			e.failed = m.err
+			return nil, m.err
+		}
+		e.pending[m.seq] = m.b
+	}
+}
+
+// drainPending advances next past any gap once the stream is complete.
+func (e *Exchange) drainPending() {
+	for {
+		if _, ok := e.pending[e.next]; ok {
+			return
+		}
+		e.next++
+	}
+}
+
+// Close implements Operator.
+func (e *Exchange) Close() error {
+	if e.cancel != nil {
+		close(e.cancel)
+		e.cancel = nil
+	}
+	if e.results != nil {
+		// drain so workers unblock and exit
+		for range e.results {
+		}
+		e.results = nil
+	}
+	e.pending = nil
+	return e.Source.Close()
+}

@@ -1,0 +1,304 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"raven/internal/expr"
+	"raven/internal/plan"
+	"raven/internal/types"
+)
+
+func TestTableMorselSourceCoversEveryRowOnce(t *testing.T) {
+	tb := numbersTable(t, 100001) // deliberately not a multiple of the morsel size
+	src, err := NewTableMorselSource(tb, nil, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]int) // seq -> rows
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq, b, err := src.NextMorsel()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if b == nil {
+					return
+				}
+				mu.Lock()
+				seen[seq] += b.Len()
+				total += b.Len()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if total != 100001 {
+		t.Fatalf("claimed %d rows, want 100001", total)
+	}
+	want := (100001 + 4095) / 4096
+	if len(seen) != want {
+		t.Fatalf("claimed %d morsels, want %d", len(seen), want)
+	}
+	for seq := 0; seq < want; seq++ {
+		if _, ok := seen[seq]; !ok {
+			t.Fatalf("sequence %d never claimed (seqs must be dense)", seq)
+		}
+	}
+}
+
+func TestExchangeMatchesSerialByteForByte(t *testing.T) {
+	tb := numbersTable(t, 120000)
+	pred := expr.NewBinary(expr.OpGt, &expr.Column{Name: "x"}, expr.FloatLit(10))
+	exprs := []expr.Expr{
+		&expr.Column{Name: "id"},
+		&expr.Column{Name: "x"},
+		expr.NewBinary(expr.OpMul, &expr.Column{Name: "x"}, expr.FloatLit(2)),
+	}
+	names := []string{"id", "x", "x2"}
+
+	serial := func() Operator {
+		s, _ := NewTableScan(tb, nil)
+		f := &FilterOp{Child: s, Pred: pred}
+		p, err := NewProjectOp(f, exprs, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewPredictOp(p, constPredictor{bias: 5}, []types.Column{{Name: "score", Type: types.Float}})
+	}
+	want, err := Collect(serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dop := range []int{2, 4, 7} {
+		src, err := NewTableMorselSource(tb, nil, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := NewExchange(src, dop)
+		for _, st := range []Stage{
+			&FilterStage{Pred: pred},
+			&ProjectStage{Exprs: exprs, Names: names},
+			&PredictStage{Predictor: constPredictor{bias: 5}, OutputCols: []types.Column{{Name: "score", Type: types.Float}}},
+		} {
+			if err := ex.Push(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := Collect(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("dop %d: %d rows vs serial %d", dop, got.Len(), want.Len())
+		}
+		for _, col := range []string{"id", "x2", "score"} {
+			gv, wv := got.Col(col), want.Col(col)
+			for i := 0; i < got.Len(); i++ {
+				if gv.AsFloat(i) != wv.AsFloat(i) {
+					t.Fatalf("dop %d: %s[%d] = %v, serial %v", dop, col, i, gv.AsFloat(i), wv.AsFloat(i))
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeRejectsPushAfterOpen(t *testing.T) {
+	tb := numbersTable(t, 1000)
+	src, _ := NewTableMorselSource(tb, nil, 256)
+	ex := NewExchange(src, 2)
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if err := ex.Push(&FilterStage{Pred: expr.BoolLit(true)}); err == nil {
+		t.Fatal("push after open should fail")
+	}
+}
+
+// slowFirstStage stalls the very first morsel it sees, forcing every other
+// worker to run far ahead — the worst case for the reorder window. The
+// exchange must neither deadlock (claims are gated by window tokens) nor
+// emit out of order.
+type slowFirstStage struct {
+	once sync.Once
+}
+
+func (s *slowFirstStage) OutSchema(in *types.Schema) (*types.Schema, error) { return in, nil }
+
+func (s *slowFirstStage) Apply(b *types.Batch) (*types.Batch, error) {
+	s.once.Do(func() { time.Sleep(50 * time.Millisecond) })
+	return b, nil
+}
+
+func TestExchangeBoundedReorderWithStalledWorker(t *testing.T) {
+	tb := numbersTable(t, 200000)
+	src, _ := NewTableMorselSource(tb, nil, 512) // ~390 morsels
+	ex := NewExchange(src, 4)
+	if err := ex.Push(&slowFirstStage{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 200000 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	for i := 0; i < out.Len(); i += 4999 {
+		if out.Col("id").Ints[i] != int64(i) {
+			t.Fatalf("id[%d] = %d: merge order broken by stalled worker", i, out.Col("id").Ints[i])
+		}
+	}
+}
+
+type errPredictor struct{}
+
+func (errPredictor) PredictBatch(*types.Batch) ([]*types.Vector, error) {
+	return nil, errors.New("predict boom")
+}
+
+func TestExchangePropagatesStageErrors(t *testing.T) {
+	tb := numbersTable(t, 100000)
+	src, _ := NewTableMorselSource(tb, nil, 4096)
+	ex := NewExchange(src, 4)
+	if err := ex.Push(&PredictStage{Predictor: errPredictor{}, OutputCols: []types.Column{{Name: "s", Type: types.Float}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	var firstErr error
+	for {
+		b, err := ex.Next()
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if b == nil {
+			t.Fatal("worker error should surface, got clean EOF")
+		}
+	}
+	// The error is latched: re-polling must keep failing rather than skip
+	// the dead morsel and emit a truncated stream.
+	if _, err := ex.Next(); err == nil || err.Error() != firstErr.Error() {
+		t.Fatalf("re-poll after failure = %v, want latched %v", err, firstErr)
+	}
+}
+
+func TestExchangeEarlyCloseUnderLimit(t *testing.T) {
+	tb := numbersTable(t, 200000)
+	src, _ := NewTableMorselSource(tb, nil, 1024)
+	ex := NewExchange(src, 4)
+	if err := ex.Push(&FilterStage{Pred: expr.NewBinary(expr.OpGt, &expr.Column{Name: "x"}, expr.FloatLit(-1))}); err != nil {
+		t.Fatal(err)
+	}
+	lim := &LimitOp{Child: ex, N: 10}
+	out, err := Collect(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	// first ten ids in scan order — the deterministic merge guarantee
+	for i := 0; i < 10; i++ {
+		if out.Col("id").Ints[i] != int64(i) {
+			t.Fatalf("id[%d] = %d (limit over exchange must keep scan order)", i, out.Col("id").Ints[i])
+		}
+	}
+}
+
+func TestPredictOpSliceParallelMatchesSerial(t *testing.T) {
+	tb := numbersTable(t, 100000)
+	// Sort materializes the whole table into one batch — the post-breaker
+	// shape where PredictOp's slice-parallel inference kicks in.
+	build := func(par int) Operator {
+		s, _ := NewTableScan(tb, nil)
+		srt := &SortOp{Child: s, Keys: []SortKeySpec{{Col: "x", Desc: true}}}
+		op := NewPredictOp(srt, constPredictor{bias: 2}, []types.Column{{Name: "score", Type: types.Float}})
+		op.Parallelism = par
+		op.MorselSize = 4096
+		return op
+	}
+	want, err := Collect(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(build(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("rows: %d vs %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Col("score").Floats[i] != want.Col("score").Floats[i] {
+			t.Fatalf("score[%d]: %v vs %v", i, got.Col("score").Floats[i], want.Col("score").Floats[i])
+		}
+	}
+}
+
+func TestCompiledExchangeConcurrentQueriesShareTable(t *testing.T) {
+	tb := numbersTable(t, 120000)
+	scan := plan.NewScan(tb)
+	f := &plan.Filter{Child: scan, Pred: expr.NewBinary(expr.OpGt, &expr.Column{Name: "x"}, expr.FloatLit(100))}
+	pr := plan.NewPredict(f, "m", []types.Column{{Name: "score", Type: types.Float}})
+	env := &Env{
+		Parallelism: 4,
+		PredictorFactory: func(string, *types.Schema, []types.Column) (Predictor, error) {
+			return constPredictor{bias: 7}, nil
+		},
+	}
+	serialEnv := &Env{Parallelism: 1, PredictorFactory: env.PredictorFactory}
+	sop, err := Compile(pr, serialEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Collect(sop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for q := 0; q < 6; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			op, err := Compile(pr, env)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := Collect(op)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.Len() != want.Len() {
+				t.Errorf("rows = %d, want %d", got.Len(), want.Len())
+				return
+			}
+			for i := 0; i < got.Len(); i++ {
+				if got.Col("score").Floats[i] != want.Col("score").Floats[i] {
+					t.Errorf("score[%d] differs", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package ort
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"sync"
 
 	"raven/internal/tensor"
@@ -12,35 +13,77 @@ import (
 // SQL Server's model/inference-session caching across queries (paper §5,
 // observation ii: 3 ms vs 20 ms on 100 tuples because the standalone
 // runtime reloads the model from disk while the DB serves a cached session).
+//
+// Compiles run outside the cache-wide mutex under per-key singleflight
+// entries, so concurrent queries compiling different models never
+// serialize, and a thundering herd on one model runs build exactly once
+// while the rest wait on that entry alone.
 type SessionCache struct {
 	mu       sync.Mutex
-	sessions map[string]*Session
+	sessions map[string]*cacheEntry
 	hits     int
 	misses   int
 }
 
+// cacheEntry is one key's in-flight or completed compile. ready is closed
+// when s/err are final.
+type cacheEntry struct {
+	ready chan struct{}
+	s     *Session
+	err   error
+}
+
 // NewSessionCache returns an empty cache.
 func NewSessionCache() *SessionCache {
-	return &SessionCache{sessions: make(map[string]*Session)}
+	return &SessionCache{sessions: make(map[string]*cacheEntry)}
 }
 
 // Get returns the cached session for key, or compiles one via build and
-// caches it. build runs under the cache lock — compilation is assumed to be
-// cheap relative to thundering-herd recompiles.
+// caches it. Only the first caller for a key runs build; concurrent
+// callers block on that key's entry (counted as hits — they avoided a
+// compile) without holding the cache lock. A failed build is evicted so a
+// later call can retry.
 func (c *SessionCache) Get(key string, build func() (*Session, error)) (*Session, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if s, ok := c.sessions[key]; ok {
+	if e, ok := c.sessions[key]; ok {
 		c.hits++
-		return s, nil
+		c.mu.Unlock()
+		<-e.ready
+		return e.s, e.err
 	}
-	s, err := build()
-	if err != nil {
-		return nil, err
-	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.sessions[key] = e
 	c.misses++
-	c.sessions[key] = s
-	return s, nil
+	c.mu.Unlock()
+
+	// A panicking build must still publish a result and evict the entry,
+	// or every waiter (and all future Gets for the key) would block on
+	// ready forever. The panic itself propagates to the caller.
+	completed := false
+	defer func() {
+		if !completed {
+			e.err = fmt.Errorf("ort: session build for key %q panicked", key)
+			close(e.ready)
+			c.evict(key, e)
+		}
+	}()
+	e.s, e.err = build()
+	completed = true
+	close(e.ready)
+	if e.err != nil {
+		c.evict(key, e)
+	}
+	return e.s, e.err
+}
+
+// evict removes e from the cache — only if it is still the entry installed
+// under key: an Invalidate+Get race may have replaced it already.
+func (c *SessionCache) evict(key string, e *cacheEntry) {
+	c.mu.Lock()
+	if c.sessions[key] == e {
+		delete(c.sessions, key)
+	}
+	c.mu.Unlock()
 }
 
 // Invalidate drops the cached session for key (model updated in the store).

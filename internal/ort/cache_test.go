@@ -1,0 +1,121 @@
+package ort
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// buildGraphSession compiles a tiny identity graph, giving the cache a
+// real session to hold.
+func buildTestSession(t *testing.T) func() (*Session, error) {
+	t.Helper()
+	return func() (*Session, error) {
+		g := NewGraph("tiny")
+		g.Inputs = []string{"X"}
+		g.Outputs = []string{"Y"}
+		g.Nodes = append(g.Nodes, &Node{Op: "Identity", Name: "id", Inputs: []string{"X"}, Outputs: []string{"Y"}})
+		return NewSession(g)
+	}
+}
+
+func TestSessionCacheSingleflight(t *testing.T) {
+	c := NewSessionCache()
+	var builds atomic.Int64
+	build := buildTestSession(t)
+	counted := func() (*Session, error) {
+		builds.Add(1)
+		return build()
+	}
+	const goroutines = 32
+	var wg sync.WaitGroup
+	sessions := make([]*Session, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.Get("k", counted)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sessions[i] = s
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times for one key, want 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if sessions[i] != sessions[0] {
+			t.Fatal("concurrent gets returned different sessions")
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Errorf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, goroutines-1)
+	}
+}
+
+func TestSessionCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewSessionCache()
+	build := buildTestSession(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			if _, err := c.Get(key, build); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestSessionCachePanickingBuildUnblocksWaitersAndRetries(t *testing.T) {
+	c := NewSessionCache()
+	started := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		_, _ = c.Get("k", func() (*Session, error) {
+			close(started)
+			panic("malformed graph")
+		})
+	}()
+	<-started
+	go func() {
+		_, err := c.Get("k", func() (*Session, error) { return buildTestSession(t)() })
+		waiterDone <- err
+	}()
+	// The waiter must not hang: it either joined the panicked entry (gets
+	// its error) or arrived after eviction (builds fresh, gets nil).
+	err := <-waiterDone
+	_ = err
+	// And a later Get must be able to build successfully.
+	if s, err := c.Get("k", buildTestSession(t)); err != nil || s == nil {
+		t.Fatalf("retry after panicked build: %v", err)
+	}
+}
+
+func TestSessionCacheFailedBuildRetries(t *testing.T) {
+	c := NewSessionCache()
+	boom := errors.New("boom")
+	if _, err := c.Get("k", func() (*Session, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed build must not stay cached")
+	}
+	s, err := c.Get("k", buildTestSession(t))
+	if err != nil || s == nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+}

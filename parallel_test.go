@@ -1,0 +1,143 @@
+package raven
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"raven/internal/data"
+	"raven/internal/ml"
+	"raven/internal/train"
+	"raven/internal/types"
+)
+
+// flightsDB builds an engine with the wide flights table and a stored
+// logistic-regression model, the single-table scan+PREDICT workload the
+// morsel exchange parallelizes end to end.
+func flightsDB(t testing.TB, rows int) *DB {
+	t.Helper()
+	db := Open()
+	fl, err := data.GenFlightsWide(db.Catalog(), rows, 30, 10, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := train.FitLogReg(fl.TrainX, fl.TrainY, train.LogRegOptions{L1: 0.01, Epochs: 30, Seed: 3})
+	if err := db.StoreModel("delay_par", &ml.Pipeline{Final: lr, InputColumns: fl.FeatureCols}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// batchesIdentical asserts b equals a byte for byte: same schema, same
+// rows, same order. This is the morsel exchange's determinism contract —
+// stronger than the multiset comparison the older parallel tests used.
+func batchesIdentical(t *testing.T, label string, a, b *types.Batch) {
+	t.Helper()
+	if got, want := fmt.Sprint(b.Schema.Names()), fmt.Sprint(a.Schema.Names()); got != want {
+		t.Fatalf("%s: schema %s vs %s", label, got, want)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: %d rows vs %d", label, b.Len(), a.Len())
+	}
+	for j, av := range a.Vecs {
+		bv := b.Vecs[j]
+		for i := 0; i < a.Len(); i++ {
+			if fmt.Sprint(av.Value(i)) != fmt.Sprint(bv.Value(i)) {
+				t.Fatalf("%s: col %s row %d: %v vs %v", label, a.Schema.Columns[j].Name, i, bv.Value(i), av.Value(i))
+			}
+		}
+	}
+}
+
+// parallelParityQueries covers every plan shape the issue calls out:
+// plain SELECT, WHERE, PREDICT, ORDER BY and LIMIT (and combinations).
+var parallelParityQueries = []struct{ label, q string }{
+	{"select", `SELECT id, f0, f1 FROM flights_features`},
+	{"where", `SELECT f0, f1 FROM flights_features WHERE f0 > 0`},
+	{"predict", `SELECT p.prob FROM PREDICT(MODEL='delay_par', DATA=flights_features AS d) WITH (prob FLOAT) AS p`},
+	{"predict-where", `SELECT d.f0, p.prob FROM PREDICT(MODEL='delay_par', DATA=flights_features AS d) WITH (prob FLOAT) AS p WHERE d.f1 > 0`},
+	{"order-by", `SELECT f0, f2 FROM flights_features WHERE f2 > 0 ORDER BY f0 DESC`},
+	{"limit", `SELECT f0 FROM flights_features WHERE f0 > 0 LIMIT 37`},
+	{"predict-order-limit", `SELECT d.f0, p.prob FROM PREDICT(MODEL='delay_par', DATA=flights_features AS d) WITH (prob FLOAT) AS p WHERE d.f0 > 0 ORDER BY p.prob DESC LIMIT 25`},
+}
+
+func TestParallelPlansByteIdenticalToSerial(t *testing.T) {
+	db := flightsDB(t, 20000)
+	for _, mode := range []Mode{ModeInProcess, ModeInProcessNN} {
+		for _, tc := range parallelParityQueries {
+			serial, err := db.QueryWithOptions(tc.q, QueryOptions{
+				Mode: mode, Parallelism: 1,
+			})
+			if err != nil {
+				t.Fatalf("%s serial: %v", tc.label, err)
+			}
+			for _, dop := range []int{4, 8} {
+				par, err := db.QueryWithOptions(tc.q, QueryOptions{
+					Mode: mode, Parallelism: dop, ParallelThresholdRows: 1, MorselSize: 512,
+				})
+				if err != nil {
+					t.Fatalf("%s dop=%d: %v", tc.label, dop, err)
+				}
+				batchesIdentical(t, fmt.Sprintf("%s mode=%v dop=%d", tc.label, mode, dop), serial.Batch, par.Batch)
+			}
+		}
+	}
+}
+
+func TestConcurrentParallelQueriesOverSharedTables(t *testing.T) {
+	db := flightsDB(t, 20000)
+	// Reference results, computed serially.
+	want := make([]*Result, len(parallelParityQueries))
+	for i, tc := range parallelParityQueries {
+		r, err := db.QueryWithOptions(tc.q, QueryOptions{Mode: ModeInProcess, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		want[i] = r
+	}
+	// Many goroutines fire parallel plans at the shared engine at once;
+	// run under -race this exercises the exchange, the shared predictors
+	// and the session cache.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		for i, tc := range parallelParityQueries {
+			wg.Add(1)
+			go func(i int, label, q string) {
+				defer wg.Done()
+				r, err := db.QueryWithOptions(q, QueryOptions{
+					Mode: ModeInProcess, Parallelism: 4, ParallelThresholdRows: 1, MorselSize: 1024,
+				})
+				if err != nil {
+					t.Errorf("%s: %v", label, err)
+					return
+				}
+				if r.Batch.Len() != want[i].Batch.Len() {
+					t.Errorf("%s: %d rows, want %d", label, r.Batch.Len(), want[i].Batch.Len())
+				}
+			}(i, tc.label, tc.q)
+		}
+	}
+	wg.Wait()
+	// Determinism still holds after the storm.
+	for i, tc := range parallelParityQueries {
+		r, err := db.QueryWithOptions(tc.q, QueryOptions{
+			Mode: ModeInProcess, Parallelism: 4, ParallelThresholdRows: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		batchesIdentical(t, tc.label, want[i].Batch, r.Batch)
+	}
+}
+
+func TestOpenOptions(t *testing.T) {
+	db := Open(WithParallelism(3), WithMorselSize(2048))
+	if db.DefaultParallelism != 3 || db.MorselSize != 2048 {
+		t.Fatalf("options not applied: dop=%d morsel=%d", db.DefaultParallelism, db.MorselSize)
+	}
+	// Out-of-range values keep defaults.
+	db2 := Open(WithParallelism(0), WithMorselSize(-1))
+	if db2.DefaultParallelism < 1 || db2.MorselSize != 0 {
+		t.Fatalf("bad option handling: dop=%d morsel=%d", db2.DefaultParallelism, db2.MorselSize)
+	}
+}

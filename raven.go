@@ -7,6 +7,25 @@
 // splitting), and an in-process tensor runtime with session caching plus
 // out-of-process and containerized fallbacks.
 //
+// # Morsel-parallel execution
+//
+// Query execution is morsel-parallel: a table scan under per-row operators
+// (filter, project, PREDICT) compiles into a single exchange whose workers
+// claim fixed-size row morsels from a shared atomic cursor, run the whole
+// operator chain — inference included — on each morsel, and merge results
+// back in scan order. A parallel plan therefore returns exactly the rows,
+// in exactly the order, the serial plan would. Inference sessions come
+// from a contention-friendly cache that compiles each model at most once
+// under per-key locks, so workers and concurrent queries never serialize
+// behind one compile.
+//
+// The engine-wide degree of parallelism defaults to GOMAXPROCS and is set
+// at Open time with WithParallelism (WithMorselSize tunes the work unit);
+// QueryOptions.Parallelism overrides it per query, with 1 forcing serial
+// execution. Small inputs (below QueryOptions.ParallelThresholdRows,
+// default 50k rows) run serially regardless, since fan-out costs more than
+// it saves.
+//
 // Typical use:
 //
 //	db := raven.Open()
@@ -21,6 +40,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -75,8 +95,14 @@ type QueryOptions struct {
 	UseGPU bool
 	// Mode executes remaining MLD stages (default ModeInProcess).
 	Mode Mode
-	// Parallelism is the scan fan-out; 0 = engine default, 1 = sequential.
+	// Parallelism is the morsel-exchange worker count; 0 = engine default
+	// (GOMAXPROCS unless overridden at Open), 1 = sequential.
 	Parallelism int
+	// MorselSize is rows per parallel work unit; 0 = engine default.
+	MorselSize int
+	// ParallelThresholdRows gates parallel execution by scan size; 0 =
+	// default 50k rows (set 1 to force parallelism on small tables).
+	ParallelThresholdRows int
 	// DisableSessionCache compiles a fresh session per query (the
 	// standalone-runtime behaviour in Fig 3).
 	DisableSessionCache bool
@@ -103,19 +129,50 @@ type DB struct {
 	catalog *storage.Catalog
 	runtime *rt.Runtime
 	vars    map[string]string
-	// DefaultParallelism is the scan fan-out for queries that leave
-	// QueryOptions.Parallelism at 0. Defaults to 8.
+	// DefaultParallelism is the morsel-exchange worker count for queries
+	// that leave QueryOptions.Parallelism at 0. Defaults to GOMAXPROCS.
 	DefaultParallelism int
+	// MorselSize is the engine-wide rows-per-morsel for parallel plans; 0
+	// uses the executor default.
+	MorselSize int
+}
+
+// Option configures an engine at Open time.
+type Option func(*DB)
+
+// WithParallelism sets the engine's default degree of parallelism (the
+// morsel-exchange worker count). Values < 1 are ignored, keeping the
+// GOMAXPROCS default; 1 makes the engine serial by default.
+func WithParallelism(n int) Option {
+	return func(db *DB) {
+		if n >= 1 {
+			db.DefaultParallelism = n
+		}
+	}
+}
+
+// WithMorselSize sets the engine-wide rows-per-morsel for parallel plans.
+// Values < 1 are ignored.
+func WithMorselSize(n int) Option {
+	return func(db *DB) {
+		if n >= 1 {
+			db.MorselSize = n
+		}
+	}
 }
 
 // Open creates an empty engine.
-func Open() *DB {
-	return &DB{
+func Open(opts ...Option) *DB {
+	db := &DB{
 		catalog:            storage.NewCatalog(),
 		runtime:            rt.NewRuntime(),
 		vars:               make(map[string]string),
-		DefaultParallelism: 8,
+		DefaultParallelism: runtime.GOMAXPROCS(0),
 	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
 }
 
 // Catalog exposes the table catalog (for generators and tools).
@@ -395,11 +452,17 @@ func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, err
 	if par == 0 {
 		par = db.DefaultParallelism
 	}
+	morsel := opts.MorselSize
+	if morsel == 0 {
+		morsel = db.MorselSize
+	}
 	cfg := &codegen.Config{
-		Runtime:     db.runtime,
-		Mode:        opts.Mode,
-		Parallelism: par,
-		CacheKey:    cacheKey,
+		Runtime:               db.runtime,
+		Mode:                  opts.Mode,
+		Parallelism:           par,
+		ParallelThresholdRows: opts.ParallelThresholdRows,
+		MorselSize:            morsel,
+		CacheKey:              cacheKey,
 	}
 	op, err := codegen.Compile(graph, cfg)
 	if err != nil {
@@ -522,7 +585,7 @@ func (db *DB) QuerySQLOnly(q string) (*types.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	op, err := exec.Compile(logical, &exec.Env{Parallelism: db.DefaultParallelism})
+	op, err := exec.Compile(logical, &exec.Env{Parallelism: db.DefaultParallelism, MorselSize: db.MorselSize})
 	if err != nil {
 		return nil, err
 	}
