@@ -1,7 +1,9 @@
 # One-command tier-1 gate: `make ci` is what every PR must keep green.
 GO ?= go
+# Coverage floor for `make cover` (percent of statements).
+COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench cover smoke ci
 
 all: ci
 
@@ -13,15 +15,34 @@ test:
 
 # race runs the full suite under the race detector; the parallel executor
 # tests (internal/exec, internal/ort, package raven) are written to hammer
-# shared tables, predictors and the session cache when run this way.
+# shared tables, predictors and the session cache when run this way, and
+# the cancellation tests (cancel_test.go) double as goroutine-leak checks:
+# they fail if exchange workers or predictor goroutines survive a
+# cancelled query.
 race:
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
+# cover reports statement coverage and enforces a floor so the serving-API
+# surface (prepared statements, plan cache, streaming, cancellation) stays
+# tested as it grows.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %s%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %s%%)\n", t, f }'
+
+# smoke drives the real CLI through the streaming serving API with a
+# deadline, end to end.
+smoke:
+	echo "SELECT COUNT(*) AS n FROM patient_info" | $(GO) run ./cmd/ravensql -rows 2000 -timeout 30s
+
 # bench regenerates the paper experiment tables at quick scale.
 bench:
 	$(GO) run ./cmd/ravenbench -quick
 
-ci: build vet test race
+ci: build vet test race smoke

@@ -66,6 +66,10 @@ func BenchmarkRunningExample(b *testing.B) { runExperiment(b, bench.RunningExamp
 // pipeline against the serial plan.
 func BenchmarkParallelScaling(b *testing.B) { runExperiment(b, bench.ParallelScaling) }
 
+// BenchmarkPreparedPredict measures prepared/plan-cached execution against
+// cold per-call compilation on a small inference query.
+func BenchmarkPreparedPredict(b *testing.B) { runExperiment(b, bench.PreparedPredict) }
+
 // BenchmarkQueryOptimizedVsBaseline measures one optimized inference query
 // end to end (per-iteration latency rather than whole-experiment time).
 func BenchmarkQueryOptimizedVsBaseline(b *testing.B) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,8 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
-	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling)")
+	timeout := flag.Duration("timeout", 0, "skip experiments not yet started once the deadline passes (0 = no limit); an in-flight experiment runs to completion")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,PreparedPredict)")
 	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for experiment engines (0 = engine default, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
@@ -50,6 +52,7 @@ func main() {
 		{"StaticAnalysis", bench.StaticAnalysis},
 		{"RunningExample", bench.RunningExample},
 		{"ParallelScaling", bench.ParallelScaling},
+		{"PreparedPredict", bench.PreparedPredict},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -57,10 +60,21 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	failed := false
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s and the rest: %v\n", e.id, err)
+			failed = true
+			break
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", e.id)
 		tb, err := e.fn(cfg)

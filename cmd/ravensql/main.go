@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	ravensql [-rows N] [-file script.sql] [-parallelism N] [-morsel N]
+//	ravensql [-rows N] [-file script.sql] [-parallelism N] [-morsel N] [-timeout D]
 //	echo "SELECT COUNT(*) AS n FROM patient_info" | ravensql
+//
+// Queries run through the streaming serving API (QueryContext): rows print
+// as they arrive and -timeout bounds each SELECT with a context deadline,
+// cancelling mid-scan instead of materializing a doomed result (DDL and
+// INSERT statements are not bounded — DB.Exec takes no context).
 //
 // Preloaded: hospital tables (patient_info, blood_tests, prenatal_tests)
 // with a stored decision-tree model 'duration_of_stay', and the
@@ -13,11 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"raven"
 	"raven/internal/data"
@@ -31,6 +38,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print plans instead of executing")
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for query execution (0 = GOMAXPROCS, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline for SELECTs (0 = none), e.g. 500ms or 30s; DDL/INSERT statements are not bounded")
 	flag.Parse()
 
 	db, err := setup(*rows, *parallelism, *morsel)
@@ -51,7 +59,7 @@ func main() {
 	}
 
 	for _, stmt := range splitStatements(string(script)) {
-		if err := run(db, stmt, *explain); err != nil {
+		if err := run(db, stmt, *explain, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -104,7 +112,7 @@ func splitStatements(s string) []string {
 	return out
 }
 
-func run(db *raven.DB, stmt string, explain bool) error {
+func run(db *raven.DB, stmt string, explain bool, timeout time.Duration) error {
 	up := strings.ToUpper(strings.TrimSpace(stmt))
 	isQuery := strings.Contains(up, "SELECT") && !strings.HasPrefix(up, "CREATE") && !strings.HasPrefix(up, "INSERT")
 	if !isQuery {
@@ -118,28 +126,50 @@ func run(db *raven.DB, stmt string, explain bool) error {
 		fmt.Println(out)
 		return nil
 	}
-	res, err := db.Query(stmt)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rows, err := db.QueryContext(ctx, stmt)
 	if err != nil {
 		return err
 	}
+	defer rows.Close()
+	cols := rows.Columns()
+	fmt.Println(strings.Join(cols, "\t"))
 	const maxPrint = 25
-	b := res.Batch
-	fmt.Println(strings.Join(b.Schema.Names(), "\t"))
-	n := b.Len()
-	for i := 0; i < n && i < maxPrint; i++ {
-		row := b.Row(i)
-		parts := make([]string, len(row))
-		for j, v := range row {
-			parts[j] = fmt.Sprintf("%v", v)
+	n := 0
+	vals := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for j := range vals {
+		ptrs[j] = &vals[j]
+	}
+	for rows.Next() {
+		if n < maxPrint {
+			if err := rows.Scan(ptrs...); err != nil {
+				return err
+			}
+			parts := make([]string, len(vals))
+			for j, v := range vals {
+				parts[j] = fmt.Sprintf("%v", v)
+			}
+			fmt.Println(strings.Join(parts, "\t"))
 		}
-		fmt.Println(strings.Join(parts, "\t"))
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
 	}
 	if n > maxPrint {
 		fmt.Printf("... (%d rows total)\n", n)
 	}
-	fmt.Printf("-- %d rows in %v", n, res.Elapsed.Round(100*1000))
-	if len(res.AppliedRules) > 0 {
-		fmt.Printf(" (rules: %s)", strings.Join(res.AppliedRules, ", "))
+	fmt.Printf("-- %d rows in %v (compile %v + exec %v)",
+		n, (rows.CompileTime + rows.ExecTime()).Round(100*1000),
+		rows.CompileTime.Round(100*1000), rows.ExecTime().Round(100*1000))
+	if len(rows.AppliedRules) > 0 {
+		fmt.Printf(" (rules: %s)", strings.Join(rows.AppliedRules, ", "))
 	}
 	fmt.Println()
 	return nil

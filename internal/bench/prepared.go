@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"raven"
+	"raven/internal/data"
+	"raven/internal/ml"
+	"raven/internal/train"
+)
+
+// PreparedPredict measures what prepare-once/execute-many buys on a small
+// table: the per-call overhead (parse → bind → cross-optimize, including
+// NN translation of the forest — everything except executing the plan)
+// and the total latency, for three ways of issuing the same PREDICT query:
+//
+//   - cold Query: plan cache disabled, full front-half compile per call
+//   - warm Query: identical SQL served from the engine plan cache
+//   - prepared: Stmt.Query reusing the compiled template directly
+//
+// The overhead series is the engine-side counterpart of the paper's §5
+// observation (ii) that warm session state is where the DBMS wins over a
+// standalone runtime: prepared/warm calls cut per-call overhead by well
+// over 5× because the compiled plan is session state.
+func PreparedPredict(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:         "PreparedPredict",
+		Title:      "prepared/cached execution vs cold compile (random forest, small flights table)",
+		PaperShape: "warm session state amortizes optimization across invocations (§5 obs ii)",
+	}
+	rows, feat, trees, depth := 4000, 30, 16, 8
+	if cfg.Quick {
+		rows, trees, depth = 2000, 8, 6
+	}
+	db := cfg.open()
+	fl, err := data.GenFlightsWide(db.Catalog(), rows, feat, feat/3, 2000, 23)
+	if err != nil {
+		return nil, err
+	}
+	rf := train.FitForest(fl.TrainX, fl.TrainY, train.ForestOptions{
+		NumTrees: trees,
+		Seed:     3,
+		Tree:     train.TreeOptions{MaxDepth: depth, MinLeaf: 10},
+	})
+	if err := db.StoreModel("delay_rf_prep", &ml.Pipeline{Final: rf, InputColumns: fl.FeatureCols}); err != nil {
+		return nil, err
+	}
+	q := `SELECT p.prob FROM PREDICT(MODEL='delay_rf_prep', DATA=flights_features AS d) WITH (prob FLOAT) AS p WHERE d.f0 > 0`
+	opts := raven.DefaultQueryOptions()
+	coldOpts := opts
+	coldOpts.DisablePlanCache = true
+	runs := cfg.Warm + cfg.Runs + 2
+
+	// measure returns mean per-call overhead (compile) and total latency,
+	// skipping the first call (session warmup, cache population).
+	measure := func(fn func() (*raven.Result, error)) (overhead, total time.Duration, err error) {
+		if _, err := fn(); err != nil {
+			return 0, 0, err
+		}
+		for i := 0; i < runs; i++ {
+			r, err := fn()
+			if err != nil {
+				return 0, 0, err
+			}
+			overhead += r.CompileTime
+			total += r.Elapsed
+		}
+		return overhead / time.Duration(runs), total / time.Duration(runs), nil
+	}
+
+	coldOver, coldTotal, err := measure(func() (*raven.Result, error) {
+		return db.QueryWithOptions(q, coldOpts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	warmOver, warmTotal, err := measure(func() (*raven.Result, error) {
+		return db.QueryWithOptions(q, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := db.PrepareWithOptions(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	prepOver, prepTotal, err := measure(func() (*raven.Result, error) {
+		rows, err := st.Query()
+		if err != nil {
+			return nil, err
+		}
+		return rows.Collect()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t.Add("per-call overhead", "cold Query (no plan cache)", coldOver, "")
+	t.Add("per-call overhead", "warm Query (plan cache)", warmOver, "")
+	t.Add("per-call overhead", "prepared Stmt.Query", prepOver, "")
+	t.Add("total latency", "cold Query (no plan cache)", coldTotal, "")
+	t.Add("total latency", "warm Query (plan cache)", warmTotal, "")
+	t.Add("total latency", "prepared Stmt.Query", prepTotal, "")
+
+	hits, misses := db.PlanCacheStats()
+	// Clamp denominators to the clock granularity: on coarse monotonic
+	// clocks a warm call's overhead can measure as 0, and "+Infx" would
+	// vacuously pass the >=5x check this table exists to demonstrate.
+	ratio := func(num, den time.Duration) float64 {
+		if den < time.Nanosecond {
+			den = time.Nanosecond
+		}
+		return float64(num.Nanoseconds()) / float64(den.Nanoseconds())
+	}
+	t.Rows[0].Note = fmt.Sprintf(
+		"prepared overhead %.1fx lower than cold, warm %.1fx lower (plan cache: %d hits, %d misses; %s rows)",
+		ratio(coldOver, prepOver), ratio(coldOver, warmOver),
+		hits, misses, FmtRows(rows))
+	return t, nil
+}

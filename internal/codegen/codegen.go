@@ -6,6 +6,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,6 +23,10 @@ import (
 // Config controls lowering.
 type Config struct {
 	Runtime *rt.Runtime
+	// Ctx cancels execution of the compiled operator tree: exchanges,
+	// serial scans, pipeline breakers and predictors all observe it. Nil
+	// means not cancellable.
+	Ctx context.Context
 	// Mode selects how MLD chains execute. LA nodes always run on the
 	// tensor runtime.
 	Mode rt.Mode
@@ -57,6 +62,7 @@ func Compile(g *ir.Graph, cfg *Config) (exec.Operator, error) {
 
 func env(cfg *Config, inputParts []exec.Operator) *exec.Env {
 	return &exec.Env{
+		Ctx:                   cfg.Ctx,
 		Parallelism:           cfg.Parallelism,
 		ParallelThresholdRows: cfg.ParallelThresholdRows,
 		MorselSize:            cfg.MorselSize,
@@ -164,6 +170,9 @@ func compileNode(n ir.Node, cfg *Config) ([]exec.Operator, error) {
 // exchange's workers; otherwise each partition is wrapped in a PredictOp
 // that falls back to slice-parallel inference on oversized batches.
 func predictParts(cfg *Config, inputParts []exec.Operator, pred exec.Predictor, outCol types.Column) ([]exec.Operator, error) {
+	if cfg.Ctx != nil {
+		pred = &rt.ContextPredictor{Ctx: cfg.Ctx, Inner: pred}
+	}
 	if ex, ok := exec.PushableExchange(inputParts); ok {
 		if err := ex.Push(&exec.PredictStage{Predictor: pred, OutputCols: []types.Column{outCol}}); err != nil {
 			return nil, err
@@ -209,7 +218,7 @@ func buildPredictor(cfg *Config, pipe *ml.Pipeline, outType types.DataType) (exe
 		return r.NNPredictor(cfg.CacheKey, pipe, outType)
 	case rt.ModeOutOfProcess:
 		inner := rt.NewPipelinePredictor(pipe, outType)
-		return &rt.OutOfProcessPredictor{Inner: inner, Startup: r.ExternalStartup}, nil
+		return &rt.OutOfProcessPredictor{Inner: inner, Startup: r.ExternalStartup, Ctx: cfg.Ctx}, nil
 	case rt.ModeContainer:
 		pred, _, err := rt.NewContainerPredictor(pipe, outType)
 		return pred, err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"raven/internal/plan"
@@ -10,6 +11,10 @@ import (
 // Env carries what compilation needs beyond the plan: how to build
 // predictors for PREDICT nodes and the degree of parallelism.
 type Env struct {
+	// Ctx cancels execution of the compiled plan: morsel exchanges, serial
+	// scans and pipeline breakers all observe it. Nil means not
+	// cancellable.
+	Ctx context.Context
 	// PredictorFactory builds a Predictor for a model against the given
 	// input schema. The runtime package provides the implementations.
 	PredictorFactory func(modelName string, inputSchema *types.Schema, outCols []types.Column) (Predictor, error)
@@ -49,6 +54,13 @@ func (e *Env) morselSize() int {
 	return e.MorselSize
 }
 
+func (e *Env) ctx() context.Context {
+	if e == nil {
+		return nil
+	}
+	return e.Ctx
+}
+
 // Compile lowers a logical plan into a physical operator tree. Chains of
 // per-row operators (filter, project, predict) over a large table scan
 // compile into one morsel-parallel Exchange: workers claim fixed-size row
@@ -84,13 +96,18 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 			if err != nil {
 				return nil, err
 			}
+			if ctx := env.ctx(); ctx != nil {
+				return []Operator{&CancelOp{Ctx: ctx, Child: s}}, nil
+			}
 			return []Operator{s}, nil
 		}
 		src, err := NewTableMorselSource(x.Table, x.Cols, env.morselSize())
 		if err != nil {
 			return nil, err
 		}
-		return []Operator{NewExchange(src, p)}, nil
+		ex := NewExchange(src, p)
+		ex.Ctx = env.ctx()
+		return []Operator{ex}, nil
 
 	case *plan.Filter:
 		parts, err := compileParts(x.Child, env)
@@ -169,6 +186,7 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.Ctx = env.ctx()
 		return []Operator{j}, nil
 
 	case *plan.Aggregate:
@@ -180,6 +198,7 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		a.Ctx = env.ctx()
 		return []Operator{a}, nil
 
 	case *plan.Sort:
@@ -191,7 +210,7 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 		for i, k := range x.Keys {
 			keys[i] = SortKeySpec{Col: k.Col, Desc: k.Desc}
 		}
-		return []Operator{&SortOp{Child: child, Keys: keys}}, nil
+		return []Operator{&SortOp{Child: child, Keys: keys, Ctx: env.ctx()}}, nil
 
 	case *plan.Limit:
 		child, err := Compile(x.Child, env)

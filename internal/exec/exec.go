@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -330,31 +331,17 @@ func (p *PredictOp) predict(b *types.Batch) ([]*types.Vector, error) {
 
 // Collect drains an operator into a single batch (for results and tests).
 func Collect(op Operator) (*types.Batch, error) {
-	if err := op.Open(); err != nil {
-		return nil, err
-	}
-	defer op.Close()
-	out := types.NewBatch(op.Schema())
-	for {
-		b, err := op.Next()
-		if err != nil {
-			return nil, err
-		}
-		if b == nil {
-			return out, nil
-		}
-		if err := out.Append(b); err != nil {
-			return nil, err
-		}
-	}
+	return CollectContext(nil, op)
 }
 
 // SortOp materializes and sorts the input.
 type SortOp struct {
 	Child Operator
 	Keys  []SortKeySpec
-	out   *types.Batch
-	done  bool
+	// Ctx cancels the materializing phase between input batches.
+	Ctx  context.Context
+	out  *types.Batch
+	done bool
 }
 
 // SortKeySpec is one ordering key.
@@ -369,7 +356,7 @@ func (s *SortOp) Schema() *types.Schema { return s.Child.Schema() }
 // Open implements Operator.
 func (s *SortOp) Open() error {
 	s.done = false
-	all, err := Collect(s.Child)
+	all, err := CollectContext(s.Ctx, s.Child)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,6 +14,8 @@ import (
 type HashJoin struct {
 	Left, Right       Operator
 	LeftCol, RightCol string
+	// Ctx cancels the build and probe phases between batches.
+	Ctx context.Context
 
 	schema   *types.Schema
 	leftIdx  int
@@ -57,7 +60,7 @@ func (j *HashJoin) Schema() *types.Schema { return j.schema }
 
 // Open implements Operator: materialize and hash the right input.
 func (j *HashJoin) Open() error {
-	all, err := Collect(j.Right)
+	all, err := CollectContext(j.Ctx, j.Right)
 	if err != nil {
 		return err
 	}
@@ -90,6 +93,9 @@ func (j *HashJoin) Close() error {
 // Next implements Operator.
 func (j *HashJoin) Next() (*types.Batch, error) {
 	for {
+		if err := ctxErr(j.Ctx); err != nil {
+			return nil, err
+		}
 		b, err := j.Left.Next()
 		if err != nil || b == nil {
 			return nil, err
@@ -129,6 +135,8 @@ type HashAggregate struct {
 	Child   Operator
 	GroupBy []string
 	Aggs    []plan.AggSpec
+	// Ctx cancels the aggregation between input batches.
+	Ctx context.Context
 
 	schema *types.Schema
 	groups map[string]*aggGroup
@@ -193,6 +201,9 @@ func (h *HashAggregate) Open() error {
 		keyIdx[i] = h.Child.Schema().IndexOf(g)
 	}
 	for {
+		if err := ctxErr(h.Ctx); err != nil {
+			return err
+		}
 		b, err := h.Child.Next()
 		if err != nil {
 			return err

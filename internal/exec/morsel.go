@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -233,6 +234,10 @@ type Exchange struct {
 	Stages []Stage
 	// DOP is the worker count; 0 means GOMAXPROCS.
 	DOP int
+	// Ctx cancels the exchange: workers stop claiming morsels and the
+	// consumer returns Ctx.Err() as soon as it observes cancellation. Nil
+	// means not cancellable.
+	Ctx context.Context
 
 	schema  *types.Schema
 	opened  bool
@@ -338,8 +343,15 @@ func (e *Exchange) Open() error {
 
 // work is one worker's loop: take a window token, claim a morsel, run the
 // stages, report. Tokens come back as the consumer advances, keeping the
-// claimed-but-unconsumed span (and so the reorder buffer) bounded.
+// claimed-but-unconsumed span (and so the reorder buffer) bounded. A
+// cancelled context stops the loop between morsels; the first worker to
+// notice reports ctx.Err() so the consumer fails even if it is blocked on
+// the results channel.
 func (e *Exchange) work(results chan morselResult, cancel chan struct{}, window chan struct{}) {
+	var done <-chan struct{}
+	if e.Ctx != nil {
+		done = e.Ctx.Done()
+	}
 	send := func(m morselResult) bool {
 		select {
 		case results <- m:
@@ -352,6 +364,13 @@ func (e *Exchange) work(results chan morselResult, cancel chan struct{}, window 
 		select {
 		case <-window:
 		case <-cancel:
+			return
+		case <-done:
+			send(morselResult{err: e.Ctx.Err()})
+			return
+		}
+		if err := ctxErr(e.Ctx); err != nil {
+			send(morselResult{err: err})
 			return
 		}
 		seq, b, err := e.Source.NextMorsel()
@@ -388,6 +407,10 @@ func (e *Exchange) Next() (*types.Batch, error) {
 	if e.failed != nil {
 		return nil, e.failed
 	}
+	if err := ctxErr(e.Ctx); err != nil {
+		e.failed = err
+		return nil, err
+	}
 	for {
 		if b, ok := e.pending[e.next]; ok {
 			delete(e.pending, e.next)
@@ -404,7 +427,18 @@ func (e *Exchange) Next() (*types.Batch, error) {
 			}
 			continue
 		}
-		m, ok := <-e.results
+		var m morselResult
+		var ok bool
+		if e.Ctx != nil {
+			select {
+			case m, ok = <-e.results:
+			case <-e.Ctx.Done():
+				e.failed = e.Ctx.Err()
+				return nil, e.failed
+			}
+		} else {
+			m, ok = <-e.results
+		}
 		if !ok {
 			// Workers are done: everything claimed has been delivered, so
 			// any remaining pending entries are ahead of gaps that will

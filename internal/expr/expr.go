@@ -193,13 +193,21 @@ func (e *Binary) Type(s *types.Schema) (types.DataType, error) {
 	if err != nil {
 		return types.Unknown, err
 	}
+	// Unknown means a late-bound parameter: its concrete type arrives with
+	// the value at execute time, so bind-time checks let it through and
+	// physical schemas are recomputed after substitution. A value of the
+	// wrong kind still fails loudly when the substituted expression
+	// evaluates.
 	switch {
 	case e.Op == OpAnd || e.Op == OpOr:
-		if lt != types.Bool || rt != types.Bool {
+		if (lt != types.Bool && lt != types.Unknown) || (rt != types.Bool && rt != types.Unknown) {
 			return types.Unknown, fmt.Errorf("expr: %s needs BOOL operands, got %v and %v", binOpNames[e.Op], lt, rt)
 		}
 		return types.Bool, nil
 	case e.Op.IsComparison():
+		if lt == types.Unknown || rt == types.Unknown {
+			return types.Bool, nil
+		}
 		if lt == types.String || rt == types.String {
 			if lt != rt {
 				return types.Unknown, fmt.Errorf("expr: cannot compare %v with %v", lt, rt)
@@ -208,6 +216,10 @@ func (e *Binary) Type(s *types.Schema) (types.DataType, error) {
 		}
 		return types.Bool, nil
 	default: // arithmetic
+		if lt == types.Unknown || rt == types.Unknown {
+			// Provisional: the widest numeric type until the parameter binds.
+			return types.Float, nil
+		}
 		if !lt.IsNumeric() && lt != types.Bool || !rt.IsNumeric() && rt != types.Bool {
 			return types.Unknown, fmt.Errorf("expr: arithmetic needs numeric operands, got %v and %v", lt, rt)
 		}

@@ -1,0 +1,141 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"raven/internal/types"
+)
+
+// Param is a late-bound query parameter (@name in a prepared statement).
+// It types as Unknown — comparisons against any column type pass the bind-
+// time check, and the concrete type is inferred from the supplied value at
+// execute time (see ReplaceParams) — but carries no value: execution must
+// substitute a literal first. Evaluating an unbound Param is an error, so
+// a parameter that slips through substitution fails loudly instead of
+// producing wrong rows.
+type Param struct {
+	Name string
+}
+
+// Eval implements Expr.
+func (p *Param) Eval(*types.Batch) (*types.Vector, error) {
+	return nil, fmt.Errorf("expr: parameter @%s not bound", p.Name)
+}
+
+// Type implements Expr.
+func (p *Param) Type(*types.Schema) (types.DataType, error) { return types.Unknown, nil }
+
+func (p *Param) String() string { return "@" + p.Name }
+
+// LiteralFromString infers a literal from a parameter's string value the
+// way the SQL lexer types tokens: integer, float, TRUE/FALSE, else
+// string. So a parameter "120" compares numerically while "bob" stays a
+// VARCHAR. (DECLARE session variables do not use this — they always bind
+// as VARCHAR, preserving string semantics for values like '007'.)
+func LiteralFromString(s string) *Literal {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return IntLit(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return FloatLit(f)
+	}
+	if strings.EqualFold(s, "true") {
+		return BoolLit(true)
+	}
+	if strings.EqualFold(s, "false") {
+		return BoolLit(false)
+	}
+	return StringLit(s)
+}
+
+// WalkParams calls fn for every Param in e.
+func WalkParams(e Expr, fn func(*Param)) {
+	switch x := e.(type) {
+	case *Param:
+		fn(x)
+	case *Binary:
+		WalkParams(x.L, fn)
+		WalkParams(x.R, fn)
+	case *Not:
+		WalkParams(x.E, fn)
+	case *Case:
+		for _, w := range x.Whens {
+			WalkParams(w.Cond, fn)
+			WalkParams(w.Then, fn)
+		}
+		if x.Else != nil {
+			WalkParams(x.Else, fn)
+		}
+	}
+}
+
+// ReplaceParams returns e with every Param replaced by a literal inferred
+// from vals (see literalFromString), rebuilding only the spine above
+// replaced nodes so the input expression is never mutated (prepared
+// statements share it across concurrent executions). The bool reports
+// whether anything changed; a Param missing from vals is an error.
+func ReplaceParams(e Expr, vals map[string]string) (Expr, bool, error) {
+	switch x := e.(type) {
+	case *Param:
+		v, ok := vals[x.Name]
+		if !ok {
+			return nil, false, fmt.Errorf("expr: no value bound for parameter @%s", x.Name)
+		}
+		return LiteralFromString(v), true, nil
+	case *Binary:
+		l, cl, err := ReplaceParams(x.L, vals)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := ReplaceParams(x.R, vals)
+		if err != nil {
+			return nil, false, err
+		}
+		if !cl && !cr {
+			return e, false, nil
+		}
+		return &Binary{Op: x.Op, L: l, R: r}, true, nil
+	case *Not:
+		inner, c, err := ReplaceParams(x.E, vals)
+		if err != nil {
+			return nil, false, err
+		}
+		if !c {
+			return e, false, nil
+		}
+		return &Not{E: inner}, true, nil
+	case *Case:
+		changed := false
+		whens := make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			c, cc, err := ReplaceParams(w.Cond, vals)
+			if err != nil {
+				return nil, false, err
+			}
+			t, ct, err := ReplaceParams(w.Then, vals)
+			if err != nil {
+				return nil, false, err
+			}
+			whens[i] = When{Cond: c, Then: t}
+			changed = changed || cc || ct
+		}
+		var els Expr
+		if x.Else != nil {
+			var ce bool
+			var err error
+			els, ce, err = ReplaceParams(x.Else, vals)
+			if err != nil {
+				return nil, false, err
+			}
+			changed = changed || ce
+		}
+		if !changed {
+			return e, false, nil
+		}
+		return &Case{Whens: whens, Else: els}, true, nil
+	default:
+		return e, false, nil
+	}
+}

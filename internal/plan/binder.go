@@ -15,6 +15,11 @@ type Binder struct {
 	Catalog *storage.Catalog
 	// Vars holds session variables set by DECLARE.
 	Vars map[string]string
+	// AllowParams turns undeclared @var references into Param placeholders
+	// bound at execute time (prepared statements) instead of bind errors.
+	// PREDICT model names still resolve at bind time — the chosen model
+	// shapes the whole optimized plan — so MODEL=@var requires a DECLARE.
+	AllowParams bool
 	// ctes maps in-scope CTE names to their bound plans.
 	ctes map[string]Node
 }
@@ -233,6 +238,9 @@ func (b *Binder) bindTableRef(ref sql.TableRef) (Node, error) {
 		if model == "" {
 			v, ok := b.Vars[r.ModelVar]
 			if !ok {
+				if b.AllowParams {
+					return nil, fmt.Errorf("plan: PREDICT model variable @%s must be DECLAREd at prepare time (the model determines the plan)", r.ModelVar)
+				}
 				return nil, fmt.Errorf("plan: variable @%s not declared", r.ModelVar)
 			}
 			model = v
@@ -284,8 +292,14 @@ func (b *Binder) bindExpr(e sql.Expr, s *types.Schema) (expr.Expr, error) {
 	case *sql.VarRef:
 		v, ok := b.Vars[x.Name]
 		if !ok {
-			return nil, fmt.Errorf("plan: variable @%s not declared", x.Name)
+			if b.AllowParams {
+				return &expr.Param{Name: x.Name}, nil
+			}
+			return nil, fmt.Errorf("plan: variable @%s not declared (DECLARE it, or use a prepared statement for execute-time parameters)", x.Name)
 		}
+		// DECLARE accepts only quoted strings, so session variables bind as
+		// VARCHAR literals — '007' stays a string. Execute-time parameters
+		// (the AllowParams path above) are the type-inferred surface.
 		return expr.StringLit(v), nil
 	case *sql.NotE:
 		inner, err := b.bindExpr(x.E, s)

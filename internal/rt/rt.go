@@ -8,6 +8,7 @@ package rt
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
@@ -216,6 +217,24 @@ func (r *Runtime) GraphPredictor(cacheKey string, g *ort.Graph, inputCols []stri
 	return &SessionPredictor{Session: s, InputCols: inputCols, OutType: outType}, nil
 }
 
+// ContextPredictor makes any predictor observe query cancellation: each
+// PredictBatch first polls the context, so a cancelled query stops scoring
+// at batch granularity even when the wrapped runtime knows nothing about
+// contexts. The runtime code generator wraps every predictor with one when
+// the query carries a context.
+type ContextPredictor struct {
+	Ctx   context.Context
+	Inner exec.Predictor
+}
+
+// PredictBatch implements exec.Predictor.
+func (p *ContextPredictor) PredictBatch(b *types.Batch) ([]*types.Vector, error) {
+	if err := p.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.Inner.PredictBatch(b)
+}
+
 // OutOfProcessPredictor wraps an inner predictor behind the external-
 // runtime boundary: one-time startup latency, then a gob round trip for
 // every batch (rows out, scores back), modelling
@@ -223,6 +242,9 @@ func (r *Runtime) GraphPredictor(cacheKey string, g *ort.Graph, inputCols []stri
 type OutOfProcessPredictor struct {
 	Inner   exec.Predictor
 	Startup time.Duration
+	// Ctx interrupts the simulated runtime startup so a cancelled query is
+	// not stuck behind the half-second boot.
+	Ctx context.Context
 
 	once sync.Once
 }
@@ -230,8 +252,22 @@ type OutOfProcessPredictor struct {
 // PredictBatch implements exec.Predictor.
 func (p *OutOfProcessPredictor) PredictBatch(b *types.Batch) ([]*types.Vector, error) {
 	p.once.Do(func() {
-		time.Sleep(p.Startup)
+		if p.Ctx == nil {
+			time.Sleep(p.Startup)
+			return
+		}
+		t := time.NewTimer(p.Startup)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-p.Ctx.Done():
+		}
 	})
+	if p.Ctx != nil {
+		if err := p.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	// Serialize the batch across the "process boundary".
 	wire, err := encodeBatch(b)
 	if err != nil {

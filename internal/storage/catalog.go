@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Catalog names tables and the model store. It is the single source of
@@ -16,6 +17,10 @@ type Catalog struct {
 	// uniqueKeys records columns known to be unique per table (primary
 	// keys). The relational optimizer uses this for join elimination.
 	uniqueKeys map[string]map[string]bool
+	// version counts schema-affecting mutations (DDL, unique-key changes,
+	// model stores). Compiled-plan caches key on it so any change that
+	// could invalidate a bound plan forces a recompile.
+	version atomic.Uint64
 }
 
 // NewCatalog returns an empty catalog with a fresh model store.
@@ -29,6 +34,15 @@ func NewCatalog() *Catalog {
 
 func key(name string) string { return strings.ToLower(name) }
 
+// Version returns the current catalog version. It changes whenever a
+// table is added or dropped, a unique key is declared, or BumpVersion is
+// called (the engine does so on model stores).
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion invalidates plans compiled against the previous catalog
+// state and returns the new version.
+func (c *Catalog) BumpVersion() uint64 { return c.version.Add(1) }
+
 // AddTable registers a table; it fails if the name is taken.
 func (c *Catalog) AddTable(t *Table) error {
 	c.mu.Lock()
@@ -38,6 +52,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		return fmt.Errorf("storage: table %q already exists", t.Name)
 	}
 	c.tables[k] = t
+	c.version.Add(1)
 	return nil
 }
 
@@ -51,6 +66,7 @@ func (c *Catalog) DropTable(name string) error {
 	}
 	delete(c.tables, k)
 	delete(c.uniqueKeys, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -87,6 +103,7 @@ func (c *Catalog) SetUniqueKey(table, col string) {
 		c.uniqueKeys[k] = make(map[string]bool)
 	}
 	c.uniqueKeys[k][key(col)] = true
+	c.version.Add(1)
 }
 
 // IsUniqueKey reports whether col is a declared unique key of table.

@@ -26,23 +26,50 @@
 // default 50k rows) run serially regardless, since fan-out costs more than
 // it saves.
 //
+// # Serving API
+//
+// The serving surface follows the production database conventions:
+// prepare-once/execute-many, streaming results, and cancellable queries.
+//
+//   - Prepare compiles a statement once (parse → bind → unified IR →
+//     cross optimization) into a Stmt whose Query calls reuse the plan and
+//     bind @var parameters per execution. An engine-level plan cache —
+//     keyed by SQL text, option fingerprint and catalog version — also
+//     makes repeated ad-hoc Query calls skip recompilation; DDL and model
+//     stores bump the catalog version, invalidating stale plans.
+//   - QueryContext (and Stmt.QueryContext) returns a streaming Rows
+//     (Next/Scan/Err/Close) and honors context cancellation and deadlines
+//     throughout execution: morsel-exchange workers, pipeline breakers and
+//     inference predictors all observe ctx and shut down cleanly.
+//   - Query and QueryWithOptions remain as thin materializing wrappers
+//     returning a Result (Rows.Collect under the hood), with latency split
+//     into CompileTime and ExecTime.
+//
 // Typical use:
 //
 //	db := raven.Open()
 //	db.Exec(`CREATE TABLE patients (id INT PRIMARY KEY, age FLOAT, bp FLOAT)`)
 //	db.StoreModel("los", pipeline)                  // or StoreModelScript
-//	res, err := db.Query(`SELECT p.score FROM
+//	st, err := db.Prepare(`SELECT p.score FROM
 //	    PREDICT(MODEL='los', DATA=patients AS d) WITH (score FLOAT) AS p
-//	    WHERE d.bp > 120`)
+//	    WHERE d.bp > @minbp`)
+//	rows, err := st.QueryContext(ctx, raven.P("minbp", "120"))
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var score float64
+//	    _ = rows.Scan(&score)
+//	}
 package raven
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"raven/internal/codegen"
@@ -106,6 +133,10 @@ type QueryOptions struct {
 	// DisableSessionCache compiles a fresh session per query (the
 	// standalone-runtime behaviour in Fig 3).
 	DisableSessionCache bool
+	// DisablePlanCache forces a full recompile (parse → bind → optimize)
+	// on every call — the cold-query baseline the PreparedPredict bench
+	// measures against.
+	DisablePlanCache bool
 }
 
 // DefaultQueryOptions is the engine's standard configuration: all
@@ -114,12 +145,19 @@ func DefaultQueryOptions() QueryOptions {
 	return QueryOptions{CrossOptimize: true, Mode: rt.ModeInProcess, Parallelism: 0}
 }
 
-// Result is a completed query.
+// Result is a completed, fully materialized query — the compatibility
+// wrapper over the streaming Rows API (it is what Rows.Collect returns).
 type Result struct {
 	Batch *types.Batch
 	// AppliedRules lists the cross-optimizer rules that fired.
 	AppliedRules []string
-	// Elapsed is end-to-end latency (optimize + execute).
+	// CompileTime is the time spent producing the executable plan: parse,
+	// bind, cross-optimize and lowering. Near zero on plan-cache hits and
+	// prepared re-executions — the observable benefit of the plan cache.
+	CompileTime time.Duration
+	// ExecTime is the time spent executing the plan and materializing rows.
+	ExecTime time.Duration
+	// Elapsed is end-to-end latency (CompileTime + ExecTime).
 	Elapsed time.Duration
 }
 
@@ -128,7 +166,14 @@ type DB struct {
 	mu      sync.Mutex
 	catalog *storage.Catalog
 	runtime *rt.Runtime
-	vars    map[string]string
+	// vars holds engine-wide session variables set by Exec DECLARE.
+	// DECLAREs inside a Query or Prepare script are statement-scoped: they
+	// overlay these for that statement only and never leak back.
+	vars  map[string]string
+	plans *planCache
+	// compiles counts full front-half compilations (parse → bind →
+	// optimize); prepared re-executions and plan-cache hits don't move it.
+	compiles atomic.Uint64
 	// DefaultParallelism is the morsel-exchange worker count for queries
 	// that leave QueryOptions.Parallelism at 0. Defaults to GOMAXPROCS.
 	DefaultParallelism int
@@ -167,6 +212,7 @@ func Open(opts ...Option) *DB {
 		catalog:            storage.NewCatalog(),
 		runtime:            rt.NewRuntime(),
 		vars:               make(map[string]string),
+		plans:              newPlanCache(defaultPlanCacheSize),
 		DefaultParallelism: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
@@ -298,10 +344,13 @@ func (db *DB) StoreModel(name string, p *ml.Pipeline) error {
 	if err := db.catalog.Models.PutModel(name, "gob-pipeline", blob, nil); err != nil {
 		return err
 	}
-	// A new version invalidates any cached inference session.
+	// A new version invalidates any cached inference session, and the
+	// catalog bump invalidates every compiled plan that embedded the old
+	// model (inlined trees, translated tensor graphs).
 	if m, err := db.catalog.Models.Latest(name); err == nil {
 		db.runtime.Cache.Invalidate(m.Hash)
 	}
+	db.catalog.BumpVersion()
 	return nil
 }
 
@@ -333,64 +382,157 @@ func (db *DB) LoadModel(name string) (*ml.Pipeline, error) {
 }
 
 // Query parses, binds, optimizes and executes a SELECT (optionally with
-// PREDICT), with default options.
+// PREDICT), with default options, materializing the result. It is the
+// compatibility wrapper over QueryContext + Rows.Collect.
 func (db *DB) Query(q string) (*Result, error) {
 	return db.QueryWithOptions(q, DefaultQueryOptions())
 }
 
 // QueryWithOptions runs a SELECT under explicit optimization/execution
-// options.
+// options, materializing the result.
 func (db *DB) QueryWithOptions(q string, opts QueryOptions) (*Result, error) {
-	start := time.Now()
-	op, applied, err := db.compile(q, opts)
+	rows, err := db.QueryContextWithOptions(context.Background(), q, opts)
 	if err != nil {
 		return nil, err
 	}
-	batch, err := exec.Collect(op)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Batch: batch, AppliedRules: applied, Elapsed: time.Since(start)}, nil
+	return rows.Collect()
 }
 
-// compile runs the full front half: parse → bind → unified IR → cross
-// optimizer → runtime code generation.
-func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, error) {
+// QueryContext compiles (or fetches from the plan cache) and executes a
+// SELECT with default options, streaming the result. Cancellation or
+// deadline expiry on ctx stops execution promptly — exchange workers,
+// pipeline breakers and predictors all observe it — and surfaces as
+// ctx.Err() from Rows.
+func (db *DB) QueryContext(ctx context.Context, q string) (*Rows, error) {
+	return db.QueryContextWithOptions(ctx, q, DefaultQueryOptions())
+}
+
+// QueryContextWithOptions is QueryContext under explicit options.
+func (db *DB) QueryContextWithOptions(ctx context.Context, q string, opts QueryOptions) (*Rows, error) {
+	start := time.Now()
+	// Undeclared @vars fail inside the binder (AllowParams is off for the
+	// ad-hoc surface), with an error pointing at DECLARE/Prepare.
+	tpl, err := db.planFor(q, opts, db.varsSnapshot(), false)
+	if err != nil {
+		return nil, err
+	}
+	op, err := db.lower(ctx, tpl.graph, tpl.sessionKey, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(ctx, op, tpl.applied, time.Since(start))
+}
+
+// PlanCacheStats returns the plan cache's cumulative (hits, misses).
+func (db *DB) PlanCacheStats() (hits, misses uint64) { return db.plans.stats() }
+
+// varsSnapshot copies the engine session variables. Callers take one
+// snapshot per compile so the cache key and the bound plan always see the
+// same variable values even while Exec DECLARE runs concurrently.
+func (db *DB) varsSnapshot() map[string]string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string]string, len(db.vars))
+	for k, v := range db.vars {
+		out[k] = v
+	}
+	return out
+}
+
+// cacheablePlan reports whether plans for these options may be reused
+// across calls. Statistics-derived pruning (UseStatistics) specializes the
+// model to the data range at compile time, and INSERTs don't bump the
+// catalog version — so those plans would go stale silently and are always
+// recompiled.
+func cacheablePlan(opts QueryOptions) bool {
+	return !opts.DisablePlanCache && !opts.UseStatistics
+}
+
+// planFor resolves a compiled plan through the cache: hit when possible,
+// full compile otherwise. allowParams selects the prepare surface — @var
+// placeholders become execute-time parameters and side-effecting
+// statements are rejected (preparing must not mutate the database). On
+// the ad-hoc surface, side-effecting statements (CREATE/INSERT/DROP)
+// execute exactly once here and make the script uncacheable. vars is the
+// session-variable snapshot to compile with: a fresh one for ad-hoc
+// queries, a Stmt's prepare-time snapshot on re-prepares so the
+// statement's meaning never drifts.
+func (db *DB) planFor(q string, opts QueryOptions, vars map[string]string, allowParams bool) (*cachedPlan, error) {
+	cacheable := cacheablePlan(opts)
+	var key string
+	if cacheable {
+		key = db.planKey(q, opts, allowParams, vars)
+		if p := db.plans.get(key, db.catalog.Version()); p != nil {
+			return p, nil
+		}
+	}
+	sel, svars, hadSideEffects, err := db.splitScript(q, !allowParams, vars)
+	if err != nil {
+		return nil, err
+	}
+	p, err := db.buildPlan(q, sel, svars, opts, allowParams)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable && !hadSideEffects {
+		db.plans.put(key, p, db.catalog.Version())
+	}
+	return p, nil
+}
+
+// splitScript parses a query script into its single SELECT and the
+// statement-scoped variables: the provided session-var snapshot overlaid
+// with the script's DECLAREs. DECLAREs never write back to the engine — a
+// Query's variables are visible to that query alone (Exec DECLARE is the
+// session-level API). Side-effecting statements run via execOne when
+// allowSideEffects is set and are rejected otherwise (Prepare/Explain).
+func (db *DB) splitScript(q string, allowSideEffects bool, base map[string]string) (sel *sql.SelectStmt, vars map[string]string, hadSideEffects bool, err error) {
 	stmts, err := sql.ParseScript(q)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	var sel *sql.SelectStmt
+	vars = make(map[string]string, len(base))
+	for k, v := range base {
+		vars[k] = v
+	}
 	for _, st := range stmts {
 		switch x := st.(type) {
 		case *sql.DeclareStmt:
-			db.mu.Lock()
-			db.vars[x.Name] = x.Value
-			db.mu.Unlock()
+			vars[x.Name] = x.Value
 		case *sql.SelectStmt:
 			if sel != nil {
-				return nil, nil, fmt.Errorf("raven: multiple SELECTs in one Query call")
+				return nil, nil, false, fmt.Errorf("raven: multiple SELECTs in one Query call")
 			}
 			sel = x
 		default:
-			if err := db.execOne(st); err != nil {
-				return nil, nil, err
+			if !allowSideEffects {
+				return nil, nil, false, fmt.Errorf("raven: only DECLARE and a single SELECT are allowed here (Prepare/Explain must not mutate the database), got %T", st)
 			}
+			if err := db.execOne(st); err != nil {
+				return nil, nil, false, err
+			}
+			hadSideEffects = true
 		}
 	}
 	if sel == nil {
-		return nil, nil, fmt.Errorf("raven: Query needs a SELECT statement")
+		return nil, nil, false, fmt.Errorf("raven: Query needs a SELECT statement")
 	}
+	return sel, vars, hadSideEffects, nil
+}
 
+// buildPlan runs the front half once: bind → unified IR → cross optimizer
+// (or the always-on relational pass), producing an immutable template.
+func (db *DB) buildPlan(q string, sel *sql.SelectStmt, vars map[string]string, opts QueryOptions, allowParams bool) (*cachedPlan, error) {
+	db.compiles.Add(1)
+	version := db.catalog.Version()
 	binder := plan.NewBinder(db.catalog)
-	db.mu.Lock()
-	for k, v := range db.vars {
+	binder.AllowParams = allowParams
+	for k, v := range vars {
 		binder.Vars[k] = v
 	}
-	db.mu.Unlock()
 	logical, err := binder.BindSelect(sel)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// The cache key must be derived before IR construction: FromPlan
@@ -399,7 +541,7 @@ func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, err
 
 	graph, err := ir.FromPlan(logical, db.resolvePipeline)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	var applied []string
@@ -411,11 +553,13 @@ func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, err
 		// elimination) always run — SQL Server's optimizer does not switch
 		// off. Only the cross-IR rules are gated by CrossOptimize.
 		xo := xopt.Options{Relational: true, RelOpt: &relopt.Optimizer{Catalog: db.catalog, AssumeRI: true}}
-		if _, err := xopt.Optimize(graph, xo); err != nil {
-			return nil, nil, err
+		res, err := xopt.Optimize(graph, xo)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if opts.CrossOptimize {
+		applied = res.Applied
+		graph = res.Graph
+	} else {
 		xo := xopt.DefaultOptions(&relopt.Optimizer{Catalog: db.catalog, AssumeRI: true})
 		xo.UseDataStatistics = opts.UseStatistics
 		xo.ModelQuerySplitting = opts.ModelQuerySplitting
@@ -434,7 +578,7 @@ func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, err
 		xo.UseGPU = opts.UseGPU
 		res, err := xopt.Optimize(graph, xo)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		applied = res.Applied
 		graph = res.Graph
@@ -448,6 +592,20 @@ func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, err
 		}
 	}
 
+	return &cachedPlan{
+		graph:      graph,
+		applied:    applied,
+		sessionKey: cacheKey,
+		params:     collectGraphParams(graph),
+		version:    version,
+	}, nil
+}
+
+// lower turns a compiled template into a fresh executable operator tree.
+// It runs per execution — cheap relative to the front half — so cached
+// plans still adapt to current table sizes (serial vs morsel-parallel)
+// and carry the call's context into every operator.
+func (db *DB) lower(ctx context.Context, graph *ir.Graph, sessionKey string, opts QueryOptions) (exec.Operator, error) {
 	par := opts.Parallelism
 	if par == 0 {
 		par = db.DefaultParallelism
@@ -458,17 +616,14 @@ func (db *DB) compile(q string, opts QueryOptions) (exec.Operator, []string, err
 	}
 	cfg := &codegen.Config{
 		Runtime:               db.runtime,
+		Ctx:                   ctx,
 		Mode:                  opts.Mode,
 		Parallelism:           par,
 		ParallelThresholdRows: opts.ParallelThresholdRows,
 		MorselSize:            morsel,
-		CacheKey:              cacheKey,
+		CacheKey:              sessionKey,
 	}
-	op, err := codegen.Compile(graph, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return op, applied, nil
+	return codegen.Compile(graph, cfg)
 }
 
 // resolvePipeline loads the stored pipeline behind a model name.
@@ -503,29 +658,16 @@ func (db *DB) modelCacheKey(p plan.Node) string {
 // the unified IR before and after cross optimization (with engine
 // placement), and the regenerated SQL.
 func (db *DB) Explain(q string, opts QueryOptions) (string, error) {
-	stmts, err := sql.ParseScript(q)
+	// Same statement-scoped DECLARE handling as Query/Prepare, and like
+	// Prepare, explaining must not mutate the database.
+	sel, vars, _, err := db.splitScript(q, false, db.varsSnapshot())
 	if err != nil {
 		return "", err
 	}
-	var sel *sql.SelectStmt
-	for _, st := range stmts {
-		if x, ok := st.(*sql.SelectStmt); ok {
-			sel = x
-		} else if d, ok := st.(*sql.DeclareStmt); ok {
-			db.mu.Lock()
-			db.vars[d.Name] = d.Value
-			db.mu.Unlock()
-		}
-	}
-	if sel == nil {
-		return "", fmt.Errorf("raven: Explain needs a SELECT")
-	}
 	binder := plan.NewBinder(db.catalog)
-	db.mu.Lock()
-	for k, v := range db.vars {
+	for k, v := range vars {
 		binder.Vars[k] = v
 	}
-	db.mu.Unlock()
 	logical, err := binder.BindSelect(sel)
 	if err != nil {
 		return "", err

@@ -1,0 +1,265 @@
+package raven
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"raven/internal/ir"
+	"raven/internal/plan"
+)
+
+// Param is one named execute-time argument of a prepared statement,
+// bound to an @var placeholder in the SQL text. Values are strings typed
+// by inference at bind time: "120" compares numerically, "true"/"false"
+// become BIT, anything else stays VARCHAR. A numeric-looking value
+// against a VARCHAR column therefore fails loudly with a type error
+// rather than comparing as a string — unlike DECLARE session variables,
+// which always bind as VARCHAR.
+type Param struct {
+	Name  string
+	Value string
+}
+
+// P builds a Param.
+func P(name, value string) Param { return Param{Name: name, Value: value} }
+
+// Stmt is a prepared statement: parse → bind → unified IR → cross
+// optimization ran once at Prepare, and every Query call reuses the
+// compiled template, paying only operator lowering and execution. A Stmt
+// is safe for concurrent Query calls; executions never mutate the shared
+// template (parameter binding clones the affected plan nodes).
+//
+// Undeclared @var references in the SQL become execute-time parameters
+// supplied via Query(P("name", "value"), ...). The PREDICT model name is
+// the exception: it determines the optimized plan, so MODEL=@var must be
+// resolvable at prepare time (DECLARE it in the prepared script).
+//
+// DDL or a model store invalidates the template; the next Query
+// transparently re-prepares against the current catalog.
+type Stmt struct {
+	db   *DB
+	sql  string
+	opts QueryOptions
+	// vars is the session-variable snapshot taken at Prepare time. Re-
+	// prepares (after DDL or model stores) reuse it, so a Stmt's meaning
+	// never drifts when the session later re-DECLAREs a variable.
+	vars map[string]string
+
+	mu   sync.Mutex
+	plan *cachedPlan
+}
+
+// Prepare compiles a statement once for repeated execution, with default
+// options. The script may contain DECLAREs (prepare-time constants) and
+// exactly one SELECT; side-effecting statements are rejected.
+func (db *DB) Prepare(q string) (*Stmt, error) {
+	return db.PrepareWithOptions(q, DefaultQueryOptions())
+}
+
+// PrepareWithOptions compiles a statement once under explicit options.
+func (db *DB) PrepareWithOptions(q string, opts QueryOptions) (*Stmt, error) {
+	s := &Stmt{db: db, sql: q, opts: opts, vars: db.varsSnapshot()}
+	if _, err := s.template(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// template returns the compiled plan, re-preparing if the catalog moved
+// (DDL or model store) since it was built. Statistics-derived plans
+// (UseStatistics) are specialized to the data range at compile time and
+// INSERTs don't bump the catalog version, so those re-prepare every call
+// rather than risk serving a stale specialization.
+func (s *Stmt) template() (*cachedPlan, error) {
+	cur := s.db.catalog.Version()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plan != nil && s.plan.version == cur && !s.opts.UseStatistics {
+		return s.plan, nil
+	}
+	p, err := s.db.planFor(s.sql, s.opts, s.vars, true)
+	if err != nil {
+		return nil, err
+	}
+	s.plan = p
+	return p, nil
+}
+
+// SQL returns the statement text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// Params returns the names of the execute-time parameters the statement
+// expects, sorted.
+func (s *Stmt) Params() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plan == nil {
+		return nil
+	}
+	return append([]string(nil), s.plan.params...)
+}
+
+// Query executes the prepared statement, binding params, and streams the
+// result.
+func (s *Stmt) Query(params ...Param) (*Rows, error) {
+	return s.QueryContext(context.Background(), params...)
+}
+
+// QueryContext executes the prepared statement under a context: the
+// compiled plan is reused (no parse/bind/optimize), parameters bind into
+// a per-call clone, and cancellation reaches every operator and predictor.
+func (s *Stmt) QueryContext(ctx context.Context, params ...Param) (*Rows, error) {
+	start := time.Now()
+	tpl, err := s.template()
+	if err != nil {
+		return nil, err
+	}
+	graph := tpl.graph
+	if len(tpl.params) > 0 || len(params) > 0 {
+		vals, err := paramValues(tpl.params, params)
+		if err != nil {
+			return nil, err
+		}
+		graph, err = bindGraphParams(graph, vals)
+		if err != nil {
+			return nil, err
+		}
+	}
+	op, err := s.db.lower(ctx, graph, tpl.sessionKey, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(ctx, op, tpl.applied, time.Since(start))
+}
+
+// paramValues validates the supplied params against the declared set:
+// every declared parameter needs a value, and unknown names are rejected
+// (they are typos, not extensions).
+func paramValues(declared []string, supplied []Param) (map[string]string, error) {
+	want := make(map[string]bool, len(declared))
+	for _, name := range declared {
+		want[name] = true
+	}
+	vals := make(map[string]string, len(supplied))
+	for _, p := range supplied {
+		if !want[p.Name] {
+			return nil, fmt.Errorf("raven: statement has no parameter @%s (expects %v)", p.Name, declared)
+		}
+		if _, dup := vals[p.Name]; dup {
+			return nil, fmt.Errorf("raven: parameter @%s bound twice", p.Name)
+		}
+		vals[p.Name] = p.Value
+	}
+	for _, name := range declared {
+		if _, ok := vals[name]; !ok {
+			return nil, fmt.Errorf("raven: no value for parameter @%s", name)
+		}
+	}
+	return vals, nil
+}
+
+// collectGraphParams gathers the unbound parameter names across every
+// relational fragment of the IR graph.
+func collectGraphParams(g *ir.Graph) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range g.Chain() {
+		if rel, ok := n.(*ir.RelNode); ok {
+			for _, name := range plan.CollectParams(rel.Plan) {
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bindGraphParams returns the graph with parameters substituted as
+// literals, cloning only the nodes on the path to a change so the shared
+// template stays immutable under concurrent executions.
+func bindGraphParams(g *ir.Graph, vals map[string]string) (*ir.Graph, error) {
+	root, changed, err := bindNodeParams(g.Root, vals)
+	if err != nil {
+		return nil, err
+	}
+	if !changed {
+		return g, nil
+	}
+	return &ir.Graph{Root: root}, nil
+}
+
+func bindNodeParams(n ir.Node, vals map[string]string) (ir.Node, bool, error) {
+	if n == nil {
+		return nil, false, nil
+	}
+	in, inChanged, err := bindNodeParams(n.Input(), vals)
+	if err != nil {
+		return nil, false, err
+	}
+	switch x := n.(type) {
+	case *ir.RelNode:
+		p, err := plan.BindParams(x.Plan, vals)
+		if err != nil {
+			return nil, false, err
+		}
+		if p == x.Plan && !inChanged {
+			return n, false, nil
+		}
+		nn := *x
+		nn.Plan = p
+		nn.In = in
+		return &nn, true, nil
+	case *ir.SplitNode:
+		left, lc, err := bindNodeParams(x.Left, vals)
+		if err != nil {
+			return nil, false, err
+		}
+		right, rc, err := bindNodeParams(x.Right, vals)
+		if err != nil {
+			return nil, false, err
+		}
+		if !inChanged && !lc && !rc {
+			return n, false, nil
+		}
+		nn := *x
+		nn.In, nn.Left, nn.Right = in, left, right
+		return &nn, true, nil
+	case *ir.TransformNode:
+		if !inChanged {
+			return n, false, nil
+		}
+		nn := *x
+		nn.In = in
+		return &nn, true, nil
+	case *ir.ModelNode:
+		if !inChanged {
+			return n, false, nil
+		}
+		nn := *x
+		nn.In = in
+		return &nn, true, nil
+	case *ir.LANode:
+		if !inChanged {
+			return n, false, nil
+		}
+		nn := *x
+		nn.In = in
+		return &nn, true, nil
+	case *ir.UDFNode:
+		if !inChanged {
+			return n, false, nil
+		}
+		nn := *x
+		nn.In = in
+		return &nn, true, nil
+	default:
+		if inChanged {
+			return nil, false, fmt.Errorf("raven: cannot rebind parameters under IR node %T", n)
+		}
+		return n, false, nil
+	}
+}
