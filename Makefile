@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor for `make cover` (percent of statements).
 COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet bench cover smoke ci
+.PHONY: all build test race vet bench bench-quick cover smoke ci
 
 all: ci
 
@@ -45,4 +45,16 @@ smoke:
 bench:
 	$(GO) run ./cmd/ravenbench -quick
 
+# bench-quick smoke-runs only the pipeline-breaker ablation and records
+# the result, so `make ci` catches breaker regressions (a breaker that
+# silently serializes or errors) without paying for the full paper suite.
+# BENCH_JSON is where the table is recorded; `make ci` points it at an
+# untracked scratch path so routine CI runs don't churn the checked-in
+# BENCH_parallel_breakers.json — regenerate that one deliberately with
+# a plain `make bench-quick`.
+BENCH_JSON ?= BENCH_parallel_breakers.json
+bench-quick:
+	$(GO) run ./cmd/ravenbench -quick -only ParallelBreakers -json $(BENCH_JSON)
+
 ci: build vet test race smoke
+	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json

@@ -177,6 +177,95 @@ func TestContextInterruptsExternalStartup(t *testing.T) {
 	}
 }
 
+// TestContextCancelsParallelAggregate blocks a predictor below the
+// two-phase parallel aggregate: the deadline must surface promptly from
+// the fold workers (they poll ctx between morsels and the wrapped
+// predictor polls per batch) with no goroutines left behind.
+func TestContextCancelsParallelAggregate(t *testing.T) {
+	db := slowPredictDB(t, 50000)
+	q := `SELECT COUNT(*) AS n, AVG(p.prob) AS ap FROM PREDICT(MODEL='slow_rf', DATA=flights_features AS d) WITH (prob FLOAT) AS p WHERE d.f0 > -100`
+	opts := QueryOptions{Mode: ModeInProcess, Parallelism: 4, ParallelThresholdRows: 1, MorselSize: 512}
+	// Uncancelled reference run: the aggregate works and takes long
+	// enough that a 2ms deadline lands mid-fold.
+	start := time.Now()
+	if _, err := db.QueryWithOptions(q, opts); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+	if full < 10*time.Millisecond {
+		t.Skipf("query too fast (%v) to cancel reliably on this host", full)
+	}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		start = time.Now()
+		rows, err := db.QueryContextWithOptions(ctx, q, opts)
+		if err == nil {
+			_, err = rows.Collect()
+		}
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("run %d: want DeadlineExceeded, got %v", i, err)
+		}
+		if elapsed > full/2+50*time.Millisecond {
+			t.Errorf("run %d: cancellation not prompt: %v of a %v query", i, elapsed, full)
+		}
+	}
+	assertGoroutinesReturn(t, base)
+}
+
+// TestContextCancelsBreakersOverJoin runs the full stacked shape — join
+// build + probe exchange + post-breaker predict pipeline + parallel
+// aggregate merge — under a deadline. Whichever phase the deadline lands
+// in must abort promptly and leak nothing.
+func TestContextCancelsBreakersOverJoin(t *testing.T) {
+	db, h := hospitalDB(t, 40000)
+	rf := train.FitForest(h.TrainX, h.TrainY, train.ForestOptions{
+		NumTrees: 24,
+		Seed:     11,
+		Tree:     train.TreeOptions{MaxDepth: 8, MinLeaf: 10},
+	})
+	if err := db.StoreModel("slow_los", &ml.Pipeline{Final: rf, InputColumns: h.FeatureCols}); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT COUNT(*) AS n, AVG(p.los) AS al
+		FROM PREDICT(MODEL='slow_los',
+		  DATA=(SELECT * FROM patient_info AS pi
+		        JOIN blood_tests AS bt ON pi.id = bt.id
+		        JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+		WITH (los FLOAT) AS p`
+	opts := QueryOptions{Mode: ModeInProcess, Parallelism: 4, ParallelThresholdRows: 1, MorselSize: 512}
+	if _, err := db.QueryWithOptions(q, opts); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	// Deadlines spread from "inside the join build" to "inside the
+	// aggregate fold" so different phases get hit across runs.
+	for _, d := range []time.Duration{500 * time.Microsecond, 2 * time.Millisecond, 8 * time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		rows, err := db.QueryContextWithOptions(ctx, q, opts)
+		if err == nil {
+			_, err = rows.Collect()
+		}
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("deadline %v: want DeadlineExceeded or success, got %v", d, err)
+		}
+	}
+	// Pre-cancelled: no phase may even start.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := db.QueryContextWithOptions(ctx, q, opts)
+	if err == nil {
+		_, err = rows.Collect()
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: want Canceled, got %v", err)
+	}
+	assertGoroutinesReturn(t, base)
+}
+
 // TestContextCancelsPipelineBreakers drives cancellation through sort and
 // aggregate (the join_agg.go materializing operators) rather than the
 // exchange itself.

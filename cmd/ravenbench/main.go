@@ -1,17 +1,21 @@
 // Command ravenbench regenerates every table and figure of the paper's
 // evaluation and prints them in paper-figure form. With -markdown it emits
-// the EXPERIMENTS.md body instead.
+// the EXPERIMENTS.md body instead; with -json FILE it also records the
+// selected tables (plus host parallelism) as JSON, which is how the
+// checked-in BENCH_*.json result files are produced.
 //
 // Usage:
 //
-//	ravenbench [-quick] [-markdown] [-only Fig2a,Fig3] [-runs N]
+//	ravenbench [-quick] [-markdown] [-only Fig2a,Fig3] [-runs N] [-json FILE]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"raven/internal/bench"
@@ -21,10 +25,11 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
 	timeout := flag.Duration("timeout", 0, "skip experiments not yet started once the deadline passes (0 = no limit); an in-flight experiment runs to completion")
-	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,PreparedPredict)")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict)")
 	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for experiment engines (0 = engine default, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
+	jsonPath := flag.String("json", "", "also write the selected tables as JSON to this file")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -52,6 +57,7 @@ func main() {
 		{"StaticAnalysis", bench.StaticAnalysis},
 		{"RunningExample", bench.RunningExample},
 		{"ParallelScaling", bench.ParallelScaling},
+		{"ParallelBreakers", bench.ParallelBreakers},
 		{"PreparedPredict", bench.PreparedPredict},
 	}
 	want := map[string]bool{}
@@ -67,6 +73,7 @@ func main() {
 		defer cancel()
 	}
 	failed := false
+	var tables []*bench.Table
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
@@ -83,10 +90,48 @@ func main() {
 			failed = true
 			continue
 		}
+		tables = append(tables, tb)
 		if *markdown {
 			fmt.Print(tb.Markdown())
 		} else {
 			tb.Print(os.Stdout)
+		}
+	}
+	// Written even when every experiment failed: the Failed list is what
+	// stops a stale results file from passing as a fresh successful run.
+	if *jsonPath != "" {
+		// Failed experiment ids are recorded so a partial file is
+		// self-describing instead of passing as a complete run.
+		var failedIDs []string
+		for _, e := range all {
+			if len(want) > 0 && !want[e.id] {
+				continue
+			}
+			ran := false
+			for _, tb := range tables {
+				if tb.ID == e.id {
+					ran = true
+					break
+				}
+			}
+			if !ran {
+				failedIDs = append(failedIDs, e.id)
+			}
+		}
+		out := struct {
+			GOMAXPROCS int
+			Quick      bool
+			Runs       int
+			Failed     []string `json:",omitempty"`
+			Tables     []*bench.Table
+		}{runtime.GOMAXPROCS(0), *quick, cfg.Runs, failedIDs, tables}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			failed = true
+		} else if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			failed = true
 		}
 	}
 	if failed {

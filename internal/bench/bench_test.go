@@ -231,4 +231,33 @@ func TestExperimentsQuick(t *testing.T) {
 			}
 		}
 	})
+
+	t.Run("ParallelBreakers", func(t *testing.T) {
+		tb, err := ParallelBreakers(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// three queries x four DOP points, each measured.
+		if len(tb.Rows) != 12 {
+			t.Fatalf("rows = %d: %+v", len(tb.Rows), tb.Rows)
+		}
+		for _, r := range tb.Rows {
+			if r.Millis <= 0 {
+				t.Errorf("%s/%s has no measurement", r.Series, r.Param)
+			}
+		}
+		if !strings.Contains(tb.Rows[0].Note, "speedup") {
+			t.Error("no speedup recorded")
+		}
+		// The >=2x acceptance at DOP 8 only means anything with >=8 real
+		// cores and no race instrumentation; the checked-in
+		// BENCH_parallel_breakers.json records what this host produced.
+		if !raceEnabled && runtime.GOMAXPROCS(0) >= 8 {
+			for _, q := range []string{"GROUP BY", "JOIN"} {
+				if sp := tb.Speedup("DOP=1", "DOP=8", q); sp < 2 {
+					t.Errorf("%s: DOP=8 speedup = %.2fx, want >= 2x on an 8-core host", q, sp)
+				}
+			}
+		}
+	})
 }

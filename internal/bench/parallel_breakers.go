@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"raven"
+	"raven/internal/storage"
+	"raven/internal/types"
+)
+
+// genBreakerTables builds the synthetic fact/dimension pair the breaker
+// ablation runs over: breaker_events (large, with a low-cardinality
+// segment column and a many-to-one join key) and breaker_dim (small).
+// Deterministic per seed.
+func genBreakerTables(cat *storage.Catalog, rows, dimRows, segs int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	ev := storage.NewTable("breaker_events", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int},
+		types.Column{Name: "k", Type: types.Int},
+		types.Column{Name: "seg", Type: types.String},
+		types.Column{Name: "v", Type: types.Float},
+		types.Column{Name: "w", Type: types.Float},
+	))
+	segNames := make([]string, segs)
+	for i := range segNames {
+		segNames[i] = fmt.Sprintf("s%02d", i)
+	}
+	for i := 0; i < rows; i++ {
+		if err := ev.AppendRow(
+			int64(i),
+			int64(rng.Intn(dimRows)),
+			segNames[rng.Intn(segs)],
+			rng.Float64(),
+			rng.NormFloat64(),
+		); err != nil {
+			return err
+		}
+	}
+	dim := storage.NewTable("breaker_dim", types.NewSchema(
+		types.Column{Name: "k", Type: types.Int},
+		types.Column{Name: "label", Type: types.String},
+	))
+	for i := 0; i < dimRows; i++ {
+		if err := dim.AppendRow(int64(i), fmt.Sprintf("d%04d", i)); err != nil {
+			return err
+		}
+	}
+	if err := cat.AddTable(ev); err != nil {
+		return err
+	}
+	if err := cat.AddTable(dim); err != nil {
+		return err
+	}
+	cat.SetUniqueKey("breaker_dim", "k")
+	return nil
+}
+
+// ParallelBreakers ablates the degree of parallelism for the three
+// pipeline-breaker shapes — GROUP BY (two-phase partial aggregation +
+// merge), JOIN (partitioned parallel build + in-pipeline probe) and
+// ORDER BY (per-morsel sorted runs + streaming k-way merge) — over the
+// large synthetic table. Serial (DOP=1) runs the identical operators
+// with one worker, so the ratio isolates the parallel speedup; the
+// parity tests guarantee all DOPs return byte-identical results.
+// Speedups only materialize with GOMAXPROCS > 1; the note records the
+// host's core count so single-core results are not misread.
+func ParallelBreakers(cfg Config) (*Table, error) {
+	procs := runtime.GOMAXPROCS(0)
+	t := &Table{
+		ID:         "ParallelBreakers",
+		Title:      "morsel-parallel pipeline breakers vs serial (GROUP BY / JOIN / ORDER BY)",
+		PaperShape: "breakers no longer collapse to one thread: the §5 obs iii parallel-scan win extends to analytics-shaped queries",
+	}
+	rows, dimRows, segs := 600000, 4096, 32
+	if cfg.Quick {
+		rows = 150000
+	}
+	db := cfg.open()
+	if err := genBreakerTables(db.Catalog(), rows, dimRows, segs, 23); err != nil {
+		return nil, err
+	}
+
+	queries := []struct{ label, q string }{
+		{"GROUP BY", `SELECT seg, COUNT(*) AS n, SUM(v) AS sv, AVG(w) AS aw, MIN(v) AS mn, MAX(w) AS mx FROM breaker_events GROUP BY seg`},
+		{"JOIN", `SELECT e.v, d.label FROM breaker_events AS e JOIN breaker_dim AS d ON e.k = d.k WHERE e.v > 0.25`},
+		{"ORDER BY", `SELECT id, v FROM breaker_events WHERE w > 0.2 ORDER BY v DESC`},
+	}
+	dops := []int{1, 2, 4, 8}
+	param := FmtRows(rows)
+	for _, tc := range queries {
+		var serial, best time.Duration
+		for _, dop := range dops {
+			d, err := Time(cfg.Warm, cfg.Runs, func() error {
+				_, err := db.QueryWithOptions(tc.q, raven.QueryOptions{
+					CrossOptimize: false,
+					Mode:          raven.ModeInProcess,
+					Parallelism:   dop,
+					// The ablation always exercises the parallel operators;
+					// DOP=1 runs them with a single worker.
+					ParallelThresholdRows: 1,
+				})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fmt.Sprintf("DOP=%d", dop), tc.label, d, "")
+			if dop == 1 {
+				serial, best = d, d
+			} else if d < best {
+				best = d
+			}
+		}
+		t.Rows[len(t.Rows)-len(dops)].Note = fmt.Sprintf(
+			"%s (%s rows): best speedup %.2fx over DOP=1; host GOMAXPROCS=%d (DOP>cores cannot speed up)",
+			tc.label, param, float64(serial.Microseconds())/float64(best.Microseconds()), procs)
+	}
+	return t, nil
+}

@@ -55,7 +55,9 @@ func Compile(g *ir.Graph, cfg *Config) (exec.Operator, error) {
 		return nil, err
 	}
 	if len(parts) == 1 {
-		return parts[0], nil
+		// A breaker at the root may still carry its stage-free
+		// re-parallelization exchange; nothing can push onto it now.
+		return exec.UnwrapIdleExchange(parts[0]), nil
 	}
 	return &exec.Parallel{Parts: parts}, nil
 }
@@ -167,8 +169,12 @@ func compileNode(n ir.Node, cfg *Config) ([]exec.Operator, error) {
 // predictParts lowers an ML scoring stage over its input partitions. When
 // the input is a still-growing morsel exchange the score becomes one more
 // stage in the same pipeline, so scan, filter and inference all run on the
-// exchange's workers; otherwise each partition is wrapped in a PredictOp
-// that falls back to slice-parallel inference on oversized batches.
+// exchange's workers. Pipeline breakers (join, aggregate, sort) no longer
+// seal the plan: exec splits the pipeline around them and re-opens a fresh
+// exchange above each breaker, so a PREDICT over a join or GROUP BY result
+// still pushes here and scores morsel-parallel. Only genuinely serial
+// inputs (DOP 1, unioned split branches) fall back to a PredictOp, which
+// recovers slice-parallel inference on oversized batches.
 func predictParts(cfg *Config, inputParts []exec.Operator, pred exec.Predictor, outCol types.Column) ([]exec.Operator, error) {
 	if cfg.Ctx != nil {
 		pred = &rt.ContextPredictor{Ctx: cfg.Ctx, Inner: pred}

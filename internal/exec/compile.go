@@ -73,9 +73,27 @@ func Compile(n plan.Node, env *Env) (Operator, error) {
 		return nil, err
 	}
 	if len(parts) == 1 {
-		return parts[0], nil
+		return UnwrapIdleExchange(parts[0]), nil
 	}
 	return &Parallel{Parts: parts}, nil
+}
+
+// UnwrapIdleExchange strips a stage-free exchange wrapped around a
+// pipeline breaker's output once nothing can push onto it anymore (the
+// plan root, or a serial consumer like LIMIT). The wrap only exists so
+// stages above the breaker can re-parallelize; when none arrived, the
+// breaker's own batch stream is already in final order and the exchange
+// would add worker goroutines and a reorder buffer for zero work — and
+// under LIMIT it would also prefetch rows the query will never return.
+func UnwrapIdleExchange(op Operator) Operator {
+	ex, ok := op.(*Exchange)
+	if !ok || ex.opened || len(ex.Stages) > 0 {
+		return op
+	}
+	if sms, ok := ex.Source.(*StreamMorselSource); ok {
+		return sms.Op
+	}
+	return op
 }
 
 // compileParts returns one operator per partition for parallelizable
@@ -174,35 +192,61 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 		return parts, nil
 
 	case *plan.Join:
-		left, err := Compile(x.Left, env)
+		leftParts, err := compileParts(x.Left, env)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Compile(x.Right, env)
+		rightParts, err := compileParts(x.Right, env)
 		if err != nil {
 			return nil, err
 		}
-		j, err := NewHashJoin(left, right, x.LeftCol, x.RightCol)
+		buildSrc, buildDOP := breakerSource(rightParts, env)
+		stage := NewHashProbeStage(x.LeftCol, buildSrc.Schema(), x.RightCol)
+		var probe Operator
+		if lex, ok := PushableExchange(leftParts); ok {
+			// Probe runs as one more stage inside the left scan's exchange:
+			// every worker probes the morsels it claims.
+			if err := lex.Push(stage); err != nil {
+				return nil, err
+			}
+			probe = lex
+		} else {
+			so, err := NewStageOp(joinOperators(leftParts), stage)
+			if err != nil {
+				return nil, err
+			}
+			probe = so
+		}
+		j, err := NewParallelHashJoin(buildSrc, buildDOP, probe, stage, x.RightCol, env.ctx())
 		if err != nil {
 			return nil, err
 		}
-		j.Ctx = env.ctx()
-		return []Operator{j}, nil
+		return breakerParts(j, env), nil
 
 	case *plan.Aggregate:
-		child, err := Compile(x.Child, env)
+		parts, err := compileParts(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
-		a, err := NewHashAggregate(child, x.GroupBy, x.Aggs)
+		if !x.Parallelizable() {
+			// Non-mergeable aggregates (none today) stay on the serial
+			// single-table operator.
+			a, err := NewHashAggregate(joinOperators(parts), x.GroupBy, x.Aggs)
+			if err != nil {
+				return nil, err
+			}
+			a.Ctx = env.ctx()
+			return []Operator{a}, nil
+		}
+		src, dop := breakerSource(parts, env)
+		a, err := NewParallelHashAggregate(src, dop, x.GroupBy, x.Aggs, env.ctx())
 		if err != nil {
 			return nil, err
 		}
-		a.Ctx = env.ctx()
-		return []Operator{a}, nil
+		return breakerParts(a, env), nil
 
 	case *plan.Sort:
-		child, err := Compile(x.Child, env)
+		parts, err := compileParts(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +254,12 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 		for i, k := range x.Keys {
 			keys[i] = SortKeySpec{Col: k.Col, Desc: k.Desc}
 		}
-		return []Operator{&SortOp{Child: child, Keys: keys, Ctx: env.ctx()}}, nil
+		src, dop := breakerSource(parts, env)
+		s, err := NewRunSort(src, dop, keys, env.ctx())
+		if err != nil {
+			return nil, err
+		}
+		return breakerParts(s, env), nil
 
 	case *plan.Limit:
 		child, err := Compile(x.Child, env)
@@ -237,4 +286,46 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 // without collapsing them behind an exchange too early.
 func CompileParts(n plan.Node, env *Env) ([]Operator, error) {
 	return compileParts(n, env)
+}
+
+// joinOperators collapses compile parts into one operator (a Parallel
+// union when there are several partitions).
+func joinOperators(parts []Operator) Operator {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return &Parallel{Parts: parts}
+}
+
+// breakerSource turns a breaker's compiled input into the morsel source
+// its workers will consume. A still-pushable exchange is taken over
+// directly — its source and pushed stages run on the breaker's own
+// workers, so the pipeline below the breaker never serializes. Anything
+// else (serial plans, unioned partition streams) is adapted batch-by-
+// batch through a StreamMorselSource.
+func breakerSource(parts []Operator, env *Env) (MorselSource, int) {
+	if ex, ok := PushableExchange(parts); ok {
+		dop := ex.DOP
+		if dop < 1 {
+			dop = env.parallelism()
+		}
+		return &stagedSource{src: ex.Source, stages: ex.Stages, schema: ex.Schema()}, dop
+	}
+	return &StreamMorselSource{Op: joinOperators(parts)}, env.parallelism()
+}
+
+// breakerParts wraps a breaker's output in a fresh morsel pipeline when
+// the plan is parallel — the pipeline-splitting half of the refactor:
+// the breaker ends one exchange pipeline, and everything above it
+// (filter, project, PREDICT, the next join's probe) pushes onto a new
+// exchange fed by the breaker's batch stream, so post-breaker work runs
+// morsel-parallel again instead of falling back to serial operators.
+func breakerParts(op Operator, env *Env) []Operator {
+	p := env.parallelism()
+	if p <= 1 {
+		return []Operator{op}
+	}
+	ex := NewExchange(&StreamMorselSource{Op: op}, p)
+	ex.Ctx = env.ctx()
+	return []Operator{ex}
 }

@@ -6,9 +6,8 @@
 package exec
 
 import (
-	"context"
 	"fmt"
-	"sort"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -334,90 +333,59 @@ func Collect(op Operator) (*types.Batch, error) {
 	return CollectContext(nil, op)
 }
 
-// SortOp materializes and sorts the input.
-type SortOp struct {
-	Child Operator
-	Keys  []SortKeySpec
-	// Ctx cancels the materializing phase between input batches.
-	Ctx  context.Context
-	out  *types.Batch
-	done bool
-}
-
-// SortKeySpec is one ordering key.
+// SortKeySpec is one ordering key. Sorting itself is RunSort (sorted
+// per-morsel runs plus a streaming k-way merge) in parallel_breakers.go.
 type SortKeySpec struct {
 	Col  string
 	Desc bool
 }
 
-// Schema implements Operator.
-func (s *SortOp) Schema() *types.Schema { return s.Child.Schema() }
+// compareAt compares rows i and j of one vector.
+func compareAt(v *types.Vector, i, j int) int { return compareVecs(v, i, v, j) }
 
-// Open implements Operator.
-func (s *SortOp) Open() error {
-	s.done = false
-	all, err := CollectContext(s.Ctx, s.Child)
-	if err != nil {
-		return err
-	}
-	n := all.Len()
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	keys := make([]*types.Vector, len(s.Keys))
-	for i, k := range s.Keys {
-		v := all.Col(k.Col)
-		if v == nil {
-			return fmt.Errorf("exec: sort key %q not found", k.Col)
-		}
-		keys[i] = v
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		for i, k := range s.Keys {
-			c := compareAt(keys[i], idx[a], idx[b])
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	s.out = all.Gather(idx)
-	return nil
-}
-
-func compareAt(v *types.Vector, i, j int) int {
-	switch v.Type {
+// compareVecs compares row i of a with row j of b (same type). INT keys
+// compare as int64 — going through AsFloat would collapse keys above
+// 2^53 into equality and mis-sort large surrogate keys. NaN floats sort
+// before every other value (like sort.Float64s): the comparator must be
+// a total order or run merging would emit rows in morsel-boundary-
+// dependent positions around NaNs, breaking the any-DOP parity
+// guarantee.
+func compareVecs(a *types.Vector, i int, b *types.Vector, j int) int {
+	switch a.Type {
 	case types.String:
-		return strings.Compare(v.Strings[i], v.Strings[j])
-	default:
-		a, b := v.AsFloat(i), v.AsFloat(j)
+		return strings.Compare(a.Strings[i], b.Strings[j])
+	case types.Int:
+		x, y := a.Ints[i], b.Ints[j]
 		switch {
-		case a < b:
+		case x < y:
 			return -1
-		case a > b:
+		case x > y:
 			return 1
 		default:
 			return 0
 		}
+	default:
+		x, y := a.AsFloat(i), b.AsFloat(j)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		case x == y:
+			return 0
+		default: // at least one NaN
+			xn, yn := math.IsNaN(x), math.IsNaN(y)
+			switch {
+			case xn && yn:
+				return 0
+			case xn:
+				return -1
+			default:
+				return 1
+			}
+		}
 	}
 }
-
-// Next implements Operator.
-func (s *SortOp) Next() (*types.Batch, error) {
-	if s.done || s.out == nil {
-		return nil, nil
-	}
-	s.done = true
-	return s.out, nil
-}
-
-// Close implements Operator.
-func (s *SortOp) Close() error { s.out = nil; return nil }
 
 // DistinctOp removes duplicate rows (hash-based, materializing keys only).
 type DistinctOp struct {

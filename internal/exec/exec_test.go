@@ -195,10 +195,13 @@ func TestHashAggregate(t *testing.T) {
 	}
 }
 
-func TestSortOp(t *testing.T) {
+func TestRunSortOrders(t *testing.T) {
 	tb := numbersTable(t, 10)
 	s, _ := NewTableScan(tb, nil)
-	so := &SortOp{Child: s, Keys: []SortKeySpec{{Col: "grp"}, {Col: "id", Desc: true}}}
+	so, err := NewRunSort(&StreamMorselSource{Op: s}, 1, []SortKeySpec{{Col: "grp"}, {Col: "id", Desc: true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := Collect(so)
 	if err != nil {
 		t.Fatal(err)

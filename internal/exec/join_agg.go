@@ -4,13 +4,17 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"raven/internal/plan"
 	"raven/internal/types"
 )
 
-// HashJoin is an inner equi-join: build on the right input, probe with the
-// left. The output drops the right key column (matching plan.Join).
+// HashJoin is the serial inner equi-join: build on the right input, probe
+// with the left. The output drops the right key column (matching
+// plan.Join). Compilation now lowers plan.Join to ParallelHashJoin (which
+// degrades to one worker at DOP 1); HashJoin remains as the reference
+// implementation the parity tests compare against.
 type HashJoin struct {
 	Left, Right       Operator
 	LeftCol, RightCol string
@@ -29,29 +33,40 @@ type HashJoin struct {
 	rightSel []int // right columns kept in output order
 }
 
+// joinOutputSchema computes the join output (left ++ right minus the
+// right key column, matching plan.Join) and the kept right-column
+// ordinals — shared by the serial HashJoin and the parallel
+// HashProbeStage so the two physical paths cannot drift.
+func joinOutputSchema(left, right *types.Schema, rightCol string) (schema *types.Schema, rightSel []int, rightIdx int, err error) {
+	rightIdx = right.IndexOf(rightCol)
+	if rightIdx < 0 {
+		return nil, nil, -1, fmt.Errorf("exec: join key %q not in right schema", rightCol)
+	}
+	var cols []types.Column
+	cols = append(cols, left.Columns...)
+	for i, c := range right.Columns {
+		if i == rightIdx {
+			continue
+		}
+		cols = append(cols, c)
+		rightSel = append(rightSel, i)
+	}
+	return types.NewSchema(cols...), rightSel, rightIdx, nil
+}
+
 // NewHashJoin builds the operator and resolves key ordinals.
 func NewHashJoin(left, right Operator, leftCol, rightCol string) (*HashJoin, error) {
 	li := left.Schema().IndexOf(leftCol)
 	if li < 0 {
 		return nil, fmt.Errorf("exec: join key %q not in left schema", leftCol)
 	}
-	ri := right.Schema().IndexOf(rightCol)
-	if ri < 0 {
-		return nil, fmt.Errorf("exec: join key %q not in right schema", rightCol)
-	}
-	var cols []types.Column
-	cols = append(cols, left.Schema().Columns...)
-	var rightSel []int
-	for i, c := range right.Schema().Columns {
-		if i == ri {
-			continue
-		}
-		cols = append(cols, c)
-		rightSel = append(rightSel, i)
+	schema, rightSel, ri, err := joinOutputSchema(left.Schema(), right.Schema(), rightCol)
+	if err != nil {
+		return nil, err
 	}
 	return &HashJoin{
 		Left: left, Right: right, LeftCol: leftCol, RightCol: rightCol,
-		schema: types.NewSchema(cols...), leftIdx: li, rightIdx: ri, rightSel: rightSel,
+		schema: schema, leftIdx: li, rightIdx: ri, rightSel: rightSel,
 	}, nil
 }
 
@@ -129,37 +144,11 @@ func (j *HashJoin) Next() (*types.Batch, error) {
 	}
 }
 
-// HashAggregate groups rows and computes aggregates, emitting one batch in
-// first-seen group order.
-type HashAggregate struct {
-	Child   Operator
-	GroupBy []string
-	Aggs    []plan.AggSpec
-	// Ctx cancels the aggregation between input batches.
-	Ctx context.Context
-
-	schema *types.Schema
-	groups map[string]*aggGroup
-	order  []string
-	out    *types.Batch
-	done   bool
-}
-
-// aggGroup accumulates all aggregates for one group.
-type aggGroup struct {
-	keys   []any
-	counts []int64
-	sums   []float64
-	mins   []float64
-	maxs   []float64
-	minStr []string
-	maxStr []string
-}
-
-// NewHashAggregate builds the operator; schema mirrors plan.NewAggregate.
-func NewHashAggregate(child Operator, groupBy []string, aggs []plan.AggSpec) (*HashAggregate, error) {
+// aggOutputSchema computes the output schema of a grouped aggregation over
+// child schema cs — shared by the serial and parallel aggregate operators
+// (and mirroring plan.NewAggregate) so the physical paths cannot drift.
+func aggOutputSchema(cs *types.Schema, groupBy []string, aggs []plan.AggSpec) (*types.Schema, error) {
 	var cols []types.Column
-	cs := child.Schema()
 	for _, g := range groupBy {
 		i := cs.IndexOf(g)
 		if i < 0 {
@@ -180,7 +169,318 @@ func NewHashAggregate(child Operator, groupBy []string, aggs []plan.AggSpec) (*H
 		}
 		cols = append(cols, types.Column{Name: a.Name, Type: t})
 	}
-	return &HashAggregate{Child: child, GroupBy: groupBy, Aggs: aggs, schema: types.NewSchema(cols...)}, nil
+	return types.NewSchema(cols...), nil
+}
+
+// appendGroupKey renders row i's grouping columns as the hash key into
+// dst (reset first), returning the grown buffer — callers keep one
+// scratch buffer per batch so the hottest loop of every aggregation pays
+// only the unavoidable string(key) allocation. Each value is
+// length-prefixed so string values containing a delimiter cannot make
+// two distinct key tuples collide (e.g. ("x|","y") vs ("x","|y")), and
+// values render through typed strconv paths instead of reflection. The
+// scheme is shared by every aggregation path so serial and parallel
+// plans group identically.
+func appendGroupKey(dst []byte, b *types.Batch, keyIdx []int, i int) []byte {
+	dst = dst[:0]
+	for _, ki := range keyIdx {
+		v := b.Vecs[ki]
+		if v.IsNull(i) {
+			// Distinct marker: every rendered value starts with a digit
+			// (its length prefix), so NULL can never collide with a
+			// literal string like "<nil>".
+			dst = append(dst, 'n')
+			continue
+		}
+		var s string
+		switch {
+		case v.Type == types.Int:
+			s = strconv.FormatInt(v.Ints[i], 10)
+		case v.Type == types.Float:
+			// shortest round-trip form, same rendering fmt %v uses
+			s = strconv.FormatFloat(v.Floats[i], 'g', -1, 64)
+		case v.Type == types.Bool:
+			s = strconv.FormatBool(v.Bools[i])
+		case v.Type == types.String:
+			s = v.Strings[i]
+		default:
+			s = fmt.Sprintf("%v", v.Value(i))
+		}
+		dst = strconv.AppendInt(dst, int64(len(s)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// aggGroup accumulates all aggregates for one group. SUM/AVG use exact
+// (order-invariant, correctly rounded) float accumulation so partial
+// aggregation merges bit-identically to serial execution; MIN/MAX keep a
+// typed int64 path so INT keys above 2^53 do not collapse through float64.
+type aggGroup struct {
+	keys   []any
+	counts []int64
+	sums   []exactFloatSum
+	mins   []float64
+	maxs   []float64
+	minInt []int64
+	maxInt []int64
+	minStr []string
+	maxStr []string
+}
+
+// aggFamilies records which accumulator families a spec list needs —
+// derived once per operator from the aggregate functions and the static
+// MIN/MAX argument types, so each group allocates only the slices its
+// query can ever read.
+type aggFamilies struct {
+	sum     bool // SUM/AVG present
+	minMaxF bool // MIN/MAX over float (or bool) arguments
+	minMaxI bool // MIN/MAX over int arguments
+	minMaxS bool // MIN/MAX over string arguments
+}
+
+// aggFamiliesOf derives the families from the specs against the input
+// schema. Argument types were already validated by aggOutputSchema, so a
+// type error here cannot occur; unknown types default to the float
+// family (matching observe's AsFloat fallback).
+func aggFamiliesOf(aggs []plan.AggSpec, in *types.Schema) aggFamilies {
+	var f aggFamilies
+	for _, a := range aggs {
+		switch a.Func {
+		case plan.AggSum, plan.AggAvg:
+			f.sum = true
+		case plan.AggMin, plan.AggMax:
+			t := types.Float
+			if a.Arg != nil {
+				if at, err := a.Arg.Type(in); err == nil {
+					t = at
+				}
+			}
+			switch t {
+			case types.Int:
+				f.minMaxI = true
+			case types.String:
+				f.minMaxS = true
+			default:
+				f.minMaxF = true
+			}
+		}
+	}
+	return f
+}
+
+// newAggGroup allocates state for one group, but only the accumulator
+// families the query actually uses — a group is allocated per key per
+// worker, so a high-cardinality COUNT-only (or single-typed MIN/MAX)
+// GROUP BY must not pay for unused slices.
+func newAggGroup(nKeys int, aggs []plan.AggSpec, fam aggFamilies) *aggGroup {
+	g := &aggGroup{
+		keys:   make([]any, nKeys),
+		counts: make([]int64, len(aggs)),
+	}
+	if fam.sum {
+		g.sums = make([]exactFloatSum, len(aggs))
+	}
+	if fam.minMaxF {
+		g.mins = make([]float64, len(aggs))
+		g.maxs = make([]float64, len(aggs))
+		for a := range g.mins {
+			g.mins[a] = math.Inf(1)
+			g.maxs[a] = math.Inf(-1)
+		}
+	}
+	if fam.minMaxI {
+		g.minInt = make([]int64, len(aggs))
+		g.maxInt = make([]int64, len(aggs))
+		for a := range g.minInt {
+			g.minInt[a] = math.MaxInt64
+			g.maxInt[a] = math.MinInt64
+		}
+	}
+	if fam.minMaxS {
+		g.minStr = make([]string, len(aggs))
+		g.maxStr = make([]string, len(aggs))
+	}
+	return g
+}
+
+// observe folds row i of the evaluated aggregate arguments into the group.
+func (g *aggGroup) observe(aggs []plan.AggSpec, argVals []*types.Vector, i int) {
+	for ai, a := range aggs {
+		if a.Func == plan.AggCount {
+			g.counts[ai]++
+			continue
+		}
+		v := argVals[ai]
+		switch v.Type {
+		case types.String:
+			if a.Func == plan.AggMin || a.Func == plan.AggMax {
+				s := v.Strings[i]
+				if g.counts[ai] == 0 || s < g.minStr[ai] {
+					g.minStr[ai] = s
+				}
+				if g.counts[ai] == 0 || s > g.maxStr[ai] {
+					g.maxStr[ai] = s
+				}
+			}
+			g.counts[ai]++
+		case types.Int:
+			g.counts[ai]++
+			switch a.Func {
+			case plan.AggSum, plan.AggAvg:
+				g.sums[ai].Add(float64(v.Ints[i]))
+			default:
+				k := v.Ints[i]
+				if k < g.minInt[ai] {
+					g.minInt[ai] = k
+				}
+				if k > g.maxInt[ai] {
+					g.maxInt[ai] = k
+				}
+			}
+		default:
+			x := v.AsFloat(i)
+			g.counts[ai]++
+			switch a.Func {
+			case plan.AggSum, plan.AggAvg:
+				// Exact accumulation is the expensive path; only the
+				// functions that emit it pay for it.
+				g.sums[ai].Add(x)
+			default:
+				if x < g.mins[ai] {
+					g.mins[ai] = x
+				}
+				if x > g.maxs[ai] {
+					g.maxs[ai] = x
+				}
+			}
+		}
+	}
+}
+
+// merge folds another partial state for the same group into g. All
+// supported aggregate functions are mergeable (plan.AggFunc.Mergeable):
+// counts add, exact sums merge exactly, min/max combine. Each function
+// only touches its own accumulator family (the others may be unallocated).
+func (g *aggGroup) merge(o *aggGroup, aggs []plan.AggSpec) {
+	for ai, a := range aggs {
+		switch a.Func {
+		case plan.AggCount:
+			g.counts[ai] += o.counts[ai]
+		case plan.AggSum, plan.AggAvg:
+			if o.counts[ai] == 0 {
+				continue
+			}
+			g.counts[ai] += o.counts[ai]
+			g.sums[ai].Merge(&o.sums[ai])
+		case plan.AggMin, plan.AggMax:
+			if o.counts[ai] == 0 {
+				continue
+			}
+			// Only the allocated families are merged; which one this
+			// aggregate uses is fixed by its argument type.
+			if g.minStr != nil {
+				if g.counts[ai] == 0 {
+					g.minStr[ai], g.maxStr[ai] = o.minStr[ai], o.maxStr[ai]
+				} else {
+					if o.minStr[ai] < g.minStr[ai] {
+						g.minStr[ai] = o.minStr[ai]
+					}
+					if o.maxStr[ai] > g.maxStr[ai] {
+						g.maxStr[ai] = o.maxStr[ai]
+					}
+				}
+			}
+			g.counts[ai] += o.counts[ai]
+			if g.mins != nil {
+				if o.mins[ai] < g.mins[ai] {
+					g.mins[ai] = o.mins[ai]
+				}
+				if o.maxs[ai] > g.maxs[ai] {
+					g.maxs[ai] = o.maxs[ai]
+				}
+			}
+			if g.minInt != nil {
+				if o.minInt[ai] < g.minInt[ai] {
+					g.minInt[ai] = o.minInt[ai]
+				}
+				if o.maxInt[ai] > g.maxInt[ai] {
+					g.maxInt[ai] = o.maxInt[ai]
+				}
+			}
+		}
+	}
+}
+
+// emitRow renders the group as an output row in schema order.
+func (g *aggGroup) emitRow(aggs []plan.AggSpec, schema *types.Schema, nKeys int) []any {
+	row := make([]any, 0, schema.Len())
+	row = append(row, g.keys...)
+	for ai, a := range aggs {
+		idx := nKeys + ai
+		switch a.Func {
+		case plan.AggCount:
+			row = append(row, g.counts[ai])
+		case plan.AggSum:
+			row = append(row, g.sums[ai].Round())
+		case plan.AggAvg:
+			if g.counts[ai] == 0 {
+				row = append(row, 0.0)
+			} else {
+				row = append(row, g.sums[ai].Round()/float64(g.counts[ai]))
+			}
+		case plan.AggMin, plan.AggMax:
+			switch schema.Columns[idx].Type {
+			case types.String:
+				if a.Func == plan.AggMin {
+					row = append(row, g.minStr[ai])
+				} else {
+					row = append(row, g.maxStr[ai])
+				}
+			case types.Int:
+				if a.Func == plan.AggMin {
+					row = append(row, g.minInt[ai])
+				} else {
+					row = append(row, g.maxInt[ai])
+				}
+			default:
+				if a.Func == plan.AggMin {
+					row = append(row, g.mins[ai])
+				} else {
+					row = append(row, g.maxs[ai])
+				}
+			}
+		}
+	}
+	return row
+}
+
+// HashAggregate is the serial grouped aggregation, emitting one batch in
+// first-seen group order. Compilation now lowers plan.Aggregate to the
+// two-phase ParallelHashAggregate; this operator remains as the reference
+// implementation (it shares aggGroup, so the two cannot drift).
+type HashAggregate struct {
+	Child   Operator
+	GroupBy []string
+	Aggs    []plan.AggSpec
+	// Ctx cancels the aggregation between input batches.
+	Ctx context.Context
+
+	schema *types.Schema
+	groups map[string]*aggGroup
+	order  []string
+	out    *types.Batch
+	done   bool
+}
+
+// NewHashAggregate builds the operator; schema mirrors plan.NewAggregate.
+func NewHashAggregate(child Operator, groupBy []string, aggs []plan.AggSpec) (*HashAggregate, error) {
+	schema, err := aggOutputSchema(child.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &HashAggregate{Child: child, GroupBy: groupBy, Aggs: aggs, schema: schema}, nil
 }
 
 // Schema implements Operator.
@@ -200,6 +500,7 @@ func (h *HashAggregate) Open() error {
 	for i, g := range h.GroupBy {
 		keyIdx[i] = h.Child.Schema().IndexOf(g)
 	}
+	fam := aggFamiliesOf(h.Aggs, h.Child.Schema())
 	for {
 		if err := ctxErr(h.Ctx); err != nil {
 			return err
@@ -221,60 +522,20 @@ func (h *HashAggregate) Open() error {
 				argVals[ai] = v
 			}
 		}
+		var scratch []byte
 		for i := 0; i < b.Len(); i++ {
-			var kb []byte
-			for _, ki := range keyIdx {
-				kb = append(kb, fmt.Sprintf("%v|", b.Vecs[ki].Value(i))...)
-			}
-			key := string(kb)
+			scratch = appendGroupKey(scratch, b, keyIdx, i)
+			key := string(scratch)
 			st, ok := h.groups[key]
 			if !ok {
-				st = &aggGroup{
-					keys:   make([]any, len(keyIdx)),
-					counts: make([]int64, len(h.Aggs)),
-					sums:   make([]float64, len(h.Aggs)),
-					mins:   make([]float64, len(h.Aggs)),
-					maxs:   make([]float64, len(h.Aggs)),
-					minStr: make([]string, len(h.Aggs)),
-					maxStr: make([]string, len(h.Aggs)),
-				}
-				for a := range st.mins {
-					st.mins[a] = math.Inf(1)
-					st.maxs[a] = math.Inf(-1)
-				}
+				st = newAggGroup(len(keyIdx), h.Aggs, fam)
 				for k, ki := range keyIdx {
 					st.keys[k] = b.Vecs[ki].Value(i)
 				}
 				h.groups[key] = st
 				h.order = append(h.order, key)
 			}
-			for ai, a := range h.Aggs {
-				if a.Func == plan.AggCount {
-					st.counts[ai]++
-					continue
-				}
-				v := argVals[ai]
-				if v.Type == types.String {
-					s := v.Strings[i]
-					if st.counts[ai] == 0 || s < st.minStr[ai] {
-						st.minStr[ai] = s
-					}
-					if st.counts[ai] == 0 || s > st.maxStr[ai] {
-						st.maxStr[ai] = s
-					}
-					st.counts[ai]++
-					continue
-				}
-				x := v.AsFloat(i)
-				st.counts[ai]++
-				st.sums[ai] += x
-				if x < st.mins[ai] {
-					st.mins[ai] = x
-				}
-				if x > st.maxs[ai] {
-					st.maxs[ai] = x
-				}
-			}
+			st.observe(h.Aggs, argVals, i)
 		}
 	}
 	return h.emit()
@@ -284,45 +545,7 @@ func (h *HashAggregate) emit() error {
 	out := types.NewBatch(h.schema)
 	for _, key := range h.order {
 		st := h.groups[key]
-		row := make([]any, 0, h.schema.Len())
-		row = append(row, st.keys...)
-		for ai, a := range h.Aggs {
-			idx := len(h.GroupBy) + ai
-			switch a.Func {
-			case plan.AggCount:
-				row = append(row, st.counts[ai])
-			case plan.AggSum:
-				row = append(row, st.sums[ai])
-			case plan.AggAvg:
-				if st.counts[ai] == 0 {
-					row = append(row, 0.0)
-				} else {
-					row = append(row, st.sums[ai]/float64(st.counts[ai]))
-				}
-			case plan.AggMin, plan.AggMax:
-				switch h.schema.Columns[idx].Type {
-				case types.String:
-					if a.Func == plan.AggMin {
-						row = append(row, st.minStr[ai])
-					} else {
-						row = append(row, st.maxStr[ai])
-					}
-				case types.Int:
-					if a.Func == plan.AggMin {
-						row = append(row, int64(st.mins[ai]))
-					} else {
-						row = append(row, int64(st.maxs[ai]))
-					}
-				default:
-					if a.Func == plan.AggMin {
-						row = append(row, st.mins[ai])
-					} else {
-						row = append(row, st.maxs[ai])
-					}
-				}
-			}
-		}
-		if err := out.AppendRow(row...); err != nil {
+		if err := out.AppendRow(st.emitRow(h.Aggs, h.schema, len(h.GroupBy))...); err != nil {
 			return err
 		}
 	}

@@ -107,6 +107,83 @@ func (s *TableMorselSource) NextMorsel() (int, *types.Batch, error) {
 // Close implements MorselSource.
 func (s *TableMorselSource) Close() error { return nil }
 
+// stagedSource applies a stage chain to every morsel of an inner source.
+// Pipeline breakers use it to take over an unopened Exchange's pipeline
+// (source plus pushed stages) with their own workers: the stages run on
+// whichever worker claimed the morsel, exactly as they would inside the
+// exchange. A fully filtered morsel comes back as an empty (not nil)
+// batch so the sequence stays dense and nil keeps meaning exhaustion.
+type stagedSource struct {
+	src    MorselSource
+	stages []Stage
+	schema *types.Schema
+}
+
+// Open implements MorselSource.
+func (s *stagedSource) Open() error { return s.src.Open() }
+
+// Close implements MorselSource.
+func (s *stagedSource) Close() error { return s.src.Close() }
+
+// Schema implements MorselSource.
+func (s *stagedSource) Schema() *types.Schema { return s.schema }
+
+// NextMorsel implements MorselSource.
+func (s *stagedSource) NextMorsel() (int, *types.Batch, error) {
+	seq, b, err := s.src.NextMorsel()
+	if err != nil || b == nil {
+		return seq, b, err
+	}
+	for _, st := range s.stages {
+		b, err = st.Apply(b)
+		if err != nil {
+			return seq, nil, err
+		}
+		if b == nil || b.Len() == 0 {
+			return seq, types.NewBatch(s.schema), nil
+		}
+	}
+	return seq, b, nil
+}
+
+// StreamMorselSource adapts an operator's batch stream into a morsel
+// source: each batch becomes one morsel, sequenced in stream order.
+// Claims serialize on a mutex (the operator underneath is single-
+// threaded), so this is how a fresh morsel pipeline opens above a
+// pipeline breaker — the breaker's output streams through here into a
+// new Exchange whose workers run the stages pushed above it.
+type StreamMorselSource struct {
+	Op Operator
+
+	mu  sync.Mutex
+	seq int
+}
+
+// Open implements MorselSource.
+func (s *StreamMorselSource) Open() error {
+	s.seq = 0
+	return s.Op.Open()
+}
+
+// Close implements MorselSource.
+func (s *StreamMorselSource) Close() error { return s.Op.Close() }
+
+// Schema implements MorselSource.
+func (s *StreamMorselSource) Schema() *types.Schema { return s.Op.Schema() }
+
+// NextMorsel implements MorselSource.
+func (s *StreamMorselSource) NextMorsel() (int, *types.Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.Op.Next()
+	if err != nil || b == nil {
+		return 0, nil, err
+	}
+	seq := s.seq
+	s.seq++
+	return seq, b, nil
+}
+
 // Stage is one per-morsel transformation inside an Exchange: the morsel-
 // parallel counterparts of FilterOp/ProjectOp/PredictOp. OutSchema is
 // called once (single-threaded, before Open) and may cache derived state;

@@ -225,12 +225,12 @@ func TestExchangeEarlyCloseUnderLimit(t *testing.T) {
 
 func TestPredictOpSliceParallelMatchesSerial(t *testing.T) {
 	tb := numbersTable(t, 100000)
-	// Sort materializes the whole table into one batch — the post-breaker
-	// shape where PredictOp's slice-parallel inference kicks in.
+	// A single table-sized batch is the shape where PredictOp's
+	// slice-parallel inference kicks in (serial operators above breakers).
 	build := func(par int) Operator {
 		s, _ := NewTableScan(tb, nil)
-		srt := &SortOp{Child: s, Keys: []SortKeySpec{{Col: "x", Desc: true}}}
-		op := NewPredictOp(srt, constPredictor{bias: 2}, []types.Column{{Name: "score", Type: types.Float}})
+		s.BatchSize = tb.NumRows()
+		op := NewPredictOp(s, constPredictor{bias: 2}, []types.Column{{Name: "score", Type: types.Float}})
 		op.Parallelism = par
 		op.MorselSize = 4096
 		return op

@@ -1,0 +1,815 @@
+// Parallel pipeline breakers: the morsel-parallel counterparts of the
+// materializing operators (aggregate, join, sort). Each one consumes its
+// input through a MorselSource with its own pool of workers — the same
+// claim-a-morsel loop Exchange uses — so the pipeline below a breaker
+// keeps every core busy, and each guarantees output bit-identical to the
+// serial plan:
+//
+//   - ParallelHashAggregate folds morsels into per-worker partial tables
+//     and merges them; exact float summation (fsum.go) plus first-seen
+//     (seq, row) group ordering make the result DOP-invariant.
+//   - ParallelHashJoin materializes the build side in morsel order, then
+//     builds key-hash-partitioned tables in parallel (no partition is
+//     shared between build workers); the probe side runs as a pushable
+//     HashProbeStage inside the left scan's exchange.
+//   - RunSort stable-sorts each morsel into a run and streams a k-way
+//     heap merge of the runs, breaking key ties by global row position —
+//     exactly a stable sort of the whole input.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"raven/internal/plan"
+	"raven/internal/types"
+)
+
+// consumeMorsels runs dop workers that claim morsels from src, handing
+// each non-empty batch to fold. fold runs concurrently on different
+// workers but w identifies the calling worker, so per-worker state needs
+// no locking. The first error (including ctx cancellation, checked
+// between morsels) stops all workers; every worker has exited when
+// consumeMorsels returns.
+func consumeMorsels(src MorselSource, dop int, ctx context.Context, fold func(w, seq int, b *types.Batch) error) error {
+	if dop < 1 {
+		dop = 1
+	}
+	if err := src.Open(); err != nil {
+		return err
+	}
+	defer src.Close()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			failed.Store(true)
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				if err := ctxErr(ctx); err != nil {
+					fail(err)
+					return
+				}
+				seq, b, err := src.NextMorsel()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if b == nil {
+					return
+				}
+				if b.Len() == 0 {
+					continue // fully filtered morsel; seq stays dense
+				}
+				if err := fold(w, seq, b); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase aggregation
+
+// partialGroup is one group's per-worker partial state plus the earliest
+// (seq, row) position the group was seen at — the key to emitting groups
+// in exactly the order a serial scan would first encounter them.
+type partialGroup struct {
+	g        *aggGroup
+	firstSeq int
+	firstRow int
+}
+
+func (p *partialGroup) before(o *partialGroup) bool {
+	if p.firstSeq != o.firstSeq {
+		return p.firstSeq < o.firstSeq
+	}
+	return p.firstRow < o.firstRow
+}
+
+// ParallelHashAggregate is the two-phase grouped aggregation: each worker
+// folds its morsels into a private partial-aggregate table, then a merge
+// stage combines the partials and emits groups in first-seen order,
+// streamed as DefaultBatchSize chunks. Output is bit-identical to the
+// serial HashAggregate for any DOP and morsel size (see aggGroup).
+type ParallelHashAggregate struct {
+	Source  MorselSource
+	DOP     int
+	GroupBy []string
+	Aggs    []plan.AggSpec
+	// Ctx cancels the fold and merge phases.
+	Ctx context.Context
+
+	schema *types.Schema
+	keyIdx []int
+	fam    aggFamilies
+	out    []*types.Batch
+	pos    int
+}
+
+// NewParallelHashAggregate builds the operator over an unopened morsel
+// pipeline.
+func NewParallelHashAggregate(src MorselSource, dop int, groupBy []string, aggs []plan.AggSpec, ctx context.Context) (*ParallelHashAggregate, error) {
+	schema, err := aggOutputSchema(src.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	keyIdx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		keyIdx[i] = src.Schema().IndexOf(g)
+	}
+	return &ParallelHashAggregate{
+		Source: src, DOP: dop, GroupBy: groupBy, Aggs: aggs, Ctx: ctx,
+		schema: schema, keyIdx: keyIdx, fam: aggFamiliesOf(aggs, src.Schema()),
+	}, nil
+}
+
+// Schema implements Operator.
+func (h *ParallelHashAggregate) Schema() *types.Schema { return h.schema }
+
+// Open implements Operator: run the parallel fold, then merge and emit.
+func (h *ParallelHashAggregate) Open() error {
+	h.out, h.pos = nil, 0
+	dop := h.DOP
+	if dop < 1 {
+		dop = 1
+	}
+	partials := make([]map[string]*partialGroup, dop)
+	for w := range partials {
+		partials[w] = make(map[string]*partialGroup)
+	}
+	err := consumeMorsels(h.Source, dop, h.Ctx, func(w, seq int, b *types.Batch) error {
+		argVals := make([]*types.Vector, len(h.Aggs))
+		for ai, a := range h.Aggs {
+			if a.Arg != nil {
+				v, err := a.Arg.Eval(b)
+				if err != nil {
+					return err
+				}
+				argVals[ai] = v
+			}
+		}
+		m := partials[w]
+		var scratch []byte
+		for i := 0; i < b.Len(); i++ {
+			scratch = appendGroupKey(scratch, b, h.keyIdx, i)
+			key := string(scratch)
+			pg, ok := m[key]
+			if !ok {
+				pg = &partialGroup{g: newAggGroup(len(h.keyIdx), h.Aggs, h.fam), firstSeq: seq, firstRow: i}
+				for k, ki := range h.keyIdx {
+					pg.g.keys[k] = b.Vecs[ki].Value(i)
+				}
+				m[key] = pg
+			} else if seq < pg.firstSeq || (seq == pg.firstSeq && i < pg.firstRow) {
+				// Unreachable with today's monotonic morsel sources, but a
+				// source handing out seqs out of claim order must also
+				// re-capture the key values: rows whose keys render the
+				// same (e.g. NaNs with different payloads) can differ in
+				// bits, and the emitted group key must be the globally
+				// first row's.
+				pg.firstSeq, pg.firstRow = seq, i
+				for k, ki := range h.keyIdx {
+					pg.g.keys[k] = b.Vecs[ki].Value(i)
+				}
+			}
+			pg.g.observe(h.Aggs, argVals, i)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return h.mergeAndEmit(partials)
+}
+
+// mergeAndEmit combines per-worker partials and renders the output
+// batches in deterministic first-seen order.
+func (h *ParallelHashAggregate) mergeAndEmit(partials []map[string]*partialGroup) error {
+	merged := make(map[string]*partialGroup)
+	for _, m := range partials {
+		if err := ctxErr(h.Ctx); err != nil {
+			return err
+		}
+		for key, pg := range m {
+			dst, ok := merged[key]
+			if !ok {
+				merged[key] = pg
+				continue
+			}
+			if pg.before(dst) {
+				// Keep the key values of the globally first-seen row so the
+				// emitted group columns match the serial plan exactly.
+				dst.firstSeq, dst.firstRow = pg.firstSeq, pg.firstRow
+				dst.g.keys = pg.g.keys
+			}
+			dst.g.merge(pg.g, h.Aggs)
+		}
+	}
+	groups := make([]*partialGroup, 0, len(merged))
+	for _, pg := range merged {
+		groups = append(groups, pg)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].before(groups[b]) })
+	cur := types.NewBatch(h.schema)
+	for gi, pg := range groups {
+		if gi%4096 == 0 {
+			if err := ctxErr(h.Ctx); err != nil {
+				return err
+			}
+		}
+		if err := cur.AppendRow(pg.g.emitRow(h.Aggs, h.schema, len(h.keyIdx))...); err != nil {
+			return err
+		}
+		if cur.Len() >= types.DefaultBatchSize {
+			h.out = append(h.out, cur)
+			cur = types.NewBatch(h.schema)
+		}
+	}
+	if cur.Len() > 0 {
+		h.out = append(h.out, cur)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (h *ParallelHashAggregate) Next() (*types.Batch, error) {
+	if err := ctxErr(h.Ctx); err != nil {
+		return nil, err
+	}
+	if h.pos >= len(h.out) {
+		return nil, nil
+	}
+	b := h.out[h.pos]
+	h.pos++
+	return b, nil
+}
+
+// Close implements Operator.
+func (h *ParallelHashAggregate) Close() error {
+	h.out = nil
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Parallel hash join
+
+// joinBuild is the partitioned hash table over the materialized build
+// side. Partitions are disjoint by key hash, so build workers own
+// partitions exclusively and never synchronize; each partition's match
+// lists hold global build-row ordinals in increasing order, which is what
+// makes probe output identical to the serial single-table build.
+type joinBuild struct {
+	rightAll *types.Batch
+	shift    uint // 64 - log2(len(parts))
+	mask     int
+	// intParts is the typed fast path used when the build key is INT;
+	// anyParts handles every other key type (keyed like the serial join,
+	// by the boxed value).
+	intParts []map[int64][]int32
+	anyParts []map[any][]int32
+}
+
+const fibMix = 0x9E3779B97F4A7C15
+
+func (jb *joinBuild) intPart(k int64) int {
+	return int((uint64(k)*fibMix)>>jb.shift) & jb.mask
+}
+
+// anyPartAt hashes row i of a non-INT key vector to its partition. NULL
+// rows hash to partition 0 so build and probe agree regardless of the
+// undefined raw value behind the null mask.
+func (jb *joinBuild) anyPartAt(v *types.Vector, i int) int {
+	if v.IsNull(i) {
+		return 0
+	}
+	var h uint64
+	switch v.Type {
+	case types.Float:
+		f := v.Floats[i]
+		if f == 0 {
+			f = 0 // +0.0 and -0.0 compare equal but differ in bits: same partition
+		}
+		h = math.Float64bits(f)
+	case types.Bool:
+		if v.Bools[i] {
+			h = 1
+		}
+	case types.String:
+		h = 14695981039346656037
+		for _, c := range []byte(v.Strings[i]) {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	return int((h*fibMix)>>jb.shift) & jb.mask
+}
+
+// buildJoinTables materializes the build input (in morsel order) and
+// constructs the partitioned hash tables with dop workers.
+func buildJoinTables(src MorselSource, dop int, ctx context.Context, keyIdx int) (*joinBuild, error) {
+	if dop < 1 {
+		dop = 1
+	}
+	// Phase 1: consume the build pipeline in parallel, keeping per-seq
+	// batches so the materialized order matches a serial execution.
+	var mu sync.Mutex
+	type seqBatch struct {
+		seq int
+		b   *types.Batch
+	}
+	var got []seqBatch
+	err := consumeMorsels(src, dop, ctx, func(w, seq int, b *types.Batch) error {
+		mu.Lock()
+		got = append(got, seqBatch{seq, b})
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(got, func(a, b int) bool { return got[a].seq < got[b].seq })
+	all := types.NewBatch(src.Schema())
+	for _, sb := range got {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		if err := all.Append(sb.b); err != nil {
+			return nil, err
+		}
+	}
+
+	n := all.Len()
+	nParts := 1
+	for nParts < 4*dop && nParts < 256 {
+		nParts <<= 1
+	}
+	jb := &joinBuild{
+		rightAll: all,
+		shift:    uint(64 - bits.TrailingZeros(uint(nParts))),
+		mask:     nParts - 1,
+	}
+	kv := all.Vecs[keyIdx]
+	intKeys := kv.Type == types.Int
+
+	// Phase 2: partition rows in parallel over row ranges, collecting
+	// per-chunk per-partition row lists. Chunks are ordered row ranges,
+	// so concatenating a partition's lists in chunk order preserves
+	// global row order — and phase 3 never has to rescan the table.
+	chunk := (n + dop - 1) / dop
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	byChunk := make([][][]int32, nChunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nChunks; ci++ {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			lists := make([][]int32, nParts)
+			if intKeys {
+				for i := lo; i < hi; i++ {
+					if i&0xFFFF == 0 && ctxErr(ctx) != nil {
+						return
+					}
+					p := jb.intPart(kv.Ints[i])
+					lists[p] = append(lists[p], int32(i))
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					if i&0xFFFF == 0 && ctxErr(ctx) != nil {
+						return
+					}
+					p := jb.anyPartAt(kv, i)
+					lists[p] = append(lists[p], int32(i))
+				}
+			}
+			byChunk[ci] = lists
+		}(ci, lo, hi)
+	}
+	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: build. Worker w owns partitions p with p%dop == w, so no
+	// map is ever shared; it walks its partitions' row lists in chunk
+	// order, keeping every match list in global row order.
+	if intKeys {
+		jb.intParts = make([]map[int64][]int32, nParts)
+	} else {
+		jb.anyParts = make([]map[any][]int32, nParts)
+	}
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			inserted := 0
+			for p := w; p < nParts; p += dop {
+				if intKeys {
+					m := make(map[int64][]int32)
+					for ci := 0; ci < nChunks; ci++ {
+						if byChunk[ci] == nil || ctxErr(ctx) != nil {
+							return // a phase-2 worker bailed on cancellation
+						}
+						for _, i := range byChunk[ci][p] {
+							if inserted&0xFFFF == 0 && ctxErr(ctx) != nil {
+								return
+							}
+							inserted++
+							k := kv.Ints[i]
+							m[k] = append(m[k], i)
+						}
+					}
+					jb.intParts[p] = m
+				} else {
+					m := make(map[any][]int32)
+					for ci := 0; ci < nChunks; ci++ {
+						if byChunk[ci] == nil || ctxErr(ctx) != nil {
+							return
+						}
+						for _, i := range byChunk[ci][p] {
+							if inserted&0xFFFF == 0 && ctxErr(ctx) != nil {
+								return
+							}
+							inserted++
+							k := kv.Value(int(i))
+							m[k] = append(m[k], i)
+						}
+					}
+					jb.anyParts[p] = m
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return jb, ctxErr(ctx)
+}
+
+// HashProbeStage probes the partitioned build tables — the morsel-
+// parallel counterpart of HashJoin's probe loop. It is pushed onto the
+// left input's exchange so probing runs inside the scan pipeline instead
+// of as a serial operator above it; ParallelHashJoin binds the build
+// tables before the exchange opens.
+type HashProbeStage struct {
+	LeftCol string
+	right   *types.Schema
+	rightCl string
+
+	leftIdx  int
+	rightSel []int
+	out      *types.Schema
+	bld      *joinBuild
+}
+
+// NewHashProbeStage builds the stage; the build-side schema is needed up
+// front so OutSchema can drop the duplicate key column like plan.Join.
+func NewHashProbeStage(leftCol string, rightSchema *types.Schema, rightCol string) *HashProbeStage {
+	return &HashProbeStage{LeftCol: leftCol, right: rightSchema, rightCl: rightCol}
+}
+
+// OutSchema implements Stage.
+func (p *HashProbeStage) OutSchema(in *types.Schema) (*types.Schema, error) {
+	p.leftIdx = in.IndexOf(p.LeftCol)
+	if p.leftIdx < 0 {
+		return nil, fmt.Errorf("exec: join key %q not in left schema", p.LeftCol)
+	}
+	out, rightSel, _, err := joinOutputSchema(in, p.right, p.rightCl)
+	if err != nil {
+		return nil, err
+	}
+	p.out, p.rightSel = out, rightSel
+	return p.out, nil
+}
+
+// Apply implements Stage. The build tables are immutable once bound, so
+// concurrent probes from every exchange worker are safe.
+func (p *HashProbeStage) Apply(b *types.Batch) (*types.Batch, error) {
+	jb := p.bld
+	if jb == nil {
+		return nil, fmt.Errorf("exec: probe stage applied before the join build phase")
+	}
+	kv := b.Vecs[p.leftIdx]
+	var leftSel, rightSel []int
+	if jb.intParts != nil {
+		if kv.Type != types.Int {
+			return nil, nil // typed key mismatch: no matches, like the serial join
+		}
+		for i, k := range kv.Ints {
+			for _, r := range jb.intParts[jb.intPart(k)][k] {
+				leftSel = append(leftSel, i)
+				rightSel = append(rightSel, int(r))
+			}
+		}
+	} else {
+		for i := 0; i < b.Len(); i++ {
+			k := kv.Value(i)
+			for _, r := range jb.anyParts[jb.anyPartAt(kv, i)][k] {
+				leftSel = append(leftSel, i)
+				rightSel = append(rightSel, int(r))
+			}
+		}
+	}
+	if len(leftSel) == 0 {
+		return nil, nil
+	}
+	lpart := b.Gather(leftSel)
+	rpart := jb.rightAll.Gather(rightSel).Project(p.rightSel)
+	vecs := make([]*types.Vector, 0, len(lpart.Vecs)+len(rpart.Vecs))
+	vecs = append(vecs, lpart.Vecs...)
+	vecs = append(vecs, rpart.Vecs...)
+	return &types.Batch{Schema: p.out, Vecs: vecs}, nil
+}
+
+// ParallelHashJoin runs the partitioned parallel build at Open and then
+// delegates to the probe pipeline (the left exchange carrying the probe
+// stage, or a serial StageOp fallback).
+type ParallelHashJoin struct {
+	Build    MorselSource
+	BuildDOP int
+	Probe    Operator
+	// Ctx cancels the build phase and probe polling.
+	Ctx context.Context
+
+	stage  *HashProbeStage
+	keyIdx int
+}
+
+// NewParallelHashJoin wires the operator together. stage must already be
+// attached to probe (pushed onto its exchange or wrapped in a StageOp).
+func NewParallelHashJoin(build MorselSource, buildDOP int, probe Operator, stage *HashProbeStage, rightCol string, ctx context.Context) (*ParallelHashJoin, error) {
+	ri := build.Schema().IndexOf(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("exec: join key %q not in right schema", rightCol)
+	}
+	return &ParallelHashJoin{Build: build, BuildDOP: buildDOP, Probe: probe, Ctx: ctx, stage: stage, keyIdx: ri}, nil
+}
+
+// Schema implements Operator.
+func (j *ParallelHashJoin) Schema() *types.Schema { return j.Probe.Schema() }
+
+// Open implements Operator: build, bind, then open the probe pipeline.
+func (j *ParallelHashJoin) Open() error {
+	bld, err := buildJoinTables(j.Build, j.BuildDOP, j.Ctx, j.keyIdx)
+	if err != nil {
+		return err
+	}
+	j.stage.bld = bld
+	return j.Probe.Open()
+}
+
+// Next implements Operator.
+func (j *ParallelHashJoin) Next() (*types.Batch, error) {
+	if err := ctxErr(j.Ctx); err != nil {
+		return nil, err
+	}
+	return j.Probe.Next()
+}
+
+// Close implements Operator. The probe pipeline closes first — joining
+// any workers still probing — before the build tables are released;
+// nil-ing bld while an Apply is mid-morsel would be a data race.
+func (j *ParallelHashJoin) Close() error {
+	err := j.Probe.Close()
+	j.stage.bld = nil
+	return err
+}
+
+// StageOp applies one stage serially over an operator — the fallback used
+// when a breaker's input is not a pushable exchange (serial plans, or
+// unioned partition streams).
+type StageOp struct {
+	Child Operator
+	St    Stage
+
+	schema *types.Schema
+}
+
+// NewStageOp resolves the stage's output schema eagerly.
+func NewStageOp(child Operator, st Stage) (*StageOp, error) {
+	schema, err := st.OutSchema(child.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &StageOp{Child: child, St: st, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (s *StageOp) Schema() *types.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *StageOp) Open() error { return s.Child.Open() }
+
+// Close implements Operator.
+func (s *StageOp) Close() error { return s.Child.Close() }
+
+// Next implements Operator.
+func (s *StageOp) Next() (*types.Batch, error) {
+	for {
+		b, err := s.Child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out, err := s.St.Apply(b)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil || out.Len() == 0 {
+			continue
+		}
+		return out, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Run merge-sort
+
+// sortRun is one stable-sorted morsel: the batch, the sorting permutation
+// (perm[k] is the original row index of the k-th smallest row), and a
+// cursor for the merge.
+type sortRun struct {
+	seq  int
+	b    *types.Batch
+	keys []*types.Vector
+	perm []int
+	pos  int
+}
+
+// RunSort replaces the materializing SortOp: each worker stable-sorts its
+// morsels into runs, and Next streams a k-way heap merge of the runs in
+// DefaultBatchSize batches instead of one giant batch. Key ties break by
+// (seq, original row), so the output is exactly a stable sort of the
+// input — bit-identical for any DOP and morsel size.
+type RunSort struct {
+	Source MorselSource
+	DOP    int
+	Keys   []SortKeySpec
+	// Ctx cancels the run-sort and merge phases.
+	Ctx context.Context
+
+	schema *types.Schema
+	keyIdx []int
+	runs   []*sortRun
+	heap   []*sortRun
+}
+
+// NewRunSort builds the operator, resolving sort keys eagerly.
+func NewRunSort(src MorselSource, dop int, keys []SortKeySpec, ctx context.Context) (*RunSort, error) {
+	schema := src.Schema()
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j := schema.IndexOf(k.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: sort key %q not found", k.Col)
+		}
+		keyIdx[i] = j
+	}
+	return &RunSort{Source: src, DOP: dop, Keys: keys, Ctx: ctx, schema: schema, keyIdx: keyIdx}, nil
+}
+
+// Schema implements Operator.
+func (s *RunSort) Schema() *types.Schema { return s.schema }
+
+// Open implements Operator: produce sorted runs in parallel and heapify.
+func (s *RunSort) Open() error {
+	s.runs, s.heap = nil, nil
+	var mu sync.Mutex
+	err := consumeMorsels(s.Source, s.DOP, s.Ctx, func(w, seq int, b *types.Batch) error {
+		r := &sortRun{seq: seq, b: b}
+		r.keys = make([]*types.Vector, len(s.keyIdx))
+		for i, ki := range s.keyIdx {
+			r.keys[i] = b.Vecs[ki]
+		}
+		r.perm = make([]int, b.Len())
+		for i := range r.perm {
+			r.perm[i] = i
+		}
+		sort.SliceStable(r.perm, func(a, c int) bool {
+			for ki, k := range s.Keys {
+				cmp := compareAt(r.keys[ki], r.perm[a], r.perm[c])
+				if cmp == 0 {
+					continue
+				}
+				if k.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		mu.Lock()
+		s.runs = append(s.runs, r)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(s.runs, func(a, b int) bool { return s.runs[a].seq < s.runs[b].seq })
+	s.heap = append(s.heap, s.runs...)
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	return nil
+}
+
+// runLess orders the merge heap: by sort keys, then by global position
+// (seq, original row) so equal keys come out in input order.
+func (s *RunSort) runLess(a, b *sortRun) bool {
+	ia, ib := a.perm[a.pos], b.perm[b.pos]
+	for ki, k := range s.Keys {
+		cmp := compareVecs(a.keys[ki], ia, b.keys[ki], ib)
+		if cmp == 0 {
+			continue
+		}
+		if k.Desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return ia < ib
+}
+
+func (s *RunSort) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.runLess(s.heap[l], s.heap[m]) {
+			m = l
+		}
+		if r < n && s.runLess(s.heap[r], s.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+// Next implements Operator: pop up to one batch worth of rows from the
+// merge heap.
+func (s *RunSort) Next() (*types.Batch, error) {
+	if len(s.heap) == 0 {
+		return nil, nil
+	}
+	if err := ctxErr(s.Ctx); err != nil {
+		return nil, err
+	}
+	out := types.NewBatch(s.schema)
+	for out.Len() < types.DefaultBatchSize && len(s.heap) > 0 {
+		r := s.heap[0]
+		row := r.perm[r.pos]
+		for c := range out.Vecs {
+			out.Vecs[c].AppendFrom(r.b.Vecs[c], row)
+		}
+		r.pos++
+		if r.pos >= len(r.perm) {
+			last := len(s.heap) - 1
+			s.heap[0] = s.heap[last]
+			s.heap = s.heap[:last]
+		}
+		if len(s.heap) > 0 {
+			s.siftDown(0)
+		}
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (s *RunSort) Close() error {
+	s.runs, s.heap = nil, nil
+	return nil
+}

@@ -194,6 +194,23 @@ const (
 
 var aggNames = map[AggFunc]string{AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX"}
 
+// Mergeable reports whether partial results of f computed over disjoint
+// row subsets combine losslessly into the full result — the property
+// two-phase (per-worker partial + merge) parallel aggregation needs.
+// COUNT and MIN/MAX merge trivially; SUM and AVG merge because the
+// physical layer accumulates them exactly (order-invariant correctly
+// rounded summation), so partials carry no rounding that depends on the
+// split. A future non-decomposable aggregate (e.g. MEDIAN) would return
+// false and fall back to the serial operator.
+func (f AggFunc) Mergeable() bool {
+	switch f {
+	case AggCount, AggSum, AggAvg, AggMin, AggMax:
+		return true
+	default:
+		return false
+	}
+}
+
 // AggSpec is one aggregate output.
 type AggSpec struct {
 	Func AggFunc
@@ -237,6 +254,18 @@ func NewAggregate(child Node, groupBy []string, aggs []AggSpec) (*Aggregate, err
 		cols = append(cols, types.Column{Name: a.Name, Type: t})
 	}
 	return &Aggregate{Child: child, GroupBy: groupBy, Aggs: aggs, schema: types.NewSchema(cols...)}, nil
+}
+
+// Parallelizable reports whether every aggregate of this node is
+// mergeable, i.e. whether the physical layer may run it as per-worker
+// partial tables plus a merge stage instead of one serial hash table.
+func (a *Aggregate) Parallelizable() bool {
+	for _, s := range a.Aggs {
+		if !s.Func.Mergeable() {
+			return false
+		}
+	}
+	return true
 }
 
 // Schema implements Node.

@@ -224,3 +224,25 @@ func TestScanSetCols(t *testing.T) {
 		t.Error("bad column should fail")
 	}
 }
+
+func TestAggregateParallelizable(t *testing.T) {
+	cat := testCatalog(t)
+	tb, _ := cat.Table("patient_info")
+	agg, err := NewAggregate(NewScan(tb), []string{"pregnant"}, []AggSpec{
+		{Func: AggCount, Name: "n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Parallelizable() {
+		t.Error("count/sum aggregate must be parallelizable")
+	}
+	for _, f := range []AggFunc{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+		if !f.Mergeable() {
+			t.Errorf("%v must be mergeable", aggNames[f])
+		}
+	}
+	if AggFunc(200).Mergeable() {
+		t.Error("unknown aggregate function must not claim mergeability")
+	}
+}

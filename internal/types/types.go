@@ -312,6 +312,28 @@ func (v *Vector) Gather(sel []int) *Vector {
 	return out
 }
 
+// AppendFrom appends row i of src (same type) to v without boxing the
+// value — the hot path of streaming merges that interleave rows from
+// many source batches.
+func (v *Vector) AppendFrom(src *Vector, i int) {
+	switch v.Type {
+	case Float:
+		v.Floats = append(v.Floats, src.Floats[i])
+	case Int:
+		v.Ints = append(v.Ints, src.Ints[i])
+	case Bool:
+		v.Bools = append(v.Bools, src.Bools[i])
+	case String:
+		v.Strings = append(v.Strings, src.Strings[i])
+	}
+	if v.Nulls != nil {
+		v.Nulls = append(v.Nulls, src.IsNull(i))
+	} else if src.IsNull(i) {
+		v.Nulls = make([]bool, v.Len())
+		v.Nulls[v.Len()-1] = true
+	}
+}
+
 // AppendVector appends all rows of src (same type) to v.
 func (v *Vector) AppendVector(src *Vector) error {
 	if v.Type != src.Type {

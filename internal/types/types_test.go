@@ -268,3 +268,43 @@ func TestConstHelpers(t *testing.T) {
 		t.Error("ConstString")
 	}
 }
+
+func TestVectorAppendFrom(t *testing.T) {
+	src := NewVector(Float, 0)
+	for _, x := range []float64{1.5, 2.5, 3.5} {
+		if err := src.Append(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.SetNull(1)
+	dst := NewVector(Float, 0)
+	dst.AppendFrom(src, 0)
+	dst.AppendFrom(src, 1) // null row
+	dst.AppendFrom(src, 2)
+	if dst.Len() != 3 || dst.Floats[0] != 1.5 || dst.Floats[2] != 3.5 {
+		t.Fatalf("values = %v", dst.Floats)
+	}
+	if !dst.IsNull(1) || dst.IsNull(0) || dst.IsNull(2) {
+		t.Fatalf("null mask = %v", dst.Nulls)
+	}
+	// String path, no nulls anywhere: mask stays nil.
+	s1 := NewVector(String, 0)
+	_ = s1.Append("a")
+	s2 := NewVector(String, 0)
+	s2.AppendFrom(s1, 0)
+	if s2.Strings[0] != "a" || s2.Nulls != nil {
+		t.Fatalf("string append = %v nulls=%v", s2.Strings, s2.Nulls)
+	}
+	// Int and Bool paths.
+	iv := NewVector(Int, 0)
+	_ = iv.Append(int64(9))
+	iv2 := NewVector(Int, 0)
+	iv2.AppendFrom(iv, 0)
+	bv := NewVector(Bool, 0)
+	_ = bv.Append(true)
+	bv2 := NewVector(Bool, 0)
+	bv2.AppendFrom(bv, 0)
+	if iv2.Ints[0] != 9 || !bv2.Bools[0] {
+		t.Fatal("int/bool AppendFrom")
+	}
+}

@@ -84,6 +84,62 @@ func TestParallelPlansByteIdenticalToSerial(t *testing.T) {
 	}
 }
 
+// breakerParityQueries covers the pipeline breakers this refactor
+// parallelized — JOIN, GROUP BY (partial agg + merge, exact SUM/AVG),
+// ORDER BY (run merge-sort) — alone, stacked on each other, and stacked
+// with PREDICT. All run over the hospital workload.
+var breakerParityQueries = []struct{ label, q string }{
+	{"join", `SELECT pi.id, pi.age, bt.bp FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id WHERE bt.bp > 120`},
+	{"join-chain", `SELECT pi.id, bt.glucose, pt.fetal_hr FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id JOIN prenatal_tests AS pt ON bt.id = pt.id WHERE pi.age > 40`},
+	{"group-by", `SELECT pregnant, COUNT(*) AS n, SUM(weight) AS sw, AVG(age) AS aa, MIN(id) AS mn, MAX(age) AS mx FROM patient_info GROUP BY pregnant`},
+	{"global-agg", `SELECT COUNT(*) AS n, SUM(bp) AS sb, AVG(glucose) AS ag FROM blood_tests`},
+	{"join-group", `SELECT gender, COUNT(*) AS n, AVG(glucose) AS ag FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id GROUP BY gender`},
+	{"group-order", `SELECT gender, COUNT(*) AS n FROM patient_info GROUP BY gender ORDER BY n DESC`},
+	{"join-order-limit", `SELECT pi.id, bt.bp FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id ORDER BY bp DESC LIMIT 100`},
+	{"predict-join", runningExampleQuery},
+	{"predict-agg", `SELECT COUNT(*) AS n, AVG(p.length_of_stay) AS al
+		FROM PREDICT(MODEL='duration_of_stay',
+		  DATA=(SELECT * FROM patient_info AS pi
+		        JOIN blood_tests AS bt ON pi.id = bt.id
+		        JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+		WITH (length_of_stay FLOAT) AS p WHERE d.pregnant = 1`},
+	{"predict-order", `SELECT d.id, p.length_of_stay
+		FROM PREDICT(MODEL='duration_of_stay',
+		  DATA=(SELECT * FROM patient_info AS pi
+		        JOIN blood_tests AS bt ON pi.id = bt.id
+		        JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+		WITH (length_of_stay FLOAT) AS p
+		WHERE d.age > 30 ORDER BY p.length_of_stay DESC, d.id LIMIT 200`},
+}
+
+// TestBreakerPlansByteIdenticalToSerial is the parity acceptance for the
+// parallel pipeline breakers: serial (DOP=1) and DOP>=4 executions must
+// agree byte for byte — rows, order, and every float bit (exact SUM/AVG
+// makes the aggregates DOP- and morsel-size-invariant).
+func TestBreakerPlansByteIdenticalToSerial(t *testing.T) {
+	db, _ := hospitalDB(t, 20000)
+	for _, tc := range breakerParityQueries {
+		serial, err := db.QueryWithOptions(tc.q, QueryOptions{
+			Mode: ModeInProcess, Parallelism: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.label, err)
+		}
+		if serial.Batch.Len() == 0 {
+			t.Fatalf("%s: serial result empty (query shape broken)", tc.label)
+		}
+		for _, dop := range []int{4, 8} {
+			par, err := db.QueryWithOptions(tc.q, QueryOptions{
+				Mode: ModeInProcess, Parallelism: dop, ParallelThresholdRows: 1, MorselSize: 512,
+			})
+			if err != nil {
+				t.Fatalf("%s dop=%d: %v", tc.label, dop, err)
+			}
+			batchesIdentical(t, fmt.Sprintf("%s dop=%d", tc.label, dop), serial.Batch, par.Batch)
+		}
+	}
+}
+
 func TestConcurrentParallelQueriesOverSharedTables(t *testing.T) {
 	db := flightsDB(t, 20000)
 	// Reference results, computed serially.
