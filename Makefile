@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor for `make cover` (percent of statements).
 COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet bench bench-quick cover smoke ci
+.PHONY: all build test race vet bench bench-quick cover smoke smoke-serve ci
 
 all: ci
 
@@ -41,20 +41,30 @@ cover:
 smoke:
 	echo "SELECT COUNT(*) AS n FROM patient_info" | $(GO) run ./cmd/ravensql -rows 2000 -timeout 30s
 
+# smoke-serve boots ravenserved on a random port and drives the wire
+# protocol end to end over real HTTP: DDL + INSERT through /query, a
+# parameterized PREDICT, the prepared-statement warm path, /stats, and a
+# graceful drain. One process, exits non-zero on any failure.
+smoke-serve:
+	$(GO) run ./cmd/ravenserved -selftest -rows 2000
+
 # bench regenerates the paper experiment tables at quick scale.
 bench:
 	$(GO) run ./cmd/ravenbench -quick
 
-# bench-quick smoke-runs only the pipeline-breaker ablation and records
-# the result, so `make ci` catches breaker regressions (a breaker that
-# silently serializes or errors) without paying for the full paper suite.
-# BENCH_JSON is where the table is recorded; `make ci` points it at an
-# untracked scratch path so routine CI runs don't churn the checked-in
-# BENCH_parallel_breakers.json — regenerate that one deliberately with
-# a plain `make bench-quick`.
+# bench-quick smoke-runs the pipeline-breaker ablation and the serving
+# concurrency ablation and records both, so `make ci` catches breaker
+# regressions (a breaker that silently serializes or errors) and serving
+# regressions (admission breach, wire-path breakage) without paying for
+# the full paper suite. BENCH_JSON / BENCH_SERVE_JSON are where the
+# tables are recorded; `make ci` points them at untracked scratch paths
+# so routine CI runs don't churn the checked-in BENCH_*.json files —
+# regenerate those deliberately with a plain `make bench-quick`.
 BENCH_JSON ?= BENCH_parallel_breakers.json
+BENCH_SERVE_JSON ?= BENCH_serve.json
 bench-quick:
 	$(GO) run ./cmd/ravenbench -quick -only ParallelBreakers -json $(BENCH_JSON)
+	$(GO) run ./cmd/ravenbench -quick -only ServeConcurrency -json $(BENCH_SERVE_JSON)
 
-ci: build vet test race smoke
-	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json
+ci: build vet test race smoke smoke-serve
+	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json

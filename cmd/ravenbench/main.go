@@ -25,7 +25,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
 	timeout := flag.Duration("timeout", 0, "skip experiments not yet started once the deadline passes (0 = no limit); an in-flight experiment runs to completion")
-	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict)")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict,ServeConcurrency)")
 	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for experiment engines (0 = engine default, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
@@ -59,6 +59,7 @@ func main() {
 		{"ParallelScaling", bench.ParallelScaling},
 		{"ParallelBreakers", bench.ParallelBreakers},
 		{"PreparedPredict", bench.PreparedPredict},
+		{"ServeConcurrency", bench.ServeConcurrency},
 	}
 	want := map[string]bool{}
 	if *only != "" {

@@ -1,0 +1,153 @@
+// Command ravenserved serves a Raven engine over HTTP: the network front
+// end that turns the embedded library into an inference server. It wires
+// the admission-controlled query scheduler (bounded concurrent queries,
+// bounded worker slots, bounded queue with timeouts) in front of the
+// serving API and speaks the NDJSON wire protocol of internal/server.
+//
+// Usage:
+//
+//	ravenserved [-addr :8080] [-rows N] [-parallelism N] [-morsel N]
+//	            [-max-queries N] [-max-slots N] [-queue N] [-queue-timeout D]
+//	            [-query-timeout D] [-preload] [-selftest]
+//
+// By default the engine is preloaded with the paper's demo workload
+// (hospital tables + 'duration_of_stay' model, flights_features +
+// 'flight_delay'), so a fresh server answers PREDICT queries
+// immediately:
+//
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) AS n FROM patient_info"}'
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (healthz flips to
+// 503), in-flight queries finish or hit the drain deadline, then the
+// listener closes. -selftest starts the server on a random port, runs
+// the HTTP smoke against it, drains, and exits non-zero on any failure —
+// the `make smoke-serve` CI gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"raven"
+	"raven/internal/data"
+	"raven/internal/ml"
+	"raven/internal/server"
+	"raven/internal/train"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	rows := flag.Int("rows", 100000, "rows per preloaded demo table")
+	preload := flag.Bool("preload", true, "preload the demo workload (hospital + flights tables and models)")
+	parallelism := flag.Int("parallelism", 0, "engine degree of parallelism (0 = GOMAXPROCS, 1 = serial)")
+	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
+	maxQueries := flag.Int("max-queries", 2*runtime.GOMAXPROCS(0), "admission limit: max concurrent queries (0 = unlimited, no scheduler)")
+	maxSlots := flag.Int("max-slots", 4*runtime.GOMAXPROCS(0), "admission limit: max total worker slots across running queries; requested DOP is capped to fit (0 = queries-only limit)")
+	queueDepth := flag.Int("queue", 64, "admission queue depth (queries waiting beyond the limit; 0 = reject immediately)")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max time a query waits for admission (0 = until its own deadline)")
+	queryTimeout := flag.Duration("query-timeout", 0, "default per-query deadline for requests without timeout_ms (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+	selftest := flag.Bool("selftest", false, "start on a random port, run the HTTP smoke, drain, exit")
+	flag.Parse()
+
+	if *selftest {
+		*addr = "127.0.0.1:0"
+	}
+
+	opts := []raven.Option{
+		raven.WithParallelism(*parallelism),
+		raven.WithMorselSize(*morsel),
+	}
+	if *maxQueries > 0 {
+		opts = append(opts,
+			raven.WithMaxConcurrentQueries(*maxQueries),
+			raven.WithMaxWorkerSlots(*maxSlots),
+			raven.WithSchedulerQueue(*queueDepth, *queueTimeout),
+		)
+	}
+	db := raven.Open(opts...)
+	if *preload {
+		if err := loadDemo(db, *rows); err != nil {
+			fmt.Fprintln(os.Stderr, "preload:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := server.New(db, server.Options{DefaultTimeout: *queryTimeout})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ravenserved listening on %s (max-queries=%d queue=%d)\n",
+		l.Addr(), *maxQueries, *queueDepth)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	if *selftest {
+		base := "http://" + l.Addr().String()
+		err := server.Smoke(base)
+		// Drain under load-free conditions must complete well inside the
+		// deadline; any error (smoke or drain) fails the selftest.
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if derr := srv.Shutdown(ctx); derr != nil && err == nil {
+			err = fmt.Errorf("shutdown: %w", derr)
+		}
+		if serr := <-serveErr; serr != nil && serr != http.ErrServerClosed && err == nil {
+			err = serr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("selftest ok")
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "%v: draining (up to %v)...\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "drain:", err)
+			os.Exit(1)
+		}
+		<-serveErr
+		fmt.Fprintln(os.Stderr, "drained clean")
+	}
+}
+
+// loadDemo mirrors ravensql's preload: hospital tables with a stored
+// decision tree, flights_features with an L1-sparse logistic model.
+func loadDemo(db *raven.DB, rows int) error {
+	h, err := data.GenHospital(db.Catalog(), rows, 4000, 42)
+	if err != nil {
+		return err
+	}
+	tree := train.FitTree(h.TrainX, h.TrainY, train.TreeOptions{MaxDepth: 6, MinLeaf: 10})
+	if err := db.StoreModel("duration_of_stay", &ml.Pipeline{Final: tree, InputColumns: h.FeatureCols}); err != nil {
+		return err
+	}
+	fl, err := data.GenFlightsWide(db.Catalog(), rows, 100, 30, 4000, 7)
+	if err != nil {
+		return err
+	}
+	lr := train.FitLogReg(fl.TrainX, fl.TrainY, train.LogRegOptions{L1: 0.02, Epochs: 60, Seed: 1})
+	return db.StoreModel("flight_delay", &ml.Pipeline{Final: lr, InputColumns: fl.FeatureCols})
+}

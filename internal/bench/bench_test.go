@@ -260,4 +260,31 @@ func TestExperimentsQuick(t *testing.T) {
 			}
 		}
 	})
+
+	t.Run("ServeConcurrency", func(t *testing.T) {
+		tb, err := ServeConcurrency(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// {p99, mean} x {no admission, admission(4)} x 4 client counts.
+		if len(tb.Rows) != 16 {
+			t.Fatalf("rows = %d: %+v", len(tb.Rows), tb.Rows)
+		}
+		for _, r := range tb.Rows {
+			if r.Millis <= 0 {
+				t.Errorf("%s/%s has no measurement", r.Series, r.Param)
+			}
+		}
+		// The experiment itself fails if the active gauge ever exceeded
+		// the admission limit; the note records the observed high-water.
+		var gauged bool
+		for _, r := range tb.Rows {
+			if strings.Contains(r.Note, "max active") {
+				gauged = true
+			}
+		}
+		if !gauged {
+			t.Error("no max-active gauge recorded for the admission variant")
+		}
+	})
 }

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"raven"
+	"raven/internal/data"
+	"raven/internal/ml"
+	"raven/internal/server"
+	"raven/internal/train"
+)
+
+// ServeConcurrency measures the serving front end under concurrent HTTP
+// clients (1→64) issuing the same PREDICT query, with and without
+// admission control (limit 4, generous queue). It is the ablation behind
+// the ravenserved design: without admission every query fans out
+// DOP-wide immediately and p99 collapses under oversubscription; with
+// admission the active-query gauge stays at the limit and tail latency
+// tracks the queue instead of the thrash. On single-core CI hosts the
+// two variants converge — the table is still recorded as the regression
+// anchor for the wire path itself.
+func ServeConcurrency(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:         "ServeConcurrency",
+		Title:      "HTTP serving throughput/p99 vs concurrent clients, with and without admission control",
+		PaperShape: "in-engine inference served under concurrency (the production scenario the paper motivates)",
+	}
+	rows, trees, perClient := 4000, 8, 6
+	clientCounts := []int{1, 4, 16, 64}
+	if cfg.Quick {
+		rows, trees, perClient = 2000, 4, 3
+	}
+	const admissionLimit = 4
+
+	q := `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
+		DATA=(SELECT * FROM patient_info AS pi
+		      JOIN blood_tests AS bt ON pi.id = bt.id
+		      JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+		WITH (score FLOAT) AS p WHERE d.age > 40`
+
+	variants := []struct {
+		series string
+		opts   []raven.Option
+	}{
+		{"no admission", nil},
+		{fmt.Sprintf("admission(%d)", admissionLimit), []raven.Option{
+			raven.WithMaxConcurrentQueries(admissionLimit),
+			raven.WithSchedulerQueue(256, 0),
+		}},
+	}
+	for _, v := range variants {
+		opts := append([]raven.Option{
+			raven.WithParallelism(cfg.Parallelism),
+			raven.WithMorselSize(cfg.MorselSize),
+		}, v.opts...)
+		db := raven.Open(opts...)
+		h, err := data.GenHospital(db.Catalog(), rows, 1000, 17)
+		if err != nil {
+			return nil, err
+		}
+		rf := train.FitForest(h.TrainX, h.TrainY, train.ForestOptions{
+			NumTrees: trees,
+			Seed:     3,
+			Tree:     train.TreeOptions{MaxDepth: 8, MinLeaf: 10},
+		})
+		if err := db.StoreModel("duration_of_stay", &ml.Pipeline{Final: rf, InputColumns: h.FeatureCols}); err != nil {
+			return nil, err
+		}
+		srv := server.New(db, server.Options{})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(l) }()
+		base := "http://" + l.Addr().String()
+
+		// Warm the plan and session caches once; the serving numbers are
+		// about concurrency, not cold compiles.
+		warm := &server.Client{Base: base, HTTP: &http.Client{}}
+		if _, err := warm.Query(server.QueryRequest{SQL: q}); err != nil {
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+
+		for _, nc := range clientCounts {
+			lat, elapsed, err := hammer(base, q, nc, perClient)
+			if err != nil {
+				return nil, err
+			}
+			total := nc * perClient
+			qps := float64(total) / elapsed.Seconds()
+			note := fmt.Sprintf("%s @ %d clients: %.1f q/s", v.series, nc, qps)
+			if v.opts != nil {
+				st := db.Scheduler().Stats()
+				note += fmt.Sprintf(" (max active %d/%d)", st.MaxActive, admissionLimit)
+				if st.MaxActive > admissionLimit {
+					return nil, fmt.Errorf("admission breached: max active %d > %d", st.MaxActive, admissionLimit)
+				}
+			}
+			t.AddMillis("p99 "+v.series, fmt.Sprintf("%d clients", nc), percentile(lat, 0.99), note)
+			t.AddMillis("mean "+v.series, fmt.Sprintf("%d clients", nc), mean(lat), "")
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("drain: %w", err)
+		}
+		if serr := <-serveErr; serr != nil && serr != http.ErrServerClosed {
+			return nil, serr
+		}
+	}
+	return t, nil
+}
+
+// hammer runs nc concurrent clients, each issuing perClient requests,
+// returning all per-request latencies (ms) and the wall time.
+func hammer(base, q string, nc, perClient int) ([]float64, time.Duration, error) {
+	type result struct {
+		lat []float64
+		err error
+	}
+	results := make(chan result, nc)
+	start := time.Now()
+	for i := 0; i < nc; i++ {
+		go func() {
+			hc := &http.Client{Transport: &http.Transport{}}
+			defer hc.CloseIdleConnections()
+			c := &server.Client{Base: base, HTTP: hc}
+			var lats []float64
+			for j := 0; j < perClient; j++ {
+				t0 := time.Now()
+				res, err := c.Query(server.QueryRequest{SQL: q})
+				if err != nil {
+					results <- result{nil, err}
+					return
+				}
+				if len(res.Rows) == 0 {
+					results <- result{nil, fmt.Errorf("empty result under load")}
+					return
+				}
+				lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
+			}
+			results <- result{lats, nil}
+		}()
+	}
+	var all []float64
+	for i := 0; i < nc; i++ {
+		r := <-results
+		if r.err != nil {
+			return nil, 0, r.err
+		}
+		all = append(all, r.lat...)
+	}
+	return all, time.Since(start), nil
+}
+
+// percentile is nearest-rank with ceiling, so small samples report at
+// or above the requested quantile (p99 of 6 samples is the max, not the
+// 5th value).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p * float64(len(s)-1)))
+	return s[idx]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

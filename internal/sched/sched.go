@@ -1,0 +1,396 @@
+// Package sched is the admission-controlled query scheduler behind the
+// serving front end. It bounds how much of the engine a burst of
+// concurrent queries can claim: each query is admitted with a weighted
+// cost — its effective degree of parallelism, i.e. the number of
+// morsel-exchange worker slots it may occupy — against a budget of
+// concurrent queries and total worker slots. Queries that do not fit wait
+// in a bounded FIFO queue with per-query timeouts and context
+// cancellation; queries that cannot even queue are rejected immediately,
+// giving clients a clean load-shedding signal instead of a collapsing
+// server.
+//
+// The scheduler is deliberately engine-agnostic: it hands out admission
+// tickets (release functions), never goroutines, so raven.DB can gate
+// Query/Stmt.Query with one Acquire call and release on Rows.Close.
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission failure modes. Servers map these to distinct status codes
+// (rejected ≠ timed out), so they are sentinel errors, not strings.
+var (
+	// ErrQueueFull means the query could not even wait: the scheduler is at
+	// its concurrency limit and the queue is at capacity. Clients should
+	// back off and retry.
+	ErrQueueFull = errors.New("sched: admission queue full")
+	// ErrQueueTimeout means the query waited its full queue timeout
+	// without being admitted.
+	ErrQueueTimeout = errors.New("sched: timed out waiting for admission")
+	// ErrDraining means the scheduler is shutting down and admits nothing.
+	ErrDraining = errors.New("sched: scheduler is draining")
+)
+
+// Options configures a Scheduler.
+type Options struct {
+	// MaxConcurrent is the maximum number of queries running at once.
+	// Values < 1 are treated as 1.
+	MaxConcurrent int
+	// MaxSlots bounds the total worker slots across all running queries,
+	// where a query's cost is its effective DOP. 0 disables the slot
+	// budget (only MaxConcurrent limits). A query costing more than
+	// MaxSlots is clamped to MaxSlots so it can still run (alone).
+	MaxSlots int
+	// QueueDepth is how many queries may wait for admission. 0 means no
+	// queue: anything over MaxConcurrent is rejected immediately.
+	QueueDepth int
+	// QueueTimeout bounds how long one query waits in the queue before
+	// failing with ErrQueueTimeout. 0 means wait until the query's own
+	// context expires.
+	QueueTimeout time.Duration
+}
+
+// waitBuckets are the upper bounds (exclusive) of the queue-wait
+// histogram, in the order Stats.WaitHistogram reports them; a wait at or
+// past the last bound lands in the final unbounded bucket.
+var waitBuckets = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// WaitBucketLabels names the histogram buckets, aligned with
+// Stats.WaitHistogram.
+var WaitBucketLabels = []string{"<1ms", "<10ms", "<100ms", "<1s", ">=1s"}
+
+// Stats is a point-in-time snapshot of the scheduler's counters and
+// gauges.
+type Stats struct {
+	// Cumulative counters.
+	Admitted  uint64 `json:"admitted"`  // queries admitted (incl. after queueing)
+	Queued    uint64 `json:"queued"`    // queries that had to wait before admission or failure
+	Rejected  uint64 `json:"rejected"`  // ErrQueueFull
+	TimedOut  uint64 `json:"timed_out"` // ErrQueueTimeout
+	Cancelled uint64 `json:"cancelled"` // context cancelled/expired while waiting
+	Drained   uint64 `json:"drained"`   // waiters failed by Drain
+
+	// Gauges.
+	Active     int `json:"active"`       // queries running now
+	Waiting    int `json:"waiting"`      // queries queued now
+	SlotsInUse int `json:"slots_in_use"` // worker slots held by running queries
+
+	// High-water marks since construction: the acceptance check that
+	// admission control actually bounded concurrency.
+	MaxActive     int `json:"max_active"`
+	MaxSlotsInUse int `json:"max_slots_in_use"`
+
+	// WaitHistogram counts admitted-after-queueing queries by queue wait,
+	// bucketed per WaitBucketLabels. TotalWait sums every queue wait
+	// (admitted or not), for mean-wait computation.
+	WaitHistogram [5]uint64     `json:"wait_histogram"`
+	TotalWait     time.Duration `json:"total_wait_ns"`
+
+	Draining bool `json:"draining"`
+
+	// Limits echo the configuration so /stats is self-describing.
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxSlots      int `json:"max_slots"`
+	QueueDepth    int `json:"queue_depth"`
+}
+
+// waiter is one queued admission request. res carries the outcome: nil
+// means admitted (the waiter owns its slots), non-nil means the
+// scheduler failed the wait (drain). It is buffered so the scheduler
+// never blocks signalling a waiter that is simultaneously giving up.
+type waiter struct {
+	cost      int
+	res       chan error
+	signalled bool // an outcome was sent on res; guarded by s.mu
+	enqueued  time.Time
+}
+
+// Scheduler is a weighted-slot admission controller. Admission order is
+// strict FIFO: the head waiter blocks later, smaller waiters even when
+// they would fit (no starvation of expensive queries, at the price of
+// some head-of-line blocking).
+type Scheduler struct {
+	opts Options
+
+	mu         sync.Mutex
+	active     int
+	slotsInUse int
+	queue      []*waiter
+	draining   bool
+	drainDone  chan struct{} // closed when draining && active == 0
+
+	stats Stats
+}
+
+// New builds a Scheduler. MaxConcurrent < 1 is raised to 1.
+func New(opts Options) *Scheduler {
+	if opts.MaxConcurrent < 1 {
+		opts.MaxConcurrent = 1
+	}
+	if opts.QueueDepth < 0 {
+		opts.QueueDepth = 0
+	}
+	if opts.MaxSlots < 0 {
+		opts.MaxSlots = 0
+	}
+	return &Scheduler{opts: opts}
+}
+
+// Options returns the configured limits.
+func (s *Scheduler) Options() Options { return s.opts }
+
+// clampCost normalizes a query's slot cost: at least 1, and never more
+// than the slot budget (a DOP-64 query on an 8-slot scheduler runs alone
+// at cost 8 rather than deadlocking forever).
+func (s *Scheduler) clampCost(cost int) int {
+	if cost < 1 {
+		cost = 1
+	}
+	if s.opts.MaxSlots > 0 && cost > s.opts.MaxSlots {
+		cost = s.opts.MaxSlots
+	}
+	return cost
+}
+
+// fits reports whether a query of the given cost can start now; callers
+// hold s.mu.
+func (s *Scheduler) fits(cost int) bool {
+	if s.active >= s.opts.MaxConcurrent {
+		return false
+	}
+	if s.opts.MaxSlots > 0 && s.slotsInUse+cost > s.opts.MaxSlots {
+		return false
+	}
+	return true
+}
+
+// admitLocked marks a query running; callers hold s.mu.
+func (s *Scheduler) admitLocked(cost int) {
+	s.active++
+	s.slotsInUse += cost
+	s.stats.Admitted++
+	if s.active > s.stats.MaxActive {
+		s.stats.MaxActive = s.active
+	}
+	if s.slotsInUse > s.stats.MaxSlotsInUse {
+		s.stats.MaxSlotsInUse = s.slotsInUse
+	}
+}
+
+// Acquire admits a query of the given slot cost, blocking in the FIFO
+// queue if the scheduler is saturated. On success it returns an
+// idempotent release function that the caller must invoke exactly when
+// the query finishes (Rows.Close does). On failure it returns one of
+// ErrQueueFull, ErrQueueTimeout, ErrDraining, or ctx.Err().
+func (s *Scheduler) Acquire(ctx context.Context, cost int) (func(), error) {
+	cost = s.clampCost(cost)
+	// A context that is already dead never enters the queue.
+	if err := ctx.Err(); err != nil {
+		s.mu.Lock()
+		s.stats.Cancelled++
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.stats.Drained++
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Fast path: admit immediately. FIFO fairness: never jump an existing
+	// queue even if this query would fit right now.
+	if len(s.queue) == 0 && s.fits(cost) {
+		s.admitLocked(cost)
+		s.mu.Unlock()
+		return s.releaseFunc(cost), nil
+	}
+	if len(s.queue) >= s.opts.QueueDepth {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{cost: cost, res: make(chan error, 1), enqueued: time.Now()}
+	s.queue = append(s.queue, w)
+	s.stats.Queued++
+	s.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if s.opts.QueueTimeout > 0 {
+		t := time.NewTimer(s.opts.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case err := <-w.res:
+		if err != nil {
+			// Drain failed the wait; counters were booked at the drain site.
+			return nil, err
+		}
+		s.recordWait(w, true)
+		return s.releaseFunc(cost), nil
+	case <-ctx.Done():
+		return nil, s.giveUp(w, cost, &s.stats.Cancelled, ctx.Err())
+	case <-timeout:
+		return nil, s.giveUp(w, cost, &s.stats.TimedOut, ErrQueueTimeout)
+	}
+}
+
+// giveUp handles a waiter abandoning the queue (cancel/timeout). If the
+// scheduler signalled the waiter concurrently, the signalled outcome is
+// honored for slot accounting — an admission's slots are returned — but
+// the caller's failure is still reported (the query will not run).
+func (s *Scheduler) giveUp(w *waiter, cost int, counter *uint64, failure error) error {
+	s.mu.Lock()
+	if !w.signalled {
+		w.signalled = true
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.stats.TotalWait += time.Since(w.enqueued)
+		*counter++
+		// Removing a waiter can unblock the new queue head (FIFO admits
+		// stop at the first waiter that does not fit).
+		s.admitNextLocked()
+		s.mu.Unlock()
+		return failure
+	}
+	s.mu.Unlock()
+	// Lost the race: an outcome is already buffered on res. If it was an
+	// admission, the caller's failure is still what happened from the
+	// query's point of view, so the failure counter moves and the slots
+	// go back — Admitted then overcounts by this (rare) wasted admission,
+	// which the immediate release repays. If it was a drain failure, the
+	// Drained counter already booked it and nothing else must (each
+	// failed wait counts exactly once across the failure counters).
+	if err := <-w.res; err == nil {
+		s.mu.Lock()
+		*counter++
+		s.mu.Unlock()
+		s.recordWait(w, false)
+		s.releaseFunc(cost)()
+	}
+	return failure
+}
+
+// recordWait books a queue wait into the histogram (admitted waits only)
+// and the running total. counted distinguishes the normal admission path
+// from the gave-up-but-was-admitted race, where the wait still totals but
+// the admission was wasted.
+func (s *Scheduler) recordWait(w *waiter, counted bool) {
+	d := time.Since(w.enqueued)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.TotalWait += d
+	if !counted {
+		return
+	}
+	for i, ub := range waitBuckets {
+		if d < ub {
+			s.stats.WaitHistogram[i]++
+			return
+		}
+	}
+	s.stats.WaitHistogram[len(waitBuckets)]++
+}
+
+// releaseFunc builds the idempotent ticket for one admitted query.
+func (s *Scheduler) releaseFunc(cost int) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.active--
+			s.slotsInUse -= cost
+			s.admitNextLocked()
+			if s.draining && s.active == 0 && s.drainDone != nil {
+				close(s.drainDone)
+				s.drainDone = nil
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// admitNextLocked admits queued waiters in FIFO order while the head
+// fits; callers hold s.mu.
+func (s *Scheduler) admitNextLocked() {
+	for len(s.queue) > 0 && !s.draining {
+		w := s.queue[0]
+		if !s.fits(w.cost) {
+			break
+		}
+		s.queue = s.queue[1:]
+		w.signalled = true
+		s.admitLocked(w.cost)
+		w.res <- nil
+	}
+}
+
+// Drain stops admissions: every queued waiter fails with ErrDraining,
+// new Acquire calls fail immediately, and Drain blocks until in-flight
+// queries release (or ctx expires, returning ctx.Err() with queries
+// still running). Drain is idempotent; concurrent calls all wait.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, w := range s.queue {
+			w.signalled = true
+			s.stats.Drained++
+			s.stats.TotalWait += time.Since(w.enqueued)
+			w.res <- ErrDraining
+		}
+		s.queue = nil
+	}
+	if s.active == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.drainDone == nil {
+		s.drainDone = make(chan struct{})
+	}
+	done := s.drainDone
+	s.mu.Unlock()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the scheduler has begun shutting down.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Active = s.active
+	st.Waiting = len(s.queue)
+	st.SlotsInUse = s.slotsInUse
+	st.Draining = s.draining
+	st.MaxConcurrent = s.opts.MaxConcurrent
+	st.MaxSlots = s.opts.MaxSlots
+	st.QueueDepth = s.opts.QueueDepth
+	return st
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Client is a minimal Go client for the wire protocol, shared by the
+// ravenserved selftest, the integration tests and the ServeConcurrency
+// benchmark. It is what a driver library for the server would look like.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:8080"
+	HTTP *http.Client
+}
+
+// HTTPError is a non-2xx response, carrying the status code so callers
+// can distinguish rejection (429) from timeout (504) from drain (503).
+type HTTPError struct {
+	Status int
+	Msg    string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Status, e.Msg)
+}
+
+// StreamResult is one fully-read NDJSON query response.
+type StreamResult struct {
+	Columns []string
+	Types   []string
+	Rows    [][]any
+	Trailer Trailer
+	// OK is set instead of rows for side-effect-only scripts.
+	OK bool
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) postJSON(path string, body any) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.httpClient().Do(req)
+}
+
+func readError(resp *http.Response) error {
+	var e ErrorLine
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&e); err != nil || e.Error == "" {
+		e.Error = resp.Status
+	}
+	return &HTTPError{Status: resp.StatusCode, Msg: e.Error}
+}
+
+// Query posts to /query and reads the whole stream.
+func (c *Client) Query(req QueryRequest) (*StreamResult, error) {
+	resp, err := c.postJSON("/query", req)
+	if err != nil {
+		return nil, err
+	}
+	return readStream(resp)
+}
+
+// Prepare posts to /prepare.
+func (c *Client) Prepare(req QueryRequest) (*PrepareResponse, error) {
+	resp, err := c.postJSON("/prepare", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	var pr PrepareResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}
+
+// StmtQuery executes a prepared statement by id.
+func (c *Client) StmtQuery(id string, req QueryRequest) (*StreamResult, error) {
+	resp, err := c.postJSON("/stmt/"+id+"/query", req)
+	if err != nil {
+		return nil, err
+	}
+	return readStream(resp)
+}
+
+// CloseStmt deletes a prepared statement.
+func (c *Client) CloseStmt(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+"/stmt/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	return nil
+}
+
+// Stats fetches /stats.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.httpClient().Get(c.Base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Healthz fetches /healthz, returning the reported status string.
+func (c *Client) Healthz() (string, error) {
+	resp, err := c.httpClient().Get(c.Base + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var m map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return m["status"], &HTTPError{Status: resp.StatusCode, Msg: m["status"]}
+	}
+	return m["status"], nil
+}
+
+// readStream parses an NDJSON query response (or the unary ExecResponse
+// / error forms) into a StreamResult.
+func readStream(resp *http.Response) (*StreamResult, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	res := &StreamResult{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	first := true
+	sawTrailer := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '[' {
+			var row []any
+			if err := json.Unmarshal(line, &row); err != nil {
+				return nil, fmt.Errorf("bad row line: %w", err)
+			}
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("bad stream line %q: %w", line, err)
+		}
+		switch {
+		case probe["error"] != nil:
+			var e ErrorLine
+			json.Unmarshal(line, &e)
+			return nil, &HTTPError{Status: resp.StatusCode, Msg: e.Error}
+		case first && probe["columns"] != nil:
+			var hdr struct {
+				Columns []string `json:"columns"`
+				Types   []string `json:"types"`
+			}
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				return nil, err
+			}
+			res.Columns, res.Types = hdr.Columns, hdr.Types
+		case probe["ok"] != nil:
+			res.OK = true
+		case probe["rows"] != nil:
+			if err := json.Unmarshal(line, &res.Trailer); err != nil {
+				return nil, err
+			}
+			sawTrailer = true
+		default:
+			return nil, fmt.Errorf("unexpected stream line %q", line)
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawTrailer && !res.OK {
+		return nil, fmt.Errorf("stream ended without trailer")
+	}
+	if sawTrailer && res.Trailer.Rows != len(res.Rows) {
+		return nil, fmt.Errorf("trailer says %d rows, stream carried %d", res.Trailer.Rows, len(res.Rows))
+	}
+	return res, nil
+}
+
+// Fingerprint renders the rows deterministically for byte-identical
+// comparisons across serial and concurrent executions.
+func (r *StreamResult) Fingerprint() string {
+	var sb strings.Builder
+	for _, row := range r.Rows {
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte('\t')
+			}
+			fmt.Fprintf(&sb, "%v", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,576 @@
+// Package server is ravenserved's HTTP/JSON wire front end over the
+// raven serving API. It exposes the engine the way the paper argues
+// inference should be consumed — as a served database, not a batch
+// script runner:
+//
+//	POST /query            ad-hoc SQL (DDL/INSERT/SELECT/PREDICT), rows
+//	                       streamed as NDJSON from Rows.Next
+//	POST /prepare          compile a statement server-side, returns {id}
+//	POST /stmt/{id}/query  execute a prepared statement with @var params
+//	                       (warm path: no parse/bind/optimize per call)
+//	DELETE /stmt/{id}      forget a prepared statement
+//	GET  /stats            consolidated engine + server statistics
+//	GET  /healthz          liveness; 503 once draining
+//
+// Admission-control failures map to distinct status codes so clients can
+// tell load shedding (429, retry with backoff) from queue timeouts (504)
+// from shutdown (503). Streaming responses send rows as they arrive; an
+// error after the first row is delivered as a final {"error": ...}
+// trailer line, since the status line is already on the wire.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"raven"
+)
+
+// Options tunes the server.
+type Options struct {
+	// DefaultTimeout bounds queries that do not carry their own
+	// timeout_ms; 0 means unbounded.
+	DefaultTimeout time.Duration
+	// MaxStatements bounds the server-side prepared-statement registry
+	// (0 = default 1024). POST /prepare past the limit fails with 429.
+	MaxStatements int
+}
+
+// Server serves one raven.DB over HTTP. Create with New, attach with
+// Handler or run with Serve, stop with Shutdown (graceful drain).
+type Server struct {
+	db   *raven.DB
+	opts Options
+	mux  *http.ServeMux
+	http *http.Server
+
+	mu     sync.Mutex
+	stmts  map[string]*raven.Stmt
+	nextID uint64
+
+	draining atomic.Bool
+	queries  atomic.Uint64 // query executions started (ad-hoc + prepared)
+	prepares atomic.Uint64
+}
+
+// New builds a Server over db.
+func New(db *raven.DB, opts Options) *Server {
+	if opts.MaxStatements <= 0 {
+		opts.MaxStatements = 1024
+	}
+	s := &Server{db: db, opts: opts, stmts: make(map[string]*raven.Stmt)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("POST /stmt/{id}/query", s.handleStmtQuery)
+	mux.HandleFunc("DELETE /stmt/{id}", s.handleStmtDelete)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	// Built eagerly so a Shutdown racing a just-started Serve goroutine
+	// always finds the server to close (a lazily built one could be
+	// missed, leaving the listener accepting after Shutdown returned).
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Handler returns the route table (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http (and
+// immediately, if Shutdown already ran).
+func (s *Server) Serve(l net.Listener) error {
+	return s.http.Serve(l)
+}
+
+// Shutdown drains gracefully: stop admitting new queries (healthz flips
+// to 503, the engine scheduler refuses admissions), wait for in-flight
+// queries to finish or ctx to expire, then close the HTTP listener
+// (net/http itself waits for active handlers). Safe without Serve, and
+// idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drainErr := s.db.Drain(ctx)
+	if err := s.http.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// ---- wire types ----
+
+// QueryRequest is the body of POST /query and POST /stmt/{id}/query
+// (which ignores SQL and Options — they were fixed at prepare time).
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Params bind @var placeholders (prepared path only).
+	Params map[string]string `json:"params,omitempty"`
+	// TimeoutMillis is this query's deadline; 0 uses the server default.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Options tunes optimization/execution per request.
+	Options *QueryOptions `json:"options,omitempty"`
+}
+
+// QueryOptions is the wire subset of raven.QueryOptions.
+type QueryOptions struct {
+	// CrossOptimize defaults to true when omitted.
+	CrossOptimize *bool `json:"cross_optimize,omitempty"`
+	// Parallelism requests a DOP; the server clamps it to 8×GOMAXPROCS
+	// (on top of any engine slot budget), because goroutine fan-out is
+	// allocated per request and wire clients are untrusted.
+	Parallelism int `json:"parallelism,omitempty"`
+	MorselSize  int `json:"morsel_size,omitempty"`
+	// ParallelThresholdRows gates parallel execution by scan size
+	// (1 forces parallelism on small tables).
+	ParallelThresholdRows int  `json:"parallel_threshold_rows,omitempty"`
+	DisablePlanCache      bool `json:"disable_plan_cache,omitempty"`
+}
+
+func (o *QueryOptions) engine() raven.QueryOptions {
+	opts := raven.DefaultQueryOptions()
+	if o == nil {
+		return opts
+	}
+	if o.CrossOptimize != nil {
+		opts.CrossOptimize = *o.CrossOptimize
+	}
+	par := o.Parallelism
+	if par < 0 {
+		par = 0
+	}
+	if cap := 8 * runtime.GOMAXPROCS(0); par > cap {
+		par = cap
+	}
+	opts.Parallelism = par
+	if o.MorselSize > 0 {
+		opts.MorselSize = o.MorselSize
+	}
+	if o.ParallelThresholdRows > 0 {
+		opts.ParallelThresholdRows = o.ParallelThresholdRows
+	}
+	opts.DisablePlanCache = o.DisablePlanCache
+	return opts
+}
+
+// PrepareResponse is the body of a successful POST /prepare.
+type PrepareResponse struct {
+	ID     string   `json:"id"`
+	Params []string `json:"params,omitempty"`
+}
+
+// ExecResponse acknowledges a side-effect-only /query script.
+type ExecResponse struct {
+	OK bool `json:"ok"`
+}
+
+// Trailer is the last NDJSON line of a successful row stream.
+type Trailer struct {
+	Rows      int      `json:"rows"`
+	CompileMS float64  `json:"compile_ms"`
+	ExecMS    float64  `json:"exec_ms"`
+	Rules     []string `json:"rules,omitempty"`
+}
+
+// ErrorLine is an error surfaced mid-stream (or the whole body of a
+// pre-stream failure, where it travels with a real error status code).
+type ErrorLine struct {
+	Error string `json:"error"`
+}
+
+// ServerStats is the server-level half of GET /stats.
+type ServerStats struct {
+	Statements int    `json:"statements"`
+	Prepares   uint64 `json:"prepares"`
+	Queries    uint64 `json:"queries"`
+	Draining   bool   `json:"draining"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Server ServerStats `json:"server"`
+	Engine raven.Stats `json:"engine"`
+}
+
+// ---- handlers ----
+
+// statusFor maps an engine error to its HTTP status: admission outcomes
+// get distinct codes (the wire contract the scheduler exists for),
+// everything else is a client error — this server's query surface treats
+// malformed/unbindable SQL as 400 and reserves 500 for transport
+// failures.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, raven.ErrQueueFull):
+		return http.StatusTooManyRequests // 429: shed, retry with backoff
+	case errors.Is(err, raven.ErrQueueTimeout),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504: waited, gave up
+	case errors.Is(err, raven.ErrDraining):
+		return http.StatusServiceUnavailable // 503: shutting down
+	case errors.Is(err, context.Canceled):
+		// Client went away; the code is never seen, but logs stay honest.
+		return 499
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorLine{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		// An absent body is a valid empty request (e.g. executing a
+		// parameter-less prepared statement without sending "{}").
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// queryCtx derives the execution context: the client connection (so a
+// disconnect cancels queued and running work) plus the request or
+// server-default deadline.
+func (s *Server) queryCtx(r *http.Request, req *QueryRequest) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, raven.ErrDraining)
+		return
+	}
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, errors.New("missing sql"))
+		return
+	}
+	ctx, cancel := s.queryCtx(r, &req)
+	defer cancel()
+	opts := req.Options.engine()
+
+	// A script with no SELECT is pure DDL/DML: run it through ExecContext
+	// (deadline and client disconnect observed between statements; the
+	// engine runs it under a cost-1 admission slot, so DDL bursts do not
+	// bypass the scheduler). A param-less script mixing DDL and a SELECT
+	// goes through Query, which executes the side effects then streams
+	// the SELECT; with params the script must be DECLAREs + one SELECT
+	// (the prepare surface compiles it and must not mutate the database).
+	if !scriptMayHaveSelect(req.SQL) {
+		if err := s.db.ExecContext(ctx, req.SQL); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, ExecResponse{OK: true})
+		return
+	}
+
+	s.queries.Add(1)
+	var rows *raven.Rows
+	var err error
+	if len(req.Params) > 0 {
+		// Parameterized ad-hoc query: the prepare-surface compile (typed
+		// @var binding) runs inside admission, so a burst of distinct
+		// parameterized texts cannot oversubscribe the CPU on compiles.
+		// The plan cache makes the repeat case as cheap as a server-side
+		// prepared statement.
+		rows, err = s.db.QueryContextParams(ctx, req.SQL, opts, paramList(req.Params)...)
+		if err != nil && strings.Contains(err.Error(), "must not mutate") {
+			err = errors.New("parameterized query scripts must contain only DECLAREs and a single SELECT; run DDL/INSERT in a separate call without params")
+		}
+	} else {
+		rows, err = s.db.QueryContextWithOptions(ctx, req.SQL, opts)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	streamRows(w, rows)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, raven.ErrDraining)
+		return
+	}
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, errors.New("missing sql"))
+		return
+	}
+	// Refuse before compiling: a full registry must not cost a parse/
+	// bind/cross-optimize per rejected request. (Re-checked at insert —
+	// concurrent prepares racing past this gate can each compile, but
+	// the registry never exceeds the cap.)
+	if s.statementCount() >= s.opts.MaxStatements {
+		writeStmtLimit(w)
+		return
+	}
+	// PrepareContext runs the compile — the CPU the scheduler exists to
+	// protect — under a cost-1 admission slot; /prepare is reachable by
+	// the same untrusted burst as /query.
+	ctx, cancel := s.queryCtx(r, &req)
+	defer cancel()
+	st, err := s.db.PrepareContextWithOptions(ctx, req.SQL, req.Options.engine())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	if len(s.stmts) >= s.opts.MaxStatements {
+		s.mu.Unlock()
+		writeStmtLimit(w)
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.stmts[id] = st
+	s.mu.Unlock()
+	s.prepares.Add(1)
+	writeJSON(w, PrepareResponse{ID: id, Params: st.Params()})
+}
+
+func (s *Server) statementCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stmts)
+}
+
+func writeStmtLimit(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(ErrorLine{Error: "prepared-statement limit reached; DELETE unused statements"})
+}
+
+func (s *Server) stmt(id string) (*raven.Stmt, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[id]
+	return st, ok
+}
+
+func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, raven.ErrDraining)
+		return
+	}
+	st, ok := s.stmt(r.PathValue("id"))
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ErrorLine{Error: "unknown statement id"})
+		return
+	}
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := s.queryCtx(r, &req)
+	defer cancel()
+	s.queries.Add(1)
+	rows, err := st.QueryContext(ctx, paramList(req.Params)...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	streamRows(w, rows)
+}
+
+func (s *Server) handleStmtDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.stmts[id]
+	delete(s.stmts, id)
+	s.mu.Unlock()
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ErrorLine{Error: "unknown statement id"})
+		return
+	}
+	writeJSON(w, ExecResponse{OK: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	open := len(s.stmts)
+	s.mu.Unlock()
+	writeJSON(w, StatsResponse{
+		Server: ServerStats{
+			Statements: open,
+			Prepares:   s.prepares.Load(),
+			Queries:    s.queries.Load(),
+			Draining:   s.draining.Load(),
+		},
+		Engine: s.db.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// ---- streaming ----
+
+// streamRows writes the NDJSON stream: a header object, one array per
+// row, and a trailer (or {"error": ...} if the stream broke mid-way).
+// The first row is fetched before the status line commits, so a query
+// that dies before producing anything (deadline mid-scan, bad cast)
+// still gets a real error status; after the first row the status is on
+// the wire and errors travel as a trailer line. Rows flush in batches so
+// clients see results while the scan runs.
+func streamRows(w http.ResponseWriter, rows *raven.Rows) {
+	defer rows.Close()
+	ok := rows.Next()
+	if !ok {
+		if err := rows.Err(); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+
+	sch := rows.Schema()
+	typeNames := make([]string, sch.Len())
+	for i, c := range sch.Columns {
+		typeNames[i] = c.Type.String()
+	}
+	enc.Encode(struct {
+		Columns []string `json:"columns"`
+		Types   []string `json:"types"`
+	}{rows.Columns(), typeNames})
+	if flusher != nil {
+		// The header (and soon the first rows) must reach the client
+		// while the scan runs — that is the point of streaming. Early
+		// rows flush individually for first-row latency; once the stream
+		// is clearly a bulk transfer, flushing every 64 rows amortizes
+		// the syscall.
+		flusher.Flush()
+	}
+
+	vals := make([]any, sch.Len())
+	ptrs := make([]any, sch.Len())
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	n := 0
+	for ; ok; ok = rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			enc.Encode(ErrorLine{Error: err.Error()})
+			return
+		}
+		if err := enc.Encode(vals); err != nil {
+			// Client hung up; rows.Close (deferred) cancels the executor.
+			return
+		}
+		n++
+		if flusher != nil && (n <= 8 || n%64 == 0) {
+			flusher.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		enc.Encode(ErrorLine{Error: err.Error()})
+		return
+	}
+	rows.Close()
+	enc.Encode(Trailer{
+		Rows:      n,
+		CompileMS: float64(rows.CompileTime.Microseconds()) / 1000,
+		ExecMS:    float64(rows.ExecTime().Microseconds()) / 1000,
+		Rules:     rows.AppliedRules,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func paramList(m map[string]string) []raven.Param {
+	out := make([]raven.Param, 0, len(m))
+	for k, v := range m {
+		out = append(out, raven.P(k, v))
+	}
+	return out
+}
+
+// scriptMayHaveSelect routes /query scripts: true sends them to the
+// streaming query path, false to ExecContext. It is a cheap
+// case-insensitive token scan, not a parse — the warm SELECT path must
+// not pay a throwaway full parse per request (the plan cache serves
+// repeated texts without parsing at all). The one false positive — the
+// word SELECT inside a string literal of a side-effect-only script —
+// routes to the query path, which executes the side effects and then
+// reports "Query needs a SELECT", exactly what the engine's ad-hoc
+// surface does for that script; parse errors surface from whichever
+// path runs.
+func scriptMayHaveSelect(script string) bool {
+	up := strings.ToUpper(script)
+	for i := 0; ; {
+		j := strings.Index(up[i:], "SELECT")
+		if j < 0 {
+			return false
+		}
+		k := i + j
+		beforeOK := k == 0 || !isIdentByte(up[k-1])
+		afterOK := k+6 >= len(up) || !isIdentByte(up[k+6])
+		if beforeOK && afterOK {
+			return true
+		}
+		i = k + 6
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+}

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"raven"
+	"raven/internal/data"
+	"raven/internal/ml"
+	"raven/internal/train"
+)
+
+// assertGoroutinesReturn polls the goroutine count back to baseline —
+// the server-level goroutine-leak check for drains and cancellations.
+func assertGoroutinesReturn(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:m])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+const testPredict = `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
+	DATA=(SELECT * FROM patient_info AS pi
+	      JOIN blood_tests AS bt ON pi.id = bt.id
+	      JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+	WITH (score FLOAT) AS p WHERE d.age > 40`
+
+// hospitalDB builds an engine with the hospital workload and a stored
+// forest model (slow enough that concurrent traffic overlaps).
+func hospitalDB(t testing.TB, rows, trees int, opts ...raven.Option) *raven.DB {
+	t.Helper()
+	db := raven.Open(opts...)
+	h, err := data.GenHospital(db.Catalog(), rows, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := train.FitForest(h.TrainX, h.TrainY, train.ForestOptions{
+		NumTrees: trees,
+		Seed:     5,
+		Tree:     train.TreeOptions{MaxDepth: 8, MinLeaf: 10},
+	})
+	if err := db.StoreModel("duration_of_stay", &ml.Pipeline{Final: rf, InputColumns: h.FeatureCols}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// startServer runs a real listener (so graceful shutdown is exercised
+// the way production sees it) and returns a client plus the server.
+func startServer(t testing.TB, db *raven.DB, opts Options) (*Client, *Server, *http.Client) {
+	t.Helper()
+	srv := New(db, opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	hc := &http.Client{Transport: &http.Transport{}}
+	t.Cleanup(hc.CloseIdleConnections)
+	return &Client{Base: "http://" + l.Addr().String(), HTTP: hc}, srv, hc
+}
+
+func TestWireProtocolBasics(t *testing.T) {
+	db := hospitalDB(t, 500, 4)
+	c, _, _ := startServer(t, db, Options{})
+
+	if status, err := c.Healthz(); err != nil || status != "ok" {
+		t.Fatalf("healthz = %q, %v", status, err)
+	}
+	// Side-effect-only script.
+	res, err := c.Query(QueryRequest{SQL: `CREATE TABLE kv (k INT PRIMARY KEY, v FLOAT); INSERT INTO kv VALUES (1, 10.5), (2, 20.5)`})
+	if err != nil || !res.OK {
+		t.Fatalf("exec: %+v, %v", res, err)
+	}
+	// Streamed SELECT with header, rows and trailer.
+	sel, err := c.Query(QueryRequest{SQL: `SELECT k, v FROM kv`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Rows) != 2 || sel.Columns[0] != "k" || sel.Types[1] != "FLOAT" {
+		t.Fatalf("select: %+v", sel)
+	}
+	if sel.Trailer.Rows != 2 {
+		t.Fatalf("trailer: %+v", sel.Trailer)
+	}
+	// PREDICT over the wire.
+	pred, err := c.Query(QueryRequest{SQL: testPredict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Rows) == 0 || len(pred.Columns) != 2 {
+		t.Fatalf("predict: %d rows, cols %v", len(pred.Rows), pred.Columns)
+	}
+	// Errors: bad SQL is a 400, unknown statement a 404, bad body a 400.
+	if _, err := c.Query(QueryRequest{SQL: "SELECT FROM FROM"}); status(err) != http.StatusBadRequest {
+		t.Fatalf("bad sql: %v", err)
+	}
+	if _, err := c.StmtQuery("nope", QueryRequest{}); status(err) != http.StatusNotFound {
+		t.Fatalf("unknown stmt: %v", err)
+	}
+	resp, err := http.Post(c.Base+"/query", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", resp.StatusCode)
+	}
+}
+
+func TestPreparedStatementOverWire(t *testing.T) {
+	db := hospitalDB(t, 500, 4)
+	c, _, _ := startServer(t, db, Options{})
+
+	pr, err := c.Prepare(QueryRequest{SQL: strings.Replace(testPredict, "> 40", "> @minage", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Params) != 1 || pr.Params[0] != "minage" {
+		t.Fatalf("params = %v", pr.Params)
+	}
+	warm, err := c.StmtQuery(pr.ID, QueryRequest{Params: map[string]string{"minage": "40"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adhoc, err := c.Query(QueryRequest{SQL: testPredict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Fingerprint() != adhoc.Fingerprint() {
+		t.Fatal("prepared result differs from ad-hoc")
+	}
+	// Missing param is a clean client error.
+	if _, err := c.StmtQuery(pr.ID, QueryRequest{}); status(err) != http.StatusBadRequest {
+		t.Fatalf("missing param: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Statements != 1 || st.Server.Prepares != 1 {
+		t.Fatalf("stats: %+v", st.Server)
+	}
+	if st.Engine.PlanCache.Capacity == 0 || st.Engine.SessionCache.Misses == 0 {
+		t.Fatalf("engine stats missing: %+v", st.Engine)
+	}
+	if err := c.CloseStmt(pr.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseStmt(pr.ID); status(err) != http.StatusNotFound {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestConcurrentClientsParity is the acceptance scenario: 32 concurrent
+// clients against an admission limit of 4 all complete correctly with
+// results byte-identical to serial execution, and the active-query gauge
+// never exceeds the limit.
+func TestConcurrentClientsParity(t *testing.T) {
+	db := hospitalDB(t, 2000, 8,
+		raven.WithMaxConcurrentQueries(4),
+		raven.WithSchedulerQueue(64, 0),
+	)
+	c, _, _ := startServer(t, db, Options{})
+
+	// Serial reference over the same wire (DOP 1 forced).
+	serialOpts := &QueryOptions{Parallelism: 1}
+	ref, err := c.Query(QueryRequest{SQL: testPredict, Options: serialOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Rows) == 0 {
+		t.Fatal("reference returned no rows")
+	}
+	want := ref.Fingerprint()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.Query(QueryRequest{SQL: testPredict})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := res.Fingerprint(); got != want {
+				errs <- fmt.Errorf("result mismatch: %d rows vs %d", len(res.Rows), len(ref.Rows))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := db.Scheduler().Stats()
+	if st.MaxActive > 4 {
+		t.Fatalf("active gauge exceeded admission limit: %d > 4", st.MaxActive)
+	}
+	if st.Admitted < clients {
+		t.Fatalf("admitted %d < %d clients", st.Admitted, clients)
+	}
+	if st.Active != 0 || st.SlotsInUse != 0 {
+		t.Fatalf("not quiescent after burst: %+v", st)
+	}
+}
+
+// TestRejectAndTimeoutStatusCodes pins the wire contract: queue-full
+// rejections and queue timeouts are distinct status codes (429 vs 504).
+func TestRejectAndTimeoutStatusCodes(t *testing.T) {
+	db := hospitalDB(t, 200, 2,
+		raven.WithMaxConcurrentQueries(1),
+		raven.WithSchedulerQueue(1, 50*time.Millisecond),
+	)
+	c, _, _ := startServer(t, db, Options{})
+
+	// Occupy the single slot directly so HTTP requests queue behind it.
+	release, err := db.Scheduler().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First request fills the queue, then times out after 50ms → 504.
+	timedOut := make(chan error, 1)
+	go func() {
+		_, err := c.Query(QueryRequest{SQL: `SELECT COUNT(*) AS n FROM patient_info`})
+		timedOut <- err
+	}()
+	waitFor(t, func() bool { return db.Scheduler().Stats().Waiting == 1 })
+
+	// Second request: limit reached AND queue full → immediate 429.
+	if _, err := c.Query(QueryRequest{SQL: `SELECT COUNT(*) AS n FROM patient_info`}); status(err) != http.StatusTooManyRequests {
+		t.Fatalf("queue-full: want 429, got %v", err)
+	}
+	if err := <-timedOut; status(err) != http.StatusGatewayTimeout {
+		t.Fatalf("queue-timeout: want 504, got %v", err)
+	}
+	release()
+
+	// The server recovers: next query runs.
+	if _, err := c.Query(QueryRequest{SQL: `SELECT COUNT(*) AS n FROM patient_info`}); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Scheduler().Stats()
+	if st.Rejected != 1 || st.TimedOut != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+// TestClientDisconnectCancelsQueued covers the queued-not-yet-admitted
+// path: a client that hangs up while its query waits in the admission
+// queue must be removed promptly, leaking nothing and admitting no work.
+func TestClientDisconnectCancelsQueued(t *testing.T) {
+	db := hospitalDB(t, 200, 2,
+		raven.WithMaxConcurrentQueries(1),
+		raven.WithSchedulerQueue(8, 0),
+	)
+	c, _, hc := startServer(t, db, Options{})
+
+	release, err := db.Scheduler().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	gone := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/query",
+			strings.NewReader(`{"sql":"SELECT COUNT(*) AS n FROM patient_info"}`))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		gone <- err
+	}()
+	waitFor(t, func() bool { return db.Scheduler().Stats().Waiting == 1 })
+	cancel() // client disconnect while queued
+	if err := <-gone; err == nil {
+		t.Fatal("request should have failed with context.Canceled")
+	}
+	waitFor(t, func() bool {
+		st := db.Scheduler().Stats()
+		return st.Waiting == 0 && st.Cancelled >= 1
+	})
+	if st := db.Scheduler().Stats(); st.Admitted != 1 { // only the direct Acquire
+		t.Fatalf("cancelled queued query was admitted: %+v", st)
+	}
+	release()
+	assertGoroutinesReturn(t, base)
+}
+
+// TestGracefulDrainUnderLoad is the shutdown acceptance: under a mix of
+// running and queued PREDICT queries, Shutdown lets admitted queries
+// finish (complete streams), fails queued ones with 503, flips healthz
+// to 503, and leaves zero goroutines behind.
+func TestGracefulDrainUnderLoad(t *testing.T) {
+	// Big enough that queries are still streaming when drain starts.
+	db := hospitalDB(t, 20000, 16,
+		raven.WithMaxConcurrentQueries(2),
+		raven.WithSchedulerQueue(16, 0),
+	)
+	baseline := runtime.NumGoroutine()
+	c, srv, hc := startServer(t, db, Options{})
+
+	const clients = 6
+	type outcome struct {
+		res *StreamResult
+		err error
+	}
+	results := make(chan outcome, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			res, err := c.Query(QueryRequest{SQL: testPredict})
+			results <- outcome{res, err}
+		}()
+	}
+	// Wait until the scheduler is saturated: 2 running, ≥1 queued.
+	waitFor(t, func() bool {
+		st := db.Scheduler().Stats()
+		return st.Active == 2 && st.Waiting >= 1
+	})
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	var completed, drained int
+	var want string
+	for i := 0; i < clients; i++ {
+		o := <-results
+		switch {
+		case o.err == nil:
+			// A completed stream must be whole: trailer seen (readStream
+			// enforces trailer/row-count consistency).
+			if len(o.res.Rows) == 0 {
+				t.Error("completed query streamed no rows")
+			}
+			if want == "" {
+				want = o.res.Fingerprint()
+			} else if o.res.Fingerprint() != want {
+				t.Error("drained-run result differs")
+			}
+			completed++
+		case status(o.err) == http.StatusServiceUnavailable:
+			drained++
+		default:
+			t.Errorf("unexpected outcome: %v", o.err)
+		}
+	}
+	if completed == 0 || drained == 0 {
+		t.Fatalf("wanted both completions and drain-failures, got %d/%d", completed, drained)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := db.Scheduler().Stats(); st.Active != 0 || !st.Draining {
+		t.Fatalf("post-drain scheduler: %+v", st)
+	}
+	// The t.Cleanup shutdown is now a no-op; check leaks directly.
+	hc.CloseIdleConnections()
+	assertGoroutinesReturn(t, baseline)
+}
+
+// TestHealthzDrainingAndAdmissionRefusal uses handler-level draining
+// (no listener) to pin the 503 surface.
+func TestHealthzDrainingAndAdmissionRefusal(t *testing.T) {
+	db := hospitalDB(t, 200, 2, raven.WithMaxConcurrentQueries(2))
+	srv := New(db, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go http.Serve(l, srv.Handler())
+	hc := &http.Client{Transport: &http.Transport{}}
+	defer hc.CloseIdleConnections()
+	c := &Client{Base: "http://" + l.Addr().String(), HTTP: hc}
+
+	if status_, err := c.Healthz(); status(err) != http.StatusServiceUnavailable || status_ != "draining" {
+		t.Fatalf("healthz while draining = %q, %v", status_, err)
+	}
+	if _, err := c.Query(QueryRequest{SQL: "SELECT COUNT(*) AS n FROM patient_info"}); status(err) != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining: %v", err)
+	}
+	if _, err := c.Prepare(QueryRequest{SQL: "SELECT COUNT(*) AS n FROM patient_info"}); status(err) != http.StatusServiceUnavailable {
+		t.Fatalf("prepare while draining: %v", err)
+	}
+}
+
+// TestQueryTimeoutOverWire: a per-request timeout lands mid-execution
+// and surfaces as 504 with nothing leaked. The aggregate produces no row
+// until the whole PREDICT finishes, so the deadline always lands before
+// the status line commits.
+func TestQueryTimeoutOverWire(t *testing.T) {
+	db := hospitalDB(t, 20000, 16)
+	c, _, hc := startServer(t, db, Options{})
+	base := runtime.NumGoroutine()
+	agg := strings.Replace(testPredict, "SELECT d.id, p.score", "SELECT COUNT(*) AS n, AVG(p.score) AS avgscore", 1)
+	_, err := c.Query(QueryRequest{SQL: agg, TimeoutMillis: 1,
+		Options: &QueryOptions{Parallelism: 1}})
+	if status(err) != http.StatusGatewayTimeout {
+		t.Fatalf("want 504, got %v", err)
+	}
+	hc.CloseIdleConnections()
+	assertGoroutinesReturn(t, base)
+}
+
+// status extracts the HTTP status from a client error (0 otherwise).
+func status(err error) int {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status
+	}
+	return 0
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

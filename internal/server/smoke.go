@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+)
+
+// smokePredict is the demo PREDICT statement the smoke runs against the
+// preloaded hospital workload (see cmd/ravenserved's -preload).
+const smokePredict = `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
+	DATA=(SELECT * FROM patient_info AS pi
+	      JOIN blood_tests AS bt ON pi.id = bt.id
+	      JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+	WITH (score FLOAT) AS p WHERE d.age > @minage`
+
+// Smoke drives one end-to-end pass over the wire protocol against a
+// ravenserved instance preloaded with the demo workload: DDL + INSERT
+// through /query, a SELECT readback, a parameterized PREDICT, the
+// prepared-statement warm path, and /stats. It is the body of
+// `ravenserved -selftest` and the `make smoke-serve` CI gate.
+func Smoke(base string) error {
+	c := &Client{Base: base}
+
+	if status, err := c.Healthz(); err != nil || status != "ok" {
+		return fmt.Errorf("healthz: status %q, err %v", status, err)
+	}
+
+	// DDL + DML through the wire (side-effect-only script).
+	if res, err := c.Query(QueryRequest{SQL: `
+		CREATE TABLE smoke_kv (k INT PRIMARY KEY, v FLOAT);
+		INSERT INTO smoke_kv VALUES (1, 1.5), (2, 2.5), (3, 3.5);`,
+	}); err != nil || !res.OK {
+		return fmt.Errorf("ddl script: res %+v, err %v", res, err)
+	}
+
+	// SELECT readback streams the inserted rows.
+	sel, err := c.Query(QueryRequest{SQL: `SELECT k, v FROM smoke_kv WHERE v > 2.0`})
+	if err != nil {
+		return fmt.Errorf("select: %w", err)
+	}
+	if len(sel.Rows) != 2 || len(sel.Columns) != 2 {
+		return fmt.Errorf("select: got %d rows %v cols, want 2 rows [k v]", len(sel.Rows), sel.Columns)
+	}
+
+	// Parameterized ad-hoc PREDICT over the preloaded hospital tables.
+	adhoc, err := c.Query(QueryRequest{SQL: smokePredict, Params: map[string]string{"minage": "50"}})
+	if err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	if len(adhoc.Rows) == 0 {
+		return fmt.Errorf("predict returned no rows")
+	}
+
+	// Prepared warm path: same statement, identical stream.
+	pr, err := c.Prepare(QueryRequest{SQL: smokePredict})
+	if err != nil {
+		return fmt.Errorf("prepare: %w", err)
+	}
+	if len(pr.Params) != 1 || pr.Params[0] != "minage" {
+		return fmt.Errorf("prepare: params = %v, want [minage]", pr.Params)
+	}
+	prep, err := c.StmtQuery(pr.ID, QueryRequest{Params: map[string]string{"minage": "50"}})
+	if err != nil {
+		return fmt.Errorf("stmt query: %w", err)
+	}
+	if prep.Fingerprint() != adhoc.Fingerprint() {
+		return fmt.Errorf("prepared result differs from ad-hoc result")
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Server.Queries < 3 || st.Engine.Compiles == 0 {
+		return fmt.Errorf("stats implausible: %+v", st)
+	}
+	if st.Engine.Scheduler != nil && st.Engine.Scheduler.Admitted == 0 {
+		return fmt.Errorf("scheduler enabled but admitted nothing: %+v", st.Engine.Scheduler)
+	}
+
+	if err := c.CloseStmt(pr.ID); err != nil {
+		return fmt.Errorf("close stmt: %w", err)
+	}
+	return nil
+}

@@ -46,7 +46,13 @@ type planCache struct {
 	entries map[string]*planEntry
 	hits    uint64
 	misses  uint64
-	max     int
+	// evictions counts entries dropped for capacity (LRU); invalidations
+	// counts entries dropped because the catalog moved underneath them.
+	// Separately visible in /stats: a hot eviction churn means the cache
+	// is undersized, an invalidation churn means DDL/model-store traffic.
+	evictions     uint64
+	invalidations uint64
+	max           int
 	// tick orders uses for LRU eviction: ad-hoc statements with inline
 	// literals each occupy their own key, so without recency the churn
 	// they generate would evict hot repeated statements at random.
@@ -77,6 +83,7 @@ func (c *planCache) get(key string, version uint64) *cachedPlan {
 	}
 	if ok {
 		delete(c.entries, key)
+		c.invalidations++
 	}
 	c.misses++
 	return nil
@@ -96,6 +103,7 @@ func (c *planCache) put(key string, p *cachedPlan, current uint64) {
 	for k, e := range c.entries {
 		if e.plan.version != current {
 			delete(c.entries, k)
+			c.invalidations++
 		}
 	}
 	for len(c.entries) >= c.max {
@@ -107,15 +115,24 @@ func (c *planCache) put(key string, p *cachedPlan, current uint64) {
 			}
 		}
 		delete(c.entries, lruKey)
+		c.evictions++
 	}
 	c.tick++
 	c.entries[key] = &planEntry{plan: p, used: c.tick}
 }
 
-func (c *planCache) stats() (hits, misses uint64) {
+// info snapshots the cache counters for DB.Stats / the /stats endpoint.
+func (c *planCache) info() PlanCacheInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return PlanCacheInfo{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Size:          len(c.entries),
+		Capacity:      c.max,
+	}
 }
 
 func (c *planCache) len() int {

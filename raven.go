@@ -81,6 +81,7 @@ import (
 	"raven/internal/pyanal"
 	"raven/internal/relopt"
 	"raven/internal/rt"
+	"raven/internal/sched"
 	"raven/internal/sql"
 	"raven/internal/storage"
 	"raven/internal/types"
@@ -180,7 +181,27 @@ type DB struct {
 	// MorselSize is the engine-wide rows-per-morsel for parallel plans; 0
 	// uses the executor default.
 	MorselSize int
+
+	// sched is the admission controller gating Query/Stmt.Query; nil
+	// (the default) admits everything immediately. Built at Open time
+	// from the WithMaxConcurrentQueries/WithMaxWorkerSlots/
+	// WithSchedulerQueue options.
+	sched     *sched.Scheduler
+	schedOpts sched.Options
 }
+
+// Admission failures, re-exported so API consumers can map them to
+// load-shedding responses without importing internal packages.
+var (
+	// ErrQueueFull: the scheduler is saturated and its queue is at
+	// capacity — the query was rejected without waiting. Retry later.
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrQueueTimeout: the query waited its full queue timeout without
+	// being admitted.
+	ErrQueueTimeout = sched.ErrQueueTimeout
+	// ErrDraining: the engine is shutting down and admits no new queries.
+	ErrDraining = sched.ErrDraining
+)
 
 // Option configures an engine at Open time.
 type Option func(*DB)
@@ -206,6 +227,46 @@ func WithMorselSize(n int) Option {
 	}
 }
 
+// WithMaxConcurrentQueries enables admission control: at most n queries
+// execute at once; the rest queue (see WithSchedulerQueue) or fail with
+// ErrQueueFull. Values < 1 are ignored, leaving admission unlimited.
+func WithMaxConcurrentQueries(n int) Option {
+	return func(db *DB) {
+		if n >= 1 {
+			db.schedOpts.MaxConcurrent = n
+		}
+	}
+}
+
+// WithMaxWorkerSlots bounds the total morsel-exchange worker slots
+// across all running queries, where each query costs its effective DOP.
+// The bound is enforced, not just accounted: a query requesting more
+// parallelism than the whole budget is capped to it at lowering time,
+// so a wire client asking for DOP 64 against an 8-slot engine runs
+// (alone) at DOP 8 instead of spawning 64 workers under an 8-slot
+// charge. It only takes effect together with WithMaxConcurrentQueries.
+func WithMaxWorkerSlots(n int) Option {
+	return func(db *DB) {
+		if n >= 1 {
+			db.schedOpts.MaxSlots = n
+		}
+	}
+}
+
+// WithSchedulerQueue sizes the admission queue: up to depth queries wait
+// for a slot, each for at most timeout (0 = until its context expires).
+// It only takes effect together with WithMaxConcurrentQueries.
+func WithSchedulerQueue(depth int, timeout time.Duration) Option {
+	return func(db *DB) {
+		if depth >= 0 {
+			db.schedOpts.QueueDepth = depth
+		}
+		if timeout > 0 {
+			db.schedOpts.QueueTimeout = timeout
+		}
+	}
+}
+
 // Open creates an empty engine.
 func Open(opts ...Option) *DB {
 	db := &DB{
@@ -218,7 +279,69 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(db)
 	}
+	if db.schedOpts.MaxConcurrent > 0 {
+		db.sched = sched.New(db.schedOpts)
+	}
 	return db
+}
+
+// QueryScheduler is the admission controller type behind DB.Scheduler,
+// aliased so API consumers can name it without importing internal
+// packages (the import restriction is on paths, not identities).
+type QueryScheduler = sched.Scheduler
+
+// SchedulerStats is the admission scheduler's counter snapshot (see
+// Stats.Scheduler), aliased for the same nameability reason.
+type SchedulerStats = sched.Stats
+
+// Scheduler exposes the admission controller (nil when admission control
+// is off) for stats and graceful drain.
+func (db *DB) Scheduler() *QueryScheduler { return db.sched }
+
+// effectiveParallelism is the DOP a query actually lowers with: the
+// requested (or engine default) DOP, capped by the scheduler's worker
+// slot budget. It is also exactly what admission charges, so the
+// charged cost and the spawned worker count agree by construction. The
+// cap is a worst-case bound — small scans below ParallelThresholdRows
+// execute serially anyway — so admission stays conservative under load.
+func (db *DB) effectiveParallelism(opts QueryOptions) int {
+	par := opts.Parallelism
+	if par == 0 {
+		par = db.DefaultParallelism
+	}
+	if db.sched != nil {
+		if ms := db.schedOpts.MaxSlots; ms > 0 && par > ms {
+			par = ms
+		}
+	}
+	return par
+}
+
+// admit passes one query through admission control, charged at its
+// effective DOP. The returned release is non-nil even without a
+// scheduler so callers can defer it blindly; Rows takes ownership of it
+// on success (released at Close).
+func (db *DB) admit(ctx context.Context, opts QueryOptions) (func(), error) {
+	return db.admitN(ctx, db.effectiveParallelism(opts))
+}
+
+// admitN acquires an admission slot of explicit cost — cost 1 for the
+// single-threaded front-half work (Exec scripts, Prepare compiles).
+func (db *DB) admitN(ctx context.Context, cost int) (func(), error) {
+	if db.sched == nil {
+		return func() {}, nil
+	}
+	return db.sched.Acquire(ctx, cost)
+}
+
+// Drain stops admitting queries and waits for in-flight ones to finish
+// (or ctx to expire). Without admission control it is a no-op: there is
+// no registry of in-flight queries to wait on.
+func (db *DB) Drain(ctx context.Context) error {
+	if db.sched == nil {
+		return nil
+	}
+	return db.sched.Drain(ctx)
 }
 
 // Catalog exposes the table catalog (for generators and tools).
@@ -231,11 +354,30 @@ func (db *DB) Runtime() *rt.Runtime { return db.runtime }
 // DECLARE). Multiple statements may be separated by semicolons; SELECTs
 // are rejected here — use Query.
 func (db *DB) Exec(script string) error {
+	return db.ExecContext(context.Background(), script)
+}
+
+// ExecContext is Exec under a context: cancellation or deadline expiry
+// is observed between statements (a single statement is not
+// interrupted mid-flight), so a long INSERT script stops once its
+// caller — e.g. a disconnected wire client — is gone. With admission
+// control enabled the script runs under a cost-1 slot, like every other
+// work the engine does for a caller; note a caller already holding a
+// slot (an open Rows) on a fully saturated engine will queue here.
+func (db *DB) ExecContext(ctx context.Context, script string) error {
+	release, err := db.admitN(ctx, 1)
+	if err != nil {
+		return err
+	}
+	defer release()
 	stmts, err := sql.ParseScript(script)
 	if err != nil {
 		return err
 	}
 	for _, st := range stmts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := db.execOne(st); err != nil {
 			return err
 		}
@@ -407,24 +549,84 @@ func (db *DB) QueryContext(ctx context.Context, q string) (*Rows, error) {
 	return db.QueryContextWithOptions(ctx, q, DefaultQueryOptions())
 }
 
-// QueryContextWithOptions is QueryContext under explicit options.
+// QueryContextWithOptions is QueryContext under explicit options. With
+// admission control enabled (WithMaxConcurrentQueries) the call blocks
+// in the scheduler queue until admitted — compilation included, since
+// cross-optimization (NN translation, inlining) is itself CPU-heavy —
+// and the slot is held until Rows.Close.
 func (db *DB) QueryContextWithOptions(ctx context.Context, q string, opts QueryOptions) (*Rows, error) {
 	start := time.Now()
+	release, err := db.admit(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
 	// Undeclared @vars fail inside the binder (AllowParams is off for the
 	// ad-hoc surface), with an error pointing at DECLARE/Prepare.
 	tpl, err := db.planFor(q, opts, db.varsSnapshot(), false)
 	if err != nil {
+		release()
 		return nil, err
 	}
 	op, err := db.lower(ctx, tpl.graph, tpl.sessionKey, opts)
 	if err != nil {
+		release()
 		return nil, err
 	}
-	return newRows(ctx, op, tpl.applied, time.Since(start))
+	return newRows(ctx, op, tpl.applied, time.Since(start), release)
 }
 
 // PlanCacheStats returns the plan cache's cumulative (hits, misses).
-func (db *DB) PlanCacheStats() (hits, misses uint64) { return db.plans.stats() }
+// DB.Stats carries the fuller picture (size, capacity, evictions).
+func (db *DB) PlanCacheStats() (hits, misses uint64) {
+	i := db.plans.info()
+	return i.Hits, i.Misses
+}
+
+// PlanCacheInfo describes the engine plan cache for stats endpoints.
+type PlanCacheInfo struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped to make room (LRU); Invalidations
+	// counts entries dropped because a catalog change (DDL, model store)
+	// made them stale.
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Size          int    `json:"size"`
+	Capacity      int    `json:"capacity"`
+}
+
+// SessionCacheInfo describes the inference-session cache.
+type SessionCacheInfo struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// Stats is the consolidated engine statistics snapshot served by
+// ravenserved's /stats endpoint.
+type Stats struct {
+	PlanCache    PlanCacheInfo    `json:"plan_cache"`
+	SessionCache SessionCacheInfo `json:"session_cache"`
+	// Scheduler is nil when admission control is off.
+	Scheduler *SchedulerStats `json:"scheduler,omitempty"`
+	// Compiles counts full front-half compilations since Open.
+	Compiles       uint64 `json:"compiles"`
+	CatalogVersion uint64 `json:"catalog_version"`
+}
+
+// Stats snapshots the engine's caches and scheduler.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		PlanCache:      db.plans.info(),
+		Compiles:       db.compiles.Load(),
+		CatalogVersion: db.catalog.Version(),
+	}
+	st.SessionCache.Hits, st.SessionCache.Misses = db.runtime.Cache.Stats()
+	if db.sched != nil {
+		s := db.sched.Stats()
+		st.Scheduler = &s
+	}
+	return st
+}
 
 // varsSnapshot copies the engine session variables. Callers take one
 // snapshot per compile so the cache key and the bound plan always see the
@@ -606,10 +808,7 @@ func (db *DB) buildPlan(q string, sel *sql.SelectStmt, vars map[string]string, o
 // plans still adapt to current table sizes (serial vs morsel-parallel)
 // and carry the call's context into every operator.
 func (db *DB) lower(ctx context.Context, graph *ir.Graph, sessionKey string, opts QueryOptions) (exec.Operator, error) {
-	par := opts.Parallelism
-	if par == 0 {
-		par = db.DefaultParallelism
-	}
+	par := db.effectiveParallelism(opts)
 	morsel := opts.MorselSize
 	if morsel == 0 {
 		morsel = db.MorselSize

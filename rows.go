@@ -43,13 +43,19 @@ type Rows struct {
 	idx       int
 	err       error
 	closed    bool
+	// release returns the admission-control slot (nil without a
+	// scheduler). Close owns it: the slot is held exactly as long as the
+	// query can still consume engine workers.
+	release func()
 }
 
 // newRows wraps an already-compiled operator tree and opens it. applied
 // is copied: the exported AppliedRules field must not alias a cached
 // plan's shared slice, or a caller mutating it would corrupt the template
-// for every later execution.
-func newRows(ctx context.Context, op exec.Operator, applied []string, compileTime time.Duration) (*Rows, error) {
+// for every later execution. release (may be nil) is the admission slot
+// ticket; newRows owns it from here on, returning it on Open failure and
+// otherwise at Close.
+func newRows(ctx context.Context, op exec.Operator, applied []string, compileTime time.Duration, release func()) (*Rows, error) {
 	r := &Rows{
 		AppliedRules: append([]string(nil), applied...),
 		CompileTime:  compileTime,
@@ -58,9 +64,13 @@ func newRows(ctx context.Context, op exec.Operator, applied []string, compileTim
 		schema:       op.Schema(),
 		execStart:    time.Now(),
 		idx:          -1,
+		release:      release,
 	}
 	if err := op.Open(); err != nil {
 		op.Close()
+		if release != nil {
+			release()
+		}
 		return nil, err
 	}
 	return r, nil
@@ -163,15 +173,23 @@ func (r *Rows) Scan(dest ...any) error {
 // cancellation surfaces here as ctx.Err().
 func (r *Rows) Err() error { return r.err }
 
-// Close releases the executor (stopping any exchange workers). It is
-// idempotent and safe after exhaustion.
+// Close releases the executor (stopping any exchange workers) and
+// returns the query's admission slot to the scheduler. It is idempotent
+// and safe at any point in the stream's life: before the first Next,
+// mid-stream (in-flight exchange workers are shut down and reaped),
+// after exhaustion, after Err, and on repeated calls — only the first
+// call does work or returns the operator's error.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
 	r.execTime = time.Since(r.execStart)
-	return r.op.Close()
+	err := r.op.Close()
+	if r.release != nil {
+		r.release()
+	}
+	return err
 }
 
 // ExecTime is the time spent executing so far (final once closed).

@@ -60,6 +60,26 @@ func (db *DB) Prepare(q string) (*Stmt, error) {
 
 // PrepareWithOptions compiles a statement once under explicit options.
 func (db *DB) PrepareWithOptions(q string, opts QueryOptions) (*Stmt, error) {
+	return db.PrepareContextWithOptions(context.Background(), q, opts)
+}
+
+// PrepareContext is Prepare under a context.
+func (db *DB) PrepareContext(ctx context.Context, q string) (*Stmt, error) {
+	return db.PrepareContextWithOptions(ctx, q, DefaultQueryOptions())
+}
+
+// PrepareContextWithOptions compiles a statement once under explicit
+// options and a context. The compile — the CPU-heavy front half, cross
+// optimization included — runs under a cost-1 admission slot when
+// admission control is enabled, so bursts of prepares from a wire front
+// end cannot oversubscribe the engine any more than queries can; ctx
+// bounds the wait for that slot.
+func (db *DB) PrepareContextWithOptions(ctx context.Context, q string, opts QueryOptions) (*Stmt, error) {
+	release, err := db.admitN(ctx, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	s := &Stmt{db: db, sql: q, opts: opts, vars: db.varsSnapshot()}
 	if _, err := s.template(); err != nil {
 		return nil, err
@@ -109,29 +129,71 @@ func (s *Stmt) Query(params ...Param) (*Rows, error) {
 
 // QueryContext executes the prepared statement under a context: the
 // compiled plan is reused (no parse/bind/optimize), parameters bind into
-// a per-call clone, and cancellation reaches every operator and predictor.
+// a per-call clone, and cancellation reaches every operator and
+// predictor. Prepared executions pass through the same admission control
+// as ad-hoc queries (the slot is held until Rows.Close), so a fleet of
+// warm statements cannot oversubscribe the engine either.
 func (s *Stmt) QueryContext(ctx context.Context, params ...Param) (*Rows, error) {
 	start := time.Now()
-	tpl, err := s.template()
+	release, err := s.db.admit(ctx, s.opts)
 	if err != nil {
 		return nil, err
 	}
+	tpl, err := s.template()
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return s.db.executeTemplate(ctx, tpl, s.opts, params, release, start)
+}
+
+// executeTemplate is the shared back half of every parameterized
+// execution path (Stmt.QueryContext, QueryContextParams): bind params
+// into a per-call clone, lower, stream. It owns release from the moment
+// it is called — every error path returns the admission slot, success
+// hands it to Rows.
+func (db *DB) executeTemplate(ctx context.Context, tpl *cachedPlan, opts QueryOptions, params []Param, release func(), start time.Time) (*Rows, error) {
 	graph := tpl.graph
 	if len(tpl.params) > 0 || len(params) > 0 {
 		vals, err := paramValues(tpl.params, params)
 		if err != nil {
+			release()
 			return nil, err
 		}
 		graph, err = bindGraphParams(graph, vals)
 		if err != nil {
+			release()
 			return nil, err
 		}
 	}
-	op, err := s.db.lower(ctx, graph, tpl.sessionKey, s.opts)
+	op, err := db.lower(ctx, graph, tpl.sessionKey, opts)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return newRows(ctx, op, tpl.applied, time.Since(start), release)
+}
+
+// QueryContextParams is the ad-hoc parameterized query surface: like
+// QueryContextWithOptions but compiled through the prepare surface, so
+// undeclared @vars bind from params with type inference instead of
+// erroring. Admission is acquired before compilation (unlike a
+// Prepare-then-Query pair, where the compile runs un-gated), which makes
+// this the right engine call for a wire front end handling untrusted
+// bursts of parameterized SQL. Side-effecting statements are rejected,
+// exactly as in Prepare.
+func (db *DB) QueryContextParams(ctx context.Context, q string, opts QueryOptions, params ...Param) (*Rows, error) {
+	start := time.Now()
+	release, err := db.admit(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	return newRows(ctx, op, tpl.applied, time.Since(start))
+	tpl, err := db.planFor(q, opts, db.varsSnapshot(), true)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return db.executeTemplate(ctx, tpl, opts, params, release, start)
 }
 
 // paramValues validates the supplied params against the declared set:
