@@ -3,12 +3,20 @@ GO ?= go
 # Coverage floor for `make cover` (percent of statements).
 COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet bench bench-quick cover smoke smoke-serve ci
+.PHONY: all build test race vet fmt-check bench bench-quick bench-check cover smoke smoke-serve ci
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# fmt-check fails the gate on formatting drift (gofmt -l must print
+# nothing); run `gofmt -w .` to fix.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -52,19 +60,32 @@ smoke-serve:
 bench:
 	$(GO) run ./cmd/ravenbench -quick
 
-# bench-quick smoke-runs the pipeline-breaker ablation and the serving
-# concurrency ablation and records both, so `make ci` catches breaker
-# regressions (a breaker that silently serializes or errors) and serving
-# regressions (admission breach, wire-path breakage) without paying for
-# the full paper suite. BENCH_JSON / BENCH_SERVE_JSON are where the
-# tables are recorded; `make ci` points them at untracked scratch paths
-# so routine CI runs don't churn the checked-in BENCH_*.json files —
-# regenerate those deliberately with a plain `make bench-quick`.
+# bench-quick smoke-runs the pipeline-breaker ablation, the serving
+# concurrency ablation and the multi-tenant isolation ablation and
+# records all three, so `make ci` catches breaker regressions (a breaker
+# that silently serializes or errors), serving regressions (admission
+# breach, wire-path breakage) and tenant regressions (quota breach,
+# starved tenant) without paying for the full paper suite. BENCH_JSON /
+# BENCH_SERVE_JSON / BENCH_TENANT_JSON are where the tables are
+# recorded; `make ci` points them at untracked scratch paths so routine
+# CI runs don't churn the checked-in BENCH_*.json files — regenerate
+# those deliberately with a plain `make bench-quick`. bench-check then
+# validates the recordings, so a silently-empty bench run fails the gate
+# instead of committing a hollow BENCH file.
 BENCH_JSON ?= BENCH_parallel_breakers.json
 BENCH_SERVE_JSON ?= BENCH_serve.json
+BENCH_TENANT_JSON ?= BENCH_tenant.json
 bench-quick:
 	$(GO) run ./cmd/ravenbench -quick -only ParallelBreakers -json $(BENCH_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ServeConcurrency -json $(BENCH_SERVE_JSON)
+	$(GO) run ./cmd/ravenbench -quick -only MultiTenantServe -json $(BENCH_TENANT_JSON)
+	@$(MAKE) bench-check
 
-ci: build vet test race smoke smoke-serve
-	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json
+bench-check:
+	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe"
+
+# ci runs the suite twice, not three times: cover subsumes a plain
+# `make test` (same tests, plus the coverage floor and cover.out), so
+# the gate is cover + race rather than test + race + a separate cover.
+ci: fmt-check build vet cover race smoke smoke-serve
+	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json

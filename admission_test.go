@@ -144,17 +144,31 @@ func TestStmtAdmission(t *testing.T) {
 // a 2-slot engine runs at DOP 2.
 func TestMaxWorkerSlotsCapsEffectiveDOP(t *testing.T) {
 	db := Open(WithMaxConcurrentQueries(4), WithMaxWorkerSlots(2))
-	if got := db.effectiveParallelism(QueryOptions{Parallelism: 64}); got != 2 {
+	ctx := context.Background()
+	if got := db.effectiveParallelism(ctx, QueryOptions{Parallelism: 64}); got != 2 {
 		t.Fatalf("effective DOP = %d, want capped to 2", got)
 	}
-	if got := db.effectiveParallelism(QueryOptions{Parallelism: 1}); got != 1 {
+	if got := db.effectiveParallelism(ctx, QueryOptions{Parallelism: 1}); got != 1 {
 		t.Fatalf("effective DOP = %d, want 1", got)
 	}
 	// Without a slot budget (or without a scheduler) the request passes
 	// through untouched.
 	plain := Open(WithMaxConcurrentQueries(4))
-	if got := plain.effectiveParallelism(QueryOptions{Parallelism: 64}); got != 64 {
+	if got := plain.effectiveParallelism(ctx, QueryOptions{Parallelism: 64}); got != 64 {
 		t.Fatalf("uncapped DOP = %d, want 64", got)
+	}
+	// A tenant slot quota caps tighter than the global budget, whether
+	// the tag arrives via options or context.
+	tdb := Open(WithMaxConcurrentQueries(4), WithMaxWorkerSlots(8),
+		WithTenantQuota("batch", 4, 1))
+	if got := tdb.effectiveParallelism(ctx, QueryOptions{Parallelism: 64, Tenant: "batch"}); got != 1 {
+		t.Fatalf("tenant-capped DOP = %d, want 1", got)
+	}
+	if got := tdb.effectiveParallelism(ContextWithTenant(ctx, "batch", 0), QueryOptions{Parallelism: 64}); got != 1 {
+		t.Fatalf("ctx-tenant-capped DOP = %d, want 1", got)
+	}
+	if got := tdb.effectiveParallelism(ctx, QueryOptions{Parallelism: 64}); got != 8 {
+		t.Fatalf("untagged DOP = %d, want global cap 8", got)
 	}
 	// End to end: the capped query still returns correct results and the
 	// accounting matches the enforcement.
@@ -308,6 +322,83 @@ func TestPlanCacheEvictionCounter(t *testing.T) {
 	}
 	if got := db.Stats().PlanCache.Invalidations; got == 0 {
 		t.Fatal("catalog bump did not count an invalidation")
+	}
+}
+
+// TestTenantQuotaEndToEnd drives tagged queries through the engine: a
+// zero-quota tenant is rejected with ErrTenantQuota, a bounded tenant
+// queues behind its own cap while another tenant runs, and per-tenant
+// stats surface through DB.Stats().
+func TestTenantQuotaEndToEnd(t *testing.T) {
+	db := Open(
+		WithMaxConcurrentQueries(4),
+		WithSchedulerQueue(8, 0),
+		WithTenantQuota("batch", 1, 0),
+		WithTenantQuota("banned", 0, 0),
+	)
+	if _, err := genHospitalInto(db, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Zero quota: rejected before compiling or queueing.
+	opts := DefaultQueryOptions()
+	opts.Tenant = "banned"
+	if _, err := db.QueryWithOptions(predictQuery, opts); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("want ErrTenantQuota, got %v", err)
+	}
+	// ExecContext under a context tag bills the tenant too.
+	if err := db.ExecContext(ContextWithTenant(context.Background(), "banned", 0),
+		`CREATE TABLE nope (k INT PRIMARY KEY)`); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("exec: want ErrTenantQuota, got %v", err)
+	}
+	// A batch query holds the tenant's single slot; a second batch query
+	// queues while an interactive query runs immediately.
+	batch := DefaultQueryOptions()
+	batch.Tenant = "batch"
+	rows, err := db.QueryContextWithOptions(context.Background(), predictQuery, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		r, err := db.QueryContextWithOptions(context.Background(), predictQuery, batch)
+		if err == nil {
+			err = r.Close()
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Scheduler().Stats().Tenants["batch"].Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	inter := DefaultQueryOptions()
+	inter.Tenant = "interactive"
+	inter.Priority = 5
+	res, err := db.QueryWithOptions(predictQuery, inter)
+	if err != nil {
+		t.Fatalf("interactive query blocked by a saturated tenant: %v", err)
+	}
+	if res.Batch.Len() == 0 {
+		t.Fatal("interactive query returned no rows")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	bt := st.Scheduler.Tenants["batch"]
+	if bt.Admitted != 2 || bt.Queued != 1 || bt.MaxActive != 1 || !bt.Declared {
+		t.Fatalf("batch tenant stats: %+v", bt)
+	}
+	if it := st.Scheduler.Tenants["interactive"]; it.Admitted != 1 || it.Declared {
+		t.Fatalf("interactive tenant stats: %+v", it)
+	}
+	if bn := st.Scheduler.Tenants["banned"]; bn.Rejected != 2 {
+		t.Fatalf("banned tenant stats: %+v", bn)
 	}
 }
 

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	ravenbench [-quick] [-markdown] [-only Fig2a,Fig3] [-runs N] [-json FILE]
+//	ravenbench -check FILE:ID[,FILE:ID...]
+//
+// -check validates previously recorded result files instead of running
+// anything: each FILE must parse as a ravenbench -json recording that
+// ran its experiments without failures and contains a table with the
+// given ID holding at least one measured row. It is the CI guard
+// against a silently-empty bench run committing a hollow BENCH file.
 package main
 
 import (
@@ -25,12 +32,21 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
 	timeout := flag.Duration("timeout", 0, "skip experiments not yet started once the deadline passes (0 = no limit); an in-flight experiment runs to completion")
-	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict,ServeConcurrency)")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict,ServeConcurrency,MultiTenantServe)")
 	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for experiment engines (0 = engine default, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
 	jsonPath := flag.String("json", "", "also write the selected tables as JSON to this file")
+	check := flag.String("check", "", "validate recorded JSON result files instead of running: comma-separated FILE:ID entries")
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkRecordings(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "bench check FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {
@@ -60,6 +76,7 @@ func main() {
 		{"ParallelBreakers", bench.ParallelBreakers},
 		{"PreparedPredict", bench.PreparedPredict},
 		{"ServeConcurrency", bench.ServeConcurrency},
+		{"MultiTenantServe", bench.MultiTenantServe},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -119,13 +136,13 @@ func main() {
 				failedIDs = append(failedIDs, e.id)
 			}
 		}
-		out := struct {
-			GOMAXPROCS int
-			Quick      bool
-			Runs       int
-			Failed     []string `json:",omitempty"`
-			Tables     []*bench.Table
-		}{runtime.GOMAXPROCS(0), *quick, cfg.Runs, failedIDs, tables}
+		out := bench.Recording{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Quick:      *quick,
+			Runs:       cfg.Runs,
+			Failed:     failedIDs,
+			Tables:     tables,
+		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
@@ -138,4 +155,54 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkRecordings is the -check mode: every FILE:ID entry names a
+// recorded results file and an experiment table that must be present
+// with measured rows. A file recording failed experiments fails the
+// check even if the requested table looks fine — partial runs must not
+// pass as complete ones.
+func checkRecordings(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		i := strings.LastIndex(entry, ":")
+		if i <= 0 || i == len(entry)-1 {
+			return fmt.Errorf("bad -check entry %q, want FILE:ID", entry)
+		}
+		file, id := entry[:i], entry[i+1:]
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var rec bench.Recording
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("%s: not a ravenbench recording: %w", file, err)
+		}
+		if len(rec.Failed) > 0 {
+			return fmt.Errorf("%s: recorded failed experiments %v", file, rec.Failed)
+		}
+		var tb *bench.Table
+		for _, t := range rec.Tables {
+			if t.ID == id {
+				tb = t
+				break
+			}
+		}
+		if tb == nil {
+			return fmt.Errorf("%s: no table %q (has %d tables)", file, id, len(rec.Tables))
+		}
+		if len(tb.Rows) == 0 {
+			return fmt.Errorf("%s: table %q is empty", file, id)
+		}
+		for _, r := range tb.Rows {
+			if r.Series == "" || r.Param == "" {
+				return fmt.Errorf("%s: table %q has an unlabeled row: %+v", file, id, r)
+			}
+		}
+		fmt.Printf("bench check ok: %s has %s with %d rows\n", file, id, len(tb.Rows))
+	}
+	return nil
 }

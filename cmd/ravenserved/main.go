@@ -8,7 +8,16 @@
 //
 //	ravenserved [-addr :8080] [-rows N] [-parallelism N] [-morsel N]
 //	            [-max-queries N] [-max-slots N] [-queue N] [-queue-timeout D]
-//	            [-query-timeout D] [-preload] [-selftest]
+//	            [-query-timeout D] [-tenant name=maxq[:maxslots] ...]
+//	            [-default-tenant NAME] [-preload] [-selftest]
+//
+// Tenant quotas declare the multi-tenant serving policy at boot: each
+// -tenant flag (repeatable) bounds one tenant's concurrent queries and,
+// optionally, its worker slots; maxq 0 shuts the tenant off. Requests
+// pick their tenant with the X-Raven-Tenant header (or a "tenant" body
+// field) and their scheduling class with X-Raven-Priority; untagged
+// traffic bills to -default-tenant. Per-tenant counters, gauges and
+// queue-wait histograms nest under scheduler.tenants in GET /stats.
 //
 // By default the engine is preloaded with the paper's demo workload
 // (hospital tables + 'duration_of_stay' model, flights_features +
@@ -33,6 +42,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +53,44 @@ import (
 	"raven/internal/server"
 	"raven/internal/train"
 )
+
+// tenantQuota is one parsed -tenant flag.
+type tenantQuota struct {
+	name                 string
+	maxQueries, maxSlots int
+}
+
+// tenantQuotaFlags collects repeatable -tenant flags of the form
+// name=maxQueries[:maxSlots].
+type tenantQuotaFlags []tenantQuota
+
+func (f *tenantQuotaFlags) String() string {
+	var parts []string
+	for _, q := range *f {
+		parts = append(parts, fmt.Sprintf("%s=%d:%d", q.name, q.maxQueries, q.maxSlots))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *tenantQuotaFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=maxQueries[:maxSlots], got %q", v)
+	}
+	qs, ss, _ := strings.Cut(spec, ":")
+	maxQ, err := strconv.Atoi(qs)
+	if err != nil || maxQ < 0 {
+		return fmt.Errorf("bad maxQueries in %q: want an integer >= 0 (0 shuts the tenant off)", v)
+	}
+	maxS := 0
+	if ss != "" {
+		if maxS, err = strconv.Atoi(ss); err != nil || maxS < 0 {
+			return fmt.Errorf("bad maxSlots in %q: want an integer >= 0", v)
+		}
+	}
+	*f = append(*f, tenantQuota{name, maxQ, maxS})
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
@@ -55,6 +104,9 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max time a query waits for admission (0 = until its own deadline)")
 	queryTimeout := flag.Duration("query-timeout", 0, "default per-query deadline for requests without timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+	var tenants tenantQuotaFlags
+	flag.Var(&tenants, "tenant", "declare a tenant quota as name=maxQueries[:maxSlots] (repeatable; 0 queries shuts the tenant off; requires -max-queries > 0)")
+	defaultTenant := flag.String("default-tenant", "", "tenant untagged requests bill to (default \"default\")")
 	selftest := flag.Bool("selftest", false, "start on a random port, run the HTTP smoke, drain, exit")
 	flag.Parse()
 
@@ -72,6 +124,15 @@ func main() {
 			raven.WithMaxWorkerSlots(*maxSlots),
 			raven.WithSchedulerQueue(*queueDepth, *queueTimeout),
 		)
+		for _, q := range tenants {
+			opts = append(opts, raven.WithTenantQuota(q.name, q.maxQueries, q.maxSlots))
+		}
+		if *defaultTenant != "" {
+			opts = append(opts, raven.WithDefaultTenant(*defaultTenant))
+		}
+	} else if len(tenants) > 0 || *defaultTenant != "" {
+		fmt.Fprintln(os.Stderr, "-tenant quotas and -default-tenant need the scheduler: set -max-queries > 0")
+		os.Exit(2)
 	}
 	db := raven.Open(opts...)
 	if *preload {

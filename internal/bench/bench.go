@@ -32,6 +32,21 @@ type Table struct {
 	PaperShape string
 }
 
+// Recording is the JSON shape ravenbench's -json flag writes and its
+// -check flag validates — one shared type, so the writer and the
+// checker cannot silently drift apart (a drifted checker would wave
+// hollow recordings through).
+type Recording struct {
+	GOMAXPROCS int
+	Quick      bool
+	Runs       int
+	// Failed lists experiment ids that did not produce a table, so a
+	// partial file is self-describing instead of passing as a complete
+	// run.
+	Failed []string `json:",omitempty"`
+	Tables []*Table
+}
+
 // Add appends a measurement.
 func (t *Table) Add(series, param string, d time.Duration, note string) {
 	t.Rows = append(t.Rows, Row{Series: series, Param: param, Millis: float64(d.Microseconds()) / 1000, Note: note})

@@ -287,4 +287,53 @@ func TestExperimentsQuick(t *testing.T) {
 			t.Error("no max-active gauge recorded for the admission variant")
 		}
 	})
+
+	t.Run("MultiTenantServe", func(t *testing.T) {
+		tb, err := MultiTenantServe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 4 series x {no quota, quota}. The experiment itself fails on an
+		// admission-gauge breach, a starved interactive query, or an
+		// interactive result drifting from the serial reference — a
+		// returned table already certifies those.
+		if len(tb.Rows) != 8 {
+			t.Fatalf("rows = %d: %+v", len(tb.Rows), tb.Rows)
+		}
+		var starvationNote bool
+		for _, r := range tb.Rows {
+			if strings.Contains(r.Note, "admitted") && strings.Contains(r.Note, "histogram") {
+				starvationNote = true
+			}
+			// The queue-wait series legitimately records ~0ms with the
+			// quota on — that collapse is the point — so only the latency
+			// series must carry real measurements.
+			if r.Millis <= 0 && !strings.Contains(r.Series, "queue wait") {
+				t.Errorf("%s/%s has no measurement", r.Series, r.Param)
+			}
+		}
+		if !starvationNote {
+			t.Error("no admission/starvation note recorded")
+		}
+		if !raceEnabled && runtime.GOMAXPROCS(0) >= 4 {
+			// With real cores the quota frees a slot the interactive tenant
+			// can always take: its mean queue wait must collapse vs no-quota.
+			noQ, withQ := -1.0, -1.0
+			for _, r := range tb.Rows {
+				if r.Series == "interactive mean queue wait" {
+					if strings.HasPrefix(r.Param, "no quota") {
+						noQ = r.Millis
+					} else {
+						withQ = r.Millis
+					}
+				}
+			}
+			if noQ < 0 || withQ < 0 {
+				t.Fatal("queue-wait series missing a variant")
+			}
+			if noQ > 1 && withQ > noQ/2 {
+				t.Errorf("quota did not collapse interactive queue wait: %.2fms -> %.2fms", noQ, withQ)
+			}
+		}
+	})
 }

@@ -38,11 +38,7 @@ func ServeConcurrency(cfg Config) (*Table, error) {
 	}
 	const admissionLimit = 4
 
-	q := `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
-		DATA=(SELECT * FROM patient_info AS pi
-		      JOIN blood_tests AS bt ON pi.id = bt.id
-		      JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
-		WITH (score FLOAT) AS p WHERE d.age > 40`
+	q := servingPredictQuery
 
 	variants := []struct {
 		series string
@@ -55,69 +51,103 @@ func ServeConcurrency(cfg Config) (*Table, error) {
 		}},
 	}
 	for _, v := range variants {
-		opts := append([]raven.Option{
-			raven.WithParallelism(cfg.Parallelism),
-			raven.WithMorselSize(cfg.MorselSize),
-		}, v.opts...)
-		db := raven.Open(opts...)
-		h, err := data.GenHospital(db.Catalog(), rows, 1000, 17)
-		if err != nil {
-			return nil, err
-		}
-		rf := train.FitForest(h.TrainX, h.TrainY, train.ForestOptions{
-			NumTrees: trees,
-			Seed:     3,
-			Tree:     train.TreeOptions{MaxDepth: 8, MinLeaf: 10},
-		})
-		if err := db.StoreModel("duration_of_stay", &ml.Pipeline{Final: rf, InputColumns: h.FeatureCols}); err != nil {
-			return nil, err
-		}
-		srv := server.New(db, server.Options{})
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		serveErr := make(chan error, 1)
-		go func() { serveErr <- srv.Serve(l) }()
-		base := "http://" + l.Addr().String()
-
-		// Warm the plan and session caches once; the serving numbers are
-		// about concurrency, not cold compiles.
-		warm := &server.Client{Base: base, HTTP: &http.Client{}}
-		if _, err := warm.Query(server.QueryRequest{SQL: q}); err != nil {
-			return nil, fmt.Errorf("warmup: %w", err)
-		}
-
-		for _, nc := range clientCounts {
-			lat, elapsed, err := hammer(base, q, nc, perClient)
+		// The closure makes the deferred shutdown per-variant: a failed
+		// measurement must not leak its serving stack into later runs.
+		if err := func() (reterr error) {
+			db, base, shutdown, err := servingBench(cfg, rows, trees, v.opts...)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			total := nc * perClient
-			qps := float64(total) / elapsed.Seconds()
-			note := fmt.Sprintf("%s @ %d clients: %.1f q/s", v.series, nc, qps)
-			if v.opts != nil {
-				st := db.Scheduler().Stats()
-				note += fmt.Sprintf(" (max active %d/%d)", st.MaxActive, admissionLimit)
-				if st.MaxActive > admissionLimit {
-					return nil, fmt.Errorf("admission breached: max active %d > %d", st.MaxActive, admissionLimit)
+			defer func() {
+				if e := shutdown(); e != nil && reterr == nil {
+					reterr = e
 				}
-			}
-			t.AddMillis("p99 "+v.series, fmt.Sprintf("%d clients", nc), percentile(lat, 0.99), note)
-			t.AddMillis("mean "+v.series, fmt.Sprintf("%d clients", nc), mean(lat), "")
-		}
+			}()
 
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		err = srv.Shutdown(ctx)
-		cancel()
-		if err != nil {
-			return nil, fmt.Errorf("drain: %w", err)
-		}
-		if serr := <-serveErr; serr != nil && serr != http.ErrServerClosed {
-			return nil, serr
+			// Warm the plan and session caches once; the serving numbers
+			// are about concurrency, not cold compiles.
+			warm := &server.Client{Base: base, HTTP: &http.Client{}}
+			if _, err := warm.Query(server.QueryRequest{SQL: q}); err != nil {
+				return fmt.Errorf("warmup: %w", err)
+			}
+
+			for _, nc := range clientCounts {
+				lat, elapsed, err := hammer(base, q, nc, perClient)
+				if err != nil {
+					return err
+				}
+				total := nc * perClient
+				qps := float64(total) / elapsed.Seconds()
+				note := fmt.Sprintf("%s @ %d clients: %.1f q/s", v.series, nc, qps)
+				if v.opts != nil {
+					st := db.Scheduler().Stats()
+					note += fmt.Sprintf(" (max active %d/%d)", st.MaxActive, admissionLimit)
+					if st.MaxActive > admissionLimit {
+						return fmt.Errorf("admission breached: max active %d > %d", st.MaxActive, admissionLimit)
+					}
+				}
+				t.AddMillis("p99 "+v.series, fmt.Sprintf("%d clients", nc), percentile(lat, 0.99), note)
+				t.AddMillis("mean "+v.series, fmt.Sprintf("%d clients", nc), mean(lat), "")
+			}
+			return nil
+		}(); err != nil {
+			return nil, err
 		}
 	}
 	return t, nil
+}
+
+// servingPredictQuery is the PREDICT statement every serving experiment
+// measures, shared (like servingBench) so the experiments cannot
+// silently drift onto different workloads.
+const servingPredictQuery = `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
+	DATA=(SELECT * FROM patient_info AS pi
+	      JOIN blood_tests AS bt ON pi.id = bt.id
+	      JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+	WITH (score FLOAT) AS p WHERE d.age > 40`
+
+// servingBench boots one serving-experiment stack — an engine built
+// from cfg plus the variant's extra options, loaded with the hospital
+// workload and a stored forest model, behind a real HTTP listener —
+// shared by every serving experiment so their baselines cannot diverge.
+// shutdown drains the server and surfaces any serve error.
+func servingBench(cfg Config, rows, trees int, extra ...raven.Option) (db *raven.DB, base string, shutdown func() error, err error) {
+	opts := append([]raven.Option{
+		raven.WithParallelism(cfg.Parallelism),
+		raven.WithMorselSize(cfg.MorselSize),
+	}, extra...)
+	db = raven.Open(opts...)
+	h, err := data.GenHospital(db.Catalog(), rows, 1000, 17)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	rf := train.FitForest(h.TrainX, h.TrainY, train.ForestOptions{
+		NumTrees: trees,
+		Seed:     3,
+		Tree:     train.TreeOptions{MaxDepth: 8, MinLeaf: 10},
+	})
+	if err := db.StoreModel("duration_of_stay", &ml.Pipeline{Final: rf, InputColumns: h.FeatureCols}); err != nil {
+		return nil, "", nil, err
+	}
+	srv := server.New(db, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if serr := <-serveErr; serr != nil && serr != http.ErrServerClosed {
+			return serr
+		}
+		return nil
+	}
+	return db, "http://" + l.Addr().String(), shutdown, nil
 }
 
 // hammer runs nc concurrent clients, each issuing perClient requests,

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"raven"
+	"raven/internal/sched"
+	"raven/internal/server"
+)
+
+// Multi-tenant ablation shape: an admission limit of 4 with the
+// aggressive tenant quota'd one below it, so a slot always stays open
+// for everyone else once the quota is on.
+const (
+	tenantAggressiveClients = 32
+	tenantAdmissionLimit    = 4
+	tenantBatchQuota        = tenantAdmissionLimit - 1
+)
+
+// MultiTenantServe is the multi-tenant isolation ablation: an
+// aggressive "batch" tenant saturates the server from 32 concurrent
+// HTTP clients while a single "interactive" tenant issues sequential
+// queries, with and without a quota on the aggressive tenant. Without a
+// quota the batch tenant occupies every admission slot and interactive
+// latency tracks the whole batch queue; with a quota (batch capped
+// below the global limit) a slot is always available and the
+// interactive tenant's queue wait collapses. The experiment fails — not
+// just reports — if admission control is breached (active gauge over
+// the limit), if any interactive query is starved (not admitted), or if
+// interactive results drift from the serial reference (byte-identical
+// at any DOP).
+func MultiTenantServe(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:         "MultiTenantServe",
+		Title:      "per-tenant quotas: interactive latency under an aggressive tenant, quota off vs on",
+		PaperShape: "shared inference serving needs isolation, not just speed (the multi-client scenario of the paper's serving story)",
+	}
+	rows, trees := 4000, 8
+	interactiveQueries := 24
+	if cfg.Quick {
+		rows, trees = 2000, 4
+		interactiveQueries = 10
+	}
+	variants := []struct {
+		param string
+		opts  []raven.Option
+	}{
+		{"no quota", nil},
+		{fmt.Sprintf("batch quota %d/%d", tenantBatchQuota, tenantAdmissionLimit), []raven.Option{
+			raven.WithTenantQuota("batch", tenantBatchQuota, 0),
+		}},
+	}
+	for _, v := range variants {
+		if err := runTenantVariant(t, cfg, v.param, v.opts, rows, trees, interactiveQueries); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// runTenantVariant measures one quota configuration, always tearing the
+// serving stack down — error paths included, so a failed variant never
+// leaks a listener, serve goroutine or loaded engine into later
+// experiments.
+func runTenantVariant(t *Table, cfg Config, param string, quotaOpts []raven.Option, rows, trees, interactiveQueries int) (reterr error) {
+	q := servingPredictQuery
+
+	db, base, shutdown, err := servingBench(cfg, rows, trees,
+		append([]raven.Option{
+			raven.WithMaxConcurrentQueries(tenantAdmissionLimit),
+			raven.WithSchedulerQueue(1024, 0),
+		}, quotaOpts...)...)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := shutdown(); e != nil && reterr == nil {
+			reterr = e
+		}
+	}()
+
+	// Serial reference (and cache warmup): the parity anchor every
+	// interactive result must match byte for byte.
+	warm := &server.Client{Base: base, HTTP: &http.Client{}}
+	ref, err := warm.Query(server.QueryRequest{SQL: q,
+		Options: &server.QueryOptions{Parallelism: 1}})
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	wantFP := ref.Fingerprint()
+
+	// The aggressive tenant: clients hammering until told to stop, so
+	// the server is saturated for the whole interactive run. The first
+	// client error wins (plain mutex — atomic.Value would panic on the
+	// differing concrete error types the clients can store).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var batchLat latencies
+	var batchMu sync.Mutex
+	var batchFirstErr error
+	setBatchErr := func(err error) {
+		batchMu.Lock()
+		if batchFirstErr == nil {
+			batchFirstErr = err
+		}
+		batchMu.Unlock()
+	}
+	stopBatch := func() error {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		wg.Wait()
+		batchMu.Lock()
+		defer batchMu.Unlock()
+		return batchFirstErr
+	}
+	for i := 0; i < tenantAggressiveClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hc := &http.Client{Transport: &http.Transport{}}
+			defer hc.CloseIdleConnections()
+			c := &server.Client{Base: base, HTTP: hc}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				res, err := c.Query(server.QueryRequest{SQL: q, Tenant: "batch"})
+				if err != nil {
+					setBatchErr(err)
+					return
+				}
+				if len(res.Rows) == 0 {
+					setBatchErr(fmt.Errorf("batch query returned no rows"))
+					return
+				}
+				batchLat.add(float64(time.Since(t0).Microseconds()) / 1000)
+			}
+		}()
+	}
+	// Let the batch flood actually saturate admission before the
+	// interactive tenant shows up.
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Scheduler().Stats().Waiting < tenantAggressiveClients/2 {
+		if time.Now().After(deadline) {
+			if err := stopBatch(); err != nil {
+				return fmt.Errorf("batch tenant: %w", err)
+			}
+			return fmt.Errorf("batch tenant never saturated the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The interactive tenant: one client, sequential queries, higher
+	// priority, parallel plans (parity must hold at any DOP).
+	ihc := &http.Client{Transport: &http.Transport{}}
+	defer ihc.CloseIdleConnections()
+	ic := &server.Client{Base: base, HTTP: ihc}
+	var interLat []float64
+	for i := 0; i < interactiveQueries; i++ {
+		t0 := time.Now()
+		res, err := ic.Query(server.QueryRequest{SQL: q, Tenant: "interactive", Priority: server.IntPtr(10),
+			Options: &server.QueryOptions{Parallelism: 4, ParallelThresholdRows: 1}})
+		if err != nil {
+			stopBatch()
+			return fmt.Errorf("interactive query %d starved or failed: %w", i, err)
+		}
+		if res.Fingerprint() != wantFP {
+			stopBatch()
+			return fmt.Errorf("interactive result drifted from serial reference (%d rows vs %d)", len(res.Rows), len(ref.Rows))
+		}
+		interLat = append(interLat, float64(time.Since(t0).Microseconds())/1000)
+	}
+	if err := stopBatch(); err != nil {
+		return fmt.Errorf("batch tenant: %w", err)
+	}
+
+	st := db.Scheduler().Stats()
+	if st.MaxActive > tenantAdmissionLimit {
+		return fmt.Errorf("admission breached: max active %d > %d", st.MaxActive, tenantAdmissionLimit)
+	}
+	it := st.Tenants["interactive"]
+	if it.Admitted < uint64(interactiveQueries) || it.Rejected != 0 || it.TimedOut != 0 {
+		return fmt.Errorf("interactive tenant starved: %+v", it)
+	}
+	bt := st.Tenants["batch"]
+	if quotaOpts != nil && bt.MaxActive > tenantBatchQuota {
+		return fmt.Errorf("tenant quota breached: batch max active %d > %d", bt.MaxActive, tenantBatchQuota)
+	}
+	// Queue wait per tenant, from the scheduler's own clock: the
+	// isolation signal the quota exists for. The histogram is the
+	// p99-bound evidence (with the quota on, every interactive wait
+	// lands in the lowest buckets).
+	interWait := meanWaitMillis(it)
+	note := fmt.Sprintf("%s: interactive admitted %d/%d, mean queue wait %.2fms (histogram %s), batch max active %d/%d",
+		param, it.Admitted, interactiveQueries, interWait, histogram(it.WaitHistogram), bt.MaxActive, tenantAdmissionLimit)
+	t.AddMillis("interactive p99", param, percentile(interLat, 0.99), note)
+	t.AddMillis("interactive mean", param, mean(interLat), "")
+	t.AddMillis("interactive mean queue wait", param, interWait, "")
+	t.AddMillis("batch p99", param, percentile(batchLat.snapshot(), 0.99), "")
+	return nil
+}
+
+// histogram renders a queue-wait histogram against the scheduler's
+// bucket labels.
+func histogram(h [5]uint64) string {
+	parts := make([]string, len(h))
+	for i, n := range h {
+		parts[i] = fmt.Sprintf("%s:%d", sched.WaitBucketLabels[i], n)
+	}
+	return strings.Join(parts, " ")
+}
+
+// meanWaitMillis is a tenant's mean queue wait over everything it ever
+// queued (admitted or not); 0 when it never had to queue.
+func meanWaitMillis(ts raven.TenantStats) float64 {
+	if ts.Queued == 0 {
+		return 0
+	}
+	return float64(ts.TotalWait.Microseconds()) / 1000 / float64(ts.Queued)
+}
+
+// latencies is a concurrency-safe latency collector.
+type latencies struct {
+	mu sync.Mutex
+	xs []float64
+}
+
+func (l *latencies) add(ms float64) {
+	l.mu.Lock()
+	l.xs = append(l.xs, ms)
+	l.mu.Unlock()
+}
+
+func (l *latencies) snapshot() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]float64(nil), l.xs...)
+}

@@ -4,10 +4,28 @@
 // cost — its effective degree of parallelism, i.e. the number of
 // morsel-exchange worker slots it may occupy — against a budget of
 // concurrent queries and total worker slots. Queries that do not fit wait
-// in a bounded FIFO queue with per-query timeouts and context
-// cancellation; queries that cannot even queue are rejected immediately,
-// giving clients a clean load-shedding signal instead of a collapsing
-// server.
+// in a bounded queue with per-query timeouts and context cancellation;
+// queries that cannot even queue are rejected immediately, giving clients
+// a clean load-shedding signal instead of a collapsing server.
+//
+// # Tenants and priorities
+//
+// The scheduler is multi-tenant: every admission carries a (tenant,
+// priority) Tag. Tenants may be declared with their own budget
+// (TenantQuota: max concurrent queries and max worker slots), which is
+// enforced in addition to the global budget; undeclared tenants share
+// the global budget and are still tracked for stats. The wait queue is a
+// priority queue with weighted fair ordering: higher priority first,
+// FIFO (arrival order) within a priority class, and a starvation guard
+// that ages waiting entries — a waiter gains one effective priority
+// level per AgeStep spent queued — so a saturating high-priority tenant
+// cannot lock lower-priority tenants out forever. A waiter blocked only
+// by its own tenant's budget is skipped by other tenants' admissions —
+// a saturated tenant never holds global capacity hostage — but not by
+// its own tenant-mates, so a tenant's cheap queries cannot starve its
+// expensive ones; a waiter blocked by the global budget stops the scan
+// entirely (expensive queries are not starved by cheaper ones arriving
+// behind them).
 //
 // The scheduler is deliberately engine-agnostic: it hands out admission
 // tickets (release functions), never goroutines, so raven.DB can gate
@@ -17,6 +35,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 )
@@ -33,7 +52,51 @@ var (
 	ErrQueueTimeout = errors.New("sched: timed out waiting for admission")
 	// ErrDraining means the scheduler is shutting down and admits nothing.
 	ErrDraining = errors.New("sched: scheduler is draining")
+	// ErrTenantQuota means the query's tenant is declared with a zero
+	// concurrency quota: the tenant is administratively shut off and its
+	// queries are rejected without queueing.
+	ErrTenantQuota = errors.New("sched: tenant admission quota is zero")
 )
+
+// DefaultTenantName is the tenant untagged admissions are attributed to
+// when Options.DefaultTenant is empty.
+const DefaultTenantName = "default"
+
+// DefaultAgeStep is the starvation-guard aging interval when
+// Options.AgeStep is zero: a waiter's effective priority rises by one
+// per step spent in the queue.
+const DefaultAgeStep = 100 * time.Millisecond
+
+// maxTrackedTenants bounds the per-tenant accounting map: tenant keys
+// arrive from untrusted wire clients, so without a cap a client cycling
+// random names would grow the map (and every Stats snapshot) without
+// bound. Undeclared tenants past the cap are folded into
+// OverflowTenantName — budgets are unaffected (undeclared tenants only
+// ever had the global one), only the stats label coarsens.
+const maxTrackedTenants = 1024
+
+// OverflowTenantName is the catch-all stats bucket for undeclared
+// tenants seen after maxTrackedTenants distinct keys.
+const OverflowTenantName = "~other"
+
+// Tag attributes one admission to a tenant and a priority class. The
+// zero Tag means the default tenant at priority 0.
+type Tag struct {
+	// Tenant is the tenant key; empty maps to the scheduler's default
+	// tenant.
+	Tenant string
+	// Priority orders waiting admissions: higher runs first. Priorities
+	// only order the queue — they never preempt running queries.
+	Priority int
+}
+
+// TenantQuota is a declared tenant's budget. MaxConcurrent <= 0 shuts
+// the tenant off (its admissions fail with ErrTenantQuota); MaxSlots <= 0
+// leaves the tenant bounded only by the global slot budget.
+type TenantQuota struct {
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxSlots      int `json:"max_slots,omitempty"`
+}
 
 // Options configures a Scheduler.
 type Options struct {
@@ -52,6 +115,35 @@ type Options struct {
 	// failing with ErrQueueTimeout. 0 means wait until the query's own
 	// context expires.
 	QueueTimeout time.Duration
+	// DefaultTenant names the tenant untagged admissions belong to;
+	// empty means DefaultTenantName.
+	DefaultTenant string
+	// Tenants declares per-tenant budgets. Tenants absent from the map
+	// run under the global budget alone.
+	Tenants map[string]TenantQuota
+	// AgeStep is the starvation guard: a waiter's effective priority
+	// rises by 1 per AgeStep spent queued, so low-priority waiters
+	// eventually overtake a stream of fresh high-priority arrivals.
+	// 0 means DefaultAgeStep; negative disables aging.
+	AgeStep time.Duration
+}
+
+// QuotaFor resolves the declared quota for a (possibly empty) tenant
+// key, applying the default-tenant mapping. ok is false for undeclared
+// tenants, which run under the global budget.
+func (o Options) QuotaFor(tenant string) (TenantQuota, bool) {
+	q, ok := o.Tenants[o.resolveTenant(tenant)]
+	return q, ok
+}
+
+func (o Options) resolveTenant(tenant string) string {
+	if tenant != "" {
+		return tenant
+	}
+	if o.DefaultTenant != "" {
+		return o.DefaultTenant
+	}
+	return DefaultTenantName
 }
 
 // waitBuckets are the upper bounds (exclusive) of the queue-wait
@@ -68,13 +160,43 @@ var waitBuckets = []time.Duration{
 // Stats.WaitHistogram.
 var WaitBucketLabels = []string{"<1ms", "<10ms", "<100ms", "<1s", ">=1s"}
 
+// TenantStats is one tenant's slice of the scheduler counters. The
+// counter/gauge fields mirror Stats; Declared distinguishes a tenant
+// shut off with a zero quota from one merely unconfigured.
+type TenantStats struct {
+	Admitted  uint64 `json:"admitted"`
+	Queued    uint64 `json:"queued"`
+	Rejected  uint64 `json:"rejected"`
+	TimedOut  uint64 `json:"timed_out"`
+	Cancelled uint64 `json:"cancelled"`
+	Drained   uint64 `json:"drained"`
+
+	Active     int `json:"active"`
+	Waiting    int `json:"waiting"`
+	SlotsInUse int `json:"slots_in_use"`
+
+	MaxActive     int `json:"max_active"`
+	MaxSlotsInUse int `json:"max_slots_in_use"`
+
+	WaitHistogram [5]uint64     `json:"wait_histogram"`
+	TotalWait     time.Duration `json:"total_wait_ns"`
+
+	// Declared quota: meaningful only when Declared. MaxConcurrent 0 on
+	// a declared tenant means administratively shut off (so it is
+	// always emitted); MaxSlots 0 means only the global slot budget
+	// applies.
+	Declared      bool `json:"declared,omitempty"`
+	MaxConcurrent int  `json:"max_concurrent"`
+	MaxSlots      int  `json:"max_slots,omitempty"`
+}
+
 // Stats is a point-in-time snapshot of the scheduler's counters and
 // gauges.
 type Stats struct {
 	// Cumulative counters.
 	Admitted  uint64 `json:"admitted"`  // queries admitted (incl. after queueing)
 	Queued    uint64 `json:"queued"`    // queries that had to wait before admission or failure
-	Rejected  uint64 `json:"rejected"`  // ErrQueueFull
+	Rejected  uint64 `json:"rejected"`  // ErrQueueFull and ErrTenantQuota
 	TimedOut  uint64 `json:"timed_out"` // ErrQueueTimeout
 	Cancelled uint64 `json:"cancelled"` // context cancelled/expired while waiting
 	Drained   uint64 `json:"drained"`   // waiters failed by Drain
@@ -101,6 +223,23 @@ type Stats struct {
 	MaxConcurrent int `json:"max_concurrent"`
 	MaxSlots      int `json:"max_slots"`
 	QueueDepth    int `json:"queue_depth"`
+
+	// Tenants breaks the counters down per tenant key (every tenant ever
+	// seen, declared or not).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// tenantState is the live accounting for one tenant key.
+type tenantState struct {
+	name     string
+	declared bool
+	quota    TenantQuota
+
+	active     int
+	slotsInUse int
+	waiting    int
+
+	stats TenantStats // counters + high-water marks; gauges filled at snapshot
 }
 
 // waiter is one queued admission request. res carries the outcome: nil
@@ -109,22 +248,35 @@ type Stats struct {
 // never blocks signalling a waiter that is simultaneously giving up.
 type waiter struct {
 	cost      int
+	tag       Tag
+	ts        *tenantState
+	seq       uint64 // arrival order, the FIFO tie-break within a priority class
 	res       chan error
 	signalled bool // an outcome was sent on res; guarded by s.mu
 	enqueued  time.Time
 }
 
-// Scheduler is a weighted-slot admission controller. Admission order is
-// strict FIFO: the head waiter blocks later, smaller waiters even when
-// they would fit (no starvation of expensive queries, at the price of
-// some head-of-line blocking).
+// failKind selects which failure counters a failed wait books.
+type failKind int
+
+const (
+	failCancelled failKind = iota
+	failTimedOut
+)
+
+// Scheduler is a weighted-slot, tenant-aware admission controller.
+// Admission order is (effective priority desc, arrival order asc); see
+// the package comment for the fairness rules.
 type Scheduler struct {
-	opts Options
+	opts    Options
+	ageStep time.Duration // resolved: 0 = aging disabled
 
 	mu         sync.Mutex
 	active     int
 	slotsInUse int
 	queue      []*waiter
+	nextSeq    uint64
+	tenants    map[string]*tenantState
 	draining   bool
 	drainDone  chan struct{} // closed when draining && active == 0
 
@@ -142,39 +294,90 @@ func New(opts Options) *Scheduler {
 	if opts.MaxSlots < 0 {
 		opts.MaxSlots = 0
 	}
-	return &Scheduler{opts: opts}
+	s := &Scheduler{opts: opts, tenants: make(map[string]*tenantState)}
+	switch {
+	case opts.AgeStep > 0:
+		s.ageStep = opts.AgeStep
+	case opts.AgeStep == 0:
+		s.ageStep = DefaultAgeStep
+	}
+	// Declared tenants exist from construction so /stats shows the
+	// configured fleet before any traffic arrives.
+	for name, q := range opts.Tenants {
+		if q.MaxConcurrent < 0 {
+			q.MaxConcurrent = 0
+		}
+		if q.MaxSlots < 0 {
+			q.MaxSlots = 0
+		}
+		s.tenants[name] = &tenantState{name: name, declared: true, quota: q}
+	}
+	return s
 }
 
 // Options returns the configured limits.
 func (s *Scheduler) Options() Options { return s.opts }
 
+// tenantLocked resolves (lazily creating) the state for a tenant key;
+// callers hold s.mu. Undeclared tenants are tracked too, so per-tenant
+// stats cover everyone who ever showed up — up to maxTrackedTenants
+// distinct keys, past which new undeclared names share the overflow
+// bucket (tenant keys are wire-client-controlled; the map must not be).
+func (s *Scheduler) tenantLocked(name string) *tenantState {
+	ts := s.tenants[name]
+	if ts == nil {
+		if len(s.tenants) >= maxTrackedTenants {
+			name = OverflowTenantName
+			if ts = s.tenants[name]; ts != nil {
+				return ts
+			}
+		}
+		ts = &tenantState{name: name}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
 // clampCost normalizes a query's slot cost: at least 1, and never more
-// than the slot budget (a DOP-64 query on an 8-slot scheduler runs alone
-// at cost 8 rather than deadlocking forever).
-func (s *Scheduler) clampCost(cost int) int {
+// than the global or tenant slot budget (a DOP-64 query on an 8-slot
+// scheduler runs alone at cost 8 rather than deadlocking forever).
+func (s *Scheduler) clampCost(ts *tenantState, cost int) int {
 	if cost < 1 {
 		cost = 1
 	}
 	if s.opts.MaxSlots > 0 && cost > s.opts.MaxSlots {
 		cost = s.opts.MaxSlots
 	}
+	if ts.declared && ts.quota.MaxSlots > 0 && cost > ts.quota.MaxSlots {
+		cost = ts.quota.MaxSlots
+	}
 	return cost
 }
 
-// fits reports whether a query of the given cost can start now; callers
-// hold s.mu.
-func (s *Scheduler) fits(cost int) bool {
+// fits reports whether a query of the given cost can start now, and if
+// not, whether the binding constraint is the tenant's own budget (the
+// admission scan skips tenant-blocked waiters but stops at globally
+// blocked ones); callers hold s.mu.
+func (s *Scheduler) fits(ts *tenantState, cost int) (ok, tenantBlocked bool) {
+	if ts.declared {
+		if ts.active >= ts.quota.MaxConcurrent {
+			return false, true
+		}
+		if ts.quota.MaxSlots > 0 && ts.slotsInUse+cost > ts.quota.MaxSlots {
+			return false, true
+		}
+	}
 	if s.active >= s.opts.MaxConcurrent {
-		return false
+		return false, false
 	}
 	if s.opts.MaxSlots > 0 && s.slotsInUse+cost > s.opts.MaxSlots {
-		return false
+		return false, false
 	}
-	return true
+	return true, false
 }
 
 // admitLocked marks a query running; callers hold s.mu.
-func (s *Scheduler) admitLocked(cost int) {
+func (s *Scheduler) admitLocked(ts *tenantState, cost int) {
 	s.active++
 	s.slotsInUse += cost
 	s.stats.Admitted++
@@ -184,44 +387,88 @@ func (s *Scheduler) admitLocked(cost int) {
 	if s.slotsInUse > s.stats.MaxSlotsInUse {
 		s.stats.MaxSlotsInUse = s.slotsInUse
 	}
+	ts.active++
+	ts.slotsInUse += cost
+	ts.stats.Admitted++
+	if ts.active > ts.stats.MaxActive {
+		ts.stats.MaxActive = ts.active
+	}
+	if ts.slotsInUse > ts.stats.MaxSlotsInUse {
+		ts.stats.MaxSlotsInUse = ts.slotsInUse
+	}
 }
 
-// Acquire admits a query of the given slot cost, blocking in the FIFO
-// queue if the scheduler is saturated. On success it returns an
-// idempotent release function that the caller must invoke exactly when
-// the query finishes (Rows.Close does). On failure it returns one of
-// ErrQueueFull, ErrQueueTimeout, ErrDraining, or ctx.Err().
+// Acquire admits an untagged query (default tenant, priority 0). See
+// AcquireTag.
 func (s *Scheduler) Acquire(ctx context.Context, cost int) (func(), error) {
-	cost = s.clampCost(cost)
+	return s.AcquireTag(ctx, cost, Tag{})
+}
+
+// AcquireTag admits a query of the given slot cost for the tagged
+// tenant, blocking in the priority queue if the scheduler is saturated.
+// On success it returns an idempotent release function that the caller
+// must invoke exactly when the query finishes (Rows.Close does). On
+// failure it returns one of ErrQueueFull, ErrTenantQuota,
+// ErrQueueTimeout, ErrDraining, or ctx.Err().
+func (s *Scheduler) AcquireTag(ctx context.Context, cost int, tag Tag) (func(), error) {
+	tag.Tenant = s.opts.resolveTenant(tag.Tenant)
 	// A context that is already dead never enters the queue.
 	if err := ctx.Err(); err != nil {
 		s.mu.Lock()
 		s.stats.Cancelled++
+		s.tenantLocked(tag.Tenant).stats.Cancelled++
 		s.mu.Unlock()
 		return nil, err
 	}
 
 	s.mu.Lock()
+	ts := s.tenantLocked(tag.Tenant)
 	if s.draining {
 		s.stats.Drained++
+		ts.stats.Drained++
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
-	// Fast path: admit immediately. FIFO fairness: never jump an existing
-	// queue even if this query would fit right now.
-	if len(s.queue) == 0 && s.fits(cost) {
-		s.admitLocked(cost)
+	// A declared zero quota is an administrative shutoff: reject without
+	// queueing (the tenant could never run, so waiting is a lie).
+	if ts.declared && ts.quota.MaxConcurrent <= 0 {
+		s.stats.Rejected++
+		ts.stats.Rejected++
 		s.mu.Unlock()
-		return s.releaseFunc(cost), nil
+		return nil, ErrTenantQuota
+	}
+	cost = s.clampCost(ts, cost)
+	// Admit immediately when this arrival fits and nothing queued has a
+	// prior claim on the capacity — one O(queue) pass, no sort. This one
+	// rule covers the empty-queue fast path, overtaking an all-blocked
+	// queue (a queue full of tenant-blocked waiters must not lock other
+	// tenants out of free capacity), and priority jumps past
+	// lower-ranked waiters.
+	if ok, _ := s.fits(ts, cost); ok && !s.queueBlocksLocked(ts, tag.Priority) {
+		s.admitLocked(ts, cost)
+		s.mu.Unlock()
+		return s.releaseFunc(ts, cost), nil
 	}
 	if len(s.queue) >= s.opts.QueueDepth {
 		s.stats.Rejected++
+		ts.stats.Rejected++
 		s.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	w := &waiter{cost: cost, res: make(chan error, 1), enqueued: time.Now()}
+	s.nextSeq++
+	w := &waiter{cost: cost, tag: tag, ts: ts, seq: s.nextSeq, res: make(chan error, 1), enqueued: time.Now()}
 	s.queue = append(s.queue, w)
+	ts.waiting++
 	s.stats.Queued++
+	ts.stats.Queued++
+	// Enqueueing frees no capacity, but aging may have reordered the
+	// queue since the last capacity event: a waiter that was ranked
+	// below a globally-blocked head at the last scan can now rank above
+	// it and fit, with nothing else to trigger a scan — so arrivals
+	// double as rescan opportunities (cheap: the scan early-outs O(1)
+	// whenever the budget is saturated). The scan may also admit w
+	// itself where the conservative fast-path check declined.
+	s.admitNextLocked()
 	s.mu.Unlock()
 
 	var timeout <-chan time.Time
@@ -238,11 +485,24 @@ func (s *Scheduler) Acquire(ctx context.Context, cost int) (func(), error) {
 			return nil, err
 		}
 		s.recordWait(w, true)
-		return s.releaseFunc(cost), nil
+		return s.releaseFunc(ts, cost), nil
 	case <-ctx.Done():
-		return nil, s.giveUp(w, cost, &s.stats.Cancelled, ctx.Err())
+		return nil, s.giveUp(w, failCancelled, ctx.Err())
 	case <-timeout:
-		return nil, s.giveUp(w, cost, &s.stats.TimedOut, ErrQueueTimeout)
+		return nil, s.giveUp(w, failTimedOut, ErrQueueTimeout)
+	}
+}
+
+// bookFailureLocked moves the failure counters for one failed wait;
+// callers hold s.mu.
+func (s *Scheduler) bookFailureLocked(ts *tenantState, kind failKind) {
+	switch kind {
+	case failCancelled:
+		s.stats.Cancelled++
+		ts.stats.Cancelled++
+	case failTimedOut:
+		s.stats.TimedOut++
+		ts.stats.TimedOut++
 	}
 }
 
@@ -250,20 +510,17 @@ func (s *Scheduler) Acquire(ctx context.Context, cost int) (func(), error) {
 // scheduler signalled the waiter concurrently, the signalled outcome is
 // honored for slot accounting — an admission's slots are returned — but
 // the caller's failure is still reported (the query will not run).
-func (s *Scheduler) giveUp(w *waiter, cost int, counter *uint64, failure error) error {
+func (s *Scheduler) giveUp(w *waiter, kind failKind, failure error) error {
 	s.mu.Lock()
 	if !w.signalled {
 		w.signalled = true
-		for i, q := range s.queue {
-			if q == w {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
-		}
-		s.stats.TotalWait += time.Since(w.enqueued)
-		*counter++
-		// Removing a waiter can unblock the new queue head (FIFO admits
-		// stop at the first waiter that does not fit).
+		s.removeWaiterLocked(w)
+		d := time.Since(w.enqueued)
+		s.stats.TotalWait += d
+		w.ts.stats.TotalWait += d
+		s.bookFailureLocked(w.ts, kind)
+		// Removing a waiter can unblock others (it may have been the
+		// globally blocked head the scan stopped at).
 		s.admitNextLocked()
 		s.mu.Unlock()
 		return failure
@@ -278,43 +535,59 @@ func (s *Scheduler) giveUp(w *waiter, cost int, counter *uint64, failure error) 
 	// failed wait counts exactly once across the failure counters).
 	if err := <-w.res; err == nil {
 		s.mu.Lock()
-		*counter++
+		s.bookFailureLocked(w.ts, kind)
 		s.mu.Unlock()
 		s.recordWait(w, false)
-		s.releaseFunc(cost)()
+		s.releaseFunc(w.ts, w.cost)()
 	}
 	return failure
 }
 
-// recordWait books a queue wait into the histogram (admitted waits only)
-// and the running total. counted distinguishes the normal admission path
-// from the gave-up-but-was-admitted race, where the wait still totals but
-// the admission was wasted.
+// removeWaiterLocked deletes w from the queue; callers hold s.mu.
+func (s *Scheduler) removeWaiterLocked(w *waiter) {
+	for i, q := range s.queue {
+		if q == w {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			w.ts.waiting--
+			return
+		}
+	}
+}
+
+// recordWait books a queue wait into the histograms (admitted waits
+// only) and the running totals. counted distinguishes the normal
+// admission path from the gave-up-but-was-admitted race, where the wait
+// still totals but the admission was wasted.
 func (s *Scheduler) recordWait(w *waiter, counted bool) {
 	d := time.Since(w.enqueued)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.TotalWait += d
+	w.ts.stats.TotalWait += d
 	if !counted {
 		return
 	}
+	b := len(waitBuckets)
 	for i, ub := range waitBuckets {
 		if d < ub {
-			s.stats.WaitHistogram[i]++
-			return
+			b = i
+			break
 		}
 	}
-	s.stats.WaitHistogram[len(waitBuckets)]++
+	s.stats.WaitHistogram[b]++
+	w.ts.stats.WaitHistogram[b]++
 }
 
 // releaseFunc builds the idempotent ticket for one admitted query.
-func (s *Scheduler) releaseFunc(cost int) func() {
+func (s *Scheduler) releaseFunc(ts *tenantState, cost int) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			s.mu.Lock()
 			s.active--
 			s.slotsInUse -= cost
+			ts.active--
+			ts.slotsInUse -= cost
 			s.admitNextLocked()
 			if s.draining && s.active == 0 && s.drainDone != nil {
 				close(s.drainDone)
@@ -325,18 +598,126 @@ func (s *Scheduler) releaseFunc(cost int) func() {
 	}
 }
 
-// admitNextLocked admits queued waiters in FIFO order while the head
-// fits; callers hold s.mu.
-func (s *Scheduler) admitNextLocked() {
-	for len(s.queue) > 0 && !s.draining {
-		w := s.queue[0]
-		if !s.fits(w.cost) {
-			break
+// queueBlocksLocked reports whether some queued waiter has a prior
+// claim on the capacity a new arrival (tenant ts, the given priority)
+// would take, i.e. whether the admission scan run over queue+arrival
+// would NOT admit the arrival. Only waiters that outrank the arrival
+// matter (aged priority >= prio — every waiter arrived earlier, so
+// ties go to the queue):
+//
+//   - any outranking tenant-mate blocks (the arrival would be parked
+//     behind its own tenant's head, whatever that head waits on);
+//   - for each other tenant only its top-ranked outranking waiter
+//     speaks for it, mirroring the scan: if that waiter is blocked by
+//     its own tenant's budget the whole tenant is parked and claims
+//     nothing, otherwise it is first in line for the capacity
+//     (globally blocked or outright fitting) and the arrival must not
+//     jump it.
+//
+// One O(queue) pass, no sort; callers hold s.mu.
+func (s *Scheduler) queueBlocksLocked(ts *tenantState, prio int) bool {
+	now := time.Now()
+	var top map[*tenantState]*waiter
+	for _, w := range s.queue {
+		if s.effPriority(w, now) < prio {
+			continue
 		}
-		s.queue = s.queue[1:]
-		w.signalled = true
-		s.admitLocked(w.cost)
-		w.res <- nil
+		if w.ts == ts {
+			return true
+		}
+		if top == nil {
+			top = make(map[*tenantState]*waiter)
+		}
+		if t := top[w.ts]; t == nil || s.ranksBefore(w, t, now) {
+			top[w.ts] = w
+		}
+	}
+	for _, w := range top {
+		if _, tenantBlocked := s.fits(w.ts, w.cost); !tenantBlocked {
+			return true
+		}
+	}
+	return false
+}
+
+// ranksBefore is the admission order: aged priority desc, arrival seq
+// asc.
+func (s *Scheduler) ranksBefore(a, b *waiter, now time.Time) bool {
+	pa, pb := s.effPriority(a, now), s.effPriority(b, now)
+	if pa != pb {
+		return pa > pb
+	}
+	return a.seq < b.seq
+}
+
+// effPriority is a waiter's aged priority: its tag priority plus one
+// level per ageStep spent waiting (the starvation guard).
+func (s *Scheduler) effPriority(w *waiter, now time.Time) int {
+	p := w.tag.Priority
+	if s.ageStep > 0 {
+		p += int(now.Sub(w.enqueued) / s.ageStep)
+	}
+	return p
+}
+
+// admitNextLocked admits queued waiters in weighted-fair order —
+// effective (aged) priority desc, arrival order asc — skipping waiters
+// blocked only by their own tenant's budget and stopping at the first
+// waiter blocked by the global budget; callers hold s.mu.
+func (s *Scheduler) admitNextLocked() {
+	if s.draining || len(s.queue) == 0 {
+		return
+	}
+	// When the global budget is exhausted fits() is false for every
+	// waiter, so skip the copy+sort entirely — the saturated enqueue
+	// path stays O(1) under the mutex; the sort only runs on events
+	// with room to admit.
+	if s.active >= s.opts.MaxConcurrent {
+		return
+	}
+	if s.opts.MaxSlots > 0 && s.slotsInUse >= s.opts.MaxSlots {
+		return // every cost is >= 1, so no waiter can fit a full slot budget
+	}
+	now := time.Now()
+	order := make([]*waiter, len(s.queue))
+	copy(order, s.queue)
+	sort.Slice(order, func(i, j int) bool { return s.ranksBefore(order[i], order[j], now) })
+	// One sorted pass admits everything a repeated rescan would: an
+	// admission only shrinks capacity (fits can flip true→false, never
+	// back), removal leaves the others' order untouched, and a
+	// tenant-blocked waiter stays tenant-blocked when its tenant's
+	// usage only grows — so continuing the scan is sound and a burst of
+	// admissions costs one O(n log n) sort, not one per admission.
+	var parked map[*tenantState]bool
+	for _, w := range order {
+		if parked[w.ts] {
+			// An outranking waiter of this same tenant is parked on the
+			// tenant's budget: admitting w would starve it behind its own
+			// tenant's cheaper queries — the per-tenant mirror of the
+			// global head-of-line rule below.
+			continue
+		}
+		ok, tenantBlocked := s.fits(w.ts, w.cost)
+		if ok {
+			s.removeWaiterLocked(w)
+			w.signalled = true
+			s.admitLocked(w.ts, w.cost)
+			w.res <- nil
+			continue
+		}
+		if !tenantBlocked {
+			// Globally blocked: the highest-priority waiter that cannot
+			// fit blocks everyone below it (no starvation of expensive
+			// queries by cheap ones arriving behind them).
+			return
+		}
+		// Tenant-blocked: park the tenant and keep scanning — a
+		// saturated tenant must not hold global capacity hostage, but
+		// only other tenants may pass its blocked head.
+		if parked == nil {
+			parked = make(map[*tenantState]bool)
+		}
+		parked[w.ts] = true
 	}
 }
 
@@ -351,7 +732,11 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		for _, w := range s.queue {
 			w.signalled = true
 			s.stats.Drained++
-			s.stats.TotalWait += time.Since(w.enqueued)
+			w.ts.stats.Drained++
+			d := time.Since(w.enqueued)
+			s.stats.TotalWait += d
+			w.ts.stats.TotalWait += d
+			w.ts.waiting--
 			w.res <- ErrDraining
 		}
 		s.queue = nil
@@ -380,7 +765,7 @@ func (s *Scheduler) Draining() bool {
 	return s.draining
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters, including the per-tenant breakdown.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -392,5 +777,18 @@ func (s *Scheduler) Stats() Stats {
 	st.MaxConcurrent = s.opts.MaxConcurrent
 	st.MaxSlots = s.opts.MaxSlots
 	st.QueueDepth = s.opts.QueueDepth
+	st.Tenants = make(map[string]TenantStats, len(s.tenants))
+	for name, ts := range s.tenants {
+		t := ts.stats
+		t.Active = ts.active
+		t.Waiting = ts.waiting
+		t.SlotsInUse = ts.slotsInUse
+		t.Declared = ts.declared
+		if ts.declared {
+			t.MaxConcurrent = ts.quota.MaxConcurrent
+			t.MaxSlots = ts.quota.MaxSlots
+		}
+		st.Tenants[name] = t
+	}
 	return st
 }

@@ -12,6 +12,18 @@
 //	GET  /stats            consolidated engine + server statistics
 //	GET  /healthz          liveness; 503 once draining
 //
+// Requests are multi-tenant: an X-Raven-Tenant header (or a "tenant"
+// body field) attributes each request's admission to a tenant, and
+// X-Raven-Priority (or "priority") picks its scheduling class. Prepared
+// statements remember the tag they were registered under; per-request
+// tags override it. Tenants declared with quotas (ravenserved -tenant)
+// are bounded individually while other tenants keep running: a tenant
+// whose quota pressure fills the queue gets per-tenant 429s with a
+// Retry-After hint, and a tenant shut off with a zero quota gets 429s
+// without one (the condition is permanent until reconfiguration, so
+// retrying is pointless). GET /stats nests per-tenant counters under
+// the scheduler section.
+//
 // Admission-control failures map to distinct status codes so clients can
 // tell load shedding (429, retry with backoff) from queue timeouts (504)
 // from shutdown (503). Streaming responses send rows as they arrive; an
@@ -28,6 +40,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,7 +68,7 @@ type Server struct {
 	http *http.Server
 
 	mu     sync.Mutex
-	stmts  map[string]*raven.Stmt
+	stmts  map[string]*stmtEntry
 	nextID uint64
 
 	draining atomic.Bool
@@ -68,7 +81,7 @@ func New(db *raven.DB, opts Options) *Server {
 	if opts.MaxStatements <= 0 {
 		opts.MaxStatements = 1024
 	}
-	s := &Server{db: db, opts: opts, stmts: make(map[string]*raven.Stmt)}
+	s := &Server{db: db, opts: opts, stmts: make(map[string]*stmtEntry)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
@@ -120,6 +133,17 @@ type QueryRequest struct {
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 	// Options tunes optimization/execution per request.
 	Options *QueryOptions `json:"options,omitempty"`
+	// Tenant attributes the request's admission to a tenant (quotas and
+	// per-tenant stats). The X-Raven-Tenant header overrides it, so a
+	// trusted proxy can tag untrusted clients; on the prepared path an
+	// empty tenant falls back to the statement's prepare-time tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders waiting admissions (higher first). The
+	// X-Raven-Priority header overrides it. A pointer so presence is
+	// visible: on the prepared path an absent priority falls back to the
+	// statement's registered one, while an explicit 0 (body or header)
+	// demotes it.
+	Priority *int `json:"priority,omitempty"`
 }
 
 // QueryOptions is the wire subset of raven.QueryOptions.
@@ -162,6 +186,9 @@ func (o *QueryOptions) engine() raven.QueryOptions {
 	opts.DisablePlanCache = o.DisablePlanCache
 	return opts
 }
+
+// IntPtr boxes an int for optional wire fields (QueryRequest.Priority).
+func IntPtr(v int) *int { return &v }
 
 // PrepareResponse is the body of a successful POST /prepare.
 type PrepareResponse struct {
@@ -211,7 +238,8 @@ type StatsResponse struct {
 // failures.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, raven.ErrQueueFull):
+	case errors.Is(err, raven.ErrQueueFull),
+		errors.Is(err, raven.ErrTenantQuota):
 		return http.StatusTooManyRequests // 429: shed, retry with backoff
 	case errors.Is(err, raven.ErrQueueTimeout),
 		errors.Is(err, context.DeadlineExceeded):
@@ -229,7 +257,13 @@ func statusFor(err error) int {
 func writeError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	status := statusFor(err)
-	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+	// Retry-After invites the client back: right for transient pressure
+	// (queue full, draining), wrong for a tenant administratively shut
+	// off with a zero quota — that 429 stays until the server is
+	// reconfigured, so hinting a 1s retry would just generate permanent
+	// polling load.
+	if (status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests) &&
+		!errors.Is(err, raven.ErrTenantQuota) {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
@@ -253,6 +287,44 @@ func decodeBody(r *http.Request, v any) error {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// Wire-supplied priorities are clamped to ±maxWirePriority: the
+// scheduler's aging guard closes one priority level per 100ms, so an
+// unbounded client value would let any tenant park ahead of everyone
+// else for hours — the priority knob is untrusted input exactly like
+// the tenant key and the requested DOP.
+const maxWirePriority = 100
+
+// requestTag resolves a request's admission identity: body fields
+// first, overridden by the X-Raven-Tenant / X-Raven-Priority headers
+// (headers win so a fronting proxy can tag clients that cannot be
+// trusted to tag themselves). prioritySet reports whether either
+// carrier supplied a priority at all — the prepared path needs to tell
+// an explicit 0 from an absent one. A malformed priority header is a
+// client error, not silently priority 0.
+func requestTag(r *http.Request, req *QueryRequest) (tenant string, priority int, prioritySet bool, err error) {
+	tenant = req.Tenant
+	if req.Priority != nil {
+		priority, prioritySet = *req.Priority, true
+	}
+	if h := r.Header.Get("X-Raven-Tenant"); h != "" {
+		tenant = h
+	}
+	if h := r.Header.Get("X-Raven-Priority"); h != "" {
+		p, perr := strconv.Atoi(h)
+		if perr != nil {
+			return "", 0, false, fmt.Errorf("bad X-Raven-Priority %q: not an integer", h)
+		}
+		priority, prioritySet = p, true
+	}
+	if priority > maxWirePriority {
+		priority = maxWirePriority
+	}
+	if priority < -maxWirePriority {
+		priority = -maxWirePriority
+	}
+	return tenant, priority, prioritySet, nil
 }
 
 // queryCtx derives the execution context: the client connection (so a
@@ -284,19 +356,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("missing sql"))
 		return
 	}
+	tenant, priority, _, err := requestTag(r, &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	ctx, cancel := s.queryCtx(r, &req)
 	defer cancel()
 	opts := req.Options.engine()
+	opts.Tenant, opts.Priority = tenant, priority
 
 	// A script with no SELECT is pure DDL/DML: run it through ExecContext
 	// (deadline and client disconnect observed between statements; the
-	// engine runs it under a cost-1 admission slot, so DDL bursts do not
-	// bypass the scheduler). A param-less script mixing DDL and a SELECT
-	// goes through Query, which executes the side effects then streams
-	// the SELECT; with params the script must be DECLAREs + one SELECT
-	// (the prepare surface compiles it and must not mutate the database).
+	// engine runs it under a cost-1 admission slot billed to the request's
+	// tenant — the context tag is how option-less ExecContext gets it —
+	// so DDL bursts do not bypass the scheduler or their quota). A
+	// param-less script mixing DDL and a SELECT goes through Query, which
+	// executes the side effects then streams the SELECT; with params the
+	// script must be DECLAREs + one SELECT (the prepare surface compiles
+	// it and must not mutate the database).
 	if !scriptMayHaveSelect(req.SQL) {
-		if err := s.db.ExecContext(ctx, req.SQL); err != nil {
+		if err := s.db.ExecContext(raven.ContextWithTenant(ctx, tenant, priority), req.SQL); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -306,7 +386,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	s.queries.Add(1)
 	var rows *raven.Rows
-	var err error
 	if len(req.Params) > 0 {
 		// Parameterized ad-hoc query: the prepare-surface compile (typed
 		// @var binding) runs inside admission, so a burst of distinct
@@ -350,11 +429,20 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// PrepareContext runs the compile — the CPU the scheduler exists to
-	// protect — under a cost-1 admission slot; /prepare is reachable by
-	// the same untrusted burst as /query.
+	// protect — under a cost-1 admission slot billed to the registering
+	// tenant; /prepare is reachable by the same untrusted burst as
+	// /query. The tag is also remembered on the statement (per-statement
+	// tenant registration), so executions inherit it by default.
+	tenant, priority, _, err := requestTag(r, &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	ctx, cancel := s.queryCtx(r, &req)
 	defer cancel()
-	st, err := s.db.PrepareContextWithOptions(ctx, req.SQL, req.Options.engine())
+	opts := req.Options.engine()
+	opts.Tenant, opts.Priority = tenant, priority
+	st, err := s.db.PrepareContextWithOptions(ctx, req.SQL, opts)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -367,7 +455,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	s.stmts[id] = st
+	s.stmts[id] = &stmtEntry{st: st, tenant: tenant, priority: priority}
 	s.mu.Unlock()
 	s.prepares.Add(1)
 	writeJSON(w, PrepareResponse{ID: id, Params: st.Params()})
@@ -385,7 +473,16 @@ func writeStmtLimit(w http.ResponseWriter) {
 	json.NewEncoder(w).Encode(ErrorLine{Error: "prepared-statement limit reached; DELETE unused statements"})
 }
 
-func (s *Server) stmt(id string) (*raven.Stmt, bool) {
+// stmtEntry is one registered server-side statement: the compiled Stmt
+// plus the admission tag it was registered under (per-statement tenant
+// registration — executions inherit it unless the request overrides).
+type stmtEntry struct {
+	st       *raven.Stmt
+	tenant   string
+	priority int
+}
+
+func (s *Server) stmt(id string) (*stmtEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.stmts[id]
@@ -397,7 +494,7 @@ func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, raven.ErrDraining)
 		return
 	}
-	st, ok := s.stmt(r.PathValue("id"))
+	e, ok := s.stmt(r.PathValue("id"))
 	if !ok {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusNotFound)
@@ -409,10 +506,27 @@ func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Per-execution tag: the statement's registered tenant/priority
+	// unless the request overrides either half. Presence, not zeroness,
+	// decides the priority override, so an explicit 0 (header or body)
+	// demotes a statement registered at a higher priority. The context
+	// tag wins inside the engine over the Stmt's prepare-time options,
+	// so overrides actually take effect on the warm path.
+	tenant, priority, prioritySet, err := requestTag(r, &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if tenant == "" {
+		tenant = e.tenant
+	}
+	if !prioritySet {
+		priority = e.priority
+	}
 	ctx, cancel := s.queryCtx(r, &req)
 	defer cancel()
 	s.queries.Add(1)
-	rows, err := st.QueryContext(ctx, paramList(req.Params)...)
+	rows, err := e.st.QueryContext(raven.ContextWithTenant(ctx, tenant, priority), paramList(req.Params)...)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -443,6 +444,188 @@ func TestQueryTimeoutOverWire(t *testing.T) {
 	}
 	hc.CloseIdleConnections()
 	assertGoroutinesReturn(t, base)
+}
+
+// TestTenantHeadersQuotasAndStats pins the multi-tenant wire contract:
+// tenant tags arrive via header or body, a zero-quota tenant gets
+// per-tenant 429s with a Retry-After hint while others keep running,
+// prepared statements remember their registered tenant (and per-request
+// headers override it), and /stats nests per-tenant counters under the
+// scheduler section without breaking the pre-tenant top-level fields.
+func TestTenantHeadersQuotasAndStats(t *testing.T) {
+	db := hospitalDB(t, 500, 4,
+		raven.WithMaxConcurrentQueries(4),
+		raven.WithSchedulerQueue(16, 0),
+		raven.WithTenantQuota("banned", 0, 0),
+		raven.WithTenantQuota("batch", 2, 0),
+	)
+	c, _, hc := startServer(t, db, Options{})
+
+	countSQL := `SELECT COUNT(*) AS n FROM patient_info`
+
+	// Body-tagged query for an allowed tenant.
+	if _, err := c.Query(QueryRequest{SQL: countSQL, Tenant: "batch", Priority: IntPtr(3)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Header-tagged query for the shut-off tenant: 429 + Retry-After.
+	req, _ := http.NewRequest(http.MethodPost, c.Base+"/query",
+		strings.NewReader(`{"sql":"SELECT COUNT(*) AS n FROM patient_info"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Raven-Tenant", "banned")
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("banned tenant: status %d, want 429", resp.StatusCode)
+	}
+	// A zero-quota shutoff is permanent: no Retry-After (hot-retrying a
+	// reconfiguration-gated condition is pointless), unlike queue-full
+	// 429s which do carry the hint.
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		t.Fatalf("shutoff 429 carries Retry-After %q; the condition is not transient", h)
+	}
+	// The header also wins over a body tag.
+	req2, _ := http.NewRequest(http.MethodPost, c.Base+"/query",
+		strings.NewReader(`{"sql":"SELECT COUNT(*) AS n FROM patient_info","tenant":"batch"}`))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("X-Raven-Tenant", "banned")
+	resp2, err := hc.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("header should override body tenant: status %d", resp2.StatusCode)
+	}
+	// A malformed priority header is a clean 400.
+	req3, _ := http.NewRequest(http.MethodPost, c.Base+"/query",
+		strings.NewReader(`{"sql":"SELECT COUNT(*) AS n FROM patient_info"}`))
+	req3.Header.Set("Content-Type", "application/json")
+	req3.Header.Set("X-Raven-Priority", "urgent")
+	resp3, err := hc.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority header: status %d, want 400", resp3.StatusCode)
+	}
+
+	// Per-statement registration: prepared under "batch", executions
+	// bill "batch" by default; a per-request header rebills the call.
+	pr, err := c.Prepare(QueryRequest{SQL: countSQL, Tenant: "batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StmtQuery(pr.ID, QueryRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	req4, _ := http.NewRequest(http.MethodPost, c.Base+"/stmt/"+pr.ID+"/query",
+		strings.NewReader(`{}`))
+	req4.Header.Set("Content-Type", "application/json")
+	req4.Header.Set("X-Raven-Tenant", "banned")
+	resp4, err := hc.Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("stmt exec under banned override: status %d, want 429", resp4.StatusCode)
+	}
+
+	// DDL-only scripts bill their tenant too.
+	if _, err := c.Query(QueryRequest{SQL: `CREATE TABLE tnt (k INT PRIMARY KEY)`, Tenant: "batch"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw /stats JSON: the pre-tenant scheduler fields stay at the top
+	// level of engine.scheduler (backward compatibility), and the new
+	// per-tenant map nests beside them.
+	sresp, err := hc.Get(c.Base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		Server map[string]any `json:"server"`
+		Engine struct {
+			Scheduler map[string]json.RawMessage `json:"scheduler"`
+		} `json:"engine"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&raw)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"admitted", "rejected", "max_active", "max_concurrent", "queue_depth", "wait_histogram", "slots_in_use"} {
+		if _, ok := raw.Engine.Scheduler[key]; !ok {
+			t.Errorf("legacy scheduler field %q missing from /stats", key)
+		}
+	}
+	var tenants map[string]raven.TenantStats
+	if err := json.Unmarshal(raw.Engine.Scheduler["tenants"], &tenants); err != nil {
+		t.Fatalf("scheduler.tenants: %v", err)
+	}
+	bt := tenants["batch"]
+	// prepare (cost 1) + 2 SELECT executions + DDL script + body query.
+	if bt.Admitted < 4 || !bt.Declared || bt.MaxConcurrent != 2 {
+		t.Fatalf("batch tenant over the wire: %+v", bt)
+	}
+	if bn := tenants["banned"]; bn.Rejected < 3 || bn.Admitted != 0 {
+		t.Fatalf("banned tenant over the wire: %+v", bn)
+	}
+	// The typed client still parses the response (shape compatibility).
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Scheduler == nil || st.Engine.Scheduler.Tenants["batch"].Admitted != bt.Admitted {
+		t.Fatalf("typed stats: %+v", st.Engine.Scheduler)
+	}
+}
+
+// TestRequestTagPresence pins the override semantics: absent priority
+// falls through (prioritySet false), an explicit 0 — body pointer or
+// header — is a real override, and headers beat body fields.
+func TestRequestTagPresence(t *testing.T) {
+	mk := func(hdr map[string]string) *http.Request {
+		r, _ := http.NewRequest(http.MethodPost, "/stmt/s1/query", nil)
+		for k, v := range hdr {
+			r.Header.Set(k, v)
+		}
+		return r
+	}
+	cases := []struct {
+		name     string
+		req      QueryRequest
+		hdr      map[string]string
+		tenant   string
+		priority int
+		set      bool
+	}{
+		{"absent", QueryRequest{}, nil, "", 0, false},
+		{"body zero is explicit", QueryRequest{Priority: IntPtr(0)}, nil, "", 0, true},
+		{"header zero is explicit", QueryRequest{}, map[string]string{"X-Raven-Priority": "0"}, "", 0, true},
+		{"header beats body", QueryRequest{Tenant: "a", Priority: IntPtr(3)},
+			map[string]string{"X-Raven-Tenant": "b", "X-Raven-Priority": "9"}, "b", 9, true},
+		{"body only", QueryRequest{Tenant: "a", Priority: IntPtr(3)}, nil, "a", 3, true},
+		{"huge priority clamped", QueryRequest{}, map[string]string{"X-Raven-Priority": "1000000"}, "", maxWirePriority, true},
+		{"huge negative clamped", QueryRequest{Priority: IntPtr(-1000000)}, nil, "", -maxWirePriority, true},
+	}
+	for _, c := range cases {
+		tenant, priority, set, err := requestTag(mk(c.hdr), &c.req)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if tenant != c.tenant || priority != c.priority || set != c.set {
+			t.Errorf("%s: got (%q, %d, %v), want (%q, %d, %v)", c.name, tenant, priority, set, c.tenant, c.priority, c.set)
+		}
+	}
+	if _, _, _, err := requestTag(mk(map[string]string{"X-Raven-Priority": "high"}), &QueryRequest{}); err == nil {
+		t.Error("malformed priority header accepted")
+	}
 }
 
 // status extracts the HTTP status from a client error (0 otherwise).

@@ -66,6 +66,11 @@ func Smoke(base string) error {
 		return fmt.Errorf("prepared result differs from ad-hoc result")
 	}
 
+	// Tenant-tagged query: the tag must round-trip into per-tenant stats.
+	if _, err := c.Query(QueryRequest{SQL: `SELECT k FROM smoke_kv`, Tenant: "smoke-tenant", Priority: IntPtr(2)}); err != nil {
+		return fmt.Errorf("tenant-tagged query: %w", err)
+	}
+
 	st, err := c.Stats()
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
@@ -73,8 +78,13 @@ func Smoke(base string) error {
 	if st.Server.Queries < 3 || st.Engine.Compiles == 0 {
 		return fmt.Errorf("stats implausible: %+v", st)
 	}
-	if st.Engine.Scheduler != nil && st.Engine.Scheduler.Admitted == 0 {
-		return fmt.Errorf("scheduler enabled but admitted nothing: %+v", st.Engine.Scheduler)
+	if st.Engine.Scheduler != nil {
+		if st.Engine.Scheduler.Admitted == 0 {
+			return fmt.Errorf("scheduler enabled but admitted nothing: %+v", st.Engine.Scheduler)
+		}
+		if ts := st.Engine.Scheduler.Tenants["smoke-tenant"]; ts.Admitted == 0 {
+			return fmt.Errorf("tenant tag did not reach the scheduler: %+v", st.Engine.Scheduler.Tenants)
+		}
 	}
 
 	if err := c.CloseStmt(pr.ID); err != nil {

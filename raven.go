@@ -138,6 +138,17 @@ type QueryOptions struct {
 	// on every call — the cold-query baseline the PreparedPredict bench
 	// measures against.
 	DisablePlanCache bool
+	// Tenant attributes this query's admission to a tenant: per-tenant
+	// quotas (WithTenantQuota) and per-tenant stats apply. Empty means
+	// the engine's default tenant. A context tag (ContextWithTenant)
+	// overrides it per call. Tenant and Priority only shape admission —
+	// they never affect the compiled plan, so they are deliberately
+	// absent from the plan-cache key and cached plans are shared across
+	// tenants.
+	Tenant string
+	// Priority orders waiting admissions (higher first; see
+	// sched aging for the starvation guard). 0 is the default class.
+	Priority int
 }
 
 // DefaultQueryOptions is the engine's standard configuration: all
@@ -201,7 +212,19 @@ var (
 	ErrQueueTimeout = sched.ErrQueueTimeout
 	// ErrDraining: the engine is shutting down and admits no new queries.
 	ErrDraining = sched.ErrDraining
+	// ErrTenantQuota: the query's tenant is declared with a zero quota
+	// (administratively shut off) and was rejected without queueing.
+	ErrTenantQuota = sched.ErrTenantQuota
 )
+
+// TenantQuota is one tenant's admission budget (see WithTenantQuota),
+// aliased so API consumers can name it without importing internal
+// packages.
+type TenantQuota = sched.TenantQuota
+
+// TenantStats is one tenant's slice of the scheduler counters (see
+// SchedulerStats.Tenants), aliased for the same reason.
+type TenantStats = sched.TenantStats
 
 // Option configures an engine at Open time.
 type Option func(*DB)
@@ -267,6 +290,65 @@ func WithSchedulerQueue(depth int, timeout time.Duration) Option {
 	}
 }
 
+// WithTenantQuota declares a tenant's admission budget: at most
+// maxConcurrent of its queries run at once (0 shuts the tenant off —
+// its queries fail with ErrTenantQuota), and maxSlots bounds its total
+// worker slots (0 = only the global WithMaxWorkerSlots budget applies;
+// like the global budget it is enforced at lowering, so a tenant's
+// query never spawns more workers than its quota charges). Undeclared
+// tenants share the global budget. It only takes effect together with
+// WithMaxConcurrentQueries.
+func WithTenantQuota(tenant string, maxConcurrent, maxSlots int) Option {
+	return func(db *DB) {
+		if tenant == "" {
+			return
+		}
+		if maxConcurrent < 0 {
+			maxConcurrent = 0
+		}
+		if maxSlots < 0 {
+			maxSlots = 0
+		}
+		if db.schedOpts.Tenants == nil {
+			db.schedOpts.Tenants = make(map[string]sched.TenantQuota)
+		}
+		db.schedOpts.Tenants[tenant] = sched.TenantQuota{MaxConcurrent: maxConcurrent, MaxSlots: maxSlots}
+	}
+}
+
+// WithDefaultTenant names the tenant untagged work is attributed to
+// (default "default"). Declaring a quota for that name then bounds all
+// untagged traffic.
+func WithDefaultTenant(name string) Option {
+	return func(db *DB) {
+		if name != "" {
+			db.schedOpts.DefaultTenant = name
+		}
+	}
+}
+
+// tenantCtxKey carries a per-call admission tag in a context.
+type tenantCtxKey struct{}
+
+// ContextWithTenant tags every engine call made under the returned
+// context with a (tenant, priority) admission identity. It is the
+// per-call override — it wins over QueryOptions.Tenant/Priority — and
+// the only way to tag ExecContext scripts, which take no options. Wire
+// front ends use it to attribute work from an X-Raven-Tenant header.
+func ContextWithTenant(ctx context.Context, tenant string, priority int) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, sched.Tag{Tenant: tenant, Priority: priority})
+}
+
+// tagFor resolves the admission tag for one call: context tag first
+// (the per-call override), then QueryOptions, then the default tenant
+// (resolved inside the scheduler).
+func (db *DB) tagFor(ctx context.Context, opts QueryOptions) sched.Tag {
+	if t, ok := ctx.Value(tenantCtxKey{}).(sched.Tag); ok {
+		return t
+	}
+	return sched.Tag{Tenant: opts.Tenant, Priority: opts.Priority}
+}
+
 // Open creates an empty engine.
 func Open(opts ...Option) *DB {
 	db := &DB{
@@ -300,11 +382,13 @@ func (db *DB) Scheduler() *QueryScheduler { return db.sched }
 
 // effectiveParallelism is the DOP a query actually lowers with: the
 // requested (or engine default) DOP, capped by the scheduler's worker
-// slot budget. It is also exactly what admission charges, so the
-// charged cost and the spawned worker count agree by construction. The
-// cap is a worst-case bound — small scans below ParallelThresholdRows
-// execute serially anyway — so admission stays conservative under load.
-func (db *DB) effectiveParallelism(opts QueryOptions) int {
+// slot budget and — when the call's tenant is declared with a slot
+// quota — by that tenant budget. It is also exactly what admission
+// charges, so the charged cost and the spawned worker count agree by
+// construction. The cap is a worst-case bound — small scans below
+// ParallelThresholdRows execute serially anyway — so admission stays
+// conservative under load.
+func (db *DB) effectiveParallelism(ctx context.Context, opts QueryOptions) int {
 	par := opts.Parallelism
 	if par == 0 {
 		par = db.DefaultParallelism
@@ -313,25 +397,31 @@ func (db *DB) effectiveParallelism(opts QueryOptions) int {
 		if ms := db.schedOpts.MaxSlots; ms > 0 && par > ms {
 			par = ms
 		}
+		if q, ok := db.schedOpts.QuotaFor(db.tagFor(ctx, opts).Tenant); ok && q.MaxSlots > 0 && par > q.MaxSlots {
+			par = q.MaxSlots
+		}
 	}
 	return par
 }
 
 // admit passes one query through admission control, charged at its
-// effective DOP. The returned release is non-nil even without a
-// scheduler so callers can defer it blindly; Rows takes ownership of it
-// on success (released at Close).
+// effective DOP and attributed to the call's (tenant, priority) tag.
+// The returned release is non-nil even without a scheduler so callers
+// can defer it blindly; Rows takes ownership of it on success (released
+// at Close).
 func (db *DB) admit(ctx context.Context, opts QueryOptions) (func(), error) {
-	return db.admitN(ctx, db.effectiveParallelism(opts))
+	return db.admitN(ctx, db.effectiveParallelism(ctx, opts), opts)
 }
 
 // admitN acquires an admission slot of explicit cost — cost 1 for the
-// single-threaded front-half work (Exec scripts, Prepare compiles).
-func (db *DB) admitN(ctx context.Context, cost int) (func(), error) {
+// single-threaded front-half work (Exec scripts, Prepare compiles). The
+// tag still comes from opts/ctx, so even DDL scripts and compiles bill
+// to their tenant.
+func (db *DB) admitN(ctx context.Context, cost int, opts QueryOptions) (func(), error) {
 	if db.sched == nil {
 		return func() {}, nil
 	}
-	return db.sched.Acquire(ctx, cost)
+	return db.sched.AcquireTag(ctx, cost, db.tagFor(ctx, opts))
 }
 
 // Drain stops admitting queries and waits for in-flight ones to finish
@@ -365,7 +455,7 @@ func (db *DB) Exec(script string) error {
 // work the engine does for a caller; note a caller already holding a
 // slot (an open Rows) on a fully saturated engine will queue here.
 func (db *DB) ExecContext(ctx context.Context, script string) error {
-	release, err := db.admitN(ctx, 1)
+	release, err := db.admitN(ctx, 1, QueryOptions{})
 	if err != nil {
 		return err
 	}
@@ -808,7 +898,7 @@ func (db *DB) buildPlan(q string, sel *sql.SelectStmt, vars map[string]string, o
 // plans still adapt to current table sizes (serial vs morsel-parallel)
 // and carry the call's context into every operator.
 func (db *DB) lower(ctx context.Context, graph *ir.Graph, sessionKey string, opts QueryOptions) (exec.Operator, error) {
-	par := db.effectiveParallelism(opts)
+	par := db.effectiveParallelism(ctx, opts)
 	morsel := opts.MorselSize
 	if morsel == 0 {
 		morsel = db.MorselSize

@@ -75,7 +75,7 @@ func (db *DB) PrepareContext(ctx context.Context, q string) (*Stmt, error) {
 // end cannot oversubscribe the engine any more than queries can; ctx
 // bounds the wait for that slot.
 func (db *DB) PrepareContextWithOptions(ctx context.Context, q string, opts QueryOptions) (*Stmt, error) {
-	release, err := db.admitN(ctx, 1)
+	release, err := db.admitN(ctx, 1, opts)
 	if err != nil {
 		return nil, err
 	}
