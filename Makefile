@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor for `make cover` (percent of statements).
 COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet fmt-check bench bench-quick bench-check cover smoke smoke-serve ci
+.PHONY: all build test race vet fmt-check bench bench-quick bench-check bench-micro cover smoke smoke-serve ci
 
 all: ci
 
@@ -73,19 +73,26 @@ bench:
 # validates the recordings, so a silently-empty bench run fails the gate
 # instead of committing a hollow BENCH file.
 BENCH_JSON ?= BENCH_parallel_breakers.json
+BENCH_SCALING_JSON ?= BENCH_parallel_scaling.json
 BENCH_SERVE_JSON ?= BENCH_serve.json
 BENCH_TENANT_JSON ?= BENCH_tenant.json
 bench-quick:
 	$(GO) run ./cmd/ravenbench -quick -only ParallelBreakers -json $(BENCH_JSON)
+	$(GO) run ./cmd/ravenbench -quick -only ParallelScaling -json $(BENCH_SCALING_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ServeConcurrency -json $(BENCH_SERVE_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only MultiTenantServe -json $(BENCH_TENANT_JSON)
 	@$(MAKE) bench-check
 
 bench-check:
-	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe"
+	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SCALING_JSON):ParallelScaling,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe"
+
+# bench-micro runs the data-plane micro-benchmarks (typed kernels, vector
+# pooling, gather) with allocation reporting.
+bench-micro:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/types ./internal/expr
 
 # ci runs the suite twice, not three times: cover subsumes a plain
 # `make test` (same tests, plus the coverage floor and cover.out), so
 # the gate is cover + race rather than test + race + a separate cover.
 ci: fmt-check build vet cover race smoke smoke-serve
-	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json
+	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json

@@ -157,6 +157,15 @@ func main() {
 	}
 }
 
+// requireAllocs lists experiments whose recordings must carry an
+// allocs/row measurement: these are the data-plane gates, and a
+// recording without the column would silently drop the allocation
+// budget from CI.
+var requireAllocs = map[string]bool{
+	"ParallelScaling":  true,
+	"ParallelBreakers": true,
+}
+
 // checkRecordings is the -check mode: every FILE:ID entry names a
 // recorded results file and an experiment table that must be present
 // with measured rows. A file recording failed experiments fails the
@@ -200,6 +209,18 @@ func checkRecordings(spec string) error {
 		for _, r := range tb.Rows {
 			if r.Series == "" || r.Param == "" {
 				return fmt.Errorf("%s: table %q has an unlabeled row: %+v", file, id, r)
+			}
+		}
+		if requireAllocs[id] {
+			found := false
+			for _, r := range tb.Rows {
+				if r.AllocsPerRow > 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%s: table %q has no allocs/row measurement (the data-plane experiments must record one)", file, id)
 			}
 		}
 		fmt.Printf("bench check ok: %s has %s with %d rows\n", file, id, len(tb.Rows))

@@ -1,0 +1,20 @@
+package bench
+
+// Allocation baselines and budgets for the data-plane experiments, in
+// heap allocations per input row at DOP=1, quick scale, measured on the
+// boxed (pre-typed-kernel) data plane. The typed kernels, vector pooling
+// and adaptive batching are required to hold a ≥5x improvement over the
+// baselines; the experiments fail (and so bench-check and `make ci`
+// fail) if a regression pushes steady-state allocations back above the
+// budget.
+const (
+	// breakerAllocsPerRowBaseline: ParallelBreakers (GROUP BY / JOIN /
+	// ORDER BY mean) on the boxed data plane.
+	breakerAllocsPerRowBaseline = 0.3556
+	breakerAllocsPerRowBudget   = breakerAllocsPerRowBaseline / 5
+
+	// scalingAllocsPerRowBaseline: ParallelScaling's serial scan+PREDICT
+	// on the boxed data plane.
+	scalingAllocsPerRowBaseline = 0.01399
+	scalingAllocsPerRowBudget   = scalingAllocsPerRowBaseline / 5
+)

@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -19,7 +20,12 @@ type Row struct {
 	Series string // e.g. "RF (sklearn-sim)" or "Raven"
 	Param  string // x-axis value, e.g. "100K rows" or "k=8"
 	Millis float64
-	Note   string
+	// AllocsPerRow is the measured steady-state heap allocations per
+	// input row (0 = not measured for this point). The data-plane
+	// experiments record it so allocation regressions fail the bench
+	// gate, not just slow it down.
+	AllocsPerRow float64 `json:",omitempty"`
+	Note         string
 }
 
 // Table is one figure/table reproduction.
@@ -111,18 +117,29 @@ func (t *Table) Print(w io.Writer) {
 			w1 = len(p)
 		}
 	}
+	wc := 18
+	for _, r := range t.Rows {
+		if n := len(cellText(r)) + 2; n > wc {
+			wc = n
+		}
+	}
+	for _, s := range series {
+		if n := len(s) + 2; n > wc {
+			wc = n
+		}
+	}
 	fmt.Fprintf(w, "%-*s", w1+2, "")
 	for _, s := range series {
-		fmt.Fprintf(w, "%18s", s)
+		fmt.Fprintf(w, "%*s", wc, s)
 	}
 	fmt.Fprintln(w)
 	for _, p := range params {
 		fmt.Fprintf(w, "%-*s", w1+2, p)
 		for _, s := range series {
 			if r, ok := cell[p][s]; ok {
-				fmt.Fprintf(w, "%15.2fms", r.Millis)
+				fmt.Fprintf(w, "%*s", wc, cellText(r))
 			} else {
-				fmt.Fprintf(w, "%18s", "-")
+				fmt.Fprintf(w, "%*s", wc, "-")
 			}
 		}
 		fmt.Fprintln(w)
@@ -183,7 +200,7 @@ func (t *Table) Markdown() string {
 		sb.WriteString("| " + p + " |")
 		for _, s := range series {
 			if r, ok := cell[p][s]; ok {
-				fmt.Fprintf(&sb, " %.2f ms |", r.Millis)
+				fmt.Fprintf(&sb, " %s |", markdownCellText(r))
 			} else {
 				sb.WriteString(" - |")
 			}
@@ -192,6 +209,23 @@ func (t *Table) Markdown() string {
 	}
 	sb.WriteString("\n")
 	return sb.String()
+}
+
+// cellText renders one measurement cell: latency, plus the allocs/row
+// column for points that measured it.
+func cellText(r Row) string {
+	if r.AllocsPerRow > 0 {
+		return fmt.Sprintf("%.2fms (%.4g allocs/row)", r.Millis, r.AllocsPerRow)
+	}
+	return fmt.Sprintf("%.2fms", r.Millis)
+}
+
+// markdownCellText is cellText in EXPERIMENTS.md's spaced style.
+func markdownCellText(r Row) string {
+	if r.AllocsPerRow > 0 {
+		return fmt.Sprintf("%.2f ms (%.4g allocs/row)", r.Millis, r.AllocsPerRow)
+	}
+	return fmt.Sprintf("%.2f ms", r.Millis)
 }
 
 // Time runs fn warm+measured times and returns the mean of the measured
@@ -214,6 +248,43 @@ func Time(warm, runs int, fn func() error) (time.Duration, error) {
 		return 0, nil
 	}
 	return total / time.Duration(runs), nil
+}
+
+// MeasureAllocsPerRow reports the steady-state heap allocations one fn()
+// execution costs per input row. fn runs once to warm every cache and
+// pool, then — after a GC settles the heap — twice measured; the smaller
+// Mallocs delta divided by rows is returned, so a stray background
+// allocation cannot inflate the figure. Meaningful for serial (DOP=1)
+// runs, where the allocation count is deterministic.
+func MeasureAllocsPerRow(rows int, fn func() error) (float64, error) {
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	// The GC just emptied every sync.Pool; one more warm run refills them
+	// so the measured runs see the steady state.
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	var before, mid, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&mid)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	d1 := mid.Mallocs - before.Mallocs
+	d2 := after.Mallocs - mid.Mallocs
+	if d2 < d1 {
+		d1 = d2
+	}
+	if rows <= 0 {
+		return 0, nil
+	}
+	return float64(d1) / float64(rows), nil
 }
 
 // FmtRows formats a row count like the paper's x axes (1K, 100K, 1M).

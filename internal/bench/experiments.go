@@ -29,18 +29,27 @@ type Config struct {
 	// query and are unaffected.
 	Parallelism int
 	MorselSize  int
+	// Adaptive opens the engines with WithAdaptiveMorsels, so morsel,
+	// serial-scan and inference batch sizes self-tune. The standard
+	// configs enable it — it is the engine's recommended mode — and an
+	// explicit MorselSize still wins inside the engine.
+	Adaptive bool
 }
 
 // open builds an engine honoring the configured DOP and morsel size.
 func (c Config) open() *raven.DB {
-	return raven.Open(raven.WithParallelism(c.Parallelism), raven.WithMorselSize(c.MorselSize))
+	opts := []raven.Option{raven.WithParallelism(c.Parallelism), raven.WithMorselSize(c.MorselSize)}
+	if c.Adaptive {
+		opts = append(opts, raven.WithAdaptiveMorsels())
+	}
+	return raven.Open(opts...)
 }
 
 // DefaultConfig mirrors the paper's methodology at laptop scale.
-func DefaultConfig() Config { return Config{Warm: 1, Runs: 3} }
+func DefaultConfig() Config { return Config{Warm: 1, Runs: 3, Adaptive: true} }
 
 // QuickConfig is used by unit-size benchmark invocations.
-func QuickConfig() Config { return Config{Quick: true, Warm: 1, Runs: 1} }
+func QuickConfig() Config { return Config{Quick: true, Warm: 1, Runs: 1, Adaptive: true} }
 
 func (c Config) sizes(full []int) []int {
 	if !c.Quick {

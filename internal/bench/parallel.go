@@ -56,6 +56,17 @@ func ParallelScaling(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	t.Add("serial (DOP=1)", param, serial, "")
+	if !raceBuild {
+		apr, err := MeasureAllocsPerRow(rows, func() error { return run(1) })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows[len(t.Rows)-1].AllocsPerRow = apr
+		if cfg.Quick && apr > scalingAllocsPerRowBudget {
+			return nil, fmt.Errorf("ParallelScaling: %.4f allocs/row at DOP=1 exceeds the %.4f budget (pre-typed-kernel baseline %.4f)",
+				apr, scalingAllocsPerRowBudget, scalingAllocsPerRowBaseline)
+		}
+	}
 
 	dops := []int{2, 4}
 	if procs > 4 {

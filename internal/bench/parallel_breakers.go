@@ -90,16 +90,26 @@ func ParallelBreakers(cfg Config) (*Table, error) {
 	}
 	dops := []int{1, 2, 4, 8}
 	param := FmtRows(rows)
+	var totalAllocs float64
 	for _, tc := range queries {
+		runDOP1 := func() error {
+			_, err := db.QueryWithOptions(tc.q, raven.QueryOptions{
+				CrossOptimize: false,
+				Mode:          raven.ModeInProcess,
+				Parallelism:   1,
+				// The ablation always exercises the parallel operators;
+				// DOP=1 runs them with a single worker.
+				ParallelThresholdRows: 1,
+			})
+			return err
+		}
 		var serial, best time.Duration
 		for _, dop := range dops {
 			d, err := Time(cfg.Warm, cfg.Runs, func() error {
 				_, err := db.QueryWithOptions(tc.q, raven.QueryOptions{
-					CrossOptimize: false,
-					Mode:          raven.ModeInProcess,
-					Parallelism:   dop,
-					// The ablation always exercises the parallel operators;
-					// DOP=1 runs them with a single worker.
+					CrossOptimize:         false,
+					Mode:                  raven.ModeInProcess,
+					Parallelism:           dop,
 					ParallelThresholdRows: 1,
 				})
 				return err
@@ -110,6 +120,14 @@ func ParallelBreakers(cfg Config) (*Table, error) {
 			t.Add(fmt.Sprintf("DOP=%d", dop), tc.label, d, "")
 			if dop == 1 {
 				serial, best = d, d
+				if !raceBuild {
+					apr, err := MeasureAllocsPerRow(rows, runDOP1)
+					if err != nil {
+						return nil, err
+					}
+					t.Rows[len(t.Rows)-1].AllocsPerRow = apr
+					totalAllocs += apr
+				}
 			} else if d < best {
 				best = d
 			}
@@ -117,6 +135,13 @@ func ParallelBreakers(cfg Config) (*Table, error) {
 		t.Rows[len(t.Rows)-len(dops)].Note = fmt.Sprintf(
 			"%s (%s rows): best speedup %.2fx over DOP=1; host GOMAXPROCS=%d (DOP>cores cannot speed up)",
 			tc.label, param, float64(serial.Microseconds())/float64(best.Microseconds()), procs)
+	}
+	if !raceBuild && cfg.Quick {
+		apr := totalAllocs / float64(len(queries))
+		if apr > breakerAllocsPerRowBudget {
+			return nil, fmt.Errorf("ParallelBreakers: %.4f mean allocs/row at DOP=1 exceeds the %.4f budget (pre-typed-kernel baseline %.4f)",
+				apr, breakerAllocsPerRowBudget, breakerAllocsPerRowBaseline)
+		}
 	}
 	return t, nil
 }

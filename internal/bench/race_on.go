@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceBuild reports that this binary was built with the race detector,
+// whose instrumentation allocates on its own; the allocation-budget
+// enforcement inside experiments is skipped so `make race` stays a pure
+// correctness gate. (The test-only raceEnabled const serves the same
+// purpose for timing assertions in _test files.)
+const raceBuild = true

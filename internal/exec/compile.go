@@ -31,6 +31,10 @@ type Env struct {
 	// placeholders (one per partition). Codegen sets this when compiling a
 	// plan fragment that consumes rows produced by an ML stage below it.
 	InputParts []Operator
+	// Tuner, when set, adapts morsel and serial-scan batch sizes from
+	// table cardinality and observed service times. An explicit
+	// MorselSize still wins for parallel scans.
+	Tuner *Tuner
 }
 
 func (e *Env) parallelism() int {
@@ -114,17 +118,25 @@ func compileParts(n plan.Node, env *Env) ([]Operator, error) {
 			if err != nil {
 				return nil, err
 			}
+			if env != nil && env.Tuner != nil {
+				s.BatchSize = env.Tuner.SerialBatchSize(rows)
+			}
 			if ctx := env.ctx(); ctx != nil {
 				return []Operator{&CancelOp{Ctx: ctx, Child: s}}, nil
 			}
 			return []Operator{s}, nil
 		}
-		src, err := NewTableMorselSource(x.Table, x.Cols, env.morselSize())
+		morsel := env.morselSize()
+		if env.MorselSize <= 0 && env.Tuner != nil {
+			morsel = env.Tuner.MorselSize(rows, p)
+		}
+		src, err := NewTableMorselSource(x.Table, x.Cols, morsel)
 		if err != nil {
 			return nil, err
 		}
 		ex := NewExchange(src, p)
 		ex.Ctx = env.ctx()
+		ex.Tuner = env.Tuner
 		return []Operator{ex}, nil
 
 	case *plan.Filter:

@@ -120,30 +120,38 @@ func (s *TableScan) Close() error { return nil }
 type FilterOp struct {
 	Child Operator
 	Pred  expr.Expr
+
+	stage FilterStage
 }
 
 // Schema implements Operator.
 func (f *FilterOp) Schema() *types.Schema { return f.Child.Schema() }
 
-// Open implements Operator.
-func (f *FilterOp) Open() error { return f.Child.Open() }
+// Open implements Operator. The stage is built once here (binding the
+// predicate to the child schema) instead of per Next call.
+func (f *FilterOp) Open() error {
+	f.stage = FilterStage{Pred: f.Pred}
+	if _, err := f.stage.OutSchema(f.Child.Schema()); err != nil {
+		return err
+	}
+	return f.Child.Open()
+}
 
 // Close implements Operator.
 func (f *FilterOp) Close() error { return f.Child.Close() }
 
 // Next implements Operator.
 func (f *FilterOp) Next() (*types.Batch, error) {
-	st := FilterStage{Pred: f.Pred}
 	for {
 		b, err := f.Child.Next()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		out, err := st.Apply(b)
+		out, err := f.stage.Apply(b)
 		if err != nil {
 			return nil, err
 		}
-		if out == nil {
+		if out == nil || out.Len() == 0 {
 			continue
 		}
 		return out, nil

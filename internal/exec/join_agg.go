@@ -6,6 +6,7 @@ import (
 	"math"
 	"strconv"
 
+	"raven/internal/expr"
 	"raven/internal/plan"
 	"raven/internal/types"
 )
@@ -116,7 +117,8 @@ func (j *HashJoin) Next() (*types.Batch, error) {
 			return nil, err
 		}
 		kv := b.Vecs[j.leftIdx]
-		var leftSel, rightSel []int
+		lp, rp := getSel(), getSel()
+		leftSel, rightSel := (*lp)[:0], (*rp)[:0]
 		if j.builtInt != nil && kv.Type == types.Int {
 			for i, k := range kv.Ints {
 				for _, r := range j.builtInt[k] {
@@ -133,10 +135,16 @@ func (j *HashJoin) Next() (*types.Batch, error) {
 			}
 		}
 		if len(leftSel) == 0 {
+			*lp, *rp = leftSel, rightSel
+			putSel(lp)
+			putSel(rp)
 			continue
 		}
 		lpart := b.Gather(leftSel)
 		rpart := j.rightAll.Gather(rightSel).Project(j.rightSel)
+		*lp, *rp = leftSel, rightSel
+		putSel(lp)
+		putSel(rp)
 		vecs := make([]*types.Vector, 0, len(lpart.Vecs)+len(rpart.Vecs))
 		vecs = append(vecs, lpart.Vecs...)
 		vecs = append(vecs, rpart.Vecs...)
@@ -211,6 +219,39 @@ func appendGroupKey(dst []byte, b *types.Batch, keyIdx []int, i int) []byte {
 		dst = append(dst, s...)
 	}
 	return dst
+}
+
+// evalAggArgs evaluates the aggregate arguments over b into argVals
+// (reused across batches). Broadcast results are materialized because the
+// typed accumulation loops in observe index the data slices directly.
+func evalAggArgs(argVals []*types.Vector, aggs []plan.AggSpec, b *types.Batch) error {
+	for ai, a := range aggs {
+		if a.Arg == nil {
+			continue
+		}
+		v, err := a.Arg.Eval(b)
+		if err != nil {
+			return err
+		}
+		if v.Const {
+			d := v.Densify()
+			expr.PutEvalResult(a.Arg, v)
+			v = d
+		}
+		argVals[ai] = v
+	}
+	return nil
+}
+
+// putAggArgs returns the evaluated argument vectors to the pool once a
+// batch has been folded.
+func putAggArgs(argVals []*types.Vector, aggs []plan.AggSpec) {
+	for ai, a := range aggs {
+		if a.Arg != nil && argVals[ai] != nil {
+			expr.PutEvalResult(a.Arg, argVals[ai])
+			argVals[ai] = nil
+		}
+	}
 }
 
 // aggGroup accumulates all aggregates for one group. SUM/AVG use exact
@@ -501,6 +542,8 @@ func (h *HashAggregate) Open() error {
 		keyIdx[i] = h.Child.Schema().IndexOf(g)
 	}
 	fam := aggFamiliesOf(h.Aggs, h.Child.Schema())
+	argVals := make([]*types.Vector, len(h.Aggs))
+	var scratch []byte
 	for {
 		if err := ctxErr(h.Ctx); err != nil {
 			return err
@@ -512,22 +555,17 @@ func (h *HashAggregate) Open() error {
 		if b == nil {
 			break
 		}
-		argVals := make([]*types.Vector, len(h.Aggs))
-		for ai, a := range h.Aggs {
-			if a.Arg != nil {
-				v, err := a.Arg.Eval(b)
-				if err != nil {
-					return err
-				}
-				argVals[ai] = v
-			}
+		if err := evalAggArgs(argVals, h.Aggs, b); err != nil {
+			return err
 		}
-		var scratch []byte
 		for i := 0; i < b.Len(); i++ {
 			scratch = appendGroupKey(scratch, b, keyIdx, i)
-			key := string(scratch)
-			st, ok := h.groups[key]
+			// The compiler elides the string conversion in a map lookup, so
+			// existing groups (the per-row common case) cost zero
+			// allocations; the key string materializes only on insert.
+			st, ok := h.groups[string(scratch)]
 			if !ok {
+				key := string(scratch)
 				st = newAggGroup(len(keyIdx), h.Aggs, fam)
 				for k, ki := range keyIdx {
 					st.keys[k] = b.Vecs[ki].Value(i)
@@ -537,6 +575,7 @@ func (h *HashAggregate) Open() error {
 			}
 			st.observe(h.Aggs, argVals, i)
 		}
+		putAggArgs(argVals, h.Aggs)
 	}
 	return h.emit()
 }

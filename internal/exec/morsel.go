@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"raven/internal/expr"
 	"raven/internal/storage"
@@ -194,13 +195,27 @@ type Stage interface {
 	Apply(b *types.Batch) (*types.Batch, error)
 }
 
+// selPool recycles row-selection buffers used by filters and join probes.
+// Gather copies the selected rows, so a buffer can return to the pool as
+// soon as the output batch is built.
+var selPool = sync.Pool{New: func() any { return new([]int) }}
+
+func getSel() *[]int { return selPool.Get().(*[]int) }
+
+func putSel(p *[]int) { selPool.Put(p) }
+
 // FilterStage drops rows whose predicate is false.
 type FilterStage struct {
 	Pred expr.Expr
 }
 
-// OutSchema implements Stage.
-func (s *FilterStage) OutSchema(in *types.Schema) (*types.Schema, error) { return in, nil }
+// OutSchema implements Stage. It also binds the predicate's column
+// ordinals against the input schema, so per-morsel evaluation skips name
+// lookups (OutSchema runs single-threaded, before workers start).
+func (s *FilterStage) OutSchema(in *types.Schema) (*types.Schema, error) {
+	s.Pred = expr.Bind(s.Pred, in)
+	return in, nil
+}
 
 // Apply implements Stage.
 func (s *FilterStage) Apply(b *types.Batch) (*types.Batch, error) {
@@ -211,19 +226,35 @@ func (s *FilterStage) Apply(b *types.Batch) (*types.Batch, error) {
 	if mask.Type != types.Bool {
 		return nil, fmt.Errorf("exec: filter predicate has type %v", mask.Type)
 	}
-	sel := make([]int, 0, b.Len())
+	if mask.Const {
+		// Constant predicate: the whole morsel passes or drops.
+		keep := mask.BoolAt(0)
+		expr.PutEvalResult(s.Pred, mask)
+		if keep {
+			return b, nil
+		}
+		return nil, nil
+	}
+	selp := getSel()
+	sel := (*selp)[:0]
 	for i, keep := range mask.Bools {
 		if keep {
 			sel = append(sel, i)
 		}
 	}
-	if len(sel) == 0 {
-		return nil, nil
+	expr.PutEvalResult(s.Pred, mask)
+	var out *types.Batch
+	switch {
+	case len(sel) == 0:
+		out = nil
+	case len(sel) == b.Len():
+		out = b
+	default:
+		out = b.Gather(sel)
 	}
-	if len(sel) == b.Len() {
-		return b, nil
-	}
-	return b.Gather(sel), nil
+	*selp = sel
+	putSel(selp)
+	return out, nil
 }
 
 // ProjectStage computes expressions.
@@ -234,16 +265,22 @@ type ProjectStage struct {
 	out *types.Schema
 }
 
-// OutSchema implements Stage.
+// OutSchema implements Stage. Expressions are bound to the input schema
+// here (single-threaded, before workers start).
 func (s *ProjectStage) OutSchema(in *types.Schema) (*types.Schema, error) {
 	cols := make([]types.Column, len(s.Exprs))
+	// The expression slice is shared with the (possibly concurrently
+	// compiling) plan, so binding builds a private slice.
+	bound := make([]expr.Expr, len(s.Exprs))
 	for i, e := range s.Exprs {
 		t, err := e.Type(in)
 		if err != nil {
 			return nil, err
 		}
 		cols[i] = types.Column{Name: s.Names[i], Type: t}
+		bound[i] = expr.Bind(e, in)
 	}
+	s.Exprs = bound
 	s.out = types.NewSchema(cols...)
 	return s.out, nil
 }
@@ -256,6 +293,16 @@ func (s *ProjectStage) Apply(b *types.Batch) (*types.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The output batch escapes the expression layer: broadcast results
+		// materialize (consumers index data slices directly) and pooled
+		// intermediates are disowned so nothing downstream can recycle a
+		// live column.
+		if v.Const {
+			d := v.Densify()
+			expr.PutEvalResult(e, v)
+			v = d
+		}
+		v.Disown()
 		vecs[i] = v
 	}
 	return &types.Batch{Schema: s.out, Vecs: vecs}, nil
@@ -315,6 +362,9 @@ type Exchange struct {
 	// consumer returns Ctx.Err() as soon as it observes cancellation. Nil
 	// means not cancellable.
 	Ctx context.Context
+	// Tuner, when set, receives per-morsel service-time observations so
+	// later queries size their morsels adaptively.
+	Tuner *Tuner
 
 	schema  *types.Schema
 	opened  bool
@@ -458,6 +508,11 @@ func (e *Exchange) work(results chan morselResult, cancel chan struct{}, window 
 		if b == nil {
 			return
 		}
+		rows := b.Len()
+		var start time.Time
+		if e.Tuner != nil {
+			start = time.Now()
+		}
 		for _, st := range e.Stages {
 			b, err = st.Apply(b)
 			if err != nil {
@@ -468,6 +523,9 @@ func (e *Exchange) work(results chan morselResult, cancel chan struct{}, window 
 				b = nil
 				break
 			}
+		}
+		if e.Tuner != nil {
+			e.Tuner.ObserveMorsel(rows, time.Since(start))
 		}
 		if !send(morselResult{seq: seq, b: b}) {
 			return

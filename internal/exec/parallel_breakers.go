@@ -161,22 +161,17 @@ func (h *ParallelHashAggregate) Open() error {
 	}
 	err := consumeMorsels(h.Source, dop, h.Ctx, func(w, seq int, b *types.Batch) error {
 		argVals := make([]*types.Vector, len(h.Aggs))
-		for ai, a := range h.Aggs {
-			if a.Arg != nil {
-				v, err := a.Arg.Eval(b)
-				if err != nil {
-					return err
-				}
-				argVals[ai] = v
-			}
+		if err := evalAggArgs(argVals, h.Aggs, b); err != nil {
+			return err
 		}
 		m := partials[w]
 		var scratch []byte
 		for i := 0; i < b.Len(); i++ {
 			scratch = appendGroupKey(scratch, b, h.keyIdx, i)
-			key := string(scratch)
-			pg, ok := m[key]
+			// Zero-alloc lookup; the key string materializes only on insert.
+			pg, ok := m[string(scratch)]
 			if !ok {
+				key := string(scratch)
 				pg = &partialGroup{g: newAggGroup(len(h.keyIdx), h.Aggs, h.fam), firstSeq: seq, firstRow: i}
 				for k, ki := range h.keyIdx {
 					pg.g.keys[k] = b.Vecs[ki].Value(i)
@@ -196,6 +191,7 @@ func (h *ParallelHashAggregate) Open() error {
 			}
 			pg.g.observe(h.Aggs, argVals, i)
 		}
+		putAggArgs(argVals, h.Aggs)
 		return nil
 	})
 	if err != nil {
@@ -351,6 +347,11 @@ func buildJoinTables(src MorselSource, dop int, ctx context.Context, keyIdx int)
 	}
 	sort.Slice(got, func(a, b int) bool { return got[a].seq < got[b].seq })
 	all := types.NewBatch(src.Schema())
+	total := 0
+	for _, sb := range got {
+		total += sb.b.Len()
+	}
+	all.Grow(total)
 	for _, sb := range got {
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
@@ -517,9 +518,16 @@ func (p *HashProbeStage) Apply(b *types.Batch) (*types.Batch, error) {
 		return nil, fmt.Errorf("exec: probe stage applied before the join build phase")
 	}
 	kv := b.Vecs[p.leftIdx]
-	var leftSel, rightSel []int
+	lp, rp := getSel(), getSel()
+	leftSel, rightSel := (*lp)[:0], (*rp)[:0]
+	release := func() {
+		*lp, *rp = leftSel, rightSel
+		putSel(lp)
+		putSel(rp)
+	}
 	if jb.intParts != nil {
 		if kv.Type != types.Int {
+			release()
 			return nil, nil // typed key mismatch: no matches, like the serial join
 		}
 		for i, k := range kv.Ints {
@@ -538,10 +546,12 @@ func (p *HashProbeStage) Apply(b *types.Batch) (*types.Batch, error) {
 		}
 	}
 	if len(leftSel) == 0 {
+		release()
 		return nil, nil
 	}
 	lpart := b.Gather(leftSel)
 	rpart := jb.rightAll.Gather(rightSel).Project(p.rightSel)
+	release()
 	vecs := make([]*types.Vector, 0, len(lpart.Vecs)+len(rpart.Vecs))
 	vecs = append(vecs, lpart.Vecs...)
 	vecs = append(vecs, rpart.Vecs...)
@@ -651,15 +661,18 @@ func (s *StageOp) Next() (*types.Batch, error) {
 // ---------------------------------------------------------------------------
 // Run merge-sort
 
-// sortRun is one stable-sorted morsel: the batch, the sorting permutation
-// (perm[k] is the original row index of the k-th smallest row), and a
-// cursor for the merge.
+// sortRun is one stable-sorted morsel: the run buffer (a private, pooled
+// copy of the morsel), the sorting permutation (perm[k] is the original
+// row index of the k-th smallest row), and a cursor for the merge.
 type sortRun struct {
 	seq  int
 	b    *types.Batch
 	keys []*types.Vector
 	perm []int
-	pos  int
+	// permHandle returns perm's backing array to the selection pool once
+	// the merge drains this run.
+	permHandle *[]int
+	pos        int
 }
 
 // RunSort replaces the materializing SortOp: each worker stable-sorts its
@@ -678,6 +691,11 @@ type RunSort struct {
 	keyIdx []int
 	runs   []*sortRun
 	heap   []*sortRun
+	// pool recycles run buffers: each run is a private copy of its morsel
+	// (the morsel itself may be a zero-copy view of table storage), so it
+	// returns to the pool as soon as the merge drains it — across Next
+	// calls of one query and across queries sharing the operator.
+	pool *types.BatchPool
 }
 
 // NewRunSort builds the operator, resolving sort keys eagerly.
@@ -700,17 +718,30 @@ func (s *RunSort) Schema() *types.Schema { return s.schema }
 // Open implements Operator: produce sorted runs in parallel and heapify.
 func (s *RunSort) Open() error {
 	s.runs, s.heap = nil, nil
+	if s.pool == nil {
+		s.pool = types.NewBatchPool(s.schema)
+	}
 	var mu sync.Mutex
 	err := consumeMorsels(s.Source, s.DOP, s.Ctx, func(w, seq int, b *types.Batch) error {
-		r := &sortRun{seq: seq, b: b}
+		// Copy the morsel into a pooled run buffer. The morsel batch may
+		// alias table storage or other live batches; the copy is private to
+		// the sort, which is what lets it recycle once drained.
+		rb := s.pool.Get()
+		rb.Grow(b.Len())
+		if err := rb.Append(b); err != nil {
+			return err
+		}
+		r := &sortRun{seq: seq, b: rb}
 		r.keys = make([]*types.Vector, len(s.keyIdx))
 		for i, ki := range s.keyIdx {
-			r.keys[i] = b.Vecs[ki]
+			r.keys[i] = rb.Vecs[ki]
 		}
-		r.perm = make([]int, b.Len())
-		for i := range r.perm {
-			r.perm[i] = i
+		r.permHandle = getSel()
+		perm := (*r.permHandle)[:0]
+		for i := 0; i < b.Len(); i++ {
+			perm = append(perm, i)
 		}
+		r.perm = perm
 		sort.SliceStable(r.perm, func(a, c int) bool {
 			for ki, k := range s.Keys {
 				cmp := compareAt(r.keys[ki], r.perm[a], r.perm[c])
@@ -779,6 +810,23 @@ func (s *RunSort) siftDown(i int) {
 	}
 }
 
+// releaseRun returns a drained run's buffers to their pools. The output
+// batches copy rows out of the run (AppendFrom), so nothing references
+// the buffer once its cursor passes the end.
+func (s *RunSort) releaseRun(r *sortRun) {
+	if r.b != nil {
+		s.pool.Put(r.b)
+		r.b = nil
+		r.keys = nil
+	}
+	if r.permHandle != nil {
+		*r.permHandle = r.perm[:0]
+		putSel(r.permHandle)
+		r.permHandle = nil
+		r.perm = nil
+	}
+}
+
 // Next implements Operator: pop up to one batch worth of rows from the
 // merge heap.
 func (s *RunSort) Next() (*types.Batch, error) {
@@ -788,7 +836,15 @@ func (s *RunSort) Next() (*types.Batch, error) {
 	if err := ctxErr(s.Ctx); err != nil {
 		return nil, err
 	}
+	rem := 0
+	for _, r := range s.heap {
+		rem += len(r.perm) - r.pos
+	}
+	if rem > types.DefaultBatchSize {
+		rem = types.DefaultBatchSize
+	}
 	out := types.NewBatch(s.schema)
+	out.Grow(rem)
 	for out.Len() < types.DefaultBatchSize && len(s.heap) > 0 {
 		r := s.heap[0]
 		row := r.perm[r.pos]
@@ -800,6 +856,7 @@ func (s *RunSort) Next() (*types.Batch, error) {
 			last := len(s.heap) - 1
 			s.heap[0] = s.heap[last]
 			s.heap = s.heap[:last]
+			s.releaseRun(r)
 		}
 		if len(s.heap) > 0 {
 			s.siftDown(0)
@@ -808,8 +865,12 @@ func (s *RunSort) Next() (*types.Batch, error) {
 	return out, nil
 }
 
-// Close implements Operator.
+// Close implements Operator: any runs the merge did not drain (LIMIT,
+// cancellation) go back to the pool here.
 func (s *RunSort) Close() error {
+	for _, r := range s.runs {
+		s.releaseRun(r)
+	}
 	s.runs, s.heap = nil, nil
 	return nil
 }

@@ -1,0 +1,79 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"raven/internal/types"
+)
+
+// Kernel micro-benchmarks (run via `make bench-micro`). Each one pushes a
+// full batch through Binary.Eval and returns the result to the vector
+// pool, so allocs/op shows the steady-state cost of a kernel invocation —
+// the number that must stay at zero for the allocs/row budgets in
+// internal/bench to hold.
+
+func benchBatch(n int) *types.Batch {
+	s := types.NewSchema(
+		types.Column{Name: "x", Type: types.Float},
+		types.Column{Name: "y", Type: types.Float},
+		types.Column{Name: "i", Type: types.Int},
+		types.Column{Name: "j", Type: types.Int},
+	)
+	b := types.NewBatch(s)
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < n; k++ {
+		_ = b.AppendRow(rng.NormFloat64(), rng.NormFloat64(), int64(rng.Intn(1000)), int64(rng.Intn(1000)+1))
+	}
+	return b
+}
+
+func benchEval(b *testing.B, e Expr, batch *types.Batch) {
+	b.Helper()
+	bound := Bind(e, batch.Schema)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := bound.Eval(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		PutEvalResult(bound, v)
+	}
+}
+
+func BenchmarkKernelCompareFloat(b *testing.B) {
+	batch := benchBatch(types.DefaultBatchSize)
+	benchEval(b, NewBinary(OpLt, &Column{Name: "x"}, &Column{Name: "y"}), batch)
+}
+
+func BenchmarkKernelCompareFloatConst(b *testing.B) {
+	batch := benchBatch(types.DefaultBatchSize)
+	benchEval(b, NewBinary(OpGt, &Column{Name: "x"}, FloatLit(0.5)), batch)
+}
+
+func BenchmarkKernelArithInt(b *testing.B) {
+	batch := benchBatch(types.DefaultBatchSize)
+	benchEval(b, NewBinary(OpAdd, &Column{Name: "i"}, &Column{Name: "j"}), batch)
+}
+
+func BenchmarkKernelArithMixed(b *testing.B) {
+	batch := benchBatch(types.DefaultBatchSize)
+	benchEval(b, NewBinary(OpMul, &Column{Name: "x"}, &Column{Name: "i"}), batch)
+}
+
+func BenchmarkKernelPredicateTree(b *testing.B) {
+	batch := benchBatch(types.DefaultBatchSize)
+	e := NewBinary(OpAnd,
+		NewBinary(OpGt, &Column{Name: "x"}, FloatLit(-0.5)),
+		NewBinary(OpLe, &Column{Name: "i"}, IntLit(800)))
+	benchEval(b, e, batch)
+}
+
+func BenchmarkKernelCompareWithNulls(b *testing.B) {
+	batch := benchBatch(types.DefaultBatchSize)
+	for i := 0; i < batch.Len(); i += 7 {
+		batch.Col("x").SetNull(i)
+	}
+	benchEval(b, NewBinary(OpLt, &Column{Name: "x"}, &Column{Name: "y"}), batch)
+}

@@ -25,10 +25,20 @@ type Expr interface {
 // Column references a named input column, optionally qualified ("d.age").
 type Column struct {
 	Name string
+
+	// bound/ord cache the ordinal of Name in one specific schema,
+	// resolved once at compile time by Bind so per-batch evaluation skips
+	// the name lookup. Eval falls back to lookup when the batch carries a
+	// different schema.
+	bound *types.Schema
+	ord   int
 }
 
 // Eval implements Expr.
 func (c *Column) Eval(b *types.Batch) (*types.Vector, error) {
+	if c.bound == b.Schema {
+		return b.Vecs[c.ord], nil
+	}
 	v := b.Col(c.Name)
 	if v == nil {
 		// qualified name fallback: match on suffix after '.'
@@ -40,6 +50,72 @@ func (c *Column) Eval(b *types.Batch) (*types.Vector, error) {
 		return nil, fmt.Errorf("expr: column %q not found in %v", c.Name, b.Schema)
 	}
 	return v, nil
+}
+
+// PutEvalResult recycles the result of evaluating e. Column results alias
+// the input batch — possibly live far downstream — and are never
+// recycled; results of every other node are expression-owned
+// intermediates that can return to the vector pool once consumed.
+func PutEvalResult(e Expr, v *types.Vector) {
+	if _, isCol := e.(*Column); !isCol {
+		types.PutVector(v)
+	}
+}
+
+// Bind returns e with column ordinals resolved against schema s: batches
+// carrying exactly this schema pointer then evaluate columns by ordinal
+// instead of by name. Plans — and so their expression trees — are shared
+// by concurrently compiling queries, so Bind never mutates its input:
+// nodes on the path to a bound column are copied, every other subtree is
+// shared with the original. Sliced and gathered batches keep their
+// parent's schema pointer, so bindings survive them.
+func Bind(e Expr, s *types.Schema) Expr {
+	switch x := e.(type) {
+	case *Column:
+		i := s.IndexOf(x.Name)
+		if i < 0 {
+			if j := strings.LastIndexByte(x.Name, '.'); j >= 0 {
+				i = s.IndexOf(x.Name[j+1:])
+			}
+		}
+		if i < 0 || (x.bound == s && x.ord == i) {
+			return x
+		}
+		return &Column{Name: x.Name, bound: s, ord: i}
+	case *Binary:
+		l, r := Bind(x.L, s), Bind(x.R, s)
+		if l == x.L && r == x.R {
+			return x
+		}
+		return &Binary{Op: x.Op, L: l, R: r}
+	case *Not:
+		if inner := Bind(x.E, s); inner != x.E {
+			return &Not{E: inner}
+		}
+		return x
+	case *Case:
+		changed := false
+		whens := make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = When{Cond: Bind(w.Cond, s), Then: Bind(w.Then, s)}
+			if whens[i] != w {
+				changed = true
+			}
+		}
+		var els Expr
+		if x.Else != nil {
+			els = Bind(x.Else, s)
+			if els != x.Else {
+				changed = true
+			}
+		}
+		if !changed {
+			return x
+		}
+		return &Case{Whens: whens, Else: els}
+	default:
+		return e
+	}
 }
 
 // Type implements Expr.
@@ -87,21 +163,27 @@ func BoolLit(x bool) *Literal { return &Literal{DT: types.Bool, B: x} }
 // StringLit builds a VARCHAR literal.
 func StringLit(x string) *Literal { return &Literal{DT: types.String, S: x} }
 
-// Eval implements Expr.
+// Eval implements Expr. Literals evaluate to a pooled broadcast vector —
+// one physical row with the batch's logical length — that the kernels
+// read with stride 0 instead of materializing a full column.
 func (l *Literal) Eval(b *types.Batch) (*types.Vector, error) {
 	n := b.Len()
-	switch l.DT {
-	case types.Float:
-		return types.ConstFloat(l.F, n), nil
-	case types.Int:
-		return types.ConstInt(l.I, n), nil
-	case types.Bool:
-		return types.ConstBool(l.B, n), nil
-	case types.String:
-		return types.ConstString(l.S, n), nil
-	default:
+	if l.DT != types.Float && l.DT != types.Int && l.DT != types.Bool && l.DT != types.String {
 		return nil, fmt.Errorf("expr: literal of unknown type")
 	}
+	v := types.GetVector(l.DT, 1)
+	switch l.DT {
+	case types.Float:
+		v.Floats[0] = l.F
+	case types.Int:
+		v.Ints[0] = l.I
+	case types.Bool:
+		v.Bools[0] = l.B
+	case types.String:
+		v.Strings[0] = l.S
+	}
+	v.MarkConst(n)
+	return v, nil
 }
 
 // Type implements Expr.
@@ -230,7 +312,9 @@ func (e *Binary) Type(s *types.Schema) (types.DataType, error) {
 	}
 }
 
-// Eval implements Expr.
+// Eval implements Expr. Operands feed type-specialized kernels; pooled
+// intermediate operand vectors are recycled once the kernel has written
+// its (never aliasing) output.
 func (e *Binary) Eval(b *types.Batch) (*types.Vector, error) {
 	lv, err := e.L.Eval(b)
 	if err != nil {
@@ -238,53 +322,81 @@ func (e *Binary) Eval(b *types.Batch) (*types.Vector, error) {
 	}
 	rv, err := e.R.Eval(b)
 	if err != nil {
+		PutEvalResult(e.L, lv)
 		return nil, err
 	}
 	n := b.Len()
+	var out *types.Vector
 	switch {
 	case e.Op == OpAnd || e.Op == OpOr:
 		if lv.Type != types.Bool || rv.Type != types.Bool {
 			return nil, fmt.Errorf("expr: %s over non-bool vectors", binOpNames[e.Op])
 		}
-		out := types.NewVector(types.Bool, n)
-		if e.Op == OpAnd {
-			for i := 0; i < n; i++ {
-				out.Bools[i] = lv.Bools[i] && rv.Bools[i]
-			}
+		if lv.Const && rv.Const {
+			out = types.GetVector(types.Bool, 1)
+			boolKernel(e.Op, lv.Bools, rv.Bools, true, true, out.Bools)
+			out.MarkConst(n)
 		} else {
-			for i := 0; i < n; i++ {
-				out.Bools[i] = lv.Bools[i] || rv.Bools[i]
-			}
+			out = types.GetVector(types.Bool, n)
+			boolKernel(e.Op, lv.Bools, rv.Bools, lv.Const, rv.Const, out.Bools)
 		}
-		return out, nil
 	case e.Op.IsComparison():
-		return evalCompare(e.Op, lv, rv, n)
+		out, err = evalCompare(e.Op, lv, rv, n)
 	default:
-		return evalArith(e.Op, lv, rv, n)
+		out, err = evalArith(e.Op, lv, rv, n)
 	}
+	PutEvalResult(e.L, lv)
+	PutEvalResult(e.R, rv)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// constCmp builds the broadcast result of comparing two const operands.
+func constCmp(op BinOp, c, n int) *types.Vector {
+	v := types.GetVector(types.Bool, 1)
+	v.Bools[0] = cmpResult(op, c)
+	v.MarkConst(n)
+	return v
 }
 
 func evalCompare(op BinOp, lv, rv *types.Vector, n int) (*types.Vector, error) {
-	out := types.NewVector(types.Bool, n)
 	if lv.Type == types.String || rv.Type == types.String {
 		if lv.Type != rv.Type {
 			return nil, fmt.Errorf("expr: cannot compare %v with %v", lv.Type, rv.Type)
 		}
-		for i := 0; i < n; i++ {
-			out.Bools[i] = cmpResult(op, strings.Compare(lv.Strings[i], rv.Strings[i]))
+		if lv.Const && rv.Const {
+			return constCmp(op, strings.Compare(lv.Strings[0], rv.Strings[0]), n), nil
 		}
+		out := types.GetVector(types.Bool, n)
+		cmpKernel(op, lv.Strings, rv.Strings, lv.Const, rv.Const, out.Bools)
 		return out, nil
 	}
-	// fast path: both int
+	// fast paths: both operands of one numeric type
 	if lv.Type == types.Int && rv.Type == types.Int {
-		for i := 0; i < n; i++ {
-			out.Bools[i] = cmpResult(op, cmpInt(lv.Ints[i], rv.Ints[i]))
+		if lv.Const && rv.Const {
+			return constCmp(op, cmpInt(lv.Ints[0], rv.Ints[0]), n), nil
 		}
+		out := types.GetVector(types.Bool, n)
+		cmpKernel(op, lv.Ints, rv.Ints, lv.Const, rv.Const, out.Bools)
 		return out, nil
 	}
+	if lv.Type == types.Float && rv.Type == types.Float {
+		if lv.Const && rv.Const {
+			return constCmp(op, cmpFloat(lv.Floats[0], rv.Floats[0]), n), nil
+		}
+		out := types.GetVector(types.Bool, n)
+		cmpKernel(op, lv.Floats, rv.Floats, lv.Const, rv.Const, out.Bools)
+		return out, nil
+	}
+	// mixed operand kinds: per-row coercion (AsFloat resolves broadcast)
+	if lv.Const && rv.Const {
+		return constCmp(op, cmpFloat(lv.AsFloat(0), rv.AsFloat(0)), n), nil
+	}
+	out := types.GetVector(types.Bool, n)
 	for i := 0; i < n; i++ {
-		a, c := lv.AsFloat(i), rv.AsFloat(i)
-		out.Bools[i] = cmpResult(op, cmpFloat(a, c))
+		out.Bools[i] = cmpResult(op, cmpFloat(lv.AsFloat(i), rv.AsFloat(i)))
 	}
 	return out, nil
 }
@@ -334,33 +446,37 @@ func evalArith(op BinOp, lv, rv *types.Vector, n int) (*types.Vector, error) {
 		return nil, fmt.Errorf("expr: arithmetic over VARCHAR")
 	}
 	if lv.Type == types.Int && rv.Type == types.Int && op != OpDiv {
-		out := types.NewVector(types.Int, n)
-		for i := 0; i < n; i++ {
-			a, b := lv.Ints[i], rv.Ints[i]
-			switch op {
-			case OpAdd:
-				out.Ints[i] = a + b
-			case OpSub:
-				out.Ints[i] = a - b
-			case OpMul:
-				out.Ints[i] = a * b
-			}
+		if lv.Const && rv.Const {
+			out := types.GetVector(types.Int, 1)
+			arithKernel(op, lv.Ints, rv.Ints, true, true, out.Ints)
+			out.MarkConst(n)
+			return out, nil
 		}
+		out := types.GetVector(types.Int, n)
+		arithKernel(op, lv.Ints, rv.Ints, lv.Const, rv.Const, out.Ints)
 		return out, nil
 	}
-	out := types.NewVector(types.Float, n)
-	for i := 0; i < n; i++ {
-		a, b := lv.AsFloat(i), rv.AsFloat(i)
-		switch op {
-		case OpAdd:
-			out.Floats[i] = a + b
-		case OpSub:
-			out.Floats[i] = a - b
-		case OpMul:
-			out.Floats[i] = a * b
-		case OpDiv:
-			out.Floats[i] = a / b
+	if lv.Type == types.Float && rv.Type == types.Float {
+		if lv.Const && rv.Const {
+			out := types.GetVector(types.Float, 1)
+			arithKernel(op, lv.Floats, rv.Floats, true, true, out.Floats)
+			out.MarkConst(n)
+			return out, nil
 		}
+		out := types.GetVector(types.Float, n)
+		arithKernel(op, lv.Floats, rv.Floats, lv.Const, rv.Const, out.Floats)
+		return out, nil
+	}
+	// mixed operand kinds (INT/FLOAT/BOOL): per-row coercion
+	if lv.Const && rv.Const {
+		out := types.GetVector(types.Float, 1)
+		out.Floats[0] = arithScalar(op, lv.AsFloat(0), rv.AsFloat(0))
+		out.MarkConst(n)
+		return out, nil
+	}
+	out := types.GetVector(types.Float, n)
+	for i := 0; i < n; i++ {
+		out.Floats[i] = arithScalar(op, lv.AsFloat(i), rv.AsFloat(i))
 	}
 	return out, nil
 }
@@ -379,10 +495,18 @@ func (e *Not) Eval(b *types.Batch) (*types.Vector, error) {
 	if v.Type != types.Bool {
 		return nil, fmt.Errorf("expr: NOT over %v", v.Type)
 	}
-	out := types.NewVector(types.Bool, v.Len())
+	if v.Const {
+		out := types.GetVector(types.Bool, 1)
+		out.Bools[0] = !v.Bools[0]
+		out.MarkConst(v.Len())
+		PutEvalResult(e.E, v)
+		return out, nil
+	}
+	out := types.GetVector(types.Bool, len(v.Bools))
 	for i := range v.Bools {
 		out.Bools[i] = !v.Bools[i]
 	}
+	PutEvalResult(e.E, v)
 	return out, nil
 }
 
@@ -465,24 +589,26 @@ func (e *Case) Eval(b *types.Batch) (*types.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := types.NewVector(t, n)
+	out := types.GetVector(t, n)
 	// idx maps current sub-batch positions to output rows.
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	cur := b
+	// scatter reads arm results through the broadcast-aware accessors so
+	// literal THEN arms need no materialized vector.
 	scatter := func(vals *types.Vector, rows []int) {
 		for k, i := range rows {
 			switch t {
 			case types.Float:
 				out.Floats[i] = vals.AsFloat(k)
 			case types.Int:
-				out.Ints[i] = vals.Ints[k]
+				out.Ints[i] = vals.IntAt(k)
 			case types.Bool:
-				out.Bools[i] = vals.Bools[k]
+				out.Bools[i] = vals.BoolAt(k)
 			case types.String:
-				out.Strings[i] = vals.Strings[k]
+				out.Strings[i] = vals.StringAt(k)
 			}
 		}
 	}
@@ -498,6 +624,21 @@ func (e *Case) Eval(b *types.Batch) (*types.Vector, error) {
 			return nil, fmt.Errorf("expr: CASE condition evaluated to %v", cond.Type)
 		}
 		var selT, selF []int // positions within cur
+		if cond.Const {
+			// broadcast condition: every remaining row takes one side
+			if cond.Bools[0] {
+				PutEvalResult(w.Cond, cond)
+				vals, err := w.Then.Eval(cur)
+				if err != nil {
+					return nil, err
+				}
+				scatter(vals, idx)
+				PutEvalResult(w.Then, vals)
+				return out, nil
+			}
+			PutEvalResult(w.Cond, cond)
+			continue
+		}
 		for k, ok := range cond.Bools {
 			if ok {
 				selT = append(selT, k)
@@ -505,6 +646,7 @@ func (e *Case) Eval(b *types.Batch) (*types.Vector, error) {
 				selF = append(selF, k)
 			}
 		}
+		PutEvalResult(w.Cond, cond)
 		if len(selT) > 0 {
 			sub := cur
 			rows := idx
@@ -520,6 +662,7 @@ func (e *Case) Eval(b *types.Batch) (*types.Vector, error) {
 				return nil, err
 			}
 			scatter(vals, rows)
+			PutEvalResult(w.Then, vals)
 		}
 		if len(selF) == 0 {
 			return out, nil
@@ -538,6 +681,7 @@ func (e *Case) Eval(b *types.Batch) (*types.Vector, error) {
 		return nil, err
 	}
 	scatter(vals, idx)
+	PutEvalResult(e.Else, vals)
 	return out, nil
 }
 

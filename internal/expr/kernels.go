@@ -1,0 +1,102 @@
+package expr
+
+// Type-specialized kernel loops behind Binary evaluation. Each kernel
+// walks the typed data slices directly; a const (broadcast) operand is
+// read with stride 0, so literal operands cost nothing per row instead of
+// materializing a full vector per batch.
+
+// ordered constrains comparison kernels to element types with a total
+// order under < and >.
+type ordered interface {
+	~int64 | ~float64 | ~string
+}
+
+// cmpKernel fills out[i] with op applied to a(i) and b(i). Values compare
+// by < and >, preserving the engine's historical float semantics: NaN is
+// neither less nor greater than anything, so it compares "equal".
+func cmpKernel[T ordered](op BinOp, as, bs []T, aConst, bConst bool, out []bool) {
+	sa, sb := 1, 1
+	if aConst {
+		sa = 0
+	}
+	if bConst {
+		sb = 0
+	}
+	for i := range out {
+		av, bv := as[i*sa], bs[i*sb]
+		c := 0
+		if av < bv {
+			c = -1
+		} else if av > bv {
+			c = 1
+		}
+		out[i] = cmpResult(op, c)
+	}
+}
+
+// arithKernel fills out[i] = a(i) op b(i) with broadcast strides. The
+// integer instantiation is never called with OpDiv: INT/INT division takes
+// the float coercion path, matching SQL semantics.
+func arithKernel[T ~int64 | ~float64](op BinOp, as, bs []T, aConst, bConst bool, out []T) {
+	sa, sb := 1, 1
+	if aConst {
+		sa = 0
+	}
+	if bConst {
+		sb = 0
+	}
+	switch op {
+	case OpAdd:
+		for i := range out {
+			out[i] = as[i*sa] + bs[i*sb]
+		}
+	case OpSub:
+		for i := range out {
+			out[i] = as[i*sa] - bs[i*sb]
+		}
+	case OpMul:
+		for i := range out {
+			out[i] = as[i*sa] * bs[i*sb]
+		}
+	case OpDiv:
+		for i := range out {
+			out[i] = as[i*sa] / bs[i*sb]
+		}
+	}
+}
+
+// boolKernel fills out[i] = a(i) AND/OR b(i) with broadcast strides.
+func boolKernel(op BinOp, as, bs []bool, aConst, bConst bool, out []bool) {
+	sa, sb := 1, 1
+	if aConst {
+		sa = 0
+	}
+	if bConst {
+		sb = 0
+	}
+	if op == OpAnd {
+		for i := range out {
+			out[i] = as[i*sa] && bs[i*sb]
+		}
+	} else {
+		for i := range out {
+			out[i] = as[i*sa] || bs[i*sb]
+		}
+	}
+}
+
+// arithScalar applies op to one pair of coerced floats (the mixed-type
+// fallback path).
+func arithScalar(op BinOp, a, b float64) float64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return a / b
+	}
+	return 0
+}

@@ -1,7 +1,10 @@
 package expr
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -105,11 +108,11 @@ func TestSimplifyPreservesSemantics(t *testing.T) {
 		for i := 0; i < b.Len(); i++ {
 			switch v1.Type {
 			case types.Bool:
-				if v1.Bools[i] != v2.Bools[i] {
+				if v1.BoolAt(i) != v2.BoolAt(i) {
 					return false
 				}
 			case types.Int:
-				if v1.Ints[i] != v2.Ints[i] {
+				if v1.IntAt(i) != v2.IntAt(i) {
 					return false
 				}
 			default:
@@ -121,6 +124,352 @@ func TestSimplifyPreservesSemantics(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// refEvalBinary is the boxed reference semantics the typed kernels must
+// reproduce byte-for-byte: one row at a time through the broadcast-aware
+// accessors, with the engine's documented coercions — AND/OR over bools,
+// comparisons via a three-way compare built from < and > (so NaN compares
+// "equal" to everything, including itself), INT arithmetic staying INT
+// except division, and mixed operand kinds coercing to float per row.
+func refEvalBinary(op BinOp, lv, rv *types.Vector, n int) (*types.Vector, error) {
+	cmp3 := func(lt, gt bool) int {
+		switch {
+		case lt:
+			return -1
+		case gt:
+			return 1
+		default:
+			return 0
+		}
+	}
+	cmpOut := func(op BinOp, c int) bool {
+		switch op {
+		case OpEq:
+			return c == 0
+		case OpNe:
+			return c != 0
+		case OpLt:
+			return c < 0
+		case OpLe:
+			return c <= 0
+		case OpGt:
+			return c > 0
+		default:
+			return c >= 0
+		}
+	}
+	switch {
+	case op == OpAnd || op == OpOr:
+		out := types.NewVector(types.Bool, n)
+		for i := 0; i < n; i++ {
+			if op == OpAnd {
+				out.Bools[i] = lv.BoolAt(i) && rv.BoolAt(i)
+			} else {
+				out.Bools[i] = lv.BoolAt(i) || rv.BoolAt(i)
+			}
+		}
+		return out, nil
+	case op.IsComparison():
+		out := types.NewVector(types.Bool, n)
+		for i := 0; i < n; i++ {
+			var c int
+			switch {
+			case lv.Type == types.String && rv.Type == types.String:
+				c = strings.Compare(lv.StringAt(i), rv.StringAt(i))
+			case lv.Type == types.Int && rv.Type == types.Int:
+				a, b := lv.IntAt(i), rv.IntAt(i)
+				c = cmp3(a < b, a > b)
+			default:
+				a, b := lv.AsFloat(i), rv.AsFloat(i)
+				c = cmp3(a < b, a > b)
+			}
+			out.Bools[i] = cmpOut(op, c)
+		}
+		return out, nil
+	default:
+		if lv.Type == types.Int && rv.Type == types.Int && op != OpDiv {
+			out := types.NewVector(types.Int, n)
+			for i := 0; i < n; i++ {
+				a, b := lv.IntAt(i), rv.IntAt(i)
+				switch op {
+				case OpAdd:
+					out.Ints[i] = a + b
+				case OpSub:
+					out.Ints[i] = a - b
+				case OpMul:
+					out.Ints[i] = a * b
+				}
+			}
+			return out, nil
+		}
+		out := types.NewVector(types.Float, n)
+		for i := 0; i < n; i++ {
+			a, b := lv.AsFloat(i), rv.AsFloat(i)
+			switch op {
+			case OpAdd:
+				out.Floats[i] = a + b
+			case OpSub:
+				out.Floats[i] = a - b
+			case OpMul:
+				out.Floats[i] = a * b
+			case OpDiv:
+				out.Floats[i] = a / b
+			}
+		}
+		return out, nil
+	}
+}
+
+// kernelBatch builds a batch with two columns of every type. Float
+// columns include NaN, ±Inf and -0 so the comparison semantics are
+// pinned; string columns include empty strings and shared prefixes.
+func kernelBatch(rng *rand.Rand, n int) *types.Batch {
+	s := types.NewSchema(
+		types.Column{Name: "f1", Type: types.Float},
+		types.Column{Name: "f2", Type: types.Float},
+		types.Column{Name: "i1", Type: types.Int},
+		types.Column{Name: "i2", Type: types.Int},
+		types.Column{Name: "b1", Type: types.Bool},
+		types.Column{Name: "b2", Type: types.Bool},
+		types.Column{Name: "s1", Type: types.String},
+		types.Column{Name: "s2", Type: types.String},
+	)
+	b := types.NewBatch(s)
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0}
+	words := []string{"", "a", "ab", "abc", "b", "zz"}
+	for i := 0; i < n; i++ {
+		f1 := rng.NormFloat64() * 3
+		f2 := rng.NormFloat64() * 3
+		if rng.Intn(8) == 0 {
+			f1 = specials[rng.Intn(len(specials))]
+		}
+		if rng.Intn(8) == 0 {
+			f2 = specials[rng.Intn(len(specials))]
+		}
+		_ = b.AppendRow(
+			f1, f2,
+			int64(rng.Intn(9)-4), int64(rng.Intn(9)-4),
+			rng.Intn(2) == 0, rng.Intn(2) == 0,
+			words[rng.Intn(len(words))], words[rng.Intn(len(words))],
+		)
+	}
+	return b
+}
+
+// applyNulls marks rows null per pattern: "none", "sparse" (every 7th
+// row, plus the 63/64/65 word-boundary positions when present) or "all".
+// The kernels deliberately ignore null masks — the legacy boxed semantics
+// — so a null row must still compute from its raw stored value.
+func applyNulls(b *types.Batch, pattern string) {
+	n := b.Len()
+	mark := func(i int) {
+		for _, v := range b.Vecs {
+			v.SetNull(i)
+		}
+	}
+	switch pattern {
+	case "sparse":
+		for i := 0; i < n; i += 7 {
+			mark(i)
+		}
+		for _, i := range []int{63, 64, 65} {
+			if i < n {
+				mark(i)
+			}
+		}
+	case "all":
+		for i := 0; i < n; i++ {
+			mark(i)
+		}
+	}
+}
+
+// TestKernelParityWithBoxedReference drives every binary kernel — both
+// columns, column vs broadcast literal, literal vs column, literal vs
+// literal, and mixed numeric types — across batch sizes spanning the
+// null-bitmap word boundaries and NULL densities, and demands the typed
+// result be byte-identical (float bits included) to the boxed per-row
+// reference.
+func TestKernelParityWithBoxedReference(t *testing.T) {
+	cmpOps := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	arithOps := []BinOp{OpAdd, OpSub, OpMul, OpDiv}
+	boolOps := []BinOp{OpAnd, OpOr}
+
+	shapes := []struct {
+		name string
+		ops  []BinOp
+		l, r Expr
+	}{
+		{"float-float", append(cmpOps, arithOps...), &Column{Name: "f1"}, &Column{Name: "f2"}},
+		{"int-int", append(cmpOps, arithOps...), &Column{Name: "i1"}, &Column{Name: "i2"}},
+		{"mixed-float-int", append(cmpOps, arithOps...), &Column{Name: "f1"}, &Column{Name: "i1"}},
+		{"float-lit", append(cmpOps, arithOps...), &Column{Name: "f1"}, FloatLit(0.25)},
+		{"lit-int", append(cmpOps, arithOps...), IntLit(2), &Column{Name: "i2"}},
+		{"lit-lit", append(cmpOps, arithOps...), FloatLit(1.5), IntLit(-2)},
+		{"bool-bool", boolOps, &Column{Name: "b1"}, &Column{Name: "b2"}},
+		{"bool-lit", boolOps, &Column{Name: "b1"}, BoolLit(true)},
+		{"string-string", cmpOps, &Column{Name: "s1"}, &Column{Name: "s2"}},
+		{"string-lit", cmpOps, &Column{Name: "s1"}, StringLit("ab")},
+	}
+	sizes := []int{1, 63, 64, 65, 101, 4096}
+	patterns := []string{"none", "sparse", "all"}
+
+	for _, size := range sizes {
+		for _, pattern := range patterns {
+			rng := rand.New(rand.NewSource(int64(size)*31 + int64(len(pattern))))
+			b := kernelBatch(rng, size)
+			applyNulls(b, pattern)
+			for _, sh := range shapes {
+				for _, op := range sh.ops {
+					e := NewBinary(op, sh.l, sh.r)
+					got, err := e.Eval(b)
+					if err != nil {
+						t.Fatalf("n=%d nulls=%s %s %s: %v", size, pattern, sh.name, e, err)
+					}
+					lv, _ := sh.l.Eval(b)
+					rv, _ := sh.r.Eval(b)
+					want, err := refEvalBinary(op, lv, rv, size)
+					if err != nil {
+						t.Fatalf("reference n=%d %s %s: %v", size, sh.name, e, err)
+					}
+					if got.Len() != size {
+						t.Fatalf("n=%d nulls=%s %s %s: result length %d", size, pattern, sh.name, e, got.Len())
+					}
+					if got.Type != want.Type {
+						t.Fatalf("n=%d nulls=%s %s %s: result type %v, reference %v", size, pattern, sh.name, e, got.Type, want.Type)
+					}
+					for i := 0; i < size; i++ {
+						var same bool
+						switch want.Type {
+						case types.Bool:
+							same = got.BoolAt(i) == want.Bools[i]
+						case types.Int:
+							same = got.IntAt(i) == want.Ints[i]
+						default:
+							same = math.Float64bits(got.FloatAt(i)) == math.Float64bits(want.Floats[i])
+						}
+						if !same {
+							t.Fatalf("n=%d nulls=%s %s %s: row %d: kernel %v, reference %v",
+								size, pattern, sh.name, e, i, got.Value(i), want.Value(i))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelParityRandomTrees replays the boxed reference against whole
+// random expression trees (the shapes model inlining produces), so kernel
+// composition — pooled intermediates, broadcast propagation, CASE
+// scatter — is covered too, not just single operators.
+func TestKernelParityRandomTrees(t *testing.T) {
+	var refEval func(e Expr, b *types.Batch) (*types.Vector, error)
+	refEval = func(e Expr, b *types.Batch) (*types.Vector, error) {
+		switch x := e.(type) {
+		case *Binary:
+			lv, err := refEval(x.L, b)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := refEval(x.R, b)
+			if err != nil {
+				return nil, err
+			}
+			return refEvalBinary(x.Op, lv, rv, b.Len())
+		case *Not:
+			v, err := refEval(x.E, b)
+			if err != nil {
+				return nil, err
+			}
+			out := types.NewVector(types.Bool, b.Len())
+			for i := range out.Bools {
+				out.Bools[i] = !v.BoolAt(i)
+			}
+			return out, nil
+		case *Case:
+			dt, err := x.Type(b.Schema)
+			if err != nil {
+				return nil, err
+			}
+			conds := make([]*types.Vector, len(x.Whens))
+			thens := make([]*types.Vector, len(x.Whens))
+			for k, w := range x.Whens {
+				if conds[k], err = refEval(w.Cond, b); err != nil {
+					return nil, err
+				}
+				if thens[k], err = refEval(w.Then, b); err != nil {
+					return nil, err
+				}
+			}
+			elseV, err := refEval(x.Else, b)
+			if err != nil {
+				return nil, err
+			}
+			out := types.NewVector(dt, b.Len())
+			for i := 0; i < b.Len(); i++ {
+				av := elseV
+				for k := range x.Whens {
+					if conds[k].BoolAt(i) {
+						av = thens[k]
+						break
+					}
+				}
+				switch dt {
+				case types.Float:
+					out.Floats[i] = av.AsFloat(i)
+				case types.Int:
+					out.Ints[i] = av.IntAt(i)
+				case types.Bool:
+					out.Bools[i] = av.BoolAt(i)
+				default:
+					out.Strings[i] = av.StringAt(i)
+				}
+			}
+			return out, nil
+		default:
+			return e.Eval(b)
+		}
+	}
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := []int{1, 64, 65, 200}[rng.Intn(4)]
+		b := propBatch(rng, n)
+		e := randExpr(rng, 4, rng.Intn(2) == 0)
+		got, err1 := e.Eval(b)
+		want, err2 := refEval(e, b)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if got.Type != want.Type {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var same bool
+			switch want.Type {
+			case types.Bool:
+				same = got.BoolAt(i) == want.Bools[i]
+			case types.Int:
+				same = got.IntAt(i) == want.Ints[i]
+			default:
+				same = math.Float64bits(got.FloatAt(i)) == math.Float64bits(want.Floats[i])
+			}
+			if !same {
+				fmt.Printf("mismatch seed=%d n=%d row=%d expr=%s: kernel %v reference %v\n",
+					seed, n, i, e, got.Value(i), want.Value(i))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }
@@ -145,7 +494,7 @@ func TestDeriveRangesSound(t *testing.T) {
 			return false
 		}
 		for i := 0; i < b.Len(); i++ {
-			if !mask.Bools[i] {
+			if !mask.BoolAt(i) {
 				continue
 			}
 			for col, r := range ranges {

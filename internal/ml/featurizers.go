@@ -65,6 +65,23 @@ func (s *StandardScaler) Transform(in Matrix) (Matrix, error) {
 	return Matrix{Data: out, Rows: in.Rows, Cols: in.Cols}, nil
 }
 
+// TransformInto implements TransformerInto: same per-element scaling as
+// Transform, writing into dst. dst may alias in.Data (the op is
+// elementwise).
+func (s *StandardScaler) TransformInto(in Matrix, dst []float64) (Matrix, error) {
+	if in.Cols != len(s.Mean) {
+		return Matrix{}, fmt.Errorf("ml: scaler fitted on %d cols, input has %d", len(s.Mean), in.Cols)
+	}
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		orow := dst[i*in.Cols : (i+1)*in.Cols]
+		for j, x := range row {
+			orow[j] = (x - s.Mean[j]) / s.Scale[j]
+		}
+	}
+	return Matrix{Data: dst[:in.Rows*in.Cols], Rows: in.Rows, Cols: in.Cols}, nil
+}
+
 // OutputDim implements Transformer.
 func (s *StandardScaler) OutputDim(d int) (int, error) {
 	if d != len(s.Mean) {
@@ -175,6 +192,47 @@ func (e *OneHotEncoder) Transform(in Matrix) (Matrix, error) {
 	return Matrix{Data: out, Rows: in.Rows, Cols: outD}, nil
 }
 
+// TransformInto implements TransformerInto. dst must not alias in.Data
+// (the encoding widens rows).
+func (e *OneHotEncoder) TransformInto(in Matrix, dst []float64) (Matrix, error) {
+	outD, err := e.OutputDim(in.Cols)
+	if err != nil {
+		return Matrix{}, err
+	}
+	for _, c := range e.Cols {
+		if c >= in.Cols {
+			return Matrix{}, fmt.Errorf("ml: onehot col %d out of range (input width %d)", c, in.Cols)
+		}
+	}
+	out := dst[:in.Rows*outD]
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		orow := out[i*outD : (i+1)*outD]
+		pos := 0
+		for j, x := range row {
+			if e.isCategorical(j) < 0 {
+				orow[pos] = x
+				pos++
+			}
+		}
+		for ci, c := range e.Cols {
+			cats := e.Categories[ci]
+			x := row[c]
+			for k, v := range cats {
+				if x == v {
+					orow[pos+k] = 1
+					break
+				}
+			}
+			pos += len(cats)
+		}
+	}
+	return Matrix{Data: out, Rows: in.Rows, Cols: outD}, nil
+}
+
 // Kind implements Transformer.
 func (e *OneHotEncoder) Kind() string { return "onehot" }
 
@@ -243,6 +301,24 @@ func (c *ColumnSelect) Transform(in Matrix) (Matrix, error) {
 		}
 	}
 	out := make([]float64, in.Rows*len(c.Indices))
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		orow := out[i*len(c.Indices) : (i+1)*len(c.Indices)]
+		for k, j := range c.Indices {
+			orow[k] = row[j]
+		}
+	}
+	return Matrix{Data: out, Rows: in.Rows, Cols: len(c.Indices)}, nil
+}
+
+// TransformInto implements TransformerInto. dst must not alias in.Data.
+func (c *ColumnSelect) TransformInto(in Matrix, dst []float64) (Matrix, error) {
+	for _, j := range c.Indices {
+		if j < 0 || j >= in.Cols {
+			return Matrix{}, fmt.Errorf("ml: select index %d out of range (width %d)", j, in.Cols)
+		}
+	}
+	out := dst[:in.Rows*len(c.Indices)]
 	for i := 0; i < in.Rows; i++ {
 		row := in.Row(i)
 		orow := out[i*len(c.Indices) : (i+1)*len(c.Indices)]

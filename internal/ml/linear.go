@@ -35,6 +35,22 @@ func (m *LinearRegression) Predict(in Matrix) ([]float64, error) {
 	return out, nil
 }
 
+// PredictInto implements ModelInto.
+func (m *LinearRegression) PredictInto(in Matrix, out []float64, _ *PredictScratch) error {
+	if in.Cols != len(m.W) {
+		return fmt.Errorf("ml: linreg expects %d features, got %d", len(m.W), in.Cols)
+	}
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		s := m.B
+		for j, w := range m.W {
+			s += w * row[j]
+		}
+		out[i] = s
+	}
+	return nil
+}
+
 // UsedFeatures implements Model: features with non-zero weight.
 func (m *LinearRegression) UsedFeatures() []int { return nonZero(m.W) }
 
@@ -65,6 +81,22 @@ func (m *LogisticRegression) Predict(in Matrix) ([]float64, error) {
 		out[i] = 1 / (1 + math.Exp(-s))
 	}
 	return out, nil
+}
+
+// PredictInto implements ModelInto.
+func (m *LogisticRegression) PredictInto(in Matrix, out []float64, _ *PredictScratch) error {
+	if in.Cols != len(m.W) {
+		return fmt.Errorf("ml: logreg expects %d features, got %d", len(m.W), in.Cols)
+	}
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		s := m.B
+		for j, w := range m.W {
+			s += w * row[j]
+		}
+		out[i] = 1 / (1 + math.Exp(-s))
+	}
+	return nil
 }
 
 // UsedFeatures implements Model: features with non-zero weight.

@@ -92,6 +92,94 @@ func (p *Pipeline) Predict(in Matrix) ([]float64, error) {
 	return out, nil
 }
 
+// PredictScratch carries the reusable buffers behind PredictInto. A
+// scratch serves one goroutine at a time; concurrent predictors keep one
+// per worker (typically via a sync.Pool).
+type PredictScratch struct {
+	bufs [2][]float64 // ping-pong buffers for featurizer outputs
+	next int
+	tree []float64 // per-tree scores inside ensemble models
+}
+
+// buffer returns a scratch slice of length n, alternating between two
+// backing arrays so a step's input never aliases its output.
+func (sc *PredictScratch) buffer(n int) []float64 {
+	b := &sc.bufs[sc.next]
+	sc.next = 1 - sc.next
+	if cap(*b) < n {
+		*b = make([]float64, n)
+	}
+	return (*b)[:n]
+}
+
+// treeBuffer returns a scratch slice of length n for per-submodel scores.
+func (sc *PredictScratch) treeBuffer(n int) []float64 {
+	if cap(sc.tree) < n {
+		sc.tree = make([]float64, n)
+	}
+	return sc.tree[:n]
+}
+
+// TransformerInto is an optional Transformer extension: write the
+// transformed matrix into dst (length rows × output width) instead of
+// allocating a fresh one. dst must not alias in.Data unless the step is
+// elementwise.
+type TransformerInto interface {
+	TransformInto(in Matrix, dst []float64) (Matrix, error)
+}
+
+// ModelInto is an optional Model extension: score into out (length
+// in.Rows), using sc for internal temporaries.
+type ModelInto interface {
+	PredictInto(in Matrix, out []float64, sc *PredictScratch) error
+}
+
+// PredictInto is Predict writing scores into out (length in.Rows), reusing
+// sc's buffers for featurizer outputs and model temporaries. Scores are
+// bit-identical to Predict: every Into implementation replicates its
+// allocating counterpart's float operations exactly; steps and models
+// without an Into form fall back to the allocating path.
+func (p *Pipeline) PredictInto(in Matrix, out []float64, sc *PredictScratch) error {
+	if p.Final == nil {
+		return fmt.Errorf("ml: pipeline has no final model")
+	}
+	if len(out) < in.Rows {
+		return fmt.Errorf("ml: PredictInto buffer holds %d rows, input has %d", len(out), in.Rows)
+	}
+	cur := in
+	for i, s := range p.Steps {
+		ti, ok := s.(TransformerInto)
+		if !ok {
+			var err error
+			cur, err = s.Transform(cur)
+			if err != nil {
+				return fmt.Errorf("ml: pipeline step %d (%s): %w", i, s.Kind(), err)
+			}
+			continue
+		}
+		d, err := s.OutputDim(cur.Cols)
+		if err != nil {
+			return fmt.Errorf("ml: pipeline step %d (%s): %w", i, s.Kind(), err)
+		}
+		cur, err = ti.TransformInto(cur, sc.buffer(cur.Rows*d))
+		if err != nil {
+			return fmt.Errorf("ml: pipeline step %d (%s): %w", i, s.Kind(), err)
+		}
+	}
+	if mi, ok := p.Final.(ModelInto); ok {
+		if err := mi.PredictInto(cur, out[:in.Rows], sc); err != nil {
+			return fmt.Errorf("ml: pipeline model (%s): %w", p.Final.Kind(), err)
+		}
+		return nil
+	}
+	scores, err := p.Final.Predict(cur)
+	if err != nil {
+		return fmt.Errorf("ml: pipeline model (%s): %w", p.Final.Kind(), err)
+	}
+	copy(out, scores)
+	return nil
+}
+
 // FeatureDim traces the width through the steps, returning the width the
 // final model sees for a given input width.
 func (p *Pipeline) FeatureDim(inputDim int) (int, error) {

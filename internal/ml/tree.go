@@ -73,6 +73,27 @@ func (t *DecisionTree) Predict(in Matrix) ([]float64, error) {
 	return out, nil
 }
 
+// PredictInto implements ModelInto: same traversal as Predict, writing into
+// out instead of allocating.
+func (t *DecisionTree) PredictInto(in Matrix, out []float64, _ *PredictScratch) error {
+	if in.Cols != t.NFeat {
+		return fmt.Errorf("ml: tree expects %d features, got %d", t.NFeat, in.Cols)
+	}
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		n := 0
+		for !t.Leaf(n) {
+			if row[t.Feature[n]] <= t.Threshold[n] {
+				n = t.Left[n]
+			} else {
+				n = t.Right[n]
+			}
+		}
+		out[i] = t.Value[n]
+	}
+	return nil
+}
+
 // UsedFeatures implements Model.
 func (t *DecisionTree) UsedFeatures() []int {
 	seen := make(map[int]bool)
@@ -272,6 +293,32 @@ func (f *RandomForest) Predict(in Matrix) ([]float64, error) {
 		out[i] *= inv
 	}
 	return out, nil
+}
+
+// PredictInto implements ModelInto. Trees accumulate in the same order and
+// the mean is taken by the same single multiply as Predict, so scores are
+// bit-identical.
+func (f *RandomForest) PredictInto(in Matrix, out []float64, sc *PredictScratch) error {
+	if len(f.Trees) == 0 {
+		return fmt.Errorf("ml: empty forest")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	tmp := sc.treeBuffer(in.Rows)
+	for _, t := range f.Trees {
+		if err := t.PredictInto(in, tmp, sc); err != nil {
+			return err
+		}
+		for i, v := range tmp {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(f.Trees))
+	for i := range out {
+		out[i] *= inv
+	}
+	return nil
 }
 
 // UsedFeatures implements Model.

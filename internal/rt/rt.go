@@ -87,6 +87,22 @@ type PipelinePredictor struct {
 	Pipe      *ml.Pipeline
 	InputCols []string
 	OutType   types.DataType
+	// BatchRows caps how many rows are featurized and scored at a time:
+	// the feature matrix and pipeline intermediates stay at
+	// BatchRows×width regardless of how large the relational batch is.
+	// Zero scores each batch whole. The adaptive tuner sets this from the
+	// pipeline's feature width.
+	BatchRows int
+
+	scratch sync.Pool // *pipeScratch
+}
+
+// pipeScratch is the per-worker reusable state of one PredictBatch call:
+// the flat feature matrix plus the pipeline's internal buffers. Output
+// scores are NOT here — they escape into the result vector.
+type pipeScratch struct {
+	matrix []float64
+	sc     ml.PredictScratch
 }
 
 // NewPipelinePredictor builds the predictor; InputCols defaults to the
@@ -95,17 +111,39 @@ func NewPipelinePredictor(p *ml.Pipeline, outType types.DataType) *PipelinePredi
 	return &PipelinePredictor{Pipe: p, InputCols: p.InputColumns, OutType: outType}
 }
 
-// PredictBatch implements exec.Predictor.
+// PredictBatch implements exec.Predictor. Safe for concurrent use: each
+// call checks out a private scratch.
 func (p *PipelinePredictor) PredictBatch(b *types.Batch) ([]*types.Vector, error) {
-	data, n, err := b.FloatMatrix(p.InputCols)
-	if err != nil {
-		return nil, err
+	n := b.Len()
+	d := len(p.InputCols)
+	chunk := n
+	if p.BatchRows > 0 && p.BatchRows < n {
+		chunk = p.BatchRows
 	}
-	m := ml.Matrix{Data: data, Rows: n, Cols: len(p.InputCols)}
-	scores, err := p.Pipe.Predict(m)
-	if err != nil {
-		return nil, err
+	s, _ := p.scratch.Get().(*pipeScratch)
+	if s == nil {
+		s = &pipeScratch{}
 	}
+	if cap(s.matrix) < chunk*d {
+		s.matrix = make([]float64, chunk*d)
+	}
+	scores := make([]float64, n) // escapes via floatVector; never pooled
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if err := b.FloatMatrixRangeInto(s.matrix, p.InputCols, lo, hi); err != nil {
+			p.scratch.Put(s)
+			return nil, err
+		}
+		m := ml.Matrix{Data: s.matrix[:(hi-lo)*d], Rows: hi - lo, Cols: d}
+		if err := p.Pipe.PredictInto(m, scores[lo:hi], &s.sc); err != nil {
+			p.scratch.Put(s)
+			return nil, err
+		}
+	}
+	p.scratch.Put(s)
 	return []*types.Vector{floatVector(scores, p.OutType)}, nil
 }
 

@@ -91,6 +91,13 @@ func (b *Batch) Project(idx []int) *Batch {
 	return &Batch{Schema: b.Schema.Project(idx), Vecs: vecs}
 }
 
+// Grow reserves capacity for n additional rows in every column.
+func (b *Batch) Grow(n int) {
+	for _, v := range b.Vecs {
+		v.Grow(n)
+	}
+}
+
 // Append appends all rows of src (same schema arity) into b.
 func (b *Batch) Append(src *Batch) error {
 	if len(src.Vecs) != len(b.Vecs) {
@@ -125,32 +132,63 @@ func (b *Batch) String() string {
 // matrix (n rows × len(cols) features). This is the bridge from relational
 // batches to ML feature matrices; Bool and Int columns are widened.
 func (b *Batch) FloatMatrix(cols []string) ([]float64, int, error) {
+	out := make([]float64, b.Len()*len(cols))
+	n, err := b.FloatMatrixInto(out, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, n, nil
+}
+
+// FloatMatrixInto is FloatMatrix writing into a caller-provided buffer of
+// length ≥ b.Len()*len(cols), so predictors can recycle the feature matrix
+// across batches. Every cell is written.
+func (b *Batch) FloatMatrixInto(out []float64, cols []string) (int, error) {
 	n := b.Len()
+	if err := b.FloatMatrixRangeInto(out, cols, 0, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// FloatMatrixRangeInto extracts rows [lo, hi) of the named columns into out
+// (length ≥ (hi-lo)*len(cols)), so predictors can chunk inference over a
+// large batch without allocating per-chunk views.
+func (b *Batch) FloatMatrixRangeInto(out []float64, cols []string, lo, hi int) error {
+	n := hi - lo
 	d := len(cols)
-	out := make([]float64, n*d)
 	for j, name := range cols {
 		v := b.Col(name)
 		if v == nil {
-			return nil, 0, fmt.Errorf("types: column %q not in batch schema %v", name, b.Schema)
+			return fmt.Errorf("types: column %q not in batch schema %v", name, b.Schema)
+		}
+		// Broadcast columns hold one physical row; stride 0 repeats it.
+		stride := 1
+		base := lo
+		if v.Const {
+			stride = 0
+			base = 0
 		}
 		switch v.Type {
 		case Float:
 			for i := 0; i < n; i++ {
-				out[i*d+j] = v.Floats[i]
+				out[i*d+j] = v.Floats[base+i*stride]
 			}
 		case Int:
 			for i := 0; i < n; i++ {
-				out[i*d+j] = float64(v.Ints[i])
+				out[i*d+j] = float64(v.Ints[base+i*stride])
 			}
 		case Bool:
 			for i := 0; i < n; i++ {
-				if v.Bools[i] {
+				if v.Bools[base+i*stride] {
 					out[i*d+j] = 1
+				} else {
+					out[i*d+j] = 0
 				}
 			}
 		default:
-			return nil, 0, fmt.Errorf("types: column %q has non-numeric type %v", name, v.Type)
+			return fmt.Errorf("types: column %q has non-numeric type %v", name, v.Type)
 		}
 	}
-	return out, n, nil
+	return nil
 }

@@ -1,0 +1,99 @@
+package types
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// vectorPool recycles Vector shells and their data arrays across kernel
+// invocations. Ownership is explicit: only vectors obtained from GetVector
+// are marked pooled, and PutVector silently ignores everything else, so
+// storage-owned or escaped vectors can never be recycled by a stray Put.
+var vectorPool = sync.Pool{New: func() any { return new(Vector) }}
+
+// GetVector returns a pooled vector of type t with n rows of unspecified
+// values and no NULLs. Callers must overwrite every row.
+func GetVector(t DataType, n int) *Vector {
+	v := vectorPool.Get().(*Vector)
+	v.Type = t
+	v.pooled = true
+	v.SetLen(n)
+	return v
+}
+
+// PutVector returns a pooled vector for reuse. Calls on vectors that did
+// not come from GetVector (or that were turned into views by SliceInto)
+// are no-ops, so it is always safe to Put a vector whose provenance is
+// unknown after copying what it held.
+func PutVector(v *Vector) {
+	if v == nil || !v.pooled {
+		return
+	}
+	v.pooled = false
+	// Drop string references so the pool does not pin old row data.
+	for i := range v.Strings {
+		v.Strings[i] = ""
+	}
+	v.Reset()
+	vectorPool.Put(v)
+}
+
+// BatchPool recycles batches of a single schema. It exists for operator
+// intermediates that are provably private — buffers whose rows were copied
+// in and are copied out again (e.g. sort runs) — never for batches that
+// escape downstream: emitted batches may alias table storage or each
+// other, and recycling them would corrupt live results.
+type BatchPool struct {
+	schema *Schema
+	pool   sync.Pool
+
+	gets atomic.Int64
+	puts atomic.Int64
+	news atomic.Int64
+}
+
+// NewBatchPool builds a pool handing out empty batches of the schema.
+func NewBatchPool(schema *Schema) *BatchPool {
+	p := &BatchPool{schema: schema}
+	p.pool.New = func() any {
+		p.news.Add(1)
+		return NewBatch(schema)
+	}
+	return p
+}
+
+// Schema returns the schema the pool's batches carry.
+func (p *BatchPool) Schema() *Schema { return p.schema }
+
+// Get returns an empty batch (zero rows, capacity retained from earlier
+// uses).
+func (p *BatchPool) Get() *Batch {
+	p.gets.Add(1)
+	b := p.pool.Get().(*Batch)
+	for _, v := range b.Vecs {
+		v.Reset()
+	}
+	return b
+}
+
+// Put recycles a batch previously obtained from Get. The caller must be
+// the sole owner of b and of every vector in it.
+func (p *BatchPool) Put(b *Batch) {
+	if b == nil {
+		return
+	}
+	p.puts.Add(1)
+	for _, v := range b.Vecs {
+		// Drop string references so the pool does not pin old row data.
+		for i := range v.Strings {
+			v.Strings[i] = ""
+		}
+	}
+	p.pool.Put(b)
+}
+
+// Stats reports pool traffic — gets, puts and fresh allocations — so
+// tests can assert that recycling actually happens.
+func (p *BatchPool) Stats() (gets, puts, news int64) {
+	return p.gets.Load(), p.puts.Load(), p.news.Load()
+}

@@ -6,7 +6,9 @@ package types
 
 import (
 	"fmt"
+	"slices"
 	"strings"
+	"sync"
 )
 
 // DataType enumerates the column types supported by the engine.
@@ -53,6 +55,12 @@ type Column struct {
 // Schema is an ordered list of columns.
 type Schema struct {
 	Columns []Column
+
+	// ordOnce guards the lazily built lowered-name→ordinal map behind
+	// IndexOf. Schemas are shared read-only across worker goroutines, so
+	// the map is built at most once and then read without locks.
+	ordOnce sync.Once
+	ord     map[string]int
 }
 
 // NewSchema builds a schema from (name, type) pairs.
@@ -63,13 +71,34 @@ func NewSchema(cols ...Column) *Schema {
 // Len returns the number of columns.
 func (s *Schema) Len() int { return len(s.Columns) }
 
+// ordinals returns the lowered-name→ordinal map, building it on first use.
+// On duplicate names the first ordinal wins, matching the linear scan this
+// map replaced.
+func (s *Schema) ordinals() map[string]int {
+	s.ordOnce.Do(func() {
+		m := make(map[string]int, len(s.Columns))
+		for i, c := range s.Columns {
+			k := strings.ToLower(c.Name)
+			if _, dup := m[k]; !dup {
+				m[k] = i
+			}
+		}
+		s.ord = m
+	})
+	return s.ord
+}
+
 // IndexOf returns the ordinal of the named column, or -1 if absent.
 // Lookup is case-insensitive, matching SQL identifier semantics.
 func (s *Schema) IndexOf(name string) int {
-	for i, c := range s.Columns {
-		if strings.EqualFold(c.Name, name) {
-			return i
-		}
+	m := s.ordinals()
+	if i, ok := m[name]; ok {
+		return i
+	}
+	// Identifiers are usually stored and looked up in lower case already;
+	// strings.ToLower returns its input unchanged (no allocation) then.
+	if i, ok := m[strings.ToLower(name)]; ok {
+		return i
 	}
 	return -1
 }
@@ -125,16 +154,32 @@ func (s *Schema) String() string {
 }
 
 // Vector is a typed column of values. Exactly one of the data slices is
-// populated, chosen by Type. Nulls are represented by a nil or absent
-// validity mask being all-true; a non-nil Nulls slice marks NULL rows.
+// populated, chosen by Type. NULL rows are tracked by a word-packed
+// validity bitmap (NullBits); Const marks a broadcast vector carrying one
+// physical row that logically repeats.
 type Vector struct {
 	Type    DataType
 	Floats  []float64
 	Ints    []int64
 	Bools   []bool
 	Strings []string
-	// Nulls[i] is true when row i is NULL. A nil slice means no NULLs.
-	Nulls []bool
+	// NullBits is the packed null mask: bit i (word i>>6, bit i&63) is set
+	// when row i is NULL. A nil or short bitmap means the uncovered rows
+	// are not NULL. Exported so vectors survive the gob wire used by
+	// out-of-process inference.
+	NullBits []uint64
+	// Const marks a broadcast vector: one physical row that logically
+	// repeats Length times. Only expression evaluation produces const
+	// vectors; they are densified (see Densify) before reaching code that
+	// indexes the data slices directly.
+	Const bool
+	// Length is the logical row count of a Const vector; unused otherwise.
+	Length int
+
+	// pooled marks vectors checked out of the vector pool. PutVector only
+	// recycles pooled vectors, so storage-owned or escaped vectors can
+	// never be recycled by a stray Put.
+	pooled bool
 }
 
 // NewVector allocates a vector of the given type with length n.
@@ -155,8 +200,11 @@ func NewVector(t DataType, n int) *Vector {
 	return v
 }
 
-// Len returns the number of rows in the vector.
+// Len returns the number of logical rows in the vector.
 func (v *Vector) Len() int {
+	if v.Const {
+		return v.Length
+	}
 	switch v.Type {
 	case Float:
 		return len(v.Floats)
@@ -171,15 +219,70 @@ func (v *Vector) Len() int {
 	}
 }
 
-// IsNull reports whether row i is NULL.
-func (v *Vector) IsNull(i int) bool { return v.Nulls != nil && v.Nulls[i] }
-
-// SetNull marks row i as NULL, allocating the mask lazily.
-func (v *Vector) SetNull(i int) {
-	if v.Nulls == nil {
-		v.Nulls = make([]bool, v.Len())
+// phys maps a logical row index to a physical one: broadcast vectors hold
+// a single physical row.
+func (v *Vector) phys(i int) int {
+	if v.Const {
+		return 0
 	}
-	v.Nulls[i] = true
+	return i
+}
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	i = v.phys(i)
+	w := uint(i) >> 6
+	return w < uint(len(v.NullBits)) && v.NullBits[w]&(1<<(uint(i)&63)) != 0
+}
+
+// HasNulls reports whether any row of v is NULL.
+func (v *Vector) HasNulls() bool {
+	n := v.Len()
+	if v.Const {
+		n = 1
+	}
+	for w, word := range v.NullBits {
+		// Mask bits beyond the logical length: zero-copy slices share
+		// whole words with their parent, so trailing bits may belong to
+		// rows outside this vector.
+		if hi := n - w*64; hi < 64 {
+			if hi <= 0 {
+				return false
+			}
+			word &= (1 << uint(hi)) - 1
+		}
+		if word != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// growNulls ensures the bitmap covers at least rows rows, zeroing any
+// newly exposed words.
+func (v *Vector) growNulls(rows int) {
+	w := (rows + 63) >> 6
+	if w <= len(v.NullBits) {
+		return
+	}
+	if cap(v.NullBits) >= w {
+		old := len(v.NullBits)
+		v.NullBits = v.NullBits[:w]
+		for i := old; i < w; i++ {
+			v.NullBits[i] = 0
+		}
+		return
+	}
+	nb := make([]uint64, w)
+	copy(nb, v.NullBits)
+	v.NullBits = nb
+}
+
+// SetNull marks row i as NULL, growing the bitmap lazily.
+func (v *Vector) SetNull(i int) {
+	i = v.phys(i)
+	v.growNulls(i + 1)
+	v.NullBits[uint(i)>>6] |= 1 << (uint(i) & 63)
 }
 
 // Value returns row i as an interface value (nil when NULL). Intended for
@@ -188,6 +291,7 @@ func (v *Vector) Value(i int) any {
 	if v.IsNull(i) {
 		return nil
 	}
+	i = v.phys(i)
 	switch v.Type {
 	case Float:
 		return v.Floats[i]
@@ -204,6 +308,7 @@ func (v *Vector) Value(i int) any {
 
 // AsFloat returns row i coerced to float64. Bool maps to 0/1.
 func (v *Vector) AsFloat(i int) float64 {
+	i = v.phys(i)
 	switch v.Type {
 	case Float:
 		return v.Floats[i]
@@ -218,6 +323,18 @@ func (v *Vector) AsFloat(i int) float64 {
 		return 0
 	}
 }
+
+// FloatAt returns row i of a FLOAT vector, resolving broadcast.
+func (v *Vector) FloatAt(i int) float64 { return v.Floats[v.phys(i)] }
+
+// IntAt returns row i of an INT vector, resolving broadcast.
+func (v *Vector) IntAt(i int) int64 { return v.Ints[v.phys(i)] }
+
+// BoolAt returns row i of a BOOL vector, resolving broadcast.
+func (v *Vector) BoolAt(i int) bool { return v.Bools[v.phys(i)] }
+
+// StringAt returns row i of a VARCHAR vector, resolving broadcast.
+func (v *Vector) StringAt(i int) string { return v.Strings[v.phys(i)] }
 
 // Append adds a raw Go value to the vector, converting compatible types.
 func (v *Vector) Append(val any) error {
@@ -257,56 +374,272 @@ func (v *Vector) Append(val any) error {
 	default:
 		return fmt.Errorf("types: append to vector of unknown type")
 	}
-	if v.Nulls != nil {
-		v.Nulls = append(v.Nulls, val == nil)
-	}
+	// Non-NULL appends need no bitmap update: rows beyond the bitmap read
+	// as valid.
 	return nil
 }
 
-// Slice returns a zero-copy view of rows [lo, hi).
-func (v *Vector) Slice(lo, hi int) *Vector {
-	out := &Vector{Type: v.Type}
+// AppendFloats bulk-appends xs to a FLOAT vector.
+func (v *Vector) AppendFloats(xs []float64) { v.Floats = append(v.Floats, xs...) }
+
+// AppendInts bulk-appends xs to an INT vector.
+func (v *Vector) AppendInts(xs []int64) { v.Ints = append(v.Ints, xs...) }
+
+// AppendBools bulk-appends xs to a BOOL vector.
+func (v *Vector) AppendBools(xs []bool) { v.Bools = append(v.Bools, xs...) }
+
+// AppendStrings bulk-appends xs to a VARCHAR vector.
+func (v *Vector) AppendStrings(xs []string) { v.Strings = append(v.Strings, xs...) }
+
+// resize returns s with length n, reusing capacity when possible. The
+// exposed values are unspecified.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// SetLen resizes the active data slice to n rows, reusing capacity. The
+// exposed values are unspecified and the null mask is cleared; kernels
+// call this on pooled outputs they fully overwrite.
+func (v *Vector) SetLen(n int) {
 	switch v.Type {
 	case Float:
-		out.Floats = v.Floats[lo:hi]
+		v.Floats = resize(v.Floats, n)
 	case Int:
-		out.Ints = v.Ints[lo:hi]
+		v.Ints = resize(v.Ints, n)
 	case Bool:
-		out.Bools = v.Bools[lo:hi]
+		v.Bools = resize(v.Bools, n)
 	case String:
-		out.Strings = v.Strings[lo:hi]
+		v.Strings = resize(v.Strings, n)
+	default:
+		panic(fmt.Sprintf("types: SetLen of %v", v.Type))
 	}
-	if v.Nulls != nil {
-		out.Nulls = v.Nulls[lo:hi]
+	v.NullBits = v.NullBits[:0]
+	v.Const = false
+	v.Length = 0
+}
+
+// Reset truncates v to zero rows, keeping allocated capacity (string
+// references are retained until overwritten; PutVector clears them).
+func (v *Vector) Reset() {
+	v.Floats = v.Floats[:0]
+	v.Ints = v.Ints[:0]
+	v.Bools = v.Bools[:0]
+	v.Strings = v.Strings[:0]
+	v.NullBits = v.NullBits[:0]
+	v.Const = false
+	v.Length = 0
+}
+
+// MarkConst turns v into a broadcast vector of logical length n. The
+// caller must have stored exactly one physical row.
+func (v *Vector) MarkConst(n int) {
+	v.Const = true
+	v.Length = n
+}
+
+// Disown clears the pooled mark: the vector is escaping into a result
+// batch, so no later Put may ever recycle it.
+func (v *Vector) Disown() { v.pooled = false }
+
+// Grow reserves capacity for at least n additional rows in the active
+// data slice, so a bulk append loop reallocates at most once.
+func (v *Vector) Grow(n int) {
+	switch v.Type {
+	case Float:
+		v.Floats = slices.Grow(v.Floats, n)
+	case Int:
+		v.Ints = slices.Grow(v.Ints, n)
+	case Bool:
+		v.Bools = slices.Grow(v.Bools, n)
+	case String:
+		v.Strings = slices.Grow(v.Strings, n)
+	}
+}
+
+// sliceNulls extracts the bitmap for rows [lo, hi). Word-aligned slices
+// share the parent's words zero-copy; unaligned ones (odd morsel sizes)
+// rebuild the mask.
+func sliceNulls(bits []uint64, lo, hi int) []uint64 {
+	if len(bits) == 0 || hi <= lo {
+		return nil
+	}
+	if lo&63 == 0 {
+		w := lo >> 6
+		if w >= len(bits) {
+			return nil
+		}
+		end := (hi + 63) >> 6
+		if end > len(bits) {
+			end = len(bits)
+		}
+		return bits[w:end]
+	}
+	var out []uint64
+	for i := lo; i < hi; i++ {
+		w := uint(i) >> 6
+		if w < uint(len(bits)) && bits[w]&(1<<(uint(i)&63)) != 0 {
+			if out == nil {
+				out = make([]uint64, (hi-lo+63)>>6)
+			}
+			out[uint(i-lo)>>6] |= 1 << (uint(i-lo) & 63)
+		}
 	}
 	return out
 }
 
-// Gather returns a new vector with rows picked by sel, in order.
-func (v *Vector) Gather(sel []int) *Vector {
-	out := NewVector(v.Type, len(sel))
+// Slice returns a zero-copy view of rows [lo, hi).
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{}
+	v.SliceInto(out, lo, hi)
+	return out
+}
+
+// SliceInto points dst at rows [lo, hi) of v without copying data,
+// reusing dst's header. dst is unpooled afterwards: a view over shared
+// storage must never be recycled.
+func (v *Vector) SliceInto(dst *Vector, lo, hi int) {
+	dst.Type = v.Type
+	dst.pooled = false
+	dst.Floats, dst.Ints, dst.Bools, dst.Strings = nil, nil, nil, nil
+	if v.Const {
+		dst.Const = true
+		dst.Length = hi - lo
+		dst.Floats, dst.Ints, dst.Bools, dst.Strings = v.Floats, v.Ints, v.Bools, v.Strings
+		dst.NullBits = v.NullBits
+		return
+	}
+	dst.Const = false
+	dst.Length = 0
 	switch v.Type {
 	case Float:
+		dst.Floats = v.Floats[lo:hi]
+	case Int:
+		dst.Ints = v.Ints[lo:hi]
+	case Bool:
+		dst.Bools = v.Bools[lo:hi]
+	case String:
+		dst.Strings = v.Strings[lo:hi]
+	}
+	dst.NullBits = sliceNulls(v.NullBits, lo, hi)
+}
+
+// Gather returns a new vector with rows picked by sel, in order.
+func (v *Vector) Gather(sel []int) *Vector {
+	out := &Vector{Type: v.Type}
+	v.GatherInto(out, sel)
+	return out
+}
+
+// GatherInto overwrites dst with the rows of v picked by sel, reusing
+// dst's capacity. dst must not alias v.
+func (v *Vector) GatherInto(dst *Vector, sel []int) {
+	dst.Type = v.Type
+	dst.Const = false
+	dst.Length = 0
+	dst.NullBits = dst.NullBits[:0]
+	n := len(sel)
+	if v.Const {
+		// Gathering a broadcast repeats its single physical row.
+		switch v.Type {
+		case Float:
+			dst.Floats = resize(dst.Floats, n)
+			x := v.Floats[0]
+			for i := range dst.Floats {
+				dst.Floats[i] = x
+			}
+		case Int:
+			dst.Ints = resize(dst.Ints, n)
+			x := v.Ints[0]
+			for i := range dst.Ints {
+				dst.Ints[i] = x
+			}
+		case Bool:
+			dst.Bools = resize(dst.Bools, n)
+			x := v.Bools[0]
+			for i := range dst.Bools {
+				dst.Bools[i] = x
+			}
+		case String:
+			dst.Strings = resize(dst.Strings, n)
+			x := v.Strings[0]
+			for i := range dst.Strings {
+				dst.Strings[i] = x
+			}
+		}
+		if v.IsNull(0) {
+			for i := 0; i < n; i++ {
+				dst.SetNull(i)
+			}
+		}
+		return
+	}
+	switch v.Type {
+	case Float:
+		dst.Floats = resize(dst.Floats, n)
 		for i, j := range sel {
-			out.Floats[i] = v.Floats[j]
+			dst.Floats[i] = v.Floats[j]
 		}
 	case Int:
+		dst.Ints = resize(dst.Ints, n)
 		for i, j := range sel {
-			out.Ints[i] = v.Ints[j]
+			dst.Ints[i] = v.Ints[j]
 		}
 	case Bool:
+		dst.Bools = resize(dst.Bools, n)
 		for i, j := range sel {
-			out.Bools[i] = v.Bools[j]
+			dst.Bools[i] = v.Bools[j]
 		}
 	case String:
+		dst.Strings = resize(dst.Strings, n)
 		for i, j := range sel {
-			out.Strings[i] = v.Strings[j]
+			dst.Strings[i] = v.Strings[j]
 		}
 	}
-	if v.Nulls != nil {
-		out.Nulls = make([]bool, len(sel))
+	if v.HasNulls() {
 		for i, j := range sel {
-			out.Nulls[i] = v.Nulls[j]
+			if v.IsNull(j) {
+				dst.SetNull(i)
+			}
+		}
+	}
+}
+
+// Densify returns v itself when dense, or a materialized copy of a
+// broadcast vector with every logical row filled in.
+func (v *Vector) Densify() *Vector {
+	if !v.Const {
+		return v
+	}
+	n := v.Length
+	out := NewVector(v.Type, n)
+	switch v.Type {
+	case Float:
+		x := v.Floats[0]
+		for i := range out.Floats {
+			out.Floats[i] = x
+		}
+	case Int:
+		x := v.Ints[0]
+		for i := range out.Ints {
+			out.Ints[i] = x
+		}
+	case Bool:
+		x := v.Bools[0]
+		for i := range out.Bools {
+			out.Bools[i] = x
+		}
+	case String:
+		x := v.Strings[0]
+		for i := range out.Strings {
+			out.Strings[i] = x
+		}
+	}
+	if v.IsNull(0) {
+		for i := 0; i < n; i++ {
+			out.SetNull(i)
 		}
 	}
 	return out
@@ -316,6 +649,9 @@ func (v *Vector) Gather(sel []int) *Vector {
 // value — the hot path of streaming merges that interleave rows from
 // many source batches.
 func (v *Vector) AppendFrom(src *Vector, i int) {
+	null := src.IsNull(i)
+	i = src.phys(i)
+	n := v.Len()
 	switch v.Type {
 	case Float:
 		v.Floats = append(v.Floats, src.Floats[i])
@@ -326,11 +662,8 @@ func (v *Vector) AppendFrom(src *Vector, i int) {
 	case String:
 		v.Strings = append(v.Strings, src.Strings[i])
 	}
-	if v.Nulls != nil {
-		v.Nulls = append(v.Nulls, src.IsNull(i))
-	} else if src.IsNull(i) {
-		v.Nulls = make([]bool, v.Len())
-		v.Nulls[v.Len()-1] = true
+	if null {
+		v.SetNull(n)
 	}
 }
 
@@ -340,6 +673,37 @@ func (v *Vector) AppendVector(src *Vector) error {
 		return fmt.Errorf("types: append %v vector to %v vector", src.Type, v.Type)
 	}
 	n := v.Len()
+	m := src.Len()
+	if src.Const {
+		switch v.Type {
+		case Float:
+			x := src.Floats[0]
+			for k := 0; k < m; k++ {
+				v.Floats = append(v.Floats, x)
+			}
+		case Int:
+			x := src.Ints[0]
+			for k := 0; k < m; k++ {
+				v.Ints = append(v.Ints, x)
+			}
+		case Bool:
+			x := src.Bools[0]
+			for k := 0; k < m; k++ {
+				v.Bools = append(v.Bools, x)
+			}
+		case String:
+			x := src.Strings[0]
+			for k := 0; k < m; k++ {
+				v.Strings = append(v.Strings, x)
+			}
+		}
+		if src.IsNull(0) {
+			for k := 0; k < m; k++ {
+				v.SetNull(n + k)
+			}
+		}
+		return nil
+	}
 	switch v.Type {
 	case Float:
 		v.Floats = append(v.Floats, src.Floats...)
@@ -350,51 +714,34 @@ func (v *Vector) AppendVector(src *Vector) error {
 	case String:
 		v.Strings = append(v.Strings, src.Strings...)
 	}
-	if v.Nulls != nil || src.Nulls != nil {
-		if v.Nulls == nil {
-			v.Nulls = make([]bool, n, n+src.Len())
-		}
-		if src.Nulls != nil {
-			v.Nulls = append(v.Nulls, src.Nulls...)
-		} else {
-			v.Nulls = append(v.Nulls, make([]bool, src.Len())...)
+	if src.HasNulls() {
+		v.growNulls(n + m)
+		for i := 0; i < m; i++ {
+			if src.IsNull(i) {
+				v.NullBits[uint(n+i)>>6] |= 1 << (uint(n+i) & 63)
+			}
 		}
 	}
 	return nil
 }
 
-// ConstFloat builds a length-n FLOAT vector filled with x.
+// ConstFloat builds a broadcast FLOAT vector: one physical row repeated n
+// times logically.
 func ConstFloat(x float64, n int) *Vector {
-	v := NewVector(Float, n)
-	for i := range v.Floats {
-		v.Floats[i] = x
-	}
-	return v
+	return &Vector{Type: Float, Floats: []float64{x}, Const: true, Length: n}
 }
 
-// ConstInt builds a length-n INT vector filled with x.
+// ConstInt builds a broadcast INT vector of logical length n.
 func ConstInt(x int64, n int) *Vector {
-	v := NewVector(Int, n)
-	for i := range v.Ints {
-		v.Ints[i] = x
-	}
-	return v
+	return &Vector{Type: Int, Ints: []int64{x}, Const: true, Length: n}
 }
 
-// ConstBool builds a length-n BOOL vector filled with x.
+// ConstBool builds a broadcast BOOL vector of logical length n.
 func ConstBool(x bool, n int) *Vector {
-	v := NewVector(Bool, n)
-	for i := range v.Bools {
-		v.Bools[i] = x
-	}
-	return v
+	return &Vector{Type: Bool, Bools: []bool{x}, Const: true, Length: n}
 }
 
-// ConstString builds a length-n VARCHAR vector filled with x.
+// ConstString builds a broadcast VARCHAR vector of logical length n.
 func ConstString(x string, n int) *Vector {
-	v := NewVector(String, n)
-	for i := range v.Strings {
-		v.Strings[i] = x
-	}
-	return v
+	return &Vector{Type: String, Strings: []string{x}, Const: true, Length: n}
 }

@@ -237,16 +237,25 @@ func TestVectorSliceGatherCompose(t *testing.T) {
 	}
 }
 
-// Property: ConstFloat produces a vector where every element equals the
-// constant and the length matches.
+// Property: ConstFloat produces a broadcast vector where every logical
+// element equals the constant and the length matches, and densifying it
+// materializes the same values.
 func TestConstVectorsProperty(t *testing.T) {
 	f := func(x float64, n uint8) bool {
 		v := ConstFloat(x, int(n))
-		if v.Len() != int(n) {
+		if v.Len() != int(n) || !v.Const {
 			return false
 		}
-		for _, e := range v.Floats {
+		d := v.Densify()
+		if d.Len() != int(n) || d.Const {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			e := v.FloatAt(i)
 			if e != x && !(e != e && x != x) { // NaN-safe
+				return false
+			}
+			if e := d.Floats[i]; e != x && !(e != e && x != x) {
 				return false
 			}
 		}
@@ -258,13 +267,13 @@ func TestConstVectorsProperty(t *testing.T) {
 }
 
 func TestConstHelpers(t *testing.T) {
-	if v := ConstInt(7, 3); v.Len() != 3 || v.Ints[2] != 7 {
+	if v := ConstInt(7, 3); v.Len() != 3 || v.IntAt(2) != 7 {
 		t.Error("ConstInt")
 	}
-	if v := ConstBool(true, 2); !v.Bools[1] {
+	if v := ConstBool(true, 2); !v.BoolAt(1) {
 		t.Error("ConstBool")
 	}
-	if v := ConstString("x", 2); v.Strings[0] != "x" {
+	if v := ConstString("x", 2); v.StringAt(0) != "x" {
 		t.Error("ConstString")
 	}
 }
@@ -285,15 +294,15 @@ func TestVectorAppendFrom(t *testing.T) {
 		t.Fatalf("values = %v", dst.Floats)
 	}
 	if !dst.IsNull(1) || dst.IsNull(0) || dst.IsNull(2) {
-		t.Fatalf("null mask = %v", dst.Nulls)
+		t.Fatalf("null mask = %v", dst.NullBits)
 	}
-	// String path, no nulls anywhere: mask stays nil.
+	// String path, no nulls anywhere: mask stays empty.
 	s1 := NewVector(String, 0)
 	_ = s1.Append("a")
 	s2 := NewVector(String, 0)
 	s2.AppendFrom(s1, 0)
-	if s2.Strings[0] != "a" || s2.Nulls != nil {
-		t.Fatalf("string append = %v nulls=%v", s2.Strings, s2.Nulls)
+	if s2.Strings[0] != "a" || s2.HasNulls() {
+		t.Fatalf("string append = %v nulls=%v", s2.Strings, s2.NullBits)
 	}
 	// Int and Bool paths.
 	iv := NewVector(Int, 0)

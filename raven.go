@@ -192,6 +192,10 @@ type DB struct {
 	// MorselSize is the engine-wide rows-per-morsel for parallel plans; 0
 	// uses the executor default.
 	MorselSize int
+	// tuner adapts morsel, serial-scan and inference batch sizes from
+	// table statistics and observed per-morsel service times; nil unless
+	// WithAdaptiveMorsels was given.
+	tuner *exec.Tuner
 
 	// sched is the admission controller gating Query/Stmt.Query; nil
 	// (the default) admits everything immediately. Built at Open time
@@ -247,6 +251,18 @@ func WithMorselSize(n int) Option {
 		if n >= 1 {
 			db.MorselSize = n
 		}
+	}
+}
+
+// WithAdaptiveMorsels turns on adaptive batch sizing: the engine tunes
+// rows-per-morsel from table cardinality and the per-morsel service times
+// it observes, sizes serial scan batches to the scan, and chunks
+// interpreted inference to the model's feature width. Explicit sizes
+// still win: a query (or engine) MorselSize overrides the tuned morsel
+// size. The tuner's current estimates appear in Stats().Adaptive.
+func WithAdaptiveMorsels() Option {
+	return func(db *DB) {
+		db.tuner = exec.NewTuner()
 	}
 }
 
@@ -698,6 +714,8 @@ type Stats struct {
 	SessionCache SessionCacheInfo `json:"session_cache"`
 	// Scheduler is nil when admission control is off.
 	Scheduler *SchedulerStats `json:"scheduler,omitempty"`
+	// Adaptive is nil unless the engine was opened WithAdaptiveMorsels.
+	Adaptive *AdaptiveStats `json:"adaptive,omitempty"`
 	// Compiles counts full front-half compilations since Open.
 	Compiles       uint64 `json:"compiles"`
 	CatalogVersion uint64 `json:"catalog_version"`
@@ -715,8 +733,17 @@ func (db *DB) Stats() Stats {
 		s := db.sched.Stats()
 		st.Scheduler = &s
 	}
+	if db.tuner != nil {
+		a := db.tuner.Stats(db.DefaultParallelism)
+		st.Adaptive = &a
+	}
 	return st
 }
+
+// AdaptiveStats is the adaptive tuner's snapshot (see Stats.Adaptive),
+// aliased so API consumers can name it without importing internal
+// packages.
+type AdaptiveStats = exec.TunerStats
 
 // varsSnapshot copies the engine session variables. Callers take one
 // snapshot per compile so the cache key and the bound plan always see the
@@ -910,6 +937,7 @@ func (db *DB) lower(ctx context.Context, graph *ir.Graph, sessionKey string, opt
 		Parallelism:           par,
 		ParallelThresholdRows: opts.ParallelThresholdRows,
 		MorselSize:            morsel,
+		Tuner:                 db.tuner,
 		CacheKey:              sessionKey,
 	}
 	return codegen.Compile(graph, cfg)
@@ -1016,7 +1044,7 @@ func (db *DB) QuerySQLOnly(q string) (*types.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	op, err := exec.Compile(logical, &exec.Env{Parallelism: db.DefaultParallelism, MorselSize: db.MorselSize})
+	op, err := exec.Compile(logical, &exec.Env{Parallelism: db.DefaultParallelism, MorselSize: db.MorselSize, Tuner: db.tuner})
 	if err != nil {
 		return nil, err
 	}
