@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor for `make cover` (percent of statements).
 COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet fmt-check bench bench-quick bench-check bench-micro cover smoke smoke-serve ci
+.PHONY: all build test race vet fmt-check bench bench-quick bench-check bench-micro cover smoke smoke-serve smoke-cluster ci
 
 all: ci
 
@@ -56,35 +56,49 @@ smoke:
 smoke-serve:
 	$(GO) run ./cmd/ravenserved -selftest -rows 2000
 
+# smoke-cluster boots two in-process replicas behind ravenrouter and
+# drives the cluster end to end: replicated DDL + model store, routed
+# and prepared-statement reads with fingerprint parity across homes, a
+# graceful drain of one replica under concurrent load (zero errors
+# tolerated), and aggregated stats. One process, exits non-zero on any
+# failure.
+smoke-cluster:
+	$(GO) run ./cmd/ravenrouter -selftest
+
 # bench regenerates the paper experiment tables at quick scale.
 bench:
 	$(GO) run ./cmd/ravenbench -quick
 
 # bench-quick smoke-runs the pipeline-breaker ablation, the serving
-# concurrency ablation and the multi-tenant isolation ablation and
-# records all three, so `make ci` catches breaker regressions (a breaker
-# that silently serializes or errors), serving regressions (admission
-# breach, wire-path breakage) and tenant regressions (quota breach,
-# starved tenant) without paying for the full paper suite. BENCH_JSON /
-# BENCH_SERVE_JSON / BENCH_TENANT_JSON are where the tables are
-# recorded; `make ci` points them at untracked scratch paths so routine
-# CI runs don't churn the checked-in BENCH_*.json files — regenerate
-# those deliberately with a plain `make bench-quick`. bench-check then
-# validates the recordings, so a silently-empty bench run fails the gate
+# concurrency ablation, the multi-tenant isolation ablation and the
+# cluster scale-out/drain experiment and records all four, so `make ci`
+# catches breaker regressions (a breaker that silently serializes or
+# errors), serving regressions (admission breach, wire-path breakage),
+# tenant regressions (quota breach, starved tenant) and cluster
+# regressions (dropped or diverged queries during a graceful drain)
+# without paying for the full paper suite. BENCH_JSON /
+# BENCH_SERVE_JSON / BENCH_TENANT_JSON / BENCH_CLUSTER_JSON are where
+# the tables are recorded; `make ci` points them at untracked scratch
+# paths so routine CI runs don't churn the checked-in BENCH_*.json
+# files — regenerate those deliberately with a plain `make bench-quick`.
+# bench-check then validates the recordings (including the cluster
+# drain-proof note), so a silently-empty bench run fails the gate
 # instead of committing a hollow BENCH file.
 BENCH_JSON ?= BENCH_parallel_breakers.json
 BENCH_SCALING_JSON ?= BENCH_parallel_scaling.json
 BENCH_SERVE_JSON ?= BENCH_serve.json
 BENCH_TENANT_JSON ?= BENCH_tenant.json
+BENCH_CLUSTER_JSON ?= BENCH_cluster.json
 bench-quick:
 	$(GO) run ./cmd/ravenbench -quick -only ParallelBreakers -json $(BENCH_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ParallelScaling -json $(BENCH_SCALING_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ServeConcurrency -json $(BENCH_SERVE_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only MultiTenantServe -json $(BENCH_TENANT_JSON)
+	$(GO) run ./cmd/ravenbench -quick -only ClusterServe -json $(BENCH_CLUSTER_JSON)
 	@$(MAKE) bench-check
 
 bench-check:
-	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SCALING_JSON):ParallelScaling,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe"
+	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SCALING_JSON):ParallelScaling,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe,$(BENCH_CLUSTER_JSON):ClusterServe"
 
 # bench-micro runs the data-plane micro-benchmarks (typed kernels, vector
 # pooling, gather) with allocation reporting.
@@ -94,5 +108,5 @@ bench-micro:
 # ci runs the suite twice, not three times: cover subsumes a plain
 # `make test` (same tests, plus the coverage floor and cover.out), so
 # the gate is cover + race rather than test + race + a separate cover.
-ci: fmt-check build vet cover race smoke smoke-serve
-	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json
+ci: fmt-check build vet cover race smoke smoke-serve smoke-cluster
+	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json BENCH_CLUSTER_JSON=.bench_cluster_ci.json

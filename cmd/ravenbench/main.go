@@ -32,7 +32,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
 	timeout := flag.Duration("timeout", 0, "skip experiments not yet started once the deadline passes (0 = no limit); an in-flight experiment runs to completion")
-	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict,ServeConcurrency,MultiTenantServe)")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict,ServeConcurrency,MultiTenantServe,ClusterServe)")
 	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for experiment engines (0 = engine default, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
@@ -77,6 +77,7 @@ func main() {
 		{"PreparedPredict", bench.PreparedPredict},
 		{"ServeConcurrency", bench.ServeConcurrency},
 		{"MultiTenantServe", bench.MultiTenantServe},
+		{"ClusterServe", bench.ClusterServe},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -166,6 +167,15 @@ var requireAllocs = map[string]bool{
 	"ParallelBreakers": true,
 }
 
+// requireNote lists experiments whose recordings must carry a row note
+// containing a specific proof string. ClusterServe's drain row asserts
+// zero dropped queries during a graceful drain under load — a recording
+// without that note means the drain phase never ran, and CI must not
+// accept it.
+var requireNote = map[string]string{
+	"ClusterServe": "dropped=0",
+}
+
 // checkRecordings is the -check mode: every FILE:ID entry names a
 // recorded results file and an experiment table that must be present
 // with measured rows. A file recording failed experiments fails the
@@ -221,6 +231,18 @@ func checkRecordings(spec string) error {
 			}
 			if !found {
 				return fmt.Errorf("%s: table %q has no allocs/row measurement (the data-plane experiments must record one)", file, id)
+			}
+		}
+		if proof := requireNote[id]; proof != "" {
+			found := false
+			for _, r := range tb.Rows {
+				if strings.Contains(r.Note, proof) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%s: table %q has no row note containing %q (the recording must prove the drain phase ran clean)", file, id, proof)
 			}
 		}
 		fmt.Printf("bench check ok: %s has %s with %d rows\n", file, id, len(tb.Rows))

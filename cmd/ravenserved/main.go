@@ -8,7 +8,8 @@
 //
 //	ravenserved [-addr :8080] [-rows N] [-parallelism N] [-morsel N]
 //	            [-max-queries N] [-max-slots N] [-queue N] [-queue-timeout D]
-//	            [-query-timeout D] [-tenant name=maxq[:maxslots] ...]
+//	            [-query-timeout D] [-drain-timeout D] [-drain-grace D]
+//	            [-tenant name=maxq[:maxslots] ...]
 //	            [-default-tenant NAME] [-preload] [-selftest]
 //
 // Tenant quotas declare the multi-tenant serving policy at boot: each
@@ -26,9 +27,12 @@
 //
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) AS n FROM patient_info"}'
 //
-// SIGINT/SIGTERM drain gracefully: admission stops (healthz flips to
-// 503), in-flight queries finish or hit the drain deadline, then the
-// listener closes. -selftest starts the server on a random port, runs
+// SIGINT/SIGTERM drain gracefully in two phases: first a lame-duck
+// window (-drain-grace) where healthz flips to 503 "draining" while the
+// query paths still accept work — so a health-probing router stops
+// sending new queries before any are refused — then admission closes,
+// in-flight queries finish or hit the drain deadline, and the listener
+// closes. -selftest starts the server on a random port, runs
 // the HTTP smoke against it, drains, and exits non-zero on any failure —
 // the `make smoke-serve` CI gate.
 package main
@@ -104,6 +108,7 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max time a query waits for admission (0 = until its own deadline)")
 	queryTimeout := flag.Duration("query-timeout", 0, "default per-query deadline for requests without timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second, "lame-duck window on shutdown: healthz advertises draining while queries are still accepted, so routers re-route before admission closes (0 = cut over immediately)")
 	var tenants tenantQuotaFlags
 	flag.Var(&tenants, "tenant", "declare a tenant quota as name=maxQueries[:maxSlots] (repeatable; 0 queries shuts the tenant off; requires -max-queries > 0)")
 	defaultTenant := flag.String("default-tenant", "", "tenant untagged requests bill to (default \"default\")")
@@ -112,6 +117,7 @@ func main() {
 
 	if *selftest {
 		*addr = "127.0.0.1:0"
+		*drainGrace = 0 // nothing is routing to the selftest server
 	}
 
 	opts := []raven.Option{
@@ -142,7 +148,7 @@ func main() {
 		}
 	}
 
-	srv := server.New(db, server.Options{DefaultTimeout: *queryTimeout})
+	srv := server.New(db, server.Options{DefaultTimeout: *queryTimeout, DrainGrace: *drainGrace})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"raven/internal/server"
+)
+
+// entryKind is what a replication-log entry carries.
+type entryKind int
+
+const (
+	entryScript entryKind = iota // a side-effect-only SQL script
+	entryModel                   // a serialized model pipeline
+)
+
+// logEntry is one replicated side effect. The log is append-only and
+// ordered; every member tracks the highest seq it has applied this
+// process lifetime, so fan-out and repair are the same operation:
+// replay appliedSeq+1..head.
+type logEntry struct {
+	seq    uint64
+	kind   entryKind
+	sql    string // entryScript
+	name   string // entryModel
+	data   []byte // entryModel: gob-encoded pipeline
+	tenant string // admission identity the side effect bills to
+}
+
+func (e *logEntry) describe() string {
+	if e.kind == entryModel {
+		return fmt.Sprintf("model %q", e.name)
+	}
+	s := strings.TrimSpace(e.sql)
+	if len(s) > 40 {
+		s = s[:40] + "..."
+	}
+	return fmt.Sprintf("script %q", s)
+}
+
+// appendEntry assigns the next seq under the router lock and returns
+// the entry.
+func (rt *Router) appendEntry(e logEntry) *logEntry {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.logSeq++
+	e.seq = rt.logSeq
+	rt.log = append(rt.log, e)
+	return &rt.log[len(rt.log)-1]
+}
+
+// logHead returns the seq of the newest entry (0 = empty log).
+func (rt *Router) logHead() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.logSeq
+}
+
+// entriesAfter returns the log tail with seq > after.
+func (rt *Router) entriesAfter(after uint64) []logEntry {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// The log is never truncated, so entry seqs are 1..len(log) and the
+	// tail after `after` starts at index `after`.
+	if int(after) >= len(rt.log) {
+		return nil
+	}
+	tail := make([]logEntry, len(rt.log)-int(after))
+	copy(tail, rt.log[after:])
+	return tail
+}
+
+// replicate appends a side effect to the log and fans it out to every
+// registered member. It succeeds if at least one member applied the
+// entry and no *healthy* member failed; members that fail are marked
+// degraded (the reconciler replays the log to them before they take
+// traffic again), so a replica being down does not block DDL for the
+// rest of the cluster — it just has catching up to do.
+func (rt *Router) replicate(ctx context.Context, e logEntry) error {
+	entry := rt.appendEntry(e)
+	members := rt.snapshotMembers()
+	if len(members) == 0 {
+		return errors.New("no replicas registered")
+	}
+
+	type result struct {
+		m   *member
+		err error
+	}
+	results := make(chan result, len(members))
+	for _, m := range members {
+		go func(m *member) {
+			results <- result{m, rt.syncMember(ctx, m)}
+		}(m)
+	}
+	applied := 0
+	var failed []string
+	for range members {
+		r := <-results
+		if r.err == nil {
+			applied++
+			continue
+		}
+		// Down members were already not routable; reachable ones that
+		// failed to apply must stop taking traffic until repaired.
+		if r.m.getState() == StateHealthy {
+			r.m.setState(StateDegraded)
+		}
+		failed = append(failed, fmt.Sprintf("%s: %v", r.m.name, r.err))
+	}
+	if applied == 0 {
+		return fmt.Errorf("replicating %s failed on all %d replicas: %s",
+			entry.describe(), len(members), strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// syncMember replays the log tail this member has not applied yet, in
+// order, and reads back the catalog version. applyMu makes it safe to
+// call concurrently from the fan-out path and the reconciler: whoever
+// gets there first applies the entries, the other finds appliedSeq
+// already at head and just re-reads the version.
+func (rt *Router) syncMember(ctx context.Context, m *member) error {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+
+	for _, e := range rt.entriesAfter(m.appliedSeq) {
+		var err error
+		switch e.kind {
+		case entryScript:
+			err = rt.opts.Retry.Do(ctx, server.Transient, func() error {
+				res, qerr := m.c.QueryContext(ctx, server.QueryRequest{SQL: e.sql, Tenant: e.tenant})
+				if qerr != nil {
+					return qerr
+				}
+				if !res.OK {
+					return fmt.Errorf("side-effect script streamed %d rows", len(res.Rows))
+				}
+				return nil
+			})
+		case entryModel:
+			err = rt.opts.Retry.Do(ctx, server.Transient, func() error {
+				return m.c.StoreModel(ctx, server.ModelRequest{Name: e.name, Data: e.data, Tenant: e.tenant})
+			})
+		}
+		if err != nil {
+			return fmt.Errorf("apply entry %d (%s): %w", e.seq, e.describe(), err)
+		}
+		m.appliedSeq = e.seq
+	}
+
+	// Catalog-version read-back: record what "fully applied" looks like
+	// on this replica, so the next probe can tell a restart (version
+	// regression) from normal operation.
+	v, err := m.c.CatalogVersion(ctx)
+	if err != nil {
+		return fmt.Errorf("version read-back: %w", err)
+	}
+	m.lastVersion = v
+	return nil
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"raven"
+	"raven/internal/ml"
+	"raven/internal/server"
+	"raven/internal/train"
+)
+
+// Smoke stands up a 2-replica cluster behind a router and exercises the
+// distributed serving contract end to end: DDL and model fan-out with
+// version read-back, tenant-affine routed reads, prepared statements
+// lazily prepared per replica, the aggregated stats surface, and a
+// graceful drain of one replica under continuous load with zero dropped
+// queries. It is the `ravenrouter -selftest` body and the `make
+// smoke-cluster` CI gate. Everything is in-process; the wire protocol
+// is exactly what separate processes would speak.
+func Smoke() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Two small replicas: bounded scheduler so drain semantics are the
+	// production ones, short drain grace so the smoke stays fast.
+	srvOpts := server.Options{DrainGrace: 300 * time.Millisecond}
+	engOpts := []raven.Option{
+		raven.WithParallelism(1),
+		raven.WithMaxConcurrentQueries(4),
+		raven.WithSchedulerQueue(32, 5*time.Second),
+	}
+	var reps []*Replica
+	for i := 0; i < 2; i++ {
+		r, err := SpawnReplica(fmt.Sprintf("r%d", i), srvOpts, engOpts...)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, r)
+	}
+	rt := New(Options{ProbeInterval: 50 * time.Millisecond})
+	for _, r := range reps {
+		if err := rt.AddMember(r.Name, r.Base); err != nil {
+			return err
+		}
+	}
+	rt.Start()
+	defer rt.Close()
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rsrv := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rsrv.Serve(rl) }()
+	defer func() {
+		rsrv.Close()
+		<-serveErr
+	}()
+	rt.ProbeNow(ctx)
+
+	c := &server.Client{Base: "http://" + rl.Addr().String(), Timeout: 10 * time.Second}
+
+	// 1. DDL through the router fans out to both replicas.
+	var ddl strings.Builder
+	ddl.WriteString("CREATE TABLE pts (id INT, x FLOAT, y FLOAT);\nINSERT INTO pts VALUES ")
+	for i := 0; i < 256; i++ {
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		fmt.Fprintf(&ddl, "(%d, %g, %g)", i, float64(i)*0.5, float64(i%7))
+	}
+	if err := c.ExecContext(ctx, ddl.String()); err != nil {
+		return fmt.Errorf("replicated DDL: %w", err)
+	}
+	for _, r := range reps {
+		rc := &server.Client{Base: r.Base, Timeout: 5 * time.Second}
+		res, err := rc.QueryContext(ctx, server.QueryRequest{SQL: "SELECT COUNT(*) AS n FROM pts"})
+		if err != nil {
+			return fmt.Errorf("replica %s missing replicated table: %w", r.Name, err)
+		}
+		if fmt.Sprint(res.Rows[0][0]) != "256" {
+			return fmt.Errorf("replica %s has %v rows, want 256", r.Name, res.Rows[0][0])
+		}
+	}
+
+	// 2. A model stored through the router predicts on every replica.
+	const n = 64
+	feats := make([]float64, 0, n*2)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := float64(i)*0.5, float64(i%7)
+		feats = append(feats, x0, x1)
+		ys[i] = x0 + 2*x1
+	}
+	xs, err := ml.NewMatrix(feats, n, 2)
+	if err != nil {
+		return err
+	}
+	pipe := &ml.Pipeline{
+		Final:        train.FitTree(xs, ys, train.TreeOptions{MaxDepth: 4, MinLeaf: 4}),
+		InputColumns: []string{"x", "y"},
+	}
+	blob, err := ml.Marshal(pipe)
+	if err != nil {
+		return err
+	}
+	if err := c.StoreModel(ctx, server.ModelRequest{Name: "smoke_model", Data: blob}); err != nil {
+		return fmt.Errorf("replicated model store: %w", err)
+	}
+	const predictSQL = `SELECT d.id, p.score FROM PREDICT(MODEL='smoke_model',
+		DATA=(SELECT * FROM pts) AS d) WITH (score FLOAT) AS p WHERE d.id < 16`
+	ref, err := c.QueryContext(ctx, server.QueryRequest{SQL: predictSQL})
+	if err != nil {
+		return fmt.Errorf("routed predict: %w", err)
+	}
+	if len(ref.Rows) != 16 {
+		return fmt.Errorf("routed predict returned %d rows, want 16", len(ref.Rows))
+	}
+
+	// 3. Prepared statements: one router id, executed for tenants homed
+	// on both replicas, must agree with the ad-hoc result.
+	pr, err := c.PrepareContext(ctx, server.QueryRequest{SQL: predictSQL})
+	if err != nil {
+		return fmt.Errorf("router prepare: %w", err)
+	}
+	tenants := []string{tenantHomedOn(rt, reps[0].Name), tenantHomedOn(rt, reps[1].Name)}
+	for _, tn := range tenants {
+		res, err := c.StmtQueryContext(ctx, pr.ID, server.QueryRequest{Tenant: tn})
+		if err != nil {
+			return fmt.Errorf("stmt exec (tenant %s): %w", tn, err)
+		}
+		if res.Fingerprint() != ref.Fingerprint() {
+			return fmt.Errorf("stmt result for tenant %s diverges from ad-hoc result", tn)
+		}
+	}
+
+	// 4. Drain one replica while queries flow: every query must succeed
+	// — the router re-routes around the draining member.
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		qerrs   []error
+		done    = make(chan struct{})
+		queries int
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tn := tenants[w%2]
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, err := c.QueryContext(ctx, server.QueryRequest{SQL: predictSQL, Tenant: tn})
+				mu.Lock()
+				queries++
+				if err != nil {
+					qerrs = append(qerrs, fmt.Errorf("tenant %s: %w", tn, err))
+				} else if res.Fingerprint() != ref.Fingerprint() {
+					qerrs = append(qerrs, fmt.Errorf("tenant %s: result diverged during drain", tn))
+				}
+				n := len(qerrs)
+				mu.Unlock()
+				if n > 0 {
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond) // load flowing on both homes
+	if err := reps[1].Close(ctx); err != nil {
+		close(done)
+		wg.Wait()
+		return fmt.Errorf("drain replica: %w", err)
+	}
+	time.Sleep(200 * time.Millisecond) // load continues on the survivor
+	close(done)
+	wg.Wait()
+	if len(qerrs) > 0 {
+		return fmt.Errorf("%d of %d queries failed across the drain; first: %w", len(qerrs), queries, qerrs[0])
+	}
+	if queries == 0 {
+		return fmt.Errorf("no queries ran during the drain window")
+	}
+
+	// 5. Aggregated stats see both members, one drained/down by now.
+	st := rt.Stats(ctx)
+	if st.Router.Members != 2 {
+		return fmt.Errorf("cluster stats: %d members, want 2", st.Router.Members)
+	}
+	if st.Router.LogEntries != 2 {
+		return fmt.Errorf("cluster stats: %d log entries, want 2 (DDL + model)", st.Router.LogEntries)
+	}
+	if err := reps[0].Close(ctx); err != nil {
+		return fmt.Errorf("final drain: %w", err)
+	}
+	return nil
+}
+
+// tenantHomedOn searches tenant names until one's rendezvous home is
+// the wanted member — how tests pin traffic to a chosen replica.
+func tenantHomedOn(rt *Router, member string) string {
+	for i := 0; ; i++ {
+		tn := fmt.Sprintf("tenant%d", i)
+		if rt.HomeFor(tn) == member {
+			return tn
+		}
+	}
+}

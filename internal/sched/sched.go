@@ -721,6 +721,38 @@ func (s *Scheduler) admitNextLocked() {
 	}
 }
 
+// Load is the scheduler's cheap point-in-time load signal: the gauges a
+// health probe needs — queue depth above all — without the per-tenant
+// map a full Stats snapshot allocates. Cluster routers read it (via
+// /healthz) on every probe to decide saturation spill-over, so it must
+// stay allocation-free under the mutex.
+type Load struct {
+	Active     int  `json:"active"`
+	Waiting    int  `json:"waiting"`
+	SlotsInUse int  `json:"slots_in_use"`
+	Draining   bool `json:"draining"`
+	// Limits echo the configuration so a reader can turn the gauges
+	// into a saturation ratio without a second request.
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxSlots      int `json:"max_slots,omitempty"`
+	QueueDepth    int `json:"queue_depth"`
+}
+
+// Load snapshots the live gauges without building the tenant breakdown.
+func (s *Scheduler) Load() Load {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Load{
+		Active:        s.active,
+		Waiting:       len(s.queue),
+		SlotsInUse:    s.slotsInUse,
+		Draining:      s.draining,
+		MaxConcurrent: s.opts.MaxConcurrent,
+		MaxSlots:      s.opts.MaxSlots,
+		QueueDepth:    s.opts.QueueDepth,
+	}
+}
+
 // Drain stops admissions: every queued waiter fails with ErrDraining,
 // new Acquire calls fail immediately, and Drain blocks until in-flight
 // queries release (or ctx expires, returning ctx.Err() with queries

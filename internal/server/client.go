@@ -3,18 +3,35 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // Client is a minimal Go client for the wire protocol, shared by the
-// ravenserved selftest, the integration tests and the ServeConcurrency
-// benchmark. It is what a driver library for the server would look like.
+// ravenserved selftest, the integration tests, the cluster router's
+// probe/replication paths and the serving benchmarks. It is what a
+// driver library for the server would look like. Every method has a
+// Context variant; the plain forms use context.Background bounded by
+// Timeout.
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:8080"
 	HTTP *http.Client
+	// Timeout bounds each request issued by the non-Context methods
+	// (and Context methods whose ctx has no deadline). 0 = unbounded.
+	Timeout time.Duration
+}
+
+// reqCtx derives the per-request context: the caller's ctx, bounded by
+// the client Timeout when the ctx carries no deadline of its own.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, has := ctx.Deadline(); !has && c.Timeout > 0 {
+		return context.WithTimeout(ctx, c.Timeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // HTTPError is a non-2xx response, carrying the status code so callers
@@ -45,12 +62,12 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) postJSON(path string, body any) (*http.Response, error) {
+func (c *Client) postJSON(ctx context.Context, path string, body any) (*http.Response, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
@@ -69,16 +86,64 @@ func readError(resp *http.Response) error {
 
 // Query posts to /query and reads the whole stream.
 func (c *Client) Query(req QueryRequest) (*StreamResult, error) {
-	resp, err := c.postJSON("/query", req)
+	return c.QueryContext(context.Background(), req)
+}
+
+// QueryContext is Query under a context.
+func (c *Client) QueryContext(ctx context.Context, req QueryRequest) (*StreamResult, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	resp, err := c.postJSON(ctx, "/query", req)
 	if err != nil {
 		return nil, err
 	}
 	return readStream(resp)
 }
 
+// Exec runs a side-effect-only script (DDL/INSERT, no SELECT) through
+// /query, failing if the server streamed rows instead of acknowledging.
+func (c *Client) Exec(sql string) error {
+	return c.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec under a context.
+func (c *Client) ExecContext(ctx context.Context, sql string) error {
+	res, err := c.QueryContext(ctx, QueryRequest{SQL: sql})
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return fmt.Errorf("exec: script streamed %d rows instead of acknowledging (does it contain a SELECT?)", len(res.Rows))
+	}
+	return nil
+}
+
+// StoreModel stores a serialized pipeline (ml.Marshal bytes) via POST
+// /model — the replication path for models.
+func (c *Client) StoreModel(ctx context.Context, req ModelRequest) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	resp, err := c.postJSON(ctx, "/model", req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	return nil
+}
+
 // Prepare posts to /prepare.
 func (c *Client) Prepare(req QueryRequest) (*PrepareResponse, error) {
-	resp, err := c.postJSON("/prepare", req)
+	return c.PrepareContext(context.Background(), req)
+}
+
+// PrepareContext is Prepare under a context.
+func (c *Client) PrepareContext(ctx context.Context, req QueryRequest) (*PrepareResponse, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	resp, err := c.postJSON(ctx, "/prepare", req)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +160,14 @@ func (c *Client) Prepare(req QueryRequest) (*PrepareResponse, error) {
 
 // StmtQuery executes a prepared statement by id.
 func (c *Client) StmtQuery(id string, req QueryRequest) (*StreamResult, error) {
-	resp, err := c.postJSON("/stmt/"+id+"/query", req)
+	return c.StmtQueryContext(context.Background(), id, req)
+}
+
+// StmtQueryContext is StmtQuery under a context.
+func (c *Client) StmtQueryContext(ctx context.Context, id string, req QueryRequest) (*StreamResult, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	resp, err := c.postJSON(ctx, "/stmt/"+id+"/query", req)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +176,14 @@ func (c *Client) StmtQuery(id string, req QueryRequest) (*StreamResult, error) {
 
 // CloseStmt deletes a prepared statement.
 func (c *Client) CloseStmt(id string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.Base+"/stmt/"+id, nil)
+	return c.CloseStmtContext(context.Background(), id)
+}
+
+// CloseStmtContext is CloseStmt under a context.
+func (c *Client) CloseStmtContext(ctx context.Context, id string) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/stmt/"+id, nil)
 	if err != nil {
 		return err
 	}
@@ -121,7 +200,18 @@ func (c *Client) CloseStmt(id string) error {
 
 // Stats fetches /stats.
 func (c *Client) Stats() (*StatsResponse, error) {
-	resp, err := c.httpClient().Get(c.Base + "/stats")
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats under a context.
+func (c *Client) StatsContext(ctx context.Context) (*StatsResponse, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -138,19 +228,47 @@ func (c *Client) Stats() (*StatsResponse, error) {
 
 // Healthz fetches /healthz, returning the reported status string.
 func (c *Client) Healthz() (string, error) {
-	resp, err := c.httpClient().Get(c.Base + "/healthz")
-	if err != nil {
+	h, err := c.Health(context.Background())
+	if h == nil {
 		return "", err
+	}
+	return h.Status, err
+}
+
+// Health fetches /healthz as the full Health probe: status plus the
+// catalog version and scheduler load the cluster reconciler reads every
+// probe interval. On 503 the parsed Health is returned alongside the
+// HTTPError, so a draining replica's probe still carries its signals.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
-	var m map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return "", err
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return m["status"], &HTTPError{Status: resp.StatusCode, Msg: m["status"]}
+		return &h, &HTTPError{Status: resp.StatusCode, Msg: h.Status}
 	}
-	return m["status"], nil
+	return &h, nil
+}
+
+// CatalogVersion reads the replica's catalog version from its health
+// probe (draining replicas still report one).
+func (c *Client) CatalogVersion(ctx context.Context) (uint64, error) {
+	h, err := c.Health(ctx)
+	if h != nil {
+		return h.CatalogVersion, nil
+	}
+	return 0, err
 }
 
 // readStream parses an NDJSON query response (or the unary ExecResponse

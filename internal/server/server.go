@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"raven"
+	"raven/internal/ml"
 )
 
 // Options tunes the server.
@@ -57,6 +58,14 @@ type Options struct {
 	// MaxStatements bounds the server-side prepared-statement registry
 	// (0 = default 1024). POST /prepare past the limit fails with 429.
 	MaxStatements int
+	// DrainGrace is the lame-duck window between advertising draining on
+	// /healthz and refusing queries: Shutdown flips healthz to 503 first,
+	// waits DrainGrace (bounded by the shutdown context), and only then
+	// stops admitting. A fronting router that probes /healthz can stop
+	// routing inside the window, so graceful replica drains cut off zero
+	// in-flight (or about-to-arrive) queries. 0 keeps the old behaviour:
+	// healthz and query paths flip together.
+	DrainGrace time.Duration
 }
 
 // Server serves one raven.DB over HTTP. Create with New, attach with
@@ -71,6 +80,10 @@ type Server struct {
 	stmts  map[string]*stmtEntry
 	nextID uint64
 
+	// lameduck advertises draining on /healthz while query paths still
+	// accept (the probe-visible first phase of a graceful drain);
+	// draining is the second phase, where query paths refuse with 503.
+	lameduck atomic.Bool
 	draining atomic.Bool
 	queries  atomic.Uint64 // query executions started (ad-hoc + prepared)
 	prepares atomic.Uint64
@@ -87,6 +100,7 @@ func New(db *raven.DB, opts Options) *Server {
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("POST /stmt/{id}/query", s.handleStmtQuery)
 	mux.HandleFunc("DELETE /stmt/{id}", s.handleStmtDelete)
+	mux.HandleFunc("POST /model", s.handleStoreModel)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -107,18 +121,50 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.http.Serve(l)
 }
 
-// Shutdown drains gracefully: stop admitting new queries (healthz flips
-// to 503, the engine scheduler refuses admissions), wait for in-flight
-// queries to finish or ctx to expire, then close the HTTP listener
-// (net/http itself waits for active handlers). Safe without Serve, and
-// idempotent.
+// BeginDrain enters the lame-duck phase: /healthz starts reporting
+// draining (503) while the query paths still accept work. Health-probing
+// routers notice and stop routing here, before anything is refused —
+// the first half of a zero-dropped-queries drain. Idempotent; Shutdown
+// calls it implicitly.
+func (s *Server) BeginDrain() { s.lameduck.Store(true) }
+
+// Draining reports whether the server has begun draining (either phase):
+// lame-duck (healthz advertises, queries still run) or full drain.
+func (s *Server) Draining() bool { return s.lameduck.Load() || s.draining.Load() }
+
+// Shutdown drains gracefully in two phases. First the lame-duck window:
+// healthz flips to 503 (see BeginDrain) while queries still run, for
+// Options.DrainGrace (bounded by ctx) — long enough for a fronting
+// router's next health probe to stop routing here. Then the real drain:
+// stop admitting new queries (the engine scheduler refuses admissions),
+// wait for in-flight queries to finish or ctx to expire, and close the
+// HTTP listener (net/http itself waits for active handlers). Safe
+// without Serve, and idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	if g := s.opts.DrainGrace; g > 0 && !s.draining.Load() {
+		t := time.NewTimer(g)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
 	s.draining.Store(true)
 	drainErr := s.db.Drain(ctx)
 	if err := s.http.Shutdown(ctx); err != nil && drainErr == nil {
 		drainErr = err
 	}
 	return drainErr
+}
+
+// Abort closes the listener and every active connection immediately —
+// no drain, responses cut mid-stream. It exists so crash-recovery tests
+// can take a replica down the way a crash would; production shutdown is
+// Shutdown.
+func (s *Server) Abort() error {
+	s.draining.Store(true)
+	return s.http.Close()
 }
 
 // ---- wire types ----
@@ -213,6 +259,33 @@ type Trailer struct {
 // pre-stream failure, where it travels with a real error status code).
 type ErrorLine struct {
 	Error string `json:"error"`
+}
+
+// Health is the body of GET /healthz: liveness plus the cheap load and
+// version signals a cluster router's probe loop needs without paying for
+// a full /stats snapshot. Status "ok" travels with 200; "draining" with
+// 503 from the moment a graceful drain begins (lame-duck phase
+// included, so probes stop routing before queries are refused).
+type Health struct {
+	Status string `json:"status"`
+	// CatalogVersion lets a router detect replica divergence (missed DDL,
+	// lost state after a restart) from the probe alone.
+	CatalogVersion uint64 `json:"catalog_version"`
+	// Queue and Active are the admission scheduler's live gauges (zero
+	// without a scheduler); routers spill traffic away from replicas
+	// whose queue is deep.
+	Queue  int `json:"queue"`
+	Active int `json:"active"`
+}
+
+// ModelRequest is the body of POST /model: a serialized pipeline stored
+// under Name (the wire form of DB.StoreModel, so models replicate over
+// the same protocol as DDL). Data is the gob-encoded pipeline
+// (base64 in JSON).
+type ModelRequest struct {
+	Name   string `json:"name"`
+	Data   []byte `json:"data"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ServerStats is the server-level half of GET /stats.
@@ -566,12 +639,59 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if s.draining.Load() {
+	load := s.db.SchedulerLoad()
+	h := Health{
+		Status:         "ok",
+		CatalogVersion: s.db.CatalogVersion(),
+		Queue:          load.Waiting,
+		Active:         load.Active,
+	}
+	// Lame-duck counts: probes must see draining while queries still run,
+	// so routers stop routing before anything is refused.
+	if s.Draining() {
+		h.Status = "draining"
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+	}
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleStoreModel is the wire form of DB.StoreModel: it validates the
+// serialized pipeline and stores it under the given name, bumping the
+// catalog version (which invalidates stale plans and sessions exactly
+// like the embedded API). Routers use it to replicate models to every
+// replica alongside DDL. The store runs under a cost-1 admission slot
+// billed to the request's tenant — deserializing and validating a model
+// is front-half CPU like any compile.
+func (s *Server) handleStoreModel(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, raven.ErrDraining)
 		return
 	}
-	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	var req ModelRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Name == "" || len(req.Data) == 0 {
+		writeError(w, errors.New("missing model name or data"))
+		return
+	}
+	tenant := req.Tenant
+	if h := r.Header.Get("X-Raven-Tenant"); h != "" {
+		tenant = h
+	}
+	p, err := ml.Unmarshal(req.Data)
+	if err != nil {
+		writeError(w, fmt.Errorf("bad model payload: %w", err))
+		return
+	}
+	ctx, cancel := s.queryCtx(r, &QueryRequest{})
+	defer cancel()
+	if err := s.db.StoreModelContext(raven.ContextWithTenant(ctx, tenant, 0), req.Name, p); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, ExecResponse{OK: true})
 }
 
 // ---- streaming ----
@@ -668,6 +788,12 @@ func paramList(m map[string]string) []raven.Param {
 // reports "Query needs a SELECT", exactly what the engine's ad-hoc
 // surface does for that script; parse errors surface from whichever
 // path runs.
+// ScriptMayHaveSelect is scriptMayHaveSelect for other packages: the
+// cluster router classifies scripts with the same scan the server uses,
+// so the two never disagree about whether a script is a read (route to
+// one replica) or a pure side-effect script (replicate to all).
+func ScriptMayHaveSelect(script string) bool { return scriptMayHaveSelect(script) }
+
 func scriptMayHaveSelect(script string) bool {
 	up := strings.ToUpper(script)
 	for i := 0; ; {

@@ -396,6 +396,27 @@ type SchedulerStats = sched.Stats
 // is off) for stats and graceful drain.
 func (db *DB) Scheduler() *QueryScheduler { return db.sched }
 
+// SchedulerLoad is the scheduler's cheap load signal (see sched.Load),
+// aliased so API consumers can name it without importing internal
+// packages.
+type SchedulerLoad = sched.Load
+
+// SchedulerLoad snapshots the admission controller's live gauges —
+// queue depth above all — without the per-tenant allocation a full
+// Stats call pays. The zero Load is returned when admission control is
+// off (an unscheduled engine is never saturated). Health probes use it.
+func (db *DB) SchedulerLoad() SchedulerLoad {
+	if db.sched == nil {
+		return SchedulerLoad{}
+	}
+	return db.sched.Load()
+}
+
+// CatalogVersion is the catalog's monotonic version counter, bumped on
+// every DDL, unique-key change and model store. Cluster routers read it
+// back after replicating side effects to detect replica divergence.
+func (db *DB) CatalogVersion() uint64 { return db.catalog.Version() }
+
 // effectiveParallelism is the DOP a query actually lowers with: the
 // requested (or engine default) DOP, capped by the scheduler's worker
 // slot budget and — when the call's tenant is declared with a slot
@@ -600,6 +621,22 @@ func (db *DB) StoreModel(name string, p *ml.Pipeline) error {
 	}
 	db.catalog.BumpVersion()
 	return nil
+}
+
+// StoreModelContext is StoreModel under a context: with admission
+// control enabled the store runs under a cost-1 slot billed to the
+// context's tenant tag (ContextWithTenant), so wire-replicated model
+// stores cannot bypass the scheduler any more than DDL scripts can.
+func (db *DB) StoreModelContext(ctx context.Context, name string, p *ml.Pipeline) error {
+	release, err := db.admitN(ctx, 1, QueryOptions{})
+	if err != nil {
+		return err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return db.StoreModel(name, p)
 }
 
 // StoreModelScript statically analyzes a Python pipeline script (paper
