@@ -400,6 +400,119 @@ func TestDrainUnderLoad(t *testing.T) {
 	assertGoroutinesReturn(t, base)
 }
 
+// TestFailingReplicationEntry: a side-effect script that every replica
+// rejects (here: a duplicate CREATE TABLE, a terminal 400) must fail
+// fast with the replica's verdict and leave the cluster untouched. The
+// regression this pins down: the entry used to be appended to the
+// never-truncated log before fan-out, so one bad DDL degraded every
+// member and the reconciler replayed the failing entry forever — no
+// member ever returned to healthy and all reads died.
+func TestFailingReplicationEntry(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx := context.Background()
+	tc := newTestCluster(t, 2)
+	tc.seedData(t, 16)
+
+	head := tc.rt.logHead()
+	err := tc.c.Exec("CREATE TABLE pts (id INT, x FLOAT, y FLOAT)")
+	var he *server.HTTPError
+	if err == nil || !asHTTP(err, &he) || he.Status != http.StatusBadRequest {
+		t.Fatalf("duplicate CREATE through router: got %v, want the replica's 400 back", err)
+	}
+	if got := tc.rt.logHead(); got != head {
+		t.Fatalf("failing entry entered the replication log: head %d -> %d", head, got)
+	}
+
+	// Nobody was degraded by the bad script and reconciling stays
+	// converged: reads keep working cluster-wide.
+	tc.rt.ProbeNow(ctx)
+	st := tc.rt.Stats(ctx)
+	if st.Router.Healthy != 2 {
+		t.Fatalf("healthy = %d after a rejected script, want 2", st.Router.Healthy)
+	}
+	for _, mi := range st.Members {
+		if mi.State != "healthy" {
+			t.Fatalf("member %s state = %s after a rejected script, want healthy", mi.Name, mi.State)
+		}
+	}
+	if _, err := tc.c.Query(server.QueryRequest{SQL: testQuery}); err != nil {
+		t.Fatalf("read after rejected script: %v", err)
+	}
+
+	// Replication still works afterwards — the log was not poisoned.
+	if err := tc.c.Exec("CREATE TABLE after_bad (id INT); INSERT INTO after_bad VALUES (1)"); err != nil {
+		t.Fatalf("good DDL after rejected script: %v", err)
+	}
+	for i, r := range tc.reps {
+		rc := &server.Client{Base: r.Base, Timeout: 5 * time.Second}
+		res, err := rc.Query(server.QueryRequest{SQL: "SELECT COUNT(*) AS n FROM after_bad"})
+		if err != nil {
+			t.Fatalf("replica %d missing post-failure table: %v", i, err)
+		}
+		if fmt.Sprint(res.Rows[0][0]) != "1" {
+			t.Fatalf("replica %d: after_bad has %v rows, want 1", i, res.Rows[0][0])
+		}
+	}
+
+	tc.close(t)
+	assertGoroutinesReturn(t, base)
+}
+
+// TestHeaderTagsForwarded: the router must forward X-Raven-Tenant and
+// X-Raven-Priority to the replica. The replica gives headers precedence
+// over the body exactly so a fronting proxy can tag untrusted clients —
+// if the router drops them it routes by the header tenant while the
+// replica admits and bills the (often empty) body tenant, silently
+// bypassing per-tenant quotas and priority.
+func TestHeaderTagsForwarded(t *testing.T) {
+	var mu sync.Mutex
+	var gotTenant, gotPriority string
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.Health{Status: "ok", CatalogVersion: 1})
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		gotTenant = r.Header.Get("X-Raven-Tenant")
+		gotPriority = r.Header.Get("X-Raven-Priority")
+		mu.Unlock()
+		fmt.Fprint(w, `{"columns":["a"],"types":["INT"]}`+"\n[1]\n"+`{"rows":1,"compile_ms":0,"exec_ms":0}`+"\n")
+	})
+	rep := httptest.NewServer(mux)
+	defer rep.Close()
+
+	rt := New(Options{})
+	defer rt.Close()
+	if err := rt.AddMember("only", rep.URL); err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeNow(context.Background())
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/query",
+		strings.NewReader(`{"sql":"SELECT a FROM t"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Raven-Tenant", "alice")
+	req.Header.Set("X-Raven-Priority", "7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed query: status %d", resp.StatusCode)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotTenant != "alice" || gotPriority != "7" {
+		t.Fatalf("replica saw tenant=%q priority=%q, want alice/7 — admission headers dropped in proxying", gotTenant, gotPriority)
+	}
+}
+
 // TestHedgedRequests: with hedging on, a read whose first replica
 // stalls past the observed p99 is raced on the second and the fast
 // response wins.

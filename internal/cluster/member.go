@@ -101,6 +101,17 @@ func (m *member) forgetStmts() {
 // bursts onto the replicas.
 func (rt *Router) run() {
 	defer close(rt.loopDone)
+	// The loop context dies with the router, not with a tick: probes
+	// bound themselves with ProbeTimeout and repair replays with
+	// ApplyTimeout per entry, so a long catch-up (restarted replica, slow
+	// TRAIN entries) is not squeezed into one probe budget — but Close
+	// still cuts it off promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-rt.stop
+		cancel()
+	}()
 	for {
 		iv := rt.opts.ProbeInterval
 		jit := time.Duration(rand.Int63n(int64(iv)/2+1)) - iv/4
@@ -111,9 +122,7 @@ func (rt *Router) run() {
 			return
 		case <-t.C:
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
 		rt.reconcile(ctx)
-		cancel()
 	}
 }
 
@@ -142,9 +151,16 @@ func (rt *Router) reconcile(ctx context.Context) {
 	wg.Wait()
 }
 
-// probeMember observes one replica and converges its state.
+// probeMember observes one replica and converges its state. Only the
+// health probe itself runs under ProbeTimeout; a repair replay gets
+// ApplyTimeout per entry (via applyEntry) and resumes from appliedSeq,
+// so a replica with a long or slow log to catch up on converges over
+// however many passes it needs instead of failing each one at the
+// probe deadline.
 func (rt *Router) probeMember(ctx context.Context, m *member) {
-	h, err := m.c.Health(ctx)
+	pctx, pcancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
+	h, err := m.c.Health(pctx)
+	pcancel()
 	now := time.Now()
 
 	if err != nil && h == nil {

@@ -73,19 +73,73 @@ func (rt *Router) entriesAfter(after uint64) []logEntry {
 	return tail
 }
 
-// replicate appends a side effect to the log and fans it out to every
-// registered member. It succeeds if at least one member applied the
-// entry and no *healthy* member failed; members that fail are marked
-// degraded (the reconciler replays the log to them before they take
-// traffic again), so a replica being down does not block DDL for the
-// rest of the cluster — it just has catching up to do.
+// replicate validates a side effect on one replica, appends it to the
+// log, then fans it out to every other member. The validation apply
+// runs BEFORE the entry exists anywhere: a script that is simply wrong
+// (bad SQL, duplicate CREATE TABLE — the replica answers a terminal
+// 4xx) fails fast with that replica's verdict, never enters the log,
+// and so never degrades healthy members or gets replayed by the
+// reconciler. replMu serializes replications so the validated entry's
+// seq directly follows what the validating replica already applied.
+// Fan-out members that fail are marked degraded (the reconciler replays
+// the log to them before they take traffic again), so a replica being
+// down does not block DDL for the rest of the cluster — it just has
+// catching up to do.
 func (rt *Router) replicate(ctx context.Context, e logEntry) error {
-	entry := rt.appendEntry(e)
+	rt.replMu.Lock()
+	defer rt.replMu.Unlock()
+
 	members := rt.snapshotMembers()
 	if len(members) == 0 {
 		return errors.New("no replicas registered")
 	}
 
+	// Validation candidates: routable (fully-applied) members first —
+	// their verdict on the entry is authoritative — then any reachable
+	// member as a fallback when nothing is routable. A transient failure
+	// moves on to the next candidate; a terminal one is the answer.
+	var primary *member
+	var lastErr error
+	for _, routableOnly := range []bool{true, false} {
+		for _, m := range members {
+			if routableOnly != m.routable() || m.getState() == StateDown {
+				continue
+			}
+			if lastErr = rt.applyEntry(ctx, m, &e); lastErr == nil {
+				primary = m
+				break
+			}
+			if !server.Transient(lastErr) {
+				return fmt.Errorf("replicating %s: replica %s: %w", e.describe(), m.name, lastErr)
+			}
+		}
+		if primary != nil {
+			break
+		}
+	}
+	if primary == nil {
+		if lastErr == nil {
+			return errors.New("no reachable replicas")
+		}
+		return fmt.Errorf("replicating %s: %w", e.describe(), lastErr)
+	}
+
+	entry := rt.appendEntry(e)
+	// The validating replica already applied this entry; record that so
+	// fan-out does not replay it there. replMu guarantees no entry was
+	// appended in between, so a fully-caught-up primary sits exactly one
+	// seq behind; a behind (non-routable fallback) primary keeps its
+	// replay position and the terminal-skip in syncMember absorbs the
+	// eventual duplicate apply.
+	primary.applyMu.Lock()
+	if primary.appliedSeq == entry.seq-1 {
+		primary.appliedSeq = entry.seq
+	}
+	primary.applyMu.Unlock()
+
+	// Fan out. The entry is already durable on the primary, so stragglers
+	// do not fail the request — they are degraded and repaired by the
+	// reconciler's replay instead.
 	type result struct {
 		m   *member
 		err error
@@ -96,12 +150,9 @@ func (rt *Router) replicate(ctx context.Context, e logEntry) error {
 			results <- result{m, rt.syncMember(ctx, m)}
 		}(m)
 	}
-	applied := 0
-	var failed []string
 	for range members {
 		r := <-results
 		if r.err == nil {
-			applied++
 			continue
 		}
 		// Down members were already not routable; reachable ones that
@@ -109,44 +160,62 @@ func (rt *Router) replicate(ctx context.Context, e logEntry) error {
 		if r.m.getState() == StateHealthy {
 			r.m.setState(StateDegraded)
 		}
-		failed = append(failed, fmt.Sprintf("%s: %v", r.m.name, r.err))
-	}
-	if applied == 0 {
-		return fmt.Errorf("replicating %s failed on all %d replicas: %s",
-			entry.describe(), len(members), strings.Join(failed, "; "))
 	}
 	return nil
+}
+
+// applyEntry applies one log entry to one member, retrying transient
+// failures. Each call runs under its own ApplyTimeout-derived deadline,
+// independent of the probe interval and the default client timeout, so
+// slow entries (a long TRAIN, a large model upload) get a real budget
+// both on the fan-out path and during reconciler repair.
+func (rt *Router) applyEntry(ctx context.Context, m *member, e *logEntry) error {
+	actx, cancel := context.WithTimeout(ctx, rt.opts.ApplyTimeout)
+	defer cancel()
+	if e.kind == entryModel {
+		return rt.opts.Retry.Do(actx, server.Transient, func() error {
+			return m.c.StoreModel(actx, server.ModelRequest{Name: e.name, Data: e.data, Tenant: e.tenant})
+		})
+	}
+	return rt.opts.Retry.Do(actx, server.Transient, func() error {
+		res, qerr := m.c.QueryContext(actx, server.QueryRequest{SQL: e.sql, Tenant: e.tenant})
+		if qerr != nil {
+			return qerr
+		}
+		if !res.OK {
+			return fmt.Errorf("side-effect script streamed %d rows", len(res.Rows))
+		}
+		return nil
+	})
 }
 
 // syncMember replays the log tail this member has not applied yet, in
 // order, and reads back the catalog version. applyMu makes it safe to
 // call concurrently from the fan-out path and the reconciler: whoever
 // gets there first applies the entries, the other finds appliedSeq
-// already at head and just re-reads the version.
+// already at head and just re-reads the version. appliedSeq advances
+// per entry, so a replay cut short (context expiry, replica blip)
+// resumes where it stopped instead of re-paying the prefix.
 func (rt *Router) syncMember(ctx context.Context, m *member) error {
 	m.applyMu.Lock()
 	defer m.applyMu.Unlock()
 
 	for _, e := range rt.entriesAfter(m.appliedSeq) {
-		var err error
-		switch e.kind {
-		case entryScript:
-			err = rt.opts.Retry.Do(ctx, server.Transient, func() error {
-				res, qerr := m.c.QueryContext(ctx, server.QueryRequest{SQL: e.sql, Tenant: e.tenant})
-				if qerr != nil {
-					return qerr
-				}
-				if !res.OK {
-					return fmt.Errorf("side-effect script streamed %d rows", len(res.Rows))
-				}
-				return nil
-			})
-		case entryModel:
-			err = rt.opts.Retry.Do(ctx, server.Transient, func() error {
-				return m.c.StoreModel(ctx, server.ModelRequest{Name: e.name, Data: e.data, Tenant: e.tenant})
-			})
-		}
-		if err != nil {
+		if err := rt.applyEntry(ctx, m, &e); err != nil {
+			// Entries are validated on a replica before they enter the
+			// log, so a terminal 4xx verdict here means THIS replica has
+			// diverged (direct writes, a double-applied fallback
+			// validation) — retrying the same entry on every reconcile
+			// pass can never succeed and would wedge the member in
+			// degraded forever. Skip past it; the divergence stays
+			// visible in the log_skipped counter and the catalog-version
+			// read-back.
+			var he *server.HTTPError
+			if !server.Transient(err) && errors.As(err, &he) && he.Status >= 400 && he.Status < 500 {
+				rt.skipped.Add(1)
+				m.appliedSeq = e.seq
+				continue
+			}
 			return fmt.Errorf("apply entry %d (%s): %w", e.seq, e.describe(), err)
 		}
 		m.appliedSeq = e.seq

@@ -22,8 +22,16 @@ type Options struct {
 	// ProbeInterval is the reconciler's base tick (default 250ms); each
 	// tick is jittered ±25% so probe bursts never synchronize.
 	ProbeInterval time.Duration
-	// ProbeTimeout bounds one reconcile pass (default 2s).
+	// ProbeTimeout bounds one health probe (default 2s). Repair replays
+	// triggered by a probe run under ApplyTimeout per entry instead, so
+	// a replica with a long log to catch up on is not required to do it
+	// inside one probe budget.
 	ProbeTimeout time.Duration
+	// ApplyTimeout bounds applying a single replication-log entry to one
+	// replica (default 2m) — fan-out and reconciler repair both. Slow
+	// entries (a long TRAIN, a large model upload) need a budget
+	// decoupled from probe cadence and the general ClientTimeout.
+	ApplyTimeout time.Duration
 	// FailThreshold is how many consecutive probe failures mark a
 	// member down (default 2 — one blip is a restarting listener).
 	FailThreshold int
@@ -56,6 +64,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.ApplyTimeout <= 0 {
+		o.ApplyTimeout = 2 * time.Minute
 	}
 	if o.FailThreshold <= 0 {
 		o.FailThreshold = 2
@@ -94,6 +105,11 @@ type Router struct {
 	stmts   map[string]*routerStmt
 	nextID  uint64
 
+	// replMu serializes replications: validate-on-one, append, fan-out
+	// is one critical section, so the validating replica's position and
+	// the new entry's seq cannot be interleaved by a concurrent DDL.
+	replMu sync.Mutex
+
 	lat latWindow
 
 	stop     chan struct{}
@@ -104,6 +120,7 @@ type Router struct {
 	routed, spilled, retried atomic.Uint64
 	hedged, hedgeWins        atomic.Uint64
 	reprepared, repairs      atomic.Uint64
+	skipped                  atomic.Uint64
 }
 
 // routerStmt is a router-side prepared statement: the prepare request
@@ -307,8 +324,12 @@ func (a *attempt) discard() {
 }
 
 // tryMember issues the request to one member and waits for the
-// response header.
-func (rt *Router) tryMember(ctx context.Context, m *member, path string, body []byte) attempt {
+// response header. The client's admission headers are forwarded: the
+// replica gives X-Raven-Tenant / X-Raven-Priority precedence over the
+// body exactly so a fronting proxy can tag untrusted clients, and this
+// router is that proxy — dropping them would route by the header tenant
+// while the replica admits and bills the (often empty) body tenant.
+func (rt *Router) tryMember(ctx context.Context, m *member, path string, body []byte, hdr http.Header) attempt {
 	actx, cancel := context.WithCancel(ctx)
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, m.base+path, bytes.NewReader(body))
 	if err != nil {
@@ -316,6 +337,13 @@ func (rt *Router) tryMember(ctx context.Context, m *member, path string, body []
 		return attempt{m: m, err: err, cancel: func() {}}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if hdr != nil {
+		for _, h := range []string{"X-Raven-Tenant", "X-Raven-Priority"} {
+			if v := hdr.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+	}
 	m.inflight.Add(1)
 	resp, err := rt.opts.HTTP.Do(req)
 	m.inflight.Add(-1)
@@ -377,7 +405,7 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, tenant strin
 			continue
 		}
 		start := time.Now()
-		a := rt.tryMember(ctx, m, path, body)
+		a := rt.tryMember(ctx, m, path, body, r.Header)
 		if i == 0 && a.err == nil && a.resp != nil && a.resp.StatusCode == http.StatusOK {
 			rt.lat.record(time.Since(start))
 		}
@@ -446,13 +474,13 @@ func (rt *Router) relay(w http.ResponseWriter, a attempt) {
 // fire on targets[1], take whichever returns a usable header first and
 // cancel the other. Used only for the first attempt of reads — every
 // later attempt is already a retry.
-func (rt *Router) hedgedFirst(ctx context.Context, targets []*member, path0, path1 string, body []byte) attempt {
+func (rt *Router) hedgedFirst(ctx context.Context, targets []*member, path0, path1 string, body []byte, hdr http.Header) attempt {
 	delay := rt.lat.p99()
 	results := make(chan attempt, 2)
 	hctx, hcancel := context.WithCancel(ctx)
 	launch := func(m *member, path string) {
 		go func() {
-			a := rt.tryMember(hctx, m, path, body)
+			a := rt.tryMember(hctx, m, path, body, hdr)
 			results <- a
 		}()
 	}
@@ -541,7 +569,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// it at the router rather than silently diverge the cluster.
 	if !server.ScriptMayHaveSelect(req.SQL) {
 		if err := rt.replicate(r.Context(), logEntry{kind: entryScript, sql: req.SQL, tenant: tenant}); err != nil {
-			writeJSON(w, http.StatusBadGateway, server.ErrorLine{Error: err.Error()})
+			writeJSON(w, replicateStatus(err), server.ErrorLine{Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, server.ExecResponse{OK: true})
@@ -555,9 +583,9 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	pathFor := func(context.Context, *member) (string, error) { return "/query", nil }
 	targets := rt.targetsFor(tenant)
 	if rt.opts.Hedge && len(targets) >= 2 && rt.lat.size() >= rt.opts.HedgeMinSamples {
-		rt.routed.Add(1)
-		a := rt.hedgedFirst(r.Context(), targets, "/query", "/query", body)
+		a := rt.hedgedFirst(r.Context(), targets, "/query", "/query", body, r.Header)
 		if a.err == nil {
+			rt.routed.Add(1) // served here; the fall-through path is counted by proxyRead
 			rt.relay(w, a)
 			return
 		}
@@ -578,10 +606,22 @@ func (rt *Router) handleStoreModel(w http.ResponseWriter, r *http.Request) {
 	}
 	tenant := requestTenant(r, req.Tenant)
 	if err := rt.replicate(r.Context(), logEntry{kind: entryModel, name: req.Name, data: req.Data, tenant: tenant}); err != nil {
-		writeJSON(w, http.StatusBadGateway, server.ErrorLine{Error: err.Error()})
+		writeJSON(w, replicateStatus(err), server.ErrorLine{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, server.ExecResponse{OK: true})
+}
+
+// replicateStatus maps a replication failure to a response status: a
+// replica's own 4xx verdict on the entry (bad SQL everywhere → 400) is
+// the client's error and passes through; anything else — transport
+// failures, replica 5xx — is infrastructure, 502.
+func replicateStatus(err error) int {
+	var he *server.HTTPError
+	if errors.As(err, &he) && he.Status >= 400 && he.Status < 500 {
+		return he.Status
+	}
+	return http.StatusBadGateway
 }
 
 func (rt *Router) handlePrepare(w http.ResponseWriter, r *http.Request) {
@@ -724,16 +764,21 @@ func (rt *Router) handleStmtDelete(w http.ResponseWriter, r *http.Request) {
 
 // RouterStats is the router's own half of cluster stats.
 type RouterStats struct {
-	Members    int     `json:"members"`
-	Healthy    int     `json:"healthy"`
-	Routed     uint64  `json:"routed"`
-	Spilled    uint64  `json:"spilled"`
-	Retried    uint64  `json:"retried"`
-	Hedged     uint64  `json:"hedged"`
-	HedgeWins  uint64  `json:"hedge_wins"`
-	Reprepared uint64  `json:"reprepared"`
-	Repairs    uint64  `json:"repairs"`
-	LogEntries uint64  `json:"log_entries"`
+	Members    int    `json:"members"`
+	Healthy    int    `json:"healthy"`
+	Routed     uint64 `json:"routed"`
+	Spilled    uint64 `json:"spilled"`
+	Retried    uint64 `json:"retried"`
+	Hedged     uint64 `json:"hedged"`
+	HedgeWins  uint64 `json:"hedge_wins"`
+	Reprepared uint64 `json:"reprepared"`
+	Repairs    uint64 `json:"repairs"`
+	LogEntries uint64 `json:"log_entries"`
+	// LogSkipped counts entries a diverged replica could not apply
+	// (terminal 4xx during replay) and was advanced past instead of
+	// being wedged in degraded forever. Non-zero means replica state
+	// has drifted from the log.
+	LogSkipped uint64  `json:"log_skipped"`
 	Statements int     `json:"statements"`
 	P99Millis  float64 `json:"p99_ms"`
 }
@@ -811,6 +856,7 @@ func (rt *Router) Stats(ctx context.Context) ClusterStats {
 			Reprepared: rt.reprepared.Load(),
 			Repairs:    rt.repairs.Load(),
 			LogEntries: entries,
+			LogSkipped: rt.skipped.Load(),
 			Statements: stmts,
 			P99Millis:  float64(rt.lat.p99()) / float64(time.Millisecond),
 		},
