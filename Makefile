@@ -70,35 +70,39 @@ bench:
 	$(GO) run ./cmd/ravenbench -quick
 
 # bench-quick smoke-runs the pipeline-breaker ablation, the serving
-# concurrency ablation, the multi-tenant isolation ablation and the
-# cluster scale-out/drain experiment and records all four, so `make ci`
-# catches breaker regressions (a breaker that silently serializes or
-# errors), serving regressions (admission breach, wire-path breakage),
-# tenant regressions (quota breach, starved tenant) and cluster
-# regressions (dropped or diverged queries during a graceful drain)
-# without paying for the full paper suite. BENCH_JSON /
-# BENCH_SERVE_JSON / BENCH_TENANT_JSON / BENCH_CLUSTER_JSON are where
+# concurrency ablation, the multi-tenant isolation ablation, the
+# cluster scale-out/drain experiment and the result-cache experiment
+# and records all of them, so `make ci` catches breaker regressions (a
+# breaker that silently serializes or errors), serving regressions
+# (admission breach, wire-path breakage), tenant regressions (quota
+# breach, starved tenant), cluster regressions (dropped or diverged
+# queries during a graceful drain) and cache regressions (a stale read,
+# a lost hit speedup, a cached read consuming a scheduler slot) without
+# paying for the full paper suite. BENCH_JSON / BENCH_SERVE_JSON /
+# BENCH_TENANT_JSON / BENCH_CLUSTER_JSON / BENCH_CACHE_JSON are where
 # the tables are recorded; `make ci` points them at untracked scratch
 # paths so routine CI runs don't churn the checked-in BENCH_*.json
 # files — regenerate those deliberately with a plain `make bench-quick`.
 # bench-check then validates the recordings (including the cluster
-# drain-proof note), so a silently-empty bench run fails the gate
-# instead of committing a hollow BENCH file.
+# drain-proof and cache stale=0 notes), so a silently-empty bench run
+# fails the gate instead of committing a hollow BENCH file.
 BENCH_JSON ?= BENCH_parallel_breakers.json
 BENCH_SCALING_JSON ?= BENCH_parallel_scaling.json
 BENCH_SERVE_JSON ?= BENCH_serve.json
 BENCH_TENANT_JSON ?= BENCH_tenant.json
 BENCH_CLUSTER_JSON ?= BENCH_cluster.json
+BENCH_CACHE_JSON ?= BENCH_cache.json
 bench-quick:
 	$(GO) run ./cmd/ravenbench -quick -only ParallelBreakers -json $(BENCH_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ParallelScaling -json $(BENCH_SCALING_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ServeConcurrency -json $(BENCH_SERVE_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only MultiTenantServe -json $(BENCH_TENANT_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ClusterServe -json $(BENCH_CLUSTER_JSON)
+	$(GO) run ./cmd/ravenbench -quick -only CachedServe -json $(BENCH_CACHE_JSON)
 	@$(MAKE) bench-check
 
 bench-check:
-	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SCALING_JSON):ParallelScaling,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe,$(BENCH_CLUSTER_JSON):ClusterServe"
+	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SCALING_JSON):ParallelScaling,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe,$(BENCH_CLUSTER_JSON):ClusterServe,$(BENCH_CACHE_JSON):CachedServe"
 
 # bench-micro runs the data-plane micro-benchmarks (typed kernels, vector
 # pooling, gather) with allocation reporting.
@@ -109,4 +113,4 @@ bench-micro:
 # `make test` (same tests, plus the coverage floor and cover.out), so
 # the gate is cover + race rather than test + race + a separate cover.
 ci: fmt-check build vet cover race smoke smoke-serve smoke-cluster
-	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json BENCH_CLUSTER_JSON=.bench_cluster_ci.json
+	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json BENCH_CLUSTER_JSON=.bench_cluster_ci.json BENCH_CACHE_JSON=.bench_cache_ci.json

@@ -9,7 +9,7 @@
 //	ravenserved [-addr :8080] [-rows N] [-parallelism N] [-morsel N]
 //	            [-max-queries N] [-max-slots N] [-queue N] [-queue-timeout D]
 //	            [-query-timeout D] [-drain-timeout D] [-drain-grace D]
-//	            [-tenant name=maxq[:maxslots] ...]
+//	            [-result-cache-bytes N] [-tenant name=maxq[:maxslots] ...]
 //	            [-default-tenant NAME] [-preload] [-selftest]
 //
 // Tenant quotas declare the multi-tenant serving policy at boot: each
@@ -109,6 +109,7 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "default per-query deadline for requests without timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 	drainGrace := flag.Duration("drain-grace", 2*time.Second, "lame-duck window on shutdown: healthz advertises draining while queries are still accepted, so routers re-route before admission closes (0 = cut over immediately)")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "semantic result cache budget in bytes: repeated read-only queries are served from cache, before admission, until DDL/INSERT/model stores invalidate them (0 = off)")
 	var tenants tenantQuotaFlags
 	flag.Var(&tenants, "tenant", "declare a tenant quota as name=maxQueries[:maxSlots] (repeatable; 0 queries shuts the tenant off; requires -max-queries > 0)")
 	defaultTenant := flag.String("default-tenant", "", "tenant untagged requests bill to (default \"default\")")
@@ -123,6 +124,9 @@ func main() {
 	opts := []raven.Option{
 		raven.WithParallelism(*parallelism),
 		raven.WithMorselSize(*morsel),
+	}
+	if *resultCacheBytes > 0 {
+		opts = append(opts, raven.WithResultCache(*resultCacheBytes))
 	}
 	if *maxQueries > 0 {
 		opts = append(opts,

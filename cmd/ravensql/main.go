@@ -4,13 +4,26 @@
 //
 // Usage:
 //
-//	ravensql [-rows N] [-file script.sql] [-parallelism N] [-morsel N] [-timeout D]
+//	ravensql [-rows N] [-file script.sql] [-parallelism N] [-morsel N]
+//	         [-timeout D] [-result-cache-bytes N]
 //	echo "SELECT COUNT(*) AS n FROM patient_info" | ravensql
 //
 // Queries run through the streaming serving API (QueryContext): rows print
 // as they arrive and -timeout bounds each SELECT with a context deadline,
 // cancelling mid-scan instead of materializing a doomed result (DDL and
 // INSERT statements are not bounded — DB.Exec takes no context).
+//
+// Lines starting with a backslash are meta commands, processed in script
+// order between statements:
+//
+//	\cache on|off   toggle the semantic result cache for following queries
+//	\cache          print the toggle state and the cache's counters
+//
+// The engine's result cache is built with -result-cache-bytes (default
+// 64MB) but starts toggled off, so scripts behave exactly as before
+// until a \cache on line opts in; repeated SELECT/PREDICT queries after
+// it are served from cache until DDL, INSERT or a model store
+// invalidates them.
 //
 // Preloaded: hospital tables (patient_info, blood_tests, prenatal_tests)
 // with a stored decision-tree model 'duration_of_stay', and the
@@ -39,9 +52,10 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for query execution (0 = GOMAXPROCS, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline for SELECTs (0 = none), e.g. 500ms or 30s; DDL/INSERT statements are not bounded")
+	cacheBytes := flag.Int64("result-cache-bytes", 64<<20, "semantic result cache budget in bytes; the cache starts toggled off — enable it with a \\cache on meta line (0 = never built)")
 	flag.Parse()
 
-	db, err := setup(*rows, *parallelism, *morsel)
+	db, err := setup(*rows, *parallelism, *morsel, *cacheBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup:", err)
 		os.Exit(1)
@@ -58,16 +72,63 @@ func main() {
 		os.Exit(1)
 	}
 
-	for _, stmt := range splitStatements(string(script)) {
-		if err := run(db, stmt, *explain, *timeout); err != nil {
+	// The cache starts off so existing scripts behave identically; the
+	// \cache meta command flips it mid-script.
+	cacheOn := false
+	for _, item := range splitScript(string(script)) {
+		if item.meta {
+			err = runMeta(db, item.text, &cacheOn, *cacheBytes)
+		} else {
+			err = run(db, item.text, *explain, *timeout, cacheOn)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func setup(rows, parallelism, morsel int) (*raven.DB, error) {
-	db := raven.Open(raven.WithParallelism(parallelism), raven.WithMorselSize(morsel))
+// runMeta executes one backslash meta line.
+func runMeta(db *raven.DB, line string, cacheOn *bool, cacheBytes int64) error {
+	fields := strings.Fields(line)
+	switch strings.ToLower(fields[0]) {
+	case `\cache`:
+		if len(fields) == 1 {
+			state := "off"
+			if *cacheOn {
+				state = "on"
+			}
+			fmt.Printf("-- cache %s", state)
+			if st := db.Stats().ResultCache; st != nil {
+				fmt.Printf(" (hits %d, misses %d, %d entries, %d/%d bytes)",
+					st.Hits, st.Misses, st.Entries, st.Bytes, st.MaxBytes)
+			}
+			fmt.Println()
+			return nil
+		}
+		switch strings.ToLower(fields[1]) {
+		case "on":
+			if cacheBytes <= 0 {
+				return fmt.Errorf(`\cache on: no cache was built (ran with -result-cache-bytes 0)`)
+			}
+			*cacheOn = true
+		case "off":
+			*cacheOn = false
+		default:
+			return fmt.Errorf(`\cache: want on, off or no argument, got %q`, fields[1])
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown meta command %q (try \\cache)", fields[0])
+	}
+}
+
+func setup(rows, parallelism, morsel int, cacheBytes int64) (*raven.DB, error) {
+	opts := []raven.Option{raven.WithParallelism(parallelism), raven.WithMorselSize(morsel)}
+	if cacheBytes > 0 {
+		opts = append(opts, raven.WithResultCache(cacheBytes))
+	}
+	db := raven.Open(opts...)
 	h, err := data.GenHospital(db.Catalog(), rows, 4000, 42)
 	if err != nil {
 		return nil, err
@@ -85,6 +146,38 @@ func setup(rows, parallelism, morsel int) (*raven.DB, error) {
 		return nil, err
 	}
 	return db, nil
+}
+
+// scriptItem is one unit of script execution: a SQL statement group or
+// a backslash meta line.
+type scriptItem struct {
+	meta bool
+	text string
+}
+
+// splitScript separates backslash meta lines (processed line-by-line,
+// in order) from the SQL around them, which goes through the usual
+// statement splitter.
+func splitScript(s string) []scriptItem {
+	var out []scriptItem
+	var sql strings.Builder
+	flush := func() {
+		for _, stmt := range splitStatements(sql.String()) {
+			out = append(out, scriptItem{text: stmt})
+		}
+		sql.Reset()
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if t := strings.TrimSpace(line); strings.HasPrefix(t, `\`) {
+			flush()
+			out = append(out, scriptItem{meta: true, text: t})
+			continue
+		}
+		sql.WriteString(line)
+		sql.WriteByte('\n')
+	}
+	flush()
+	return out
 }
 
 // splitStatements breaks the script on top-level semicolons, keeping
@@ -112,7 +205,7 @@ func splitStatements(s string) []string {
 	return out
 }
 
-func run(db *raven.DB, stmt string, explain bool, timeout time.Duration) error {
+func run(db *raven.DB, stmt string, explain bool, timeout time.Duration, cacheOn bool) error {
 	up := strings.ToUpper(strings.TrimSpace(stmt))
 	isQuery := strings.Contains(up, "SELECT") && !strings.HasPrefix(up, "CREATE") && !strings.HasPrefix(up, "INSERT")
 	if !isQuery {
@@ -127,6 +220,11 @@ func run(db *raven.DB, stmt string, explain bool, timeout time.Duration) error {
 		return nil
 	}
 	ctx := context.Background()
+	if !cacheOn {
+		// The engine may hold a result cache (built at -result-cache-bytes)
+		// but the script has not opted in: bypass per query.
+		ctx = raven.ContextWithoutResultCache(ctx)
+	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)

@@ -288,6 +288,38 @@ func TestExperimentsQuick(t *testing.T) {
 		}
 	})
 
+	t.Run("CachedServe", func(t *testing.T) {
+		tb, err := CachedServe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 3 latency series + staleness probe + admission-free row. The
+		// experiment itself fails on a stale read, a sub-10x hit speedup
+		// (non-race builds) or a 429'd cached read — a returned table
+		// already certifies those.
+		if len(tb.Rows) != 5 {
+			t.Fatalf("rows = %d: %+v", len(tb.Rows), tb.Rows)
+		}
+		var staleProof, admissionProof bool
+		for _, r := range tb.Rows {
+			if strings.Contains(r.Note, "stale=0") {
+				staleProof = true
+			}
+			if strings.Contains(r.Note, "hits_429=0") {
+				admissionProof = true
+			}
+			if r.Millis <= 0 {
+				t.Errorf("%s/%s has no measurement", r.Series, r.Param)
+			}
+		}
+		if !staleProof {
+			t.Error("no stale=0 proof note recorded")
+		}
+		if !admissionProof {
+			t.Error("no hits_429=0 proof note recorded")
+		}
+	})
+
 	t.Run("MultiTenantServe", func(t *testing.T) {
 		tb, err := MultiTenantServe(cfg)
 		if err != nil {

@@ -48,6 +48,10 @@ type testCluster struct {
 }
 
 func newTestCluster(t *testing.T, n int) *testCluster {
+	return newTestClusterOpts(t, n, Options{ProbeInterval: 50 * time.Millisecond})
+}
+
+func newTestClusterOpts(t *testing.T, n int, opts Options) *testCluster {
 	t.Helper()
 	tc := &testCluster{serveErr: make(chan error, 1)}
 	srvOpts := server.Options{DrainGrace: 200 * time.Millisecond}
@@ -65,7 +69,7 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 	}
 	// No Start(): tests drive reconciliation with ProbeNow for
 	// determinism instead of racing a background loop.
-	tc.rt = New(Options{ProbeInterval: 50 * time.Millisecond})
+	tc.rt = New(opts)
 	for _, r := range tc.reps {
 		if err := tc.rt.AddMember(r.Name, r.Base); err != nil {
 			t.Fatal(err)

@@ -42,14 +42,23 @@ func (e *logEntry) describe() string {
 }
 
 // appendEntry assigns the next seq under the router lock and returns
-// the entry.
+// the entry. Appending moves the log head, which is every response-
+// cache key's prefix — existing entries are already unreachable, so
+// the Clear below reclaims their bytes eagerly rather than leaving
+// dead keys to age out of the LRU. (A read still in flight across the
+// append may Put one last dead-key entry afterwards; it is never
+// looked up and evicts first.)
 func (rt *Router) appendEntry(e logEntry) *logEntry {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.logSeq++
 	e.seq = rt.logSeq
 	rt.log = append(rt.log, e)
-	return &rt.log[len(rt.log)-1]
+	entry := &rt.log[len(rt.log)-1]
+	rt.mu.Unlock()
+	if rt.respCache != nil {
+		rt.respCache.Clear()
+	}
+	return entry
 }
 
 // logHead returns the seq of the newest entry (0 = empty log).

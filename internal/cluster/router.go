@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"raven/internal/rescache"
 	"raven/internal/server"
 )
 
@@ -54,6 +55,12 @@ type Options struct {
 	// ClientTimeout bounds probe/replication requests (default 5s).
 	// Routed queries are bounded by the caller's own deadline instead.
 	ClientTimeout time.Duration
+	// ResultCacheBytes enables the router's response cache: that many
+	// bytes of serialized read responses, keyed by (replication-log seq,
+	// tenant, statement, parameters) and cleared on every log append. A
+	// hit is served from the router without touching a replica — no
+	// round-trip, no retry, no hedge. 0 leaves it off.
+	ResultCacheBytes int64
 	// HTTP overrides the transport (tests); nil uses a dedicated client.
 	HTTP *http.Client
 }
@@ -121,6 +128,21 @@ type Router struct {
 	hedged, hedgeWins        atomic.Uint64
 	reprepared, repairs      atomic.Uint64
 	skipped                  atomic.Uint64
+
+	// respCache holds fully-buffered read responses (nil = disabled).
+	// Entries validate against the replication-log seq they were captured
+	// under, and the whole cache is cleared on every log append — the
+	// router's side effects are exactly the log, so "log unchanged" is
+	// "every replica read set unchanged".
+	respCache *rescache.Cache[*cachedResponse]
+}
+
+// cachedResponse is one buffered upstream read response. The log seq it
+// was captured under lives in its key, not here — see respCacheKey.
+type cachedResponse struct {
+	replica     string
+	contentType string
+	body        []byte
 }
 
 // routerStmt is a router-side prepared statement: the prepare request
@@ -143,6 +165,9 @@ func New(opts Options) *Router {
 		stmts:    make(map[string]*routerStmt),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
+	}
+	if rt.opts.ResultCacheBytes > 0 {
+		rt.respCache = rescache.New[*cachedResponse](rt.opts.ResultCacheBytes, 0)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", rt.handleQuery)
@@ -287,6 +312,106 @@ func requestTenant(r *http.Request, body string) string {
 	return body
 }
 
+// ---- response cache ----
+
+// respCacheKey builds a read's cache identity. The replication-log seq
+// leads the key (captured at request start, before any replica
+// executes): the router's only side-effect channel is the log, so a
+// response captured under seq N is valid exactly while the head is
+// still N — an append mid-flight strands the entry under a key nothing
+// will ever look up again. Fields are length-prefixed so values cannot
+// smuggle separators and collide two requests onto one key.
+func respCacheKey(seq uint64, kind, tenant, stmt string, params map[string]string, opts *server.QueryOptions) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "s%d|%s|%d:%s|%d:%s", seq, kind, len(tenant), tenant, len(stmt), stmt)
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "|%d:%s=%d:%s", len(k), k, len(params[k]), params[k])
+	}
+	if opts != nil {
+		if b, err := json.Marshal(opts); err == nil {
+			sb.WriteString("|o=")
+			sb.Write(b)
+		}
+	}
+	return sb.String()
+}
+
+// cacheableRead mirrors the engine's result-cache gate at the wire:
+// every statement is a SELECT or DECLARE. Stricter than the router's
+// side-effect scan on purpose — a script the engine itself would not
+// cache is not worth a router entry either.
+func cacheableRead(sql string) bool {
+	for _, stmt := range strings.Split(sql, ";") {
+		s := strings.TrimSpace(stmt)
+		if s == "" {
+			continue
+		}
+		i := 0
+		for i < len(s) && (s[i] == '_' || s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z') {
+			i++
+		}
+		switch strings.ToUpper(s[:i]) {
+		case "SELECT", "DECLARE":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// respCacheServe writes a cached response if one exists for key,
+// reporting whether it did. A hit costs no replica round-trip, no
+// retry and no hedge; the X-Raven-Cache header makes it visible.
+func (rt *Router) respCacheServe(w http.ResponseWriter, key string) bool {
+	e, ok := rt.respCache.Get(key, nil)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", e.contentType)
+	w.Header().Set("X-Raven-Replica", e.replica)
+	w.Header().Set("X-Raven-Cache", "hit")
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.body)
+	return true
+}
+
+// cappedTee relays to w while accumulating a copy, abandoning the copy
+// (not the relay) the moment it crosses cap — an oversize response
+// streams through at full speed without the router holding all of it.
+type cappedTee struct {
+	w          io.Writer
+	buf        bytes.Buffer
+	cap        int64
+	overflowed bool
+}
+
+func (t *cappedTee) Write(p []byte) (int, error) {
+	if !t.overflowed {
+		if int64(t.buf.Len()+len(p)) > t.cap {
+			t.overflowed = true
+			t.buf.Reset()
+		} else {
+			t.buf.Write(p)
+		}
+	}
+	return t.w.Write(p)
+}
+
+// streamComplete reports whether a buffered NDJSON read response ended
+// in a trailer line. A stream that broke after the 200 status was on
+// the wire ends in an {"error": ...} line instead; caching that would
+// replay the failure from then on.
+func streamComplete(body []byte) bool {
+	b := bytes.TrimRight(body, "\r\n \t")
+	i := bytes.LastIndexByte(b, '\n')
+	return bytes.HasPrefix(b[i+1:], []byte(`{"rows"`))
+}
+
 // ---- read path: streaming proxy with retry + hedging ----
 
 // flushWriter flushes after every write so NDJSON rows stream through
@@ -363,8 +488,10 @@ func retryableStatus(code int) bool {
 // the prepared path differs per replica — and may error (prepare
 // failed); notFound, if set, is called when a member answers 404 so the
 // caller can invalidate a cached statement id before the retry.
+// cacheKey, when non-empty, asks relay to capture the winning response
+// into the router's response cache.
 func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, tenant string, body []byte,
-	pathFor func(ctx context.Context, m *member) (string, error), notFound func(m *member)) {
+	pathFor func(ctx context.Context, m *member) (string, error), notFound func(m *member), cacheKey string) {
 
 	targets := rt.targetsFor(tenant)
 	if len(targets) == 0 {
@@ -428,7 +555,7 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, tenant strin
 			last = attempt{m: m, err: &server.HTTPError{Status: a.resp.StatusCode, Msg: a.resp.Status}}
 			continue
 		default:
-			rt.relay(w, a)
+			rt.relay(w, a, cacheKey)
 			return
 		}
 	}
@@ -449,8 +576,11 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, tenant strin
 }
 
 // relay copies the upstream response through, flushing per write so
-// row streams stay streams.
-func (rt *Router) relay(w http.ResponseWriter, a attempt) {
+// row streams stay streams. A non-empty cacheKey tees the stream into
+// the response cache — only a 200 that fits the per-entry cap, copied
+// to completion (client still connected) and ending in a trailer line
+// (no mid-stream error) is kept.
+func (rt *Router) relay(w http.ResponseWriter, a attempt, cacheKey string) {
 	defer a.resp.Body.Close()
 	defer a.cancel()
 	for _, h := range []string{"Content-Type", "Retry-After"} {
@@ -464,9 +594,23 @@ func (rt *Router) relay(w http.ResponseWriter, a attempt) {
 	if f, ok := w.(http.Flusher); ok {
 		fw.f = f
 	}
+	var tee *cappedTee
+	var dst io.Writer = fw
+	if rt.respCache != nil && cacheKey != "" && a.resp.StatusCode == http.StatusOK {
+		tee = &cappedTee{w: fw, cap: rt.respCache.EntryCap()}
+		dst = tee
+	}
 	a.m.inflight.Add(1)
-	io.Copy(fw, a.resp.Body)
+	_, err := io.Copy(dst, a.resp.Body)
 	a.m.inflight.Add(-1)
+	if tee != nil && err == nil && !tee.overflowed && streamComplete(tee.buf.Bytes()) {
+		body := append([]byte(nil), tee.buf.Bytes()...)
+		rt.respCache.Put(cacheKey, &cachedResponse{
+			replica:     a.m.name,
+			contentType: a.resp.Header.Get("Content-Type"),
+			body:        body,
+		}, int64(len(body)+len(cacheKey))+64)
+	}
 }
 
 // hedgedFirst races the first attempt on two replicas when the primary
@@ -580,18 +724,30 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Response cache: key under the log head as of now — before any
+	// replica executes — so a side effect landing mid-flight strands the
+	// captured entry instead of ever serving it stale. A hit returns
+	// without touching targets, retry or hedging at all.
+	var cacheKey string
+	if rt.respCache != nil && !req.NoCache && cacheableRead(req.SQL) {
+		cacheKey = respCacheKey(rt.logHead(), "q", tenant, req.SQL, req.Params, req.Options)
+		if rt.respCacheServe(w, cacheKey) {
+			return
+		}
+	}
+
 	pathFor := func(context.Context, *member) (string, error) { return "/query", nil }
 	targets := rt.targetsFor(tenant)
 	if rt.opts.Hedge && len(targets) >= 2 && rt.lat.size() >= rt.opts.HedgeMinSamples {
 		a := rt.hedgedFirst(r.Context(), targets, "/query", "/query", body, r.Header)
 		if a.err == nil {
 			rt.routed.Add(1) // served here; the fall-through path is counted by proxyRead
-			rt.relay(w, a)
+			rt.relay(w, a, cacheKey)
 			return
 		}
 		// Both hedge legs failed; fall through to the plain retry loop.
 	}
-	rt.proxyRead(w, r, tenant, body, pathFor, nil)
+	rt.proxyRead(w, r, tenant, body, pathFor, nil, cacheKey)
 }
 
 func (rt *Router) handleStoreModel(w http.ResponseWriter, r *http.Request) {
@@ -717,6 +873,17 @@ func (rt *Router) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 		tenant = rs.req.Tenant
 	}
 
+	// Prepared statements are compile-only (the prepare surface rejects
+	// side effects), so every execution is a cacheable read; the router
+	// statement id — never reused — stands in for SQL and options.
+	var cacheKey string
+	if rt.respCache != nil && !req.NoCache {
+		cacheKey = respCacheKey(rt.logHead(), "t", tenant, rs.id, req.Params, nil)
+		if rt.respCacheServe(w, cacheKey) {
+			return
+		}
+	}
+
 	pathFor := func(ctx context.Context, m *member) (string, error) {
 		id, err := rt.ensureStmt(ctx, m, rs)
 		if err != nil {
@@ -733,7 +900,7 @@ func (rt *Router) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 		m.stmtMu.Unlock()
 		rt.reprepared.Add(1)
 	}
-	rt.proxyRead(w, r, tenant, body, pathFor, notFound)
+	rt.proxyRead(w, r, tenant, body, pathFor, notFound, cacheKey)
 }
 
 func (rt *Router) handleStmtDelete(w http.ResponseWriter, r *http.Request) {
@@ -781,6 +948,9 @@ type RouterStats struct {
 	LogSkipped uint64  `json:"log_skipped"`
 	Statements int     `json:"statements"`
 	P99Millis  float64 `json:"p99_ms"`
+	// Cache is the response cache's counters (absent when disabled).
+	// Hits here never touched a replica.
+	Cache *rescache.Stats `json:"cache,omitempty"`
 }
 
 // MemberInfo is one replica's row in cluster stats.
@@ -844,6 +1014,11 @@ func (rt *Router) Stats(ctx context.Context) ClusterStats {
 	stmts := len(rt.stmts)
 	entries := rt.logSeq
 	rt.mu.Unlock()
+	var cacheStats *rescache.Stats
+	if rt.respCache != nil {
+		s := rt.respCache.Stats()
+		cacheStats = &s
+	}
 	return ClusterStats{
 		Router: RouterStats{
 			Members:    len(members),
@@ -859,6 +1034,7 @@ func (rt *Router) Stats(ctx context.Context) ClusterStats {
 			LogSkipped: rt.skipped.Load(),
 			Statements: stmts,
 			P99Millis:  float64(rt.lat.p99()) / float64(time.Millisecond),
+			Cache:      cacheStats,
 		},
 		Members: infos,
 	}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"raven/internal/server"
+)
+
+// routerPost posts a QueryRequest to the router and returns the
+// response headers plus the raw NDJSON body.
+func routerPost(t *testing.T, base, path string, req server.QueryRequest) (*http.Response, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// rowCount counts NDJSON row lines (the ones that are arrays).
+func rowCount(body string) int {
+	n := 0
+	for _, line := range bytes.Split([]byte(body), []byte("\n")) {
+		if len(line) > 0 && line[0] == '[' {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRouterResponseCache drives the router's response cache: a repeat
+// read is served by the router itself (X-Raven-Cache: hit, no replica
+// round-trip), a replicated INSERT moves the log head and so
+// invalidates every entry, and no_cache bypasses lookup and population.
+func TestRouterResponseCache(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tc := newTestClusterOpts(t, 2, Options{
+		ProbeInterval:    50 * time.Millisecond,
+		ResultCacheBytes: 1 << 20,
+	})
+	defer func() {
+		tc.close(t)
+		assertGoroutinesReturn(t, base)
+	}()
+	tc.seedData(t, 64)
+
+	routedBefore := tc.rt.routed.Load()
+	r1, b1 := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme"})
+	if r1.StatusCode != http.StatusOK || rowCount(b1) != 32 {
+		t.Fatalf("cold read: status %d, %d rows", r1.StatusCode, rowCount(b1))
+	}
+	if r1.Header.Get("X-Raven-Cache") == "hit" {
+		t.Fatal("cold read claimed a cache hit")
+	}
+	r2, b2 := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme"})
+	if r2.Header.Get("X-Raven-Cache") != "hit" {
+		t.Fatal("repeat read not served from the response cache")
+	}
+	if b2 != b1 {
+		t.Fatalf("cached body diverged from original:\n%q\nvs\n%q", b2, b1)
+	}
+	if got := tc.rt.routed.Load(); got != routedBefore+1 {
+		t.Fatalf("routed=%d after a cold+cached pair, want %d (hits must skip routing)", got, routedBefore+1)
+	}
+	st := tc.rt.Stats(context.Background())
+	if st.Router.Cache == nil || st.Router.Cache.Hits != 1 {
+		t.Fatalf("cache stats: %+v", st.Router.Cache)
+	}
+
+	// no_cache: forwarded to a replica, cache untouched either way.
+	r3, _ := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme", NoCache: true})
+	if r3.Header.Get("X-Raven-Cache") == "hit" {
+		t.Fatal("no_cache request served from cache")
+	}
+	after := tc.rt.respCache.Stats()
+	if after.Hits != 1 || after.Misses != st.Router.Cache.Misses {
+		t.Fatalf("no_cache touched the cache: before %+v after %+v", st.Router.Cache, after)
+	}
+
+	// A replicated INSERT moves the log head: the cached read is dead and
+	// the next read sees the new row on whichever replica serves it.
+	if err := tc.c.Exec("INSERT INTO pts VALUES (7, 1.0, 1.0)"); err != nil {
+		t.Fatal(err)
+	}
+	r4, b4 := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme"})
+	if r4.Header.Get("X-Raven-Cache") == "hit" {
+		t.Fatal("read after INSERT served from the pre-INSERT cache")
+	}
+	if rowCount(b4) != 33 {
+		t.Fatalf("stale read after replicated INSERT: %d rows, want 33", rowCount(b4))
+	}
+	// And the fresh result is cacheable again under the new head.
+	if r5, _ := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme"}); r5.Header.Get("X-Raven-Cache") != "hit" {
+		t.Fatal("read under the new log head did not repopulate the cache")
+	}
+}
+
+// TestRouterResponseCachePrepared covers the prepared route: hits keyed
+// by statement id + parameter values, invalidated by log appends like
+// ad-hoc reads.
+func TestRouterResponseCachePrepared(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tc := newTestClusterOpts(t, 2, Options{
+		ProbeInterval:    50 * time.Millisecond,
+		ResultCacheBytes: 1 << 20,
+	})
+	defer func() {
+		tc.close(t)
+		assertGoroutinesReturn(t, base)
+	}()
+	tc.seedData(t, 64)
+
+	pr, err := tc.c.Prepare(server.QueryRequest{SQL: "SELECT id FROM pts WHERE id < @lim", Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := func(lim string) (*http.Response, string) {
+		return routerPost(t, tc.c.Base, "/stmt/"+pr.ID+"/query", server.QueryRequest{
+			Params: map[string]string{"lim": lim},
+		})
+	}
+	if r, b := exec("10"); r.Header.Get("X-Raven-Cache") == "hit" || rowCount(b) != 10 {
+		t.Fatalf("cold prepared exec: cache=%q rows=%d", r.Header.Get("X-Raven-Cache"), rowCount(b))
+	}
+	if r, _ := exec("10"); r.Header.Get("X-Raven-Cache") != "hit" {
+		t.Fatal("repeat prepared exec not cached")
+	}
+	// A different parameter value is a different result.
+	if r, b := exec("20"); r.Header.Get("X-Raven-Cache") == "hit" || rowCount(b) != 20 {
+		t.Fatalf("distinct params served from cache: cache=%q rows=%d", r.Header.Get("X-Raven-Cache"), rowCount(b))
+	}
+	// Log append invalidates prepared-read entries too.
+	if err := tc.c.Exec("INSERT INTO pts VALUES (5, 0.5, 2.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if r, b := exec("10"); r.Header.Get("X-Raven-Cache") == "hit" || rowCount(b) != 11 {
+		t.Fatalf("prepared read stale after INSERT: cache=%q rows=%d", r.Header.Get("X-Raven-Cache"), rowCount(b))
+	}
+}

@@ -190,6 +190,10 @@ type QueryRequest struct {
 	// statement's registered one, while an explicit 0 (body or header)
 	// demotes it.
 	Priority *int `json:"priority,omitempty"`
+	// NoCache bypasses the engine's result cache for this request: no
+	// lookup, no population. Reads that must observe their own side
+	// effects mid-script, and freshness probes, set it.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // QueryOptions is the wire subset of raven.QueryOptions.
@@ -438,6 +442,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	opts := req.Options.engine()
 	opts.Tenant, opts.Priority = tenant, priority
+	opts.NoResultCache = req.NoCache
 
 	// A script with no SELECT is pure DDL/DML: run it through ExecContext
 	// (deadline and client disconnect observed between statements; the
@@ -599,7 +604,13 @@ func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryCtx(r, &req)
 	defer cancel()
 	s.queries.Add(1)
-	rows, err := e.st.QueryContext(raven.ContextWithTenant(ctx, tenant, priority), paramList(req.Params)...)
+	qctx := raven.ContextWithTenant(ctx, tenant, priority)
+	// A Stmt's options were fixed at prepare time, so the per-request
+	// no_cache flag travels by context instead.
+	if req.NoCache {
+		qctx = raven.ContextWithoutResultCache(qctx)
+	}
+	rows, err := e.st.QueryContext(qctx, paramList(req.Params)...)
 	if err != nil {
 		writeError(w, err)
 		return

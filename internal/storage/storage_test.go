@@ -275,3 +275,56 @@ func TestModelStoreConcurrent(t *testing.T) {
 		t.Errorf("final version = %d, want 400", latest.Version)
 	}
 }
+
+func TestTableDataVersion(t *testing.T) {
+	tb := NewTable("t", intFloatSchema())
+	if v := tb.DataVersion(); v != 0 {
+		t.Fatalf("fresh table DataVersion = %d, want 0", v)
+	}
+	if err := tb.AppendRow(int64(1), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	v1 := tb.DataVersion()
+	if v1 == 0 {
+		t.Fatal("AppendRow did not bump DataVersion")
+	}
+	b := types.NewBatch(intFloatSchema())
+	_ = b.AppendRow(int64(2), 2.0)
+	if err := tb.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if v2 := tb.DataVersion(); v2 <= v1 {
+		t.Fatalf("AppendBatch did not bump DataVersion: %d -> %d", v1, v2)
+	}
+	// A failed append may bump (spurious invalidation is fine) but the
+	// version must never move backwards and reads must stay consistent.
+	before := tb.DataVersion()
+	if err := tb.AppendRow(int64(3)); err == nil {
+		t.Fatal("short row should fail")
+	}
+	if tb.DataVersion() < before {
+		t.Fatal("DataVersion went backwards")
+	}
+}
+
+func TestTableDataVersionConcurrent(t *testing.T) {
+	tb := NewTable("t", intFloatSchema())
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := tb.AppendRow(int64(w*perWriter+i), float64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tb.DataVersion(); got != writers*perWriter {
+		t.Fatalf("DataVersion = %d, want %d", got, writers*perWriter)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"raven/internal/types"
 )
@@ -21,6 +22,15 @@ type Table struct {
 	mu   sync.RWMutex
 	cols []*types.Vector
 	rows int
+
+	// dataVersion counts content changes (appends). The catalog version
+	// only moves on DDL and model stores, so caches keyed by it alone
+	// would serve stale rows after an INSERT; result caches validate
+	// against this counter instead. Bumped under mu — so a version read
+	// taken before an append started is guaranteed stale by the time the
+	// new rows are visible to a scan — but stored atomically so
+	// validation reads never block behind a bulk load.
+	dataVersion atomic.Uint64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -42,6 +52,13 @@ func (t *Table) NumRows() int {
 	return t.rows
 }
 
+// DataVersion returns the table's content version: 0 for a fresh table,
+// bumped once per AppendRow/AppendBatch. A cache entry that recorded the
+// version before executing is invalid the moment any append lands, even
+// one racing the execution (the bump happens under the same lock that
+// makes the new rows visible).
+func (t *Table) DataVersion() uint64 { return t.dataVersion.Load() }
+
 // AppendRow appends a single row of raw Go values in schema order.
 func (t *Table) AppendRow(vals ...any) error {
 	t.mu.Lock()
@@ -49,6 +66,10 @@ func (t *Table) AppendRow(vals ...any) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("storage: table %s: row arity %d != %d", t.Name, len(vals), len(t.cols))
 	}
+	// Bump before mutating: a failed append may still have touched
+	// columns, and a spurious invalidation is harmless where a missed one
+	// is not.
+	t.dataVersion.Add(1)
 	for i, v := range vals {
 		if err := t.cols[i].Append(v); err != nil {
 			return fmt.Errorf("storage: table %s: %w", t.Name, err)
@@ -65,6 +86,7 @@ func (t *Table) AppendBatch(b *types.Batch) error {
 	if len(b.Vecs) != len(t.cols) {
 		return fmt.Errorf("storage: table %s: batch arity %d != %d", t.Name, len(b.Vecs), len(t.cols))
 	}
+	t.dataVersion.Add(1)
 	for i := range t.cols {
 		if err := t.cols[i].AppendVector(b.Vecs[i]); err != nil {
 			return fmt.Errorf("storage: table %s: %w", t.Name, err)

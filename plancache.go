@@ -9,6 +9,8 @@ import (
 	"sync"
 
 	"raven/internal/ir"
+	"raven/internal/plan"
+	"raven/internal/storage"
 )
 
 // cachedPlan is one compiled statement template: the front half of query
@@ -29,6 +31,12 @@ type cachedPlan struct {
 	// version is the catalog version the plan was compiled against; any
 	// DDL or model store bumps it, invalidating the plan.
 	version uint64
+	// tables lists every table the bound plan scans, collected from the
+	// logical plan before IR construction (FromPlan splices nodes out).
+	// The result cache snapshots their data versions around execution;
+	// the plan cache itself doesn't need them (plans survive appends —
+	// results don't).
+	tables []*storage.Table
 }
 
 // defaultPlanCacheSize bounds the engine-level plan cache. Entries are a
@@ -205,4 +213,27 @@ func referencesVar(q, name string) bool {
 
 func isIdentChar(c byte) bool {
 	return c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// collectPlanTables walks a bound logical plan for the tables it scans,
+// deduplicated in first-visit order. Scan is the only node that holds a
+// table, so this is the complete read set.
+func collectPlanTables(n plan.Node) []*storage.Table {
+	var out []*storage.Table
+	seen := map[*storage.Table]bool{}
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		if n == nil {
+			return
+		}
+		if s, ok := n.(*plan.Scan); ok && !seen[s.Table] {
+			seen[s.Table] = true
+			out = append(out, s.Table)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
 }

@@ -80,6 +80,7 @@ import (
 	"raven/internal/plan"
 	"raven/internal/pyanal"
 	"raven/internal/relopt"
+	"raven/internal/rescache"
 	"raven/internal/rt"
 	"raven/internal/sched"
 	"raven/internal/sql"
@@ -136,8 +137,14 @@ type QueryOptions struct {
 	DisableSessionCache bool
 	// DisablePlanCache forces a full recompile (parse → bind → optimize)
 	// on every call — the cold-query baseline the PreparedPredict bench
-	// measures against.
+	// measures against. It also makes the call ineligible for the result
+	// cache: a caller asking for the cold path means it.
 	DisablePlanCache bool
+	// NoResultCache makes this call bypass the result cache entirely: no
+	// lookup, no population. The wire protocol's per-request no_cache
+	// flag maps here. Like Tenant/Priority it never affects the compiled
+	// plan, so it is absent from the plan-cache key.
+	NoResultCache bool
 	// Tenant attributes this query's admission to a tenant: per-tenant
 	// quotas (WithTenantQuota) and per-tenant stats apply. Empty means
 	// the engine's default tenant. A context tag (ContextWithTenant)
@@ -203,6 +210,14 @@ type DB struct {
 	// WithSchedulerQueue options.
 	sched     *sched.Scheduler
 	schedOpts sched.Options
+
+	// results is the semantic result cache; nil (the default) unless
+	// WithResultCache was given. Hits are served before admission, so
+	// they cost zero scheduler slots; resHitsByTenant attributes them
+	// anyway (the scheduler never sees them).
+	results         *rescache.Cache[*resultEntry]
+	resHitMu        sync.Mutex
+	resHitsByTenant map[string]uint64
 }
 
 // Admission failures, re-exported so API consumers can map them to
@@ -699,23 +714,38 @@ func (db *DB) QueryContext(ctx context.Context, q string) (*Rows, error) {
 // and the slot is held until Rows.Close.
 func (db *DB) QueryContextWithOptions(ctx context.Context, q string, opts QueryOptions) (*Rows, error) {
 	start := time.Now()
+	vars := db.varsSnapshot()
+	// The result cache is consulted before admission: a hit costs zero
+	// scheduler slots, and a miss makes this call the flight leader other
+	// concurrent identical calls wait on instead of queueing themselves.
+	var fl *rescache.Flight[*resultEntry]
+	if db.resultCacheEligible(ctx, opts, q) {
+		rows, hit, flight, err := db.resultLookup(ctx, db.resultKey(q, opts, false, vars, nil), opts, start)
+		if hit || err != nil {
+			return rows, err
+		}
+		fl = flight
+	}
 	release, err := db.admit(ctx, opts)
 	if err != nil {
+		fl.Cancel()
 		return nil, err
 	}
 	// Undeclared @vars fail inside the binder (AllowParams is off for the
 	// ad-hoc surface), with an error pointing at DECLARE/Prepare.
-	tpl, err := db.planFor(q, opts, db.varsSnapshot(), false)
+	tpl, err := db.planFor(q, opts, vars, false)
 	if err != nil {
 		release()
+		fl.Cancel()
 		return nil, err
 	}
 	op, err := db.lower(ctx, tpl.graph, tpl.sessionKey, opts)
 	if err != nil {
 		release()
+		fl.Cancel()
 		return nil, err
 	}
-	return newRows(ctx, op, tpl.applied, time.Since(start), release)
+	return newRows(ctx, db.teeResult(op, fl, tpl), tpl.applied, time.Since(start), release)
 }
 
 // PlanCacheStats returns the plan cache's cumulative (hits, misses).
@@ -749,6 +779,8 @@ type SessionCacheInfo struct {
 type Stats struct {
 	PlanCache    PlanCacheInfo    `json:"plan_cache"`
 	SessionCache SessionCacheInfo `json:"session_cache"`
+	// ResultCache is nil unless the engine was opened WithResultCache.
+	ResultCache *ResultCacheInfo `json:"result_cache,omitempty"`
 	// Scheduler is nil when admission control is off.
 	Scheduler *SchedulerStats `json:"scheduler,omitempty"`
 	// Adaptive is nil unless the engine was opened WithAdaptiveMorsels.
@@ -762,6 +794,7 @@ type Stats struct {
 func (db *DB) Stats() Stats {
 	st := Stats{
 		PlanCache:      db.plans.info(),
+		ResultCache:    db.resultCacheInfo(),
 		Compiles:       db.compiles.Load(),
 		CatalogVersion: db.catalog.Version(),
 	}
@@ -891,9 +924,10 @@ func (db *DB) buildPlan(q string, sel *sql.SelectStmt, vars map[string]string, o
 		return nil, err
 	}
 
-	// The cache key must be derived before IR construction: FromPlan
-	// splices the Predict node out of the plan.
+	// The cache key and the scanned-table set must be derived before IR
+	// construction: FromPlan splices the Predict node out of the plan.
 	cacheKey := db.modelCacheKey(logical)
+	tables := collectPlanTables(logical)
 
 	graph, err := ir.FromPlan(logical, db.resolvePipeline)
 	if err != nil {
@@ -954,6 +988,7 @@ func (db *DB) buildPlan(q string, sel *sql.SelectStmt, vars map[string]string, o
 		sessionKey: cacheKey,
 		params:     collectGraphParams(graph),
 		version:    version,
+		tables:     tables,
 	}, nil
 }
 

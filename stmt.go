@@ -8,6 +8,7 @@ import (
 
 	"raven/internal/ir"
 	"raven/internal/plan"
+	"raven/internal/rescache"
 )
 
 // Param is one named execute-time argument of a prepared statement,
@@ -135,43 +136,62 @@ func (s *Stmt) Query(params ...Param) (*Rows, error) {
 // warm statements cannot oversubscribe the engine either.
 func (s *Stmt) QueryContext(ctx context.Context, params ...Param) (*Rows, error) {
 	start := time.Now()
-	release, err := s.db.admit(ctx, s.opts)
+	db := s.db
+	// Result-cache lookup before admission, keyed with the prepare-time
+	// variable snapshot (exactly what template() compiles with) plus the
+	// call's parameter values. A hit costs zero scheduler slots.
+	var fl *rescache.Flight[*resultEntry]
+	if db.resultCacheEligible(ctx, s.opts, s.sql) {
+		rows, hit, flight, err := db.resultLookup(ctx, db.resultKey(s.sql, s.opts, true, s.vars, params), s.opts, start)
+		if hit || err != nil {
+			return rows, err
+		}
+		fl = flight
+	}
+	release, err := db.admit(ctx, s.opts)
 	if err != nil {
+		fl.Cancel()
 		return nil, err
 	}
 	tpl, err := s.template()
 	if err != nil {
 		release()
+		fl.Cancel()
 		return nil, err
 	}
-	return s.db.executeTemplate(ctx, tpl, s.opts, params, release, start)
+	return db.executeTemplate(ctx, tpl, s.opts, params, release, start, fl)
 }
 
 // executeTemplate is the shared back half of every parameterized
 // execution path (Stmt.QueryContext, QueryContextParams): bind params
-// into a per-call clone, lower, stream. It owns release from the moment
-// it is called — every error path returns the admission slot, success
-// hands it to Rows.
-func (db *DB) executeTemplate(ctx context.Context, tpl *cachedPlan, opts QueryOptions, params []Param, release func(), start time.Time) (*Rows, error) {
+// into a per-call clone, lower, stream. It owns release — and the
+// result-cache flight, when the caller is a leader — from the moment it
+// is called: every error path returns the admission slot and cancels
+// the flight (waking waiters to execute for themselves), success hands
+// both to the returned Rows via the tee.
+func (db *DB) executeTemplate(ctx context.Context, tpl *cachedPlan, opts QueryOptions, params []Param, release func(), start time.Time, fl *rescache.Flight[*resultEntry]) (*Rows, error) {
 	graph := tpl.graph
 	if len(tpl.params) > 0 || len(params) > 0 {
 		vals, err := paramValues(tpl.params, params)
 		if err != nil {
 			release()
+			fl.Cancel()
 			return nil, err
 		}
 		graph, err = bindGraphParams(graph, vals)
 		if err != nil {
 			release()
+			fl.Cancel()
 			return nil, err
 		}
 	}
 	op, err := db.lower(ctx, graph, tpl.sessionKey, opts)
 	if err != nil {
 		release()
+		fl.Cancel()
 		return nil, err
 	}
-	return newRows(ctx, op, tpl.applied, time.Since(start), release)
+	return newRows(ctx, db.teeResult(op, fl, tpl), tpl.applied, time.Since(start), release)
 }
 
 // QueryContextParams is the ad-hoc parameterized query surface: like
@@ -184,16 +204,27 @@ func (db *DB) executeTemplate(ctx context.Context, tpl *cachedPlan, opts QueryOp
 // exactly as in Prepare.
 func (db *DB) QueryContextParams(ctx context.Context, q string, opts QueryOptions, params ...Param) (*Rows, error) {
 	start := time.Now()
+	vars := db.varsSnapshot()
+	var fl *rescache.Flight[*resultEntry]
+	if db.resultCacheEligible(ctx, opts, q) {
+		rows, hit, flight, err := db.resultLookup(ctx, db.resultKey(q, opts, true, vars, params), opts, start)
+		if hit || err != nil {
+			return rows, err
+		}
+		fl = flight
+	}
 	release, err := db.admit(ctx, opts)
 	if err != nil {
+		fl.Cancel()
 		return nil, err
 	}
-	tpl, err := db.planFor(q, opts, db.varsSnapshot(), true)
+	tpl, err := db.planFor(q, opts, vars, true)
 	if err != nil {
 		release()
+		fl.Cancel()
 		return nil, err
 	}
-	return db.executeTemplate(ctx, tpl, opts, params, release, start)
+	return db.executeTemplate(ctx, tpl, opts, params, release, start, fl)
 }
 
 // paramValues validates the supplied params against the declared set:
