@@ -65,8 +65,13 @@ type member struct {
 	// applyMu serializes replication onto this member: the fan-out path
 	// and the repair path share one replay routine, so entries apply in
 	// log order exactly once per member lifetime.
-	applyMu     sync.Mutex
-	appliedSeq  uint64 // highest log entry applied this replica lifetime
+	applyMu sync.Mutex
+	// appliedSeq is the highest log entry applied this replica lifetime.
+	// Writes happen under applyMu; it is atomic so the read path can
+	// snapshot replication progress before dispatching a request (the
+	// response-cache freshness gate) without blocking behind a slow
+	// apply holding applyMu for up to ApplyTimeout.
+	appliedSeq  atomic.Uint64
 	lastVersion uint64 // catalog version read back after the last apply/probe
 
 	// stmtMu guards the replica-side ids of router statements prepared
@@ -200,12 +205,12 @@ func (rt *Router) probeMember(ctx context.Context, m *member) {
 	m.applyMu.Lock()
 	restarted := h.CatalogVersion < m.lastVersion
 	if restarted {
-		m.appliedSeq = 0
+		m.appliedSeq.Store(0)
 		m.lastVersion = h.CatalogVersion
 	} else if h.CatalogVersion > m.lastVersion {
 		m.lastVersion = h.CatalogVersion
 	}
-	behind := m.appliedSeq < rt.logHead()
+	behind := m.appliedSeq.Load() < rt.logHead()
 	m.applyMu.Unlock()
 
 	if restarted {

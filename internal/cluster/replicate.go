@@ -141,8 +141,8 @@ func (rt *Router) replicate(ctx context.Context, e logEntry) error {
 	// replay position and the terminal-skip in syncMember absorbs the
 	// eventual duplicate apply.
 	primary.applyMu.Lock()
-	if primary.appliedSeq == entry.seq-1 {
-		primary.appliedSeq = entry.seq
+	if primary.appliedSeq.Load() == entry.seq-1 {
+		primary.appliedSeq.Store(entry.seq)
 	}
 	primary.applyMu.Unlock()
 
@@ -209,7 +209,7 @@ func (rt *Router) syncMember(ctx context.Context, m *member) error {
 	m.applyMu.Lock()
 	defer m.applyMu.Unlock()
 
-	for _, e := range rt.entriesAfter(m.appliedSeq) {
+	for _, e := range rt.entriesAfter(m.appliedSeq.Load()) {
 		if err := rt.applyEntry(ctx, m, &e); err != nil {
 			// Entries are validated on a replica before they enter the
 			// log, so a terminal 4xx verdict here means THIS replica has
@@ -222,12 +222,12 @@ func (rt *Router) syncMember(ctx context.Context, m *member) error {
 			var he *server.HTTPError
 			if !server.Transient(err) && errors.As(err, &he) && he.Status >= 400 && he.Status < 500 {
 				rt.skipped.Add(1)
-				m.appliedSeq = e.seq
+				m.appliedSeq.Store(e.seq)
 				continue
 			}
 			return fmt.Errorf("apply entry %d (%s): %w", e.seq, e.describe(), err)
 		}
-		m.appliedSeq = e.seq
+		m.appliedSeq.Store(e.seq)
 	}
 
 	// Catalog-version read-back: record what "fully applied" looks like

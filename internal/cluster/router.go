@@ -436,6 +436,14 @@ type attempt struct {
 	resp   *http.Response
 	err    error
 	cancel context.CancelFunc
+	// applied is the member's replication progress snapshotted before
+	// the request was dispatched. A response is only cacheable when this
+	// is at least the log seq in its cache key: during a write fan-out
+	// the log head has already moved but a healthy-looking member may
+	// not have applied the new entry yet, and a read it serves in that
+	// window is pre-write data that must not be cached under the
+	// post-write seq.
+	applied uint64
 }
 
 func (a *attempt) discard() {
@@ -469,10 +477,11 @@ func (rt *Router) tryMember(ctx context.Context, m *member, path string, body []
 			}
 		}
 	}
+	applied := m.appliedSeq.Load()
 	m.inflight.Add(1)
 	resp, err := rt.opts.HTTP.Do(req)
 	m.inflight.Add(-1)
-	return attempt{m: m, resp: resp, err: err, cancel: cancel}
+	return attempt{m: m, resp: resp, err: err, cancel: cancel, applied: applied}
 }
 
 // retryableStatus: pre-execution admission rejections. A 503 from a
@@ -489,9 +498,11 @@ func retryableStatus(code int) bool {
 // failed); notFound, if set, is called when a member answers 404 so the
 // caller can invalidate a cached statement id before the retry.
 // cacheKey, when non-empty, asks relay to capture the winning response
-// into the router's response cache.
+// into the router's response cache; cacheSeq is the log seq baked into
+// that key (relay refuses to cache a response from a member that had
+// not yet applied up to it).
 func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, tenant string, body []byte,
-	pathFor func(ctx context.Context, m *member) (string, error), notFound func(m *member), cacheKey string) {
+	pathFor func(ctx context.Context, m *member) (string, error), notFound func(m *member), cacheKey string, cacheSeq uint64) {
 
 	targets := rt.targetsFor(tenant)
 	if len(targets) == 0 {
@@ -555,7 +566,7 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, tenant strin
 			last = attempt{m: m, err: &server.HTTPError{Status: a.resp.StatusCode, Msg: a.resp.Status}}
 			continue
 		default:
-			rt.relay(w, a, cacheKey)
+			rt.relay(w, a, cacheKey, cacheSeq)
 			return
 		}
 	}
@@ -579,8 +590,13 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, tenant strin
 // row streams stay streams. A non-empty cacheKey tees the stream into
 // the response cache — only a 200 that fits the per-entry cap, copied
 // to completion (client still connected) and ending in a trailer line
-// (no mid-stream error) is kept.
-func (rt *Router) relay(w http.ResponseWriter, a attempt, cacheKey string) {
+// (no mid-stream error) is kept, and only when the serving member had
+// applied the log at least up to cacheSeq before the request was
+// dispatched. Without that gate, a read racing a write fan-out — log
+// head already at N, this member still applying entry N — would
+// capture pre-write data under the post-write key and serve it stale
+// once the write acks.
+func (rt *Router) relay(w http.ResponseWriter, a attempt, cacheKey string, cacheSeq uint64) {
 	defer a.resp.Body.Close()
 	defer a.cancel()
 	for _, h := range []string{"Content-Type", "Retry-After"} {
@@ -596,7 +612,7 @@ func (rt *Router) relay(w http.ResponseWriter, a attempt, cacheKey string) {
 	}
 	var tee *cappedTee
 	var dst io.Writer = fw
-	if rt.respCache != nil && cacheKey != "" && a.resp.StatusCode == http.StatusOK {
+	if rt.respCache != nil && cacheKey != "" && a.applied >= cacheSeq && a.resp.StatusCode == http.StatusOK {
 		tee = &cappedTee{w: fw, cap: rt.respCache.EntryCap()}
 		dst = tee
 	}
@@ -729,8 +745,10 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// captured entry instead of ever serving it stale. A hit returns
 	// without touching targets, retry or hedging at all.
 	var cacheKey string
+	var cacheSeq uint64
 	if rt.respCache != nil && !req.NoCache && cacheableRead(req.SQL) {
-		cacheKey = respCacheKey(rt.logHead(), "q", tenant, req.SQL, req.Params, req.Options)
+		cacheSeq = rt.logHead()
+		cacheKey = respCacheKey(cacheSeq, "q", tenant, req.SQL, req.Params, req.Options)
 		if rt.respCacheServe(w, cacheKey) {
 			return
 		}
@@ -742,12 +760,12 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		a := rt.hedgedFirst(r.Context(), targets, "/query", "/query", body, r.Header)
 		if a.err == nil {
 			rt.routed.Add(1) // served here; the fall-through path is counted by proxyRead
-			rt.relay(w, a, cacheKey)
+			rt.relay(w, a, cacheKey, cacheSeq)
 			return
 		}
 		// Both hedge legs failed; fall through to the plain retry loop.
 	}
-	rt.proxyRead(w, r, tenant, body, pathFor, nil, cacheKey)
+	rt.proxyRead(w, r, tenant, body, pathFor, nil, cacheKey, cacheSeq)
 }
 
 func (rt *Router) handleStoreModel(w http.ResponseWriter, r *http.Request) {
@@ -877,8 +895,10 @@ func (rt *Router) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 	// side effects), so every execution is a cacheable read; the router
 	// statement id — never reused — stands in for SQL and options.
 	var cacheKey string
+	var cacheSeq uint64
 	if rt.respCache != nil && !req.NoCache {
-		cacheKey = respCacheKey(rt.logHead(), "t", tenant, rs.id, req.Params, nil)
+		cacheSeq = rt.logHead()
+		cacheKey = respCacheKey(cacheSeq, "t", tenant, rs.id, req.Params, nil)
 		if rt.respCacheServe(w, cacheKey) {
 			return
 		}
@@ -900,7 +920,7 @@ func (rt *Router) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 		m.stmtMu.Unlock()
 		rt.reprepared.Add(1)
 	}
-	rt.proxyRead(w, r, tenant, body, pathFor, notFound, cacheKey)
+	rt.proxyRead(w, r, tenant, body, pathFor, notFound, cacheKey, cacheSeq)
 }
 
 func (rt *Router) handleStmtDelete(w http.ResponseWriter, r *http.Request) {
@@ -988,7 +1008,7 @@ func (rt *Router) Stats(ctx context.Context) ClusterStats {
 		go func(i int, m *member) {
 			defer wg.Done()
 			m.applyMu.Lock()
-			applied, version := m.appliedSeq, m.lastVersion
+			applied, version := m.appliedSeq.Load(), m.lastVersion
 			m.applyMu.Unlock()
 			info := MemberInfo{
 				Name:        m.name,

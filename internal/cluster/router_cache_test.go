@@ -111,6 +111,62 @@ func TestRouterResponseCache(t *testing.T) {
 	}
 }
 
+// TestRouterCacheWriteFanoutWindow pins the write fan-out race: after a
+// side effect is appended to the log (head = N, cache cleared) but
+// before fan-out applies it to the replicas, every replica is still
+// routable while serving pre-write data. A cacheable read dispatched in
+// that window is keyed under seq N, so capturing it would serve the
+// pre-write body as a cache hit for every identical read after the
+// write acks. The capture must be refused (the serving member's
+// pre-dispatch appliedSeq is behind the key's seq).
+func TestRouterCacheWriteFanoutWindow(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tc := newTestClusterOpts(t, 2, Options{
+		ProbeInterval:    time.Hour, // reconciliation driven manually below
+		ResultCacheBytes: 1 << 20,
+	})
+	defer func() {
+		tc.close(t)
+		assertGoroutinesReturn(t, base)
+	}()
+	tc.seedData(t, 64)
+
+	// Freeze the cluster mid-fan-out: append the write to the log
+	// (bumping the head and clearing the cache, exactly what replicate
+	// does first) without applying it to any replica yet.
+	tc.rt.appendEntry(logEntry{kind: entryScript, sql: "INSERT INTO pts VALUES (7, 1.0, 1.0)", tenant: "acme"})
+
+	// A read in the window is served by a replica that has not applied
+	// the write — fine for this one client, but it must not enter the
+	// cache under the post-write seq.
+	r1, b1 := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme"})
+	if r1.StatusCode != http.StatusOK || rowCount(b1) != 32 {
+		t.Fatalf("window read: status %d, %d rows", r1.StatusCode, rowCount(b1))
+	}
+
+	// Finish the fan-out (what replicate's goroutines or the reconciler
+	// would do): every replica applies the write.
+	for _, m := range tc.rt.snapshotMembers() {
+		if err := tc.rt.syncMember(context.Background(), m); err != nil {
+			t.Fatalf("sync %s: %v", m.name, err)
+		}
+	}
+
+	// The same read after the write acks must see the new row; a cache
+	// hit here would replay the 32-row window capture.
+	r2, b2 := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme"})
+	if r2.Header.Get("X-Raven-Cache") == "hit" {
+		t.Fatal("read served from a response captured mid-fan-out")
+	}
+	if rowCount(b2) != 33 {
+		t.Fatalf("stale read after write fan-out: %d rows, want 33", rowCount(b2))
+	}
+	// Captured from a fully-applied replica, the result caches again.
+	if r3, _ := routerPost(t, tc.c.Base, "/query", server.QueryRequest{SQL: testQuery, Tenant: "acme"}); r3.Header.Get("X-Raven-Cache") != "hit" {
+		t.Fatal("fresh read did not repopulate the cache")
+	}
+}
+
 // TestRouterResponseCachePrepared covers the prepared route: hits keyed
 // by statement id + parameter values, invalidated by log appends like
 // ad-hoc reads.

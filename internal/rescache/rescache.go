@@ -133,16 +133,22 @@ func (c *Cache[V]) Get(key string, valid func(V) bool) (V, bool) {
 // fit. Values over the per-entry cap are silently refused — the caller
 // already has the value, the cache just declines to keep it.
 func (c *Cache[V]) Put(key string, v V, size int64) {
-	if size > c.entryCap || size > c.maxBytes {
-		return
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.putLocked(key, v, size)
 }
 
+// putLocked owns the oversize guard so every insertion path — Put and a
+// flight's Commit — refuses entries over the per-entry cap identically.
+// A replaced entry leaves the map the moment its size is subtracted:
+// otherwise the eviction loop below could pick it as the LRU victim and
+// subtract it a second time, driving c.bytes permanently negative.
 func (c *Cache[V]) putLocked(key string, v V, size int64) {
+	if size > c.entryCap || size > c.maxBytes {
+		return
+	}
 	if old, ok := c.entries[key]; ok {
+		delete(c.entries, key)
 		c.bytes -= old.size
 	}
 	for c.bytes+size > c.maxBytes && len(c.entries) > 0 {
@@ -196,8 +202,8 @@ func (f *Flight[V]) finish(store bool, v V, size int64, abandoned bool) {
 }
 
 // Commit stores the finished result and wakes the waiters, who re-check
-// the cache and hit. Oversized results are refused by Put's cap but the
-// waiters are still released.
+// the cache and hit. Oversized results are refused by the shared
+// per-entry cap but the waiters are still released.
 func (f *Flight[V]) Commit(v V, size int64) {
 	f.finish(true, v, size, false)
 }
@@ -252,6 +258,23 @@ func (c *Cache[V]) Do(ctx context.Context, key string, valid func(V) bool) (V, b
 		c.flights[key] = fl
 		c.mu.Unlock()
 		return zero, false, &Flight[V]{c: c, key: key, fl: fl}, nil
+	}
+}
+
+// Sweep drops every entry failing the validity predicate (counted as
+// invalidations). Validation-at-lookup already keeps stale entries from
+// ever being served; Sweep exists so their memory is reclaimed eagerly
+// on an invalidating event (a catalog bump) instead of lingering until
+// LRU pressure or a chance lookup touches them.
+func (c *Cache[V]) Sweep(valid func(V) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if !valid(e.v) {
+			delete(c.entries, k)
+			c.bytes -= e.size
+			c.stats.Invalidations++
+		}
 	}
 }
 

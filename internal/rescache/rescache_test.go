@@ -93,6 +93,53 @@ func TestReplaceSameKey(t *testing.T) {
 	}
 }
 
+// TestReplaceForcingEvictionAccounting pins the replace-then-evict
+// path: replacing a key subtracts the old entry's size, and the
+// eviction loop triggered by the new size must never pick the replaced
+// key as its LRU victim (a double subtraction that would leave bytes
+// negative and the cache over budget).
+func TestReplaceForcingEvictionAccounting(t *testing.T) {
+	c := New[int](100, 100)
+	c.Put("a", 1, 60) // oldest — the LRU victim candidate
+	c.Put("b", 2, 30) // bytes = 90
+	// Replacing "a" with 90 bytes: old "a" (60) comes out, and fitting
+	// the new value must evict "b", not the already-removed "a".
+	c.Put("a", 3, 90)
+	s := c.Stats()
+	if s.Bytes != 90 || s.Entries != 1 {
+		t.Fatalf("accounting corrupted: %+v", s)
+	}
+	if s.Bytes < 0 || s.Bytes > 100 {
+		t.Fatalf("bytes outside budget: %d", s.Bytes)
+	}
+	if v, ok := c.Get("a", nil); !ok || v != 3 {
+		t.Fatalf("replaced entry = %d, %v", v, ok)
+	}
+	if _, ok := c.Get("b", nil); ok {
+		t.Fatal("b survived an eviction its bytes were charged for")
+	}
+}
+
+// TestCommitOversizeRefused pins the shared guard: a flight Commit over
+// the per-entry cap must be refused exactly like a Put, not evict the
+// whole cache and corrupt the byte accounting.
+func TestCommitOversizeRefused(t *testing.T) {
+	c := New[int](100, 25)
+	c.Put("warm", 1, 20)
+	_, hit, fl, err := c.Do(context.Background(), "big", nil)
+	if hit || err != nil || fl == nil {
+		t.Fatalf("Do = hit=%v fl=%v err=%v", hit, fl, err)
+	}
+	fl.Commit(2, 50) // over entryCap
+	if _, ok := c.Get("big", nil); ok {
+		t.Fatal("oversize Commit cached")
+	}
+	s := c.Stats()
+	if s.Bytes != 20 || s.Entries != 1 || s.Evictions != 0 {
+		t.Fatalf("oversize Commit disturbed the cache: %+v", s)
+	}
+}
+
 func TestSingleflightCollapse(t *testing.T) {
 	c := New[int](1000, 1000)
 	const n = 32

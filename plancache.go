@@ -129,6 +129,35 @@ func (c *planCache) put(key string, p *cachedPlan, current uint64) {
 	c.entries[key] = &planEntry{plan: p, used: c.tick}
 }
 
+// sweep drops every entry not compiled against the current catalog
+// version, counting them as invalidations.
+func (c *planCache) sweep(current uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.plan.version != current {
+			delete(c.entries, k)
+			c.invalidations++
+		}
+	}
+}
+
+// sweepStaleCaches eagerly drops plan- and result-cache entries
+// compiled against an older catalog version. Both caches already
+// validate at lookup, so staleness is never served either way — this
+// pass exists for memory: entries pin the tables their plans scan
+// (the IR graph holds the scan targets), so after a DROP TABLE the
+// dropped table's column data would otherwise stay reachable until LRU
+// pressure or a chance lookup happened to touch each entry. Called
+// after any statement or model store that bumps the catalog version.
+func (db *DB) sweepStaleCaches() {
+	current := db.catalog.Version()
+	db.plans.sweep(current)
+	if db.results != nil {
+		db.results.Sweep(func(e *resultEntry) bool { return e.version == current })
+	}
+}
+
 // info snapshots the cache counters for DB.Stats / the /stats endpoint.
 func (c *planCache) info() PlanCacheInfo {
 	c.mu.Lock()

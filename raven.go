@@ -516,6 +516,15 @@ func (db *DB) ExecContext(ctx context.Context, script string) error {
 	if err != nil {
 		return err
 	}
+	// Sweep stale plan/result-cache entries once the script is done (even
+	// a partially-applied one changed the catalog), so a DROP TABLE does
+	// not leave cached plans pinning the dropped table's data.
+	ver := db.catalog.Version()
+	defer func() {
+		if db.catalog.Version() != ver {
+			db.sweepStaleCaches()
+		}
+	}()
 	for _, st := range stmts {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -635,6 +644,7 @@ func (db *DB) StoreModel(name string, p *ml.Pipeline) error {
 		db.runtime.Cache.Invalidate(m.Hash)
 	}
 	db.catalog.BumpVersion()
+	db.sweepStaleCaches()
 	return nil
 }
 
@@ -745,7 +755,7 @@ func (db *DB) QueryContextWithOptions(ctx context.Context, q string, opts QueryO
 		fl.Cancel()
 		return nil, err
 	}
-	return newRows(ctx, db.teeResult(op, fl, tpl), tpl.applied, time.Since(start), release)
+	return leaderRows(ctx, db, op, fl, tpl, start, release)
 }
 
 // PlanCacheStats returns the plan cache's cumulative (hits, misses).

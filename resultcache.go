@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -230,6 +231,24 @@ func (o *cachedBatchOp) Next() (*types.Batch, error) {
 	}
 	o.done = true
 	return o.batch, nil
+}
+
+// leaderRows builds the flight leader's Rows over the teed operator
+// tree. Beyond newRows it arms a GC cleanup that cancels the flight if
+// the Rows is abandoned without being drained or closed: an unsettled
+// flight blocks every concurrent identical query in Do, so a leaked
+// leader must release its waiters (at the latest when the collector
+// notices the Rows is unreachable) rather than wedge the key forever.
+// Settling is idempotent, so the cleanup is a no-op after the ordinary
+// Commit/Abandon/Cancel paths in teeOp.
+func leaderRows(ctx context.Context, db *DB, op exec.Operator, fl *rescache.Flight[*resultEntry], tpl *cachedPlan, start time.Time, release func()) (*Rows, error) {
+	rows, err := newRows(ctx, db.teeResult(op, fl, tpl), tpl.applied, time.Since(start), release)
+	if err == nil && fl != nil {
+		// The cleanup closure must not reference rows itself (that would
+		// keep it reachable forever); fl is passed as the argument.
+		runtime.AddCleanup(rows, func(fl *rescache.Flight[*resultEntry]) { fl.Cancel() }, fl)
+	}
+	return rows, err
 }
 
 // teeResult wraps the operator tree of a flight leader so the stream

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 // cacheTestDB is a small engine with the result cache on and a tiny
@@ -131,6 +132,78 @@ func TestResultCacheDDLAndModelInvalidation(t *testing.T) {
 // TestResultCacheSingleflightCollapse drives 32 concurrent identical
 // queries into a cold cache: exactly one executes (one scheduler
 // admission, MaxActive <= 1), the rest are served from its flight.
+// TestDropTableSweepsCaches pins the proactive sweep: cached plans and
+// results pin the tables their plans scan, so a DROP TABLE must unpin
+// them on the catalog bump itself — not when LRU pressure or a chance
+// lookup eventually touches each entry (on a quiet cache, never).
+func TestDropTableSweepsCaches(t *testing.T) {
+	db := cacheTestDB(t, 1<<20)
+	const q = `SELECT id FROM t WHERE x > 2.0`
+	queryIDs(t, db, context.Background(), q) // warm plan + result caches
+	if db.plans.len() == 0 || db.results.Stats().Entries == 0 {
+		t.Fatal("warm-up did not populate the caches")
+	}
+	if err := db.Exec(`DROP TABLE t`); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.plans.len(); n != 0 {
+		t.Fatalf("plan cache still holds %d entries after DROP TABLE", n)
+	}
+	if s := db.results.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("result cache still holds data after DROP TABLE: %+v", s)
+	}
+}
+
+// TestAbandonedLeaderRowsReleasesWaiters pins the leaked-leader path: a
+// flight leader whose Rows is dropped without Next-to-EOF or Close must
+// not wedge every later identical query in Do forever — the GC cleanup
+// cancels the unsettled flight once the Rows is collected.
+func TestAbandonedLeaderRowsReleasesWaiters(t *testing.T) {
+	db := cacheTestDB(t, 1<<20)
+	const q = `SELECT id FROM t WHERE x > 2.0`
+	func() {
+		rows, err := db.QueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rows // abandoned: never drained, never closed
+	}()
+	type res struct {
+		n   int
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		rows, err := db.QueryContext(ctx, q)
+		if err != nil {
+			done <- res{0, err}
+			return
+		}
+		r, err := rows.Collect()
+		if err != nil {
+			done <- res{0, err}
+			return
+		}
+		done <- res{r.Batch.Len(), nil}
+	}()
+	deadline := time.After(15 * time.Second)
+	for {
+		runtime.GC() // drive the Rows cleanup
+		select {
+		case got := <-done:
+			if got.err != nil || got.n != 2 {
+				t.Fatalf("waiter result: %d rows, err %v", got.n, got.err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("waiter still blocked on the abandoned leader's flight")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
 func TestResultCacheSingleflightCollapse(t *testing.T) {
 	db := Open(WithResultCache(1<<22), WithParallelism(1),
 		WithMaxConcurrentQueries(4), WithSchedulerQueue(64, 0))

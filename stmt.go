@@ -191,7 +191,7 @@ func (db *DB) executeTemplate(ctx context.Context, tpl *cachedPlan, opts QueryOp
 		fl.Cancel()
 		return nil, err
 	}
-	return newRows(ctx, db.teeResult(op, fl, tpl), tpl.applied, time.Since(start), release)
+	return leaderRows(ctx, db, op, fl, tpl, start, release)
 }
 
 // QueryContextParams is the ad-hoc parameterized query surface: like
