@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor for `make cover` (percent of statements).
 COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet fmt-check bench bench-quick bench-check bench-micro cover smoke smoke-serve smoke-cluster ci
+.PHONY: all build test race vet fmt-check bench bench-quick bench-check bench-micro cover smoke smoke-serve smoke-cluster smoke-durable ci
 
 all: ci
 
@@ -65,6 +65,15 @@ smoke-serve:
 smoke-cluster:
 	$(GO) run ./cmd/ravenrouter -selftest
 
+# smoke-durable proves durability against real processes and a real
+# kill -9: a child ravenserved on a scratch -data-dir is loaded over
+# HTTP (table + model), SIGKILLed, restarted on the same directory, and
+# must answer byte-identical query/PREDICT fingerprints for every
+# acknowledged pre-crash write; a graceful restart then proves the
+# checkpoint path. One command, exits non-zero on any divergence.
+smoke-durable:
+	$(GO) run ./cmd/ravenserved -crashtest
+
 # bench regenerates the paper experiment tables at quick scale.
 bench:
 	$(GO) run ./cmd/ravenbench -quick
@@ -92,6 +101,7 @@ BENCH_SERVE_JSON ?= BENCH_serve.json
 BENCH_TENANT_JSON ?= BENCH_tenant.json
 BENCH_CLUSTER_JSON ?= BENCH_cluster.json
 BENCH_CACHE_JSON ?= BENCH_cache.json
+BENCH_WAL_JSON ?= BENCH_wal.json
 bench-quick:
 	$(GO) run ./cmd/ravenbench -quick -only ParallelBreakers -json $(BENCH_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ParallelScaling -json $(BENCH_SCALING_JSON)
@@ -99,10 +109,11 @@ bench-quick:
 	$(GO) run ./cmd/ravenbench -quick -only MultiTenantServe -json $(BENCH_TENANT_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only ClusterServe -json $(BENCH_CLUSTER_JSON)
 	$(GO) run ./cmd/ravenbench -quick -only CachedServe -json $(BENCH_CACHE_JSON)
+	$(GO) run ./cmd/ravenbench -quick -only DurableRecovery -json $(BENCH_WAL_JSON)
 	@$(MAKE) bench-check
 
 bench-check:
-	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SCALING_JSON):ParallelScaling,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe,$(BENCH_CLUSTER_JSON):ClusterServe,$(BENCH_CACHE_JSON):CachedServe"
+	$(GO) run ./cmd/ravenbench -check "$(BENCH_JSON):ParallelBreakers,$(BENCH_SCALING_JSON):ParallelScaling,$(BENCH_SERVE_JSON):ServeConcurrency,$(BENCH_TENANT_JSON):MultiTenantServe,$(BENCH_CLUSTER_JSON):ClusterServe,$(BENCH_CACHE_JSON):CachedServe,$(BENCH_WAL_JSON):DurableRecovery"
 
 # bench-micro runs the data-plane micro-benchmarks (typed kernels, vector
 # pooling, gather) with allocation reporting.
@@ -112,5 +123,5 @@ bench-micro:
 # ci runs the suite twice, not three times: cover subsumes a plain
 # `make test` (same tests, plus the coverage floor and cover.out), so
 # the gate is cover + race rather than test + race + a separate cover.
-ci: fmt-check build vet cover race smoke smoke-serve smoke-cluster
-	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json BENCH_CLUSTER_JSON=.bench_cluster_ci.json BENCH_CACHE_JSON=.bench_cache_ci.json
+ci: fmt-check build vet cover race smoke smoke-serve smoke-cluster smoke-durable
+	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json BENCH_CLUSTER_JSON=.bench_cluster_ci.json BENCH_CACHE_JSON=.bench_cache_ci.json BENCH_WAL_JSON=.bench_wal_ci.json

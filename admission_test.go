@@ -34,7 +34,7 @@ func genHospitalInto(db *DB, rows int) (*DB, error) {
 // through a 2-slot scheduler: all succeed, the active gauge never
 // exceeds the limit, and the scheduler is quiescent after.
 func TestAdmissionBoundsEngineConcurrency(t *testing.T) {
-	db := Open(WithMaxConcurrentQueries(2), WithSchedulerQueue(32, 0))
+	db := MustOpen(WithMaxConcurrentQueries(2), WithSchedulerQueue(32, 0))
 	if _, err := genHospitalInto(db, 2000); err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestAdmissionBoundsEngineConcurrency(t *testing.T) {
 // Rows holds its admission slot (second query rejects with queue depth
 // 0), and Close returns it.
 func TestAdmissionSlotHeldUntilRowsClose(t *testing.T) {
-	db := Open(WithMaxConcurrentQueries(1))
+	db := MustOpen(WithMaxConcurrentQueries(1))
 	if _, err := genHospitalInto(db, 500); err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestAdmissionSlotHeldUntilRowsClose(t *testing.T) {
 
 // TestStmtAdmission: prepared executions pass through admission too.
 func TestStmtAdmission(t *testing.T) {
-	db := Open(WithMaxConcurrentQueries(1), WithSchedulerQueue(2, 30*time.Millisecond))
+	db := MustOpen(WithMaxConcurrentQueries(1), WithSchedulerQueue(2, 30*time.Millisecond))
 	if _, err := genHospitalInto(db, 500); err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestStmtAdmission(t *testing.T) {
 // lowering, not just charged — a wire client requesting DOP 64 against
 // a 2-slot engine runs at DOP 2.
 func TestMaxWorkerSlotsCapsEffectiveDOP(t *testing.T) {
-	db := Open(WithMaxConcurrentQueries(4), WithMaxWorkerSlots(2))
+	db := MustOpen(WithMaxConcurrentQueries(4), WithMaxWorkerSlots(2))
 	ctx := context.Background()
 	if got := db.effectiveParallelism(ctx, QueryOptions{Parallelism: 64}); got != 2 {
 		t.Fatalf("effective DOP = %d, want capped to 2", got)
@@ -153,13 +153,13 @@ func TestMaxWorkerSlotsCapsEffectiveDOP(t *testing.T) {
 	}
 	// Without a slot budget (or without a scheduler) the request passes
 	// through untouched.
-	plain := Open(WithMaxConcurrentQueries(4))
+	plain := MustOpen(WithMaxConcurrentQueries(4))
 	if got := plain.effectiveParallelism(ctx, QueryOptions{Parallelism: 64}); got != 64 {
 		t.Fatalf("uncapped DOP = %d, want 64", got)
 	}
 	// A tenant slot quota caps tighter than the global budget, whether
 	// the tag arrives via options or context.
-	tdb := Open(WithMaxConcurrentQueries(4), WithMaxWorkerSlots(8),
+	tdb := MustOpen(WithMaxConcurrentQueries(4), WithMaxWorkerSlots(8),
 		WithTenantQuota("batch", 4, 1))
 	if got := tdb.effectiveParallelism(ctx, QueryOptions{Parallelism: 64, Tenant: "batch"}); got != 1 {
 		t.Fatalf("tenant-capped DOP = %d, want 1", got)
@@ -197,7 +197,7 @@ func TestMaxWorkerSlotsCapsEffectiveDOP(t *testing.T) {
 // TestQueryContextParams covers the ad-hoc parameterized surface: typed
 // @var binding without Prepare, gated by admission before compilation.
 func TestQueryContextParams(t *testing.T) {
-	db := Open(WithMaxConcurrentQueries(1))
+	db := MustOpen(WithMaxConcurrentQueries(1))
 	if _, err := genHospitalInto(db, 500); err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestQueryContextParams(t *testing.T) {
 // counters (incl. size), session cache, scheduler and compiles all
 // present and plausible.
 func TestDBStatsConsolidated(t *testing.T) {
-	db := Open(WithMaxConcurrentQueries(4))
+	db := MustOpen(WithMaxConcurrentQueries(4))
 	if _, err := genHospitalInto(db, 500); err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestDBStatsConsolidated(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 	// Without admission control the scheduler section is absent.
-	plain := Open()
+	plain := MustOpen()
 	if plain.Stats().Scheduler != nil {
 		t.Fatal("schedulerless engine reported scheduler stats")
 	}
@@ -289,7 +289,7 @@ func TestDBStatsConsolidated(t *testing.T) {
 // distinct ad-hoc statements and watches Size stay bounded while
 // Evictions count; a DDL then moves Invalidations.
 func TestPlanCacheEvictionCounter(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Exec(`CREATE TABLE evict_t (k INT PRIMARY KEY, v FLOAT)`); err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestPlanCacheEvictionCounter(t *testing.T) {
 // queues behind its own cap while another tenant runs, and per-tenant
 // stats surface through DB.Stats().
 func TestTenantQuotaEndToEnd(t *testing.T) {
-	db := Open(
+	db := MustOpen(
 		WithMaxConcurrentQueries(4),
 		WithSchedulerQueue(8, 0),
 		WithTenantQuota("batch", 1, 0),
@@ -405,7 +405,7 @@ func TestTenantQuotaEndToEnd(t *testing.T) {
 // TestAdmissionQueuedCancellationNoLeak: a queued (not yet admitted)
 // query whose context dies must unqueue promptly and leak nothing.
 func TestAdmissionQueuedCancellationNoLeak(t *testing.T) {
-	db := Open(WithMaxConcurrentQueries(1), WithSchedulerQueue(8, 0))
+	db := MustOpen(WithMaxConcurrentQueries(1), WithSchedulerQueue(8, 0))
 	if _, err := genHospitalInto(db, 500); err != nil {
 		t.Fatal(err)
 	}

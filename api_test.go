@@ -171,7 +171,7 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 }
 
 func TestPreparedStmtReprepareOnModelUpdate(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Exec(`CREATE TABLE pts (id INT PRIMARY KEY, age FLOAT)`); err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func stmtScores(t *testing.T, st *Stmt, col string) []float64 {
 }
 
 func TestPreparedStmtParams(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name VARCHAR(16), age FLOAT);
 		INSERT INTO people VALUES (1, 'ada', 36.0), (2, 'bob', 41.0), (3, 'cleo', 29.0)`); err != nil {
 		t.Fatal(err)

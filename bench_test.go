@@ -73,7 +73,7 @@ func BenchmarkPreparedPredict(b *testing.B) { runExperiment(b, bench.PreparedPre
 // BenchmarkQueryOptimizedVsBaseline measures one optimized inference query
 // end to end (per-iteration latency rather than whole-experiment time).
 func BenchmarkQueryOptimizedVsBaseline(b *testing.B) {
-	db := raven.Open()
+	db := raven.MustOpen()
 	h, err := data.GenHospital(db.Catalog(), 50000, 4000, 42)
 	if err != nil {
 		b.Fatal(err)

@@ -36,7 +36,7 @@ func assertGoroutinesReturn(t *testing.T, base int) {
 // millisecond deadline reliably lands mid-execution.
 func slowPredictDB(t testing.TB, rows int) *DB {
 	t.Helper()
-	db := Open()
+	db := MustOpen()
 	fl, err := data.GenFlightsWide(db.Catalog(), rows, 30, 10, 2000, 29)
 	if err != nil {
 		t.Fatal(err)

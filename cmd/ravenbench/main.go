@@ -32,7 +32,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
 	timeout := flag.Duration("timeout", 0, "skip experiments not yet started once the deadline passes (0 = no limit); an in-flight experiment runs to completion")
-	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict,ServeConcurrency,MultiTenantServe,ClusterServe,CachedServe)")
+	only := flag.String("only", "", "comma-separated experiment ids (Fig2a,Fig2b,Fig2c,Fig2d,Fig3,PredPruning,BatchVsTuple,StaticAnalysis,RunningExample,ParallelScaling,ParallelBreakers,PreparedPredict,ServeConcurrency,MultiTenantServe,ClusterServe,CachedServe,DurableRecovery)")
 	runs := flag.Int("runs", 0, "measured runs per point (default 3, or 1 with -quick)")
 	parallelism := flag.Int("parallelism", 0, "degree of parallelism for experiment engines (0 = engine default, 1 = serial)")
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
@@ -79,6 +79,7 @@ func main() {
 		{"MultiTenantServe", bench.MultiTenantServe},
 		{"ClusterServe", bench.ClusterServe},
 		{"CachedServe", bench.CachedServe},
+		{"DurableRecovery", bench.DurableRecovery},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -171,12 +172,14 @@ var requireAllocs = map[string]bool{
 // requireNote lists experiments whose recordings must carry a row note
 // containing a specific proof string. ClusterServe's drain row asserts
 // zero dropped queries during a graceful drain under load; CachedServe's
-// staleness row asserts zero stale reads across INSERT/DDL/StoreModel. A
-// recording without its note means the proving phase never ran, and CI
-// must not accept it.
+// staleness row asserts zero stale reads across INSERT/DDL/StoreModel;
+// DurableRecovery's recovery rows assert byte-identical fingerprints
+// across a crash. A recording without its note means the proving phase
+// never ran, and CI must not accept it.
 var requireNote = map[string]string{
-	"ClusterServe": "dropped=0",
-	"CachedServe":  "stale=0",
+	"ClusterServe":    "dropped=0",
+	"CachedServe":     "stale=0",
+	"DurableRecovery": "recovered=1",
 }
 
 // checkRecordings is the -check mode: every FILE:ID entry names a

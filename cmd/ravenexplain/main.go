@@ -35,7 +35,7 @@ func main() {
 	query := flag.String("query", runningExample, "inference query to explain")
 	flag.Parse()
 
-	db := raven.Open()
+	db := raven.MustOpen()
 	h, err := data.GenHospital(db.Catalog(), *rows, 4000, 42)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

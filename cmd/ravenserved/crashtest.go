@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"raven/internal/ml"
+	"raven/internal/server"
+	"raven/internal/train"
+)
+
+// runCrashTest is the `make smoke-durable` CI gate: it proves, against
+// real processes and a real kill -9, that every write acknowledged over
+// HTTP survives a crash. The parent spawns a child ravenserved with
+// -data-dir on a scratch directory and -fsync always, loads a table and
+// a model through the wire protocol, records query fingerprints,
+// SIGKILLs the child mid-flight, restarts it on the same directory, and
+// requires the recovered server to answer byte-identical results.
+func runCrashTest() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	dir, err := os.MkdirTemp("", "raven-crashtest-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	c := &server.Client{Base: "http://" + addr, Timeout: 15 * time.Second}
+
+	child, err := spawnServed(addr, dir)
+	if err != nil {
+		return err
+	}
+	defer child.kill()
+	if err := waitHealthy(ctx, c, child); err != nil {
+		return fmt.Errorf("first start: %w", err)
+	}
+
+	// Load a table over the wire in several INSERT statements. With
+	// -segment-rows 128 the earlier batches seal into on-disk segments
+	// while the last ones stay in the WAL-backed tail, so recovery has
+	// to stitch both together.
+	if err := c.ExecContext(ctx, "CREATE TABLE crash_pts (id INT, x FLOAT, y FLOAT)"); err != nil {
+		return fmt.Errorf("create table: %w", err)
+	}
+	const rows = 1000
+	const chunk = 250
+	for lo := 0; lo < rows; lo += chunk {
+		var ins strings.Builder
+		ins.WriteString("INSERT INTO crash_pts VALUES ")
+		for i := lo; i < lo+chunk; i++ {
+			if i > lo {
+				ins.WriteString(", ")
+			}
+			fmt.Fprintf(&ins, "(%d, %g, %g)", i, float64(i)*0.5, float64(i%7))
+		}
+		if err := c.ExecContext(ctx, ins.String()); err != nil {
+			return fmt.Errorf("insert rows [%d,%d): %w", lo, lo+chunk, err)
+		}
+	}
+
+	// A model stored through the wire must also survive: model-store
+	// transactions are WAL-logged like any other write.
+	const n = 64
+	feats := make([]float64, 0, n*2)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := float64(i)*0.5, float64(i%7)
+		feats = append(feats, x0, x1)
+		ys[i] = x0 + 2*x1
+	}
+	xs, err := ml.NewMatrix(feats, n, 2)
+	if err != nil {
+		return err
+	}
+	pipe := &ml.Pipeline{
+		Final:        train.FitTree(xs, ys, train.TreeOptions{MaxDepth: 4, MinLeaf: 4}),
+		InputColumns: []string{"x", "y"},
+	}
+	blob, err := ml.Marshal(pipe)
+	if err != nil {
+		return err
+	}
+	if err := c.StoreModel(ctx, server.ModelRequest{Name: "crash_model", Data: blob}); err != nil {
+		return fmt.Errorf("store model: %w", err)
+	}
+
+	// One last acknowledged write right before the kill: the newest WAL
+	// tail, written after every other record class, must replay too.
+	if err := c.ExecContext(ctx, fmt.Sprintf("INSERT INTO crash_pts VALUES (%d, %g, %g)", rows, float64(rows)*0.5, float64(rows%7))); err != nil {
+		return fmt.Errorf("final insert: %w", err)
+	}
+
+	queries := []string{
+		"SELECT COUNT(*) AS n FROM crash_pts",
+		"SELECT id, x, y FROM crash_pts WHERE id >= 120 AND id < 140",
+		`SELECT d.id, p.score FROM PREDICT(MODEL='crash_model',
+			DATA=(SELECT * FROM crash_pts) AS d) WITH (score FLOAT) AS p WHERE d.id < 16`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := c.QueryContext(ctx, server.QueryRequest{SQL: q})
+		if err != nil {
+			return fmt.Errorf("pre-crash query %d: %w", i, err)
+		}
+		if len(res.Rows) == 0 {
+			return fmt.Errorf("pre-crash query %d returned no rows", i)
+		}
+		want[i] = res.Fingerprint()
+	}
+
+	// Crash: SIGKILL, no drain, no checkpoint — the WAL tail is all
+	// that stands between the acknowledged writes and oblivion.
+	child.kill()
+
+	restarted, err := spawnServed(addr, dir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer restarted.kill()
+	if err := waitHealthy(ctx, c, restarted); err != nil {
+		return fmt.Errorf("restart after kill -9: %w", err)
+	}
+
+	for i, q := range queries {
+		res, err := c.QueryContext(ctx, server.QueryRequest{SQL: q})
+		if err != nil {
+			return fmt.Errorf("post-crash query %d: %w", i, err)
+		}
+		if got := res.Fingerprint(); got != want[i] {
+			return fmt.Errorf("post-crash query %d diverged from pre-crash result:\nwant:\n%s\ngot:\n%s", i, want[i], got)
+		}
+	}
+
+	// The recovered server must report its durable state: attached
+	// segments, sealed rows, and a measured recovery.
+	st, err := c.StatsContext(ctx)
+	if err != nil {
+		return fmt.Errorf("post-crash stats: %w", err)
+	}
+	sg := st.Engine.Storage
+	switch {
+	case sg == nil:
+		return fmt.Errorf("post-crash stats: no storage section (engine not durable?)")
+	case sg.Segments == 0 || sg.SealedRows == 0:
+		return fmt.Errorf("post-crash stats: no sealed segments (segments=%d sealed_rows=%d)", sg.Segments, sg.SealedRows)
+	}
+
+	// Graceful stop checkpoints; a third start must replay an empty log
+	// and still agree (recovery is idempotent).
+	if err := restarted.terminate(15 * time.Second); err != nil {
+		return fmt.Errorf("graceful stop: %w", err)
+	}
+	again, err := spawnServed(addr, dir)
+	if err != nil {
+		return fmt.Errorf("third start: %w", err)
+	}
+	defer again.kill()
+	if err := waitHealthy(ctx, c, again); err != nil {
+		return fmt.Errorf("start after checkpoint: %w", err)
+	}
+	res, err := c.QueryContext(ctx, server.QueryRequest{SQL: queries[0]})
+	if err != nil {
+		return fmt.Errorf("post-checkpoint query: %w", err)
+	}
+	if got := res.Fingerprint(); got != want[0] {
+		return fmt.Errorf("post-checkpoint count diverged: want %q got %q", want[0], got)
+	}
+	return again.terminate(15 * time.Second)
+}
+
+// servedChild is one spawned ravenserved process under test.
+type servedChild struct {
+	cmd  *exec.Cmd
+	out  *bytes.Buffer
+	done chan error
+}
+
+// spawnServed starts this same binary as a durable server on addr.
+func spawnServed(addr, dir string) (*servedChild, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe,
+		"-addr", addr,
+		"-data-dir", dir,
+		"-fsync", "always",
+		"-segment-rows", "128",
+		"-preload=false",
+		"-parallelism", "1",
+		"-drain-grace", "0s",
+	)
+	out := &bytes.Buffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	ch := &servedChild{cmd: cmd, out: out, done: make(chan error, 1)}
+	go func() { ch.done <- cmd.Wait() }()
+	return ch, nil
+}
+
+// kill SIGKILLs the child and reaps it; safe to call twice.
+func (ch *servedChild) kill() {
+	select {
+	case err := <-ch.done:
+		ch.done <- err // already exited; keep reusable
+		return
+	default:
+	}
+	ch.cmd.Process.Kill()
+	err := <-ch.done
+	ch.done <- err
+}
+
+// terminate drains the child with SIGTERM and waits for a clean exit —
+// the path that ends in a checkpoint.
+func (ch *servedChild) terminate(timeout time.Duration) error {
+	if err := ch.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-ch.done:
+		ch.done <- err
+		if err != nil {
+			return fmt.Errorf("%w\nchild output:\n%s", err, ch.out.String())
+		}
+		return nil
+	case <-time.After(timeout):
+		ch.kill()
+		return fmt.Errorf("child did not drain within %v\nchild output:\n%s", timeout, ch.out.String())
+	}
+}
+
+// waitHealthy polls /healthz until the child answers, failing fast if
+// the child process dies first (e.g. a recovery error before listen).
+func waitHealthy(ctx context.Context, c *server.Client, ch *servedChild) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-ch.done:
+			ch.done <- err
+			return fmt.Errorf("child exited early (%v)\nchild output:\n%s", err, ch.out.String())
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if st, err := c.Health(ctx); err == nil && st != nil && st.Status == "ok" {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server not healthy within 30s\nchild output:\n%s", ch.out.String())
+}
+
+// freeAddr grabs a loopback port the kernel considers free right now.
+// The listener is closed before the child binds it — a tiny race that a
+// smoke test on a loopback interface can live with.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}

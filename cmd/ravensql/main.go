@@ -53,13 +53,21 @@ func main() {
 	morsel := flag.Int("morsel", 0, "rows per parallel work unit (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline for SELECTs (0 = none), e.g. 500ms or 30s; DDL/INSERT statements are not bounded")
 	cacheBytes := flag.Int64("result-cache-bytes", 64<<20, "semantic result cache budget in bytes; the cache starts toggled off — enable it with a \\cache on meta line (0 = never built)")
+	dataDir := flag.String("data-dir", "", "durable data directory: writes are WAL-logged and recovered on restart; preload is skipped when the directory already holds the demo tables (empty = in-memory)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy for -data-dir: always, interval or off")
+	segmentRows := flag.Int("segment-rows", 0, "rows per sealed on-disk segment for -data-dir (0 = default 65536)")
 	flag.Parse()
 
-	db, err := setup(*rows, *parallelism, *morsel, *cacheBytes)
+	db, err := setup(*rows, *parallelism, *morsel, *cacheBytes, *dataDir, *fsync, *segmentRows)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup:", err)
 		os.Exit(1)
 	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+		}
+	}()
 
 	var script []byte
 	if *file == "" || *file == "-" {
@@ -123,12 +131,22 @@ func runMeta(db *raven.DB, line string, cacheOn *bool, cacheBytes int64) error {
 	}
 }
 
-func setup(rows, parallelism, morsel int, cacheBytes int64) (*raven.DB, error) {
+func setup(rows, parallelism, morsel int, cacheBytes int64, dataDir, fsync string, segmentRows int) (*raven.DB, error) {
 	opts := []raven.Option{raven.WithParallelism(parallelism), raven.WithMorselSize(morsel)}
 	if cacheBytes > 0 {
 		opts = append(opts, raven.WithResultCache(cacheBytes))
 	}
-	db := raven.Open(opts...)
+	if dataDir != "" {
+		opts = append(opts, raven.WithDataDir(dataDir), raven.WithFsync(fsync), raven.WithSegmentRows(segmentRows))
+	}
+	db, err := raven.Open(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if db.Catalog().HasTable("patient_info") {
+		// A recovered durable directory already holds the demo workload.
+		return db, nil
+	}
 	h, err := data.GenHospital(db.Catalog(), rows, 4000, 42)
 	if err != nil {
 		return nil, err

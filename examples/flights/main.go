@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	db := raven.Open()
+	db := raven.MustOpen()
 	fmt.Println("generating flights_features (wide pre-encoded feature table)...")
 	fl, err := data.GenFlightsWide(db.Catalog(), 300000, 150, 40, 5000, 21)
 	if err != nil {

@@ -28,7 +28,7 @@ WITH (length_of_stay FLOAT) AS p
 WHERE d.pregnant = 1 AND p.length_of_stay > 0.5`
 
 func main() {
-	db := raven.Open()
+	db := raven.MustOpen()
 	fmt.Println("generating hospital workload (patient_info ⋈ blood_tests ⋈ prenatal_tests)...")
 	h, err := data.GenHospital(db.Catalog(), 200000, 6000, 42)
 	if err != nil {

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	db := raven.Open()
+	db := raven.MustOpen()
 
 	// 1. A table of loan applicants.
 	if err := db.Exec(`CREATE TABLE applicants (

@@ -8,7 +8,7 @@ import (
 // TestInsertLiteralTypeMismatches pins down literalValue's error behavior
 // for every mismatched (literal, column type) combination.
 func TestInsertLiteralTypeMismatches(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Exec(`CREATE TABLE typed (i INT, f FLOAT, s VARCHAR(8), b BIT)`); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestInsertLiteralTypeMismatches(t *testing.T) {
 }
 
 func TestInsertArityMismatch(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Exec(`CREATE TABLE two (a INT, b INT)`); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestInsertArityMismatch(t *testing.T) {
 // statements execute in order, the first failure stops the script, and
 // earlier statements' effects persist (no script-level rollback).
 func TestExecScriptFailsMidway(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	err := db.Exec(`CREATE TABLE kept (a INT);
 		INSERT INTO kept VALUES (7);
 		INSERT INTO kept VALUES ('boom');
@@ -124,7 +124,7 @@ func TestExecScriptFailsMidway(t *testing.T) {
 
 // TestExecUnsupportedAndMissing covers the remaining Exec error paths.
 func TestExecUnsupportedAndMissing(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Exec(`INSERT INTO ghost VALUES (1)`); err == nil {
 		t.Error("insert into missing table should fail")
 	}

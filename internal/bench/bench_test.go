@@ -320,6 +320,31 @@ func TestExperimentsQuick(t *testing.T) {
 		}
 	})
 
+	t.Run("DurableRecovery", func(t *testing.T) {
+		tb, err := DurableRecovery(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2 recovery sizes (quick) + sealed-segment and in-memory ORDER BY
+		// rows. The experiment itself fails on a fingerprint divergence —
+		// a returned table already certifies recovery correctness.
+		if len(tb.Rows) != 4 {
+			t.Fatalf("rows = %d: %+v", len(tb.Rows), tb.Rows)
+		}
+		var recoveredProof bool
+		for _, r := range tb.Rows {
+			if strings.Contains(r.Note, "recovered=1") {
+				recoveredProof = true
+			}
+			if r.Millis <= 0 {
+				t.Errorf("%s/%s has no measurement", r.Series, r.Param)
+			}
+		}
+		if !recoveredProof {
+			t.Error("no recovered=1 proof note recorded")
+		}
+	})
+
 	t.Run("MultiTenantServe", func(t *testing.T) {
 		tb, err := MultiTenantServe(cfg)
 		if err != nil {

@@ -205,7 +205,7 @@ func ClusterServe(cfg Config) (*Table, error) {
 // trainClusterModel fits the shared forest once on the shared workload
 // seed (the data every replica preloads with the same seed).
 func trainClusterModel(rows, trees int) (*ml.RandomForest, error) {
-	db := raven.Open()
+	db := raven.MustOpen()
 	h, err := data.GenHospital(db.Catalog(), rows, 1000, 17)
 	if err != nil {
 		return nil, err

@@ -42,7 +42,7 @@ func (c Config) open() *raven.DB {
 	if c.Adaptive {
 		opts = append(opts, raven.WithAdaptiveMorsels())
 	}
-	return raven.Open(opts...)
+	return raven.MustOpen(opts...)
 }
 
 // DefaultConfig mirrors the paper's methodology at laptop scale.

@@ -116,7 +116,7 @@ func servingBench(cfg Config, rows, trees int, extra ...raven.Option) (db *raven
 		raven.WithParallelism(cfg.Parallelism),
 		raven.WithMorselSize(cfg.MorselSize),
 	}, extra...)
-	db = raven.Open(opts...)
+	db = raven.MustOpen(opts...)
 	h, err := data.GenHospital(db.Catalog(), rows, 1000, 17)
 	if err != nil {
 		return nil, "", nil, err

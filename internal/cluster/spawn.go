@@ -36,7 +36,10 @@ func SpawnReplica(name string, srvOpts server.Options, opts ...raven.Option) (*R
 // router's member (keyed by base URL) sees a catalog-version regression
 // instead of a new member.
 func SpawnReplicaOn(name, addr string, srvOpts server.Options, opts ...raven.Option) (*Replica, error) {
-	db := raven.Open(opts...)
+	db, err := raven.Open(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("replica %s: %w", name, err)
+	}
 	srv := server.New(db, srvOpts)
 	l, err := net.Listen("tcp", addr)
 	if err != nil {

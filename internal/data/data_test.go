@@ -31,8 +31,8 @@ func TestGenHospitalShape(t *testing.T) {
 	// invariants: pregnant implies female, fetal_hr nonzero iff pregnant
 	pi, _ := cat.Table("patient_info")
 	pt, _ := cat.Table("prenatal_tests")
-	pib := pi.Scan()
-	ptb := pt.Scan()
+	pib, _ := pi.Scan()
+	ptb, _ := pt.Scan()
 	for i := 0; i < pib.Len(); i++ {
 		preg := pib.Col("pregnant").Ints[i]
 		gender := pib.Col("gender").Ints[i]
@@ -73,7 +73,8 @@ func TestGenHospitalDeterministic(t *testing.T) {
 	}
 	t1, _ := c1.Table("patient_info")
 	t2, _ := c2.Table("patient_info")
-	b1, b2 := t1.Scan(), t2.Scan()
+	b1, _ := t1.Scan()
+	b2, _ := t2.Scan()
 	for i := 0; i < b1.Len(); i++ {
 		if b1.Col("age").Floats[i] != b2.Col("age").Floats[i] {
 			t.Fatal("same seed produced different tables")

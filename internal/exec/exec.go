@@ -103,7 +103,10 @@ func (s *TableScan) Next() (*types.Batch, error) {
 	if hi > s.end {
 		hi = s.end
 	}
-	b := s.Table.ScanRange(s.pos, hi)
+	b, err := s.Table.ScanRange(s.pos, hi)
+	if err != nil {
+		return nil, err
+	}
 	s.pos = hi
 	if s.colIdx != nil {
 		b = b.Project(s.colIdx)

@@ -98,7 +98,10 @@ func (s *TableMorselSource) NextMorsel() (int, *types.Batch, error) {
 	if hi > s.end {
 		hi = s.end
 	}
-	b := s.Table.ScanRange(int(lo), int(hi))
+	b, err := s.Table.ScanRange(int(lo), int(hi))
+	if err != nil {
+		return 0, nil, err
+	}
 	if s.colIdx != nil {
 		b = b.Project(s.colIdx)
 	}

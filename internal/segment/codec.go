@@ -1,0 +1,145 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"raven/internal/types"
+)
+
+// EncodeBatch serializes a batch as a WAL append payload, using the same
+// per-column encoding as segment files:
+//
+//	[rows u32][ncols u16]
+//	per column: [type u8][hasNulls u8][null words][data]
+//
+// Column order and types are the table schema's; DecodeBatch checks them
+// against the live schema at replay, so a WAL written against one
+// schema cannot silently replay into another.
+func EncodeBatch(b *types.Batch) ([]byte, error) {
+	rows := b.Len()
+	out := make([]byte, 6, 6+16*rows)
+	binary.LittleEndian.PutUint32(out[0:4], uint32(rows))
+	binary.LittleEndian.PutUint16(out[4:6], uint16(len(b.Vecs)))
+	for i, v := range b.Vecs {
+		v = v.Densify()
+		block, err := encodeColumn(v, rows)
+		if err != nil {
+			return nil, fmt.Errorf("segment: encode column %s: %w", b.Schema.Columns[i].Name, err)
+		}
+		hasNulls := byte(0)
+		if block.nulls != nil {
+			hasNulls = 1
+		}
+		out = append(out, byte(v.Type), hasNulls)
+		out = append(out, block.nulls...)
+		out = append(out, block.data...)
+	}
+	return out, nil
+}
+
+// DecodeBatch parses a payload written by EncodeBatch into a fresh batch
+// with the given schema.
+func DecodeBatch(schema *types.Schema, data []byte) (*types.Batch, error) {
+	bad := func(reason string) (*types.Batch, error) {
+		return nil, fmt.Errorf("segment: decode batch: %s", reason)
+	}
+	if len(data) < 6 {
+		return bad("payload too short")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[0:4]))
+	ncols := int(binary.LittleEndian.Uint16(data[4:6]))
+	if ncols != schema.Len() {
+		return bad(fmt.Sprintf("%d columns, schema has %d", ncols, schema.Len()))
+	}
+	pos := 6
+	b := types.NewBatch(schema)
+	for c := 0; c < ncols; c++ {
+		if pos+2 > len(data) {
+			return bad("truncated column header")
+		}
+		typ := types.DataType(data[pos])
+		hasNulls := data[pos+1] != 0
+		pos += 2
+		if typ != schema.Columns[c].Type {
+			return bad(fmt.Sprintf("column %s is %v in payload, %v in schema",
+				schema.Columns[c].Name, typ, schema.Columns[c].Type))
+		}
+		var nullWords []uint64
+		if hasNulls {
+			nw := (rows + 63) / 64
+			if pos+8*nw > len(data) {
+				return bad("truncated null words")
+			}
+			nullWords = make([]uint64, nw)
+			for i := range nullWords {
+				nullWords[i] = binary.LittleEndian.Uint64(data[pos+8*i:])
+			}
+			pos += 8 * nw
+		}
+		v := b.Vecs[c]
+		switch typ {
+		case types.Float:
+			if pos+8*rows > len(data) {
+				return bad("truncated FLOAT data")
+			}
+			v.Grow(rows)
+			for i := 0; i < rows; i++ {
+				v.Floats = append(v.Floats, math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8*i:])))
+			}
+			pos += 8 * rows
+		case types.Int:
+			if pos+8*rows > len(data) {
+				return bad("truncated INT data")
+			}
+			v.Grow(rows)
+			for i := 0; i < rows; i++ {
+				v.Ints = append(v.Ints, int64(binary.LittleEndian.Uint64(data[pos+8*i:])))
+			}
+			pos += 8 * rows
+		case types.Bool:
+			if pos+rows > len(data) {
+				return bad("truncated BOOL data")
+			}
+			v.Grow(rows)
+			for i := 0; i < rows; i++ {
+				v.Bools = append(v.Bools, data[pos+i] != 0)
+			}
+			pos += rows
+		case types.String:
+			if pos+4*(rows+1) > len(data) {
+				return bad("truncated VARCHAR offsets")
+			}
+			offs := make([]uint32, rows+1)
+			for i := range offs {
+				offs[i] = binary.LittleEndian.Uint32(data[pos+4*i:])
+			}
+			pos += 4 * (rows + 1)
+			blobLen := int(offs[rows])
+			if pos+blobLen > len(data) {
+				return bad("truncated VARCHAR blob")
+			}
+			blob := data[pos : pos+blobLen]
+			v.Grow(rows)
+			for i := 0; i < rows; i++ {
+				if offs[i] > offs[i+1] || int(offs[i+1]) > blobLen {
+					return bad("VARCHAR offsets out of order")
+				}
+				v.Strings = append(v.Strings, string(blob[offs[i]:offs[i+1]]))
+			}
+			pos += blobLen
+		default:
+			return bad(fmt.Sprintf("unsupported column type %v", typ))
+		}
+		for i := 0; i < rows; i++ {
+			if nullWords != nil && nullWords[i>>6]&(1<<(uint(i)&63)) != 0 {
+				v.SetNull(i)
+			}
+		}
+	}
+	if pos != len(data) {
+		return bad("trailing bytes")
+	}
+	return b, nil
+}

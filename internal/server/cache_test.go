@@ -11,7 +11,7 @@ import (
 // prepared paths, an INSERT through /query invalidates exactly the
 // entries that read the table, and /stats surfaces the counters.
 func TestWireResultCache(t *testing.T) {
-	db := raven.Open(raven.WithResultCache(1 << 20))
+	db := raven.MustOpen(raven.WithResultCache(1 << 20))
 	c, _, _ := startServer(t, db, Options{})
 
 	if err := c.Exec(`CREATE TABLE kv (k INT PRIMARY KEY, v FLOAT); INSERT INTO kv VALUES (1, 10.5), (2, 20.5)`); err != nil {
@@ -73,7 +73,7 @@ func TestWireResultCache(t *testing.T) {
 // parameter values, and the per-request no_cache flag travelling by
 // context (a Stmt's options are fixed at prepare time).
 func TestWireResultCachePrepared(t *testing.T) {
-	db := raven.Open(raven.WithResultCache(1 << 20))
+	db := raven.MustOpen(raven.WithResultCache(1 << 20))
 	c, _, _ := startServer(t, db, Options{})
 
 	if err := c.Exec(`CREATE TABLE kv (k INT PRIMARY KEY, v FLOAT); INSERT INTO kv VALUES (1, 10.5), (2, 20.5)`); err != nil {

@@ -47,7 +47,7 @@ const testPredict = `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
 // forest model (slow enough that concurrent traffic overlaps).
 func hospitalDB(t testing.TB, rows, trees int, opts ...raven.Option) *raven.DB {
 	t.Helper()
-	db := raven.Open(opts...)
+	db := raven.MustOpen(opts...)
 	h, err := data.GenHospital(db.Catalog(), rows, 1000, 42)
 	if err != nil {
 		t.Fatal(err)

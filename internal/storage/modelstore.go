@@ -41,6 +41,8 @@ type ModelStore struct {
 	versions map[string][]*StoredModel // name -> versions, ascending
 	audit    []AuditEntry
 	nextTx   uint64
+	// backend, when non-nil, WAL-logs commits before they apply.
+	backend Backend
 }
 
 // NewModelStore returns an empty store.
@@ -81,12 +83,31 @@ func (t *Tx) Put(name, format string, data []byte, meta map[string]string) {
 // Delete stages removal of all versions of the named model.
 func (t *Tx) Delete(name string) { t.deletes = append(t.deletes, name) }
 
+func (s *ModelStore) setBackend(b Backend) {
+	s.mu.Lock()
+	s.backend = b
+	s.mu.Unlock()
+}
+
 // Commit atomically applies all staged writes.
 func (t *Tx) Commit() error {
 	if t.done {
 		return fmt.Errorf("storage: transaction %d already finished", t.id)
 	}
 	t.done = true
+	s := t.store
+	s.mu.RLock()
+	b := s.backend
+	s.mu.RUnlock()
+	if b != nil {
+		return b.CommitModelTx(t)
+	}
+	return t.commitLocal()
+}
+
+// commitLocal applies the transaction to in-memory state. The durable
+// backend calls it after the tx is safely in the WAL.
+func (t *Tx) commitLocal() error {
 	s := t.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -162,6 +183,43 @@ func (s *ModelStore) Names() []string {
 		out = append(out, vs[0].Name)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// hasModel reports whether any version of the named model exists.
+func (s *ModelStore) hasModel(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.versions[key(name)]) > 0
+}
+
+// restore re-registers a model version exactly as recorded (manifest
+// load during recovery). Versions must arrive in ascending order.
+func (s *ModelStore) restore(m *StoredModel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(m.Name)
+	if want := len(s.versions[k]) + 1; m.Version != want {
+		return fmt.Errorf("storage: restore model %q version %d out of order (want %d)", m.Name, m.Version, want)
+	}
+	s.versions[k] = append(s.versions[k], m)
+	return nil
+}
+
+// snapshotModels returns every stored model version, ascending per name,
+// for the checkpoint manifest.
+func (s *ModelStore) snapshotModels() []*StoredModel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.versions))
+	for k := range s.versions {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []*StoredModel
+	for _, k := range names {
+		out = append(out, s.versions[k]...)
+	}
 	return out
 }
 

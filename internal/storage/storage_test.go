@@ -22,16 +22,19 @@ func TestTableAppendScan(t *testing.T) {
 	if tb.NumRows() != 10 {
 		t.Fatalf("NumRows = %d", tb.NumRows())
 	}
-	b := tb.ScanRange(3, 6)
+	b, err := tb.ScanRange(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.Len() != 3 || b.Vecs[0].Ints[0] != 3 {
 		t.Fatalf("ScanRange = %v", b.Vecs[0].Ints)
 	}
 	// Out-of-range clamps.
-	if got := tb.ScanRange(8, 100).Len(); got != 2 {
-		t.Errorf("clamped scan len = %d, want 2", got)
+	if got, _ := tb.ScanRange(8, 100); got.Len() != 2 {
+		t.Errorf("clamped scan len = %d, want 2", got.Len())
 	}
-	if got := tb.ScanRange(100, 200).Len(); got != 0 {
-		t.Errorf("empty scan len = %d, want 0", got)
+	if got, _ := tb.ScanRange(100, 200); got.Len() != 0 {
+		t.Errorf("empty scan len = %d, want 0", got.Len())
 	}
 }
 
@@ -68,7 +71,7 @@ func TestTableConcurrentAppendScan(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				_ = tb.AppendRow(int64(i), float64(i))
-				_ = tb.ScanRange(0, tb.NumRows())
+				_, _ = tb.ScanRange(0, tb.NumRows())
 			}
 		}()
 	}

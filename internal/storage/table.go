@@ -1,7 +1,10 @@
-// Package storage implements the in-memory columnar storage engine and
-// catalog that play the role of SQL Server in the reproduction: tables,
-// table statistics, and the transactional, versioned model store that gives
-// models the same governance guarantees as data (paper §1, §2).
+// Package storage implements the columnar storage engine and catalog
+// that play the role of SQL Server in the reproduction: tables, table
+// statistics, and the transactional, versioned model store that gives
+// models the same governance guarantees as data (paper §1, §2). Tables
+// are in-memory by default; with a durable backend attached they are
+// WAL-logged and their tails seal into on-disk columnar segments, so a
+// table can exceed RAM (see durable.go).
 package storage
 
 import (
@@ -10,18 +13,37 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"raven/internal/segment"
 	"raven/internal/types"
 )
 
-// Table is an append-only columnar table. Reads take a snapshot length so
-// concurrent appends never tear a scan.
+// sealedPart is one immutable on-disk segment of a table, in row order
+// before the in-memory tail.
+type sealedPart struct {
+	r    *segment.Reader
+	rows int
+}
+
+// Table is an append-only columnar table: zero or more sealed segments
+// followed by an in-memory tail. Reads take a snapshot length so
+// concurrent appends never tear a scan. In-memory tables (no backend)
+// have no sealed parts, and every scan over them stays zero-copy.
 type Table struct {
 	Name   string
 	schema *types.Schema
 
-	mu   sync.RWMutex
-	cols []*types.Vector
-	rows int
+	mu         sync.RWMutex
+	cols       []*types.Vector // the live tail
+	sealed     []sealedPart
+	sealedRows int
+	rows       int // total rows: sealedRows + tail length
+
+	// appendMu serializes durable appends end-to-end (WAL record, then
+	// memory apply, then a possible seal) so log order always equals
+	// apply order. Readers are only excluded during the memory apply,
+	// which takes mu as before. In-memory appends skip it.
+	appendMu sync.Mutex
+	backend  Backend
 
 	// dataVersion counts content changes (appends). The catalog version
 	// only moves on DDL and model stores, so caches keyed by it alone
@@ -45,7 +67,7 @@ func NewTable(name string, schema *types.Schema) *Table {
 // Schema returns the table schema.
 func (t *Table) Schema() *types.Schema { return t.schema }
 
-// NumRows returns the current row count.
+// NumRows returns the current row count (sealed plus tail).
 func (t *Table) NumRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -61,6 +83,13 @@ func (t *Table) DataVersion() uint64 { return t.dataVersion.Load() }
 
 // AppendRow appends a single row of raw Go values in schema order.
 func (t *Table) AppendRow(vals ...any) error {
+	if t.backend != nil {
+		b := types.NewBatch(t.schema)
+		if err := b.AppendRow(vals...); err != nil {
+			return fmt.Errorf("storage: table %s: %w", t.Name, err)
+		}
+		return t.backend.Append(t, b)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(vals) != len(t.cols) {
@@ -81,6 +110,16 @@ func (t *Table) AppendRow(vals ...any) error {
 
 // AppendBatch appends all rows of a batch whose columns match the schema.
 func (t *Table) AppendBatch(b *types.Batch) error {
+	if t.backend != nil {
+		return t.backend.Append(t, b)
+	}
+	return t.applyBatch(b)
+}
+
+// applyBatch is the memory half of an append: rows land in the tail
+// under mu and the data version bumps. The durable backend calls it
+// after logging; in-memory AppendBatch is nothing but this.
+func (t *Table) applyBatch(b *types.Batch) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(b.Vecs) != len(t.cols) {
@@ -96,9 +135,114 @@ func (t *Table) AppendBatch(b *types.Batch) error {
 	return nil
 }
 
-// ScanRange returns a zero-copy batch over rows [lo, hi). Callers must not
-// mutate the returned vectors.
-func (t *Table) ScanRange(lo, hi int) *types.Batch {
+// tailLen returns the number of rows currently in the in-memory tail.
+func (t *Table) tailLen() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows - t.sealedRows
+}
+
+// tailBatch snapshots the whole tail zero-copy. The durable backend
+// calls it with appenders excluded, so the view is stable.
+func (t *Table) tailBatch() (*types.Batch, int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.rows - t.sealedRows
+	vecs := make([]*types.Vector, len(t.cols))
+	for i, c := range t.cols {
+		vecs[i] = c.Slice(0, n)
+	}
+	return &types.Batch{Schema: t.schema, Vecs: vecs}, n
+}
+
+// sealTail swaps the first n tail rows — which must be the entire tail,
+// seals always cover it — for the sealed segment r. The old tail vectors
+// are abandoned, never reset: outstanding zero-copy scans may still
+// reference them.
+func (t *Table) sealTail(r *segment.Reader, n int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n != t.rows-t.sealedRows {
+		return fmt.Errorf("storage: table %s: seal of %d rows but tail has %d", t.Name, n, t.rows-t.sealedRows)
+	}
+	t.sealed = append(t.sealed, sealedPart{r: r, rows: n})
+	t.sealedRows += n
+	cols := make([]*types.Vector, t.schema.Len())
+	for i, c := range t.schema.Columns {
+		cols[i] = types.NewVector(c.Type, 0)
+	}
+	t.cols = cols
+	return nil
+}
+
+// attachSegment registers a sealed segment loaded from the manifest at
+// recovery, before any tail rows exist.
+func (t *Table) attachSegment(r *segment.Reader) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := r.Rows()
+	t.sealed = append(t.sealed, sealedPart{r: r, rows: n})
+	t.sealedRows += n
+	t.rows += n
+}
+
+// sealedSnapshot copies the sealed-part list for checkpointing and
+// stats.
+func (t *Table) sealedSnapshot() []sealedPart {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]sealedPart(nil), t.sealed...)
+}
+
+// replaceSealed swaps the sealed-part list (compaction), closing the
+// readers it replaces. Total sealed rows must be unchanged.
+func (t *Table) replaceSealed(parts []sealedPart) error {
+	rows := 0
+	for _, p := range parts {
+		rows += p.rows
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rows != t.sealedRows {
+		return fmt.Errorf("storage: table %s: compaction changed sealed rows %d -> %d", t.Name, t.sealedRows, rows)
+	}
+	kept := make(map[*segment.Reader]bool, len(parts))
+	for _, p := range parts {
+		kept[p.r] = true
+	}
+	old := t.sealed
+	t.sealed = parts
+	for _, p := range old {
+		if !kept[p.r] {
+			p.r.Close()
+		}
+	}
+	return nil
+}
+
+// closeSealed closes every sealed segment reader (DB close). The part
+// list is kept so later scans fail with a closed-file error instead of
+// panicking on missing parts.
+func (t *Table) closeSealed() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.sealed {
+		p.r.Close()
+	}
+}
+
+// sealedInfo returns (segment count, sealed row count).
+func (t *Table) sealedInfo() (int, int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.sealed), t.sealedRows
+}
+
+// ScanRange returns a batch over rows [lo, hi). Ranges entirely inside
+// the in-memory tail — always, for in-memory tables — are zero-copy
+// column slices the caller must not mutate; ranges touching sealed
+// segments are materialized from disk.
+func (t *Table) ScanRange(lo, hi int) (*types.Batch, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if hi > t.rows {
@@ -107,15 +251,75 @@ func (t *Table) ScanRange(lo, hi int) *types.Batch {
 	if lo > hi {
 		lo = hi
 	}
-	vecs := make([]*types.Vector, len(t.cols))
-	for i, c := range t.cols {
-		vecs[i] = c.Slice(lo, hi)
+	if lo < 0 {
+		lo = 0
 	}
-	return &types.Batch{Schema: t.schema, Vecs: vecs}
+	if lo >= t.sealedRows {
+		vecs := make([]*types.Vector, len(t.cols))
+		for i, c := range t.cols {
+			vecs[i] = c.Slice(lo-t.sealedRows, hi-t.sealedRows)
+		}
+		return &types.Batch{Schema: t.schema, Vecs: vecs}, nil
+	}
+	out := types.NewBatch(t.schema)
+	out.Grow(hi - lo)
+	pos := 0
+	for _, p := range t.sealed {
+		if lo < pos+p.rows && hi > pos {
+			s, e := max(lo, pos), min(hi, pos+p.rows)
+			for c := range out.Vecs {
+				if err := p.r.ReadColumnRange(c, s-pos, e-pos, out.Vecs[c]); err != nil {
+					return nil, fmt.Errorf("storage: table %s: segment %s: %w", t.Name, p.r.Path(), err)
+				}
+			}
+		}
+		pos += p.rows
+	}
+	if hi > t.sealedRows {
+		for c := range out.Vecs {
+			if err := out.Vecs[c].AppendVector(t.cols[c].Slice(0, hi-t.sealedRows)); err != nil {
+				return nil, fmt.Errorf("storage: table %s: %w", t.Name, err)
+			}
+		}
+	}
+	return out, nil
 }
 
-// Scan returns the whole table as one zero-copy batch.
-func (t *Table) Scan() *types.Batch { return t.ScanRange(0, t.NumRows()) }
+// Scan returns the whole table as one batch (zero-copy when fully
+// in-memory).
+func (t *Table) Scan() (*types.Batch, error) { return t.ScanRange(0, t.NumRows()) }
+
+// scanColumn appends rows [lo, hi) of column idx to dst, reading sealed
+// segments and the tail as needed — the single-column sibling of
+// ScanRange that statistics use so they never materialize the full
+// table width.
+func (t *Table) scanColumn(idx, lo, hi int, dst *types.Vector) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if hi > t.rows {
+		hi = t.rows
+	}
+	if lo > hi {
+		lo = hi
+	}
+	pos := 0
+	for _, p := range t.sealed {
+		if lo < pos+p.rows && hi > pos {
+			s, e := max(lo, pos), min(hi, pos+p.rows)
+			if err := p.r.ReadColumnRange(idx, s-pos, e-pos, dst); err != nil {
+				return fmt.Errorf("storage: table %s: segment %s: %w", t.Name, p.r.Path(), err)
+			}
+		}
+		pos += p.rows
+	}
+	if hi > t.sealedRows {
+		s := max(lo, t.sealedRows)
+		if err := dst.AppendVector(t.cols[idx].Slice(s-t.sealedRows, hi-t.sealedRows)); err != nil {
+			return fmt.Errorf("storage: table %s: %w", t.Name, err)
+		}
+	}
+	return nil
+}
 
 // ColumnStats summarizes one column for optimizer use: min/max for numeric
 // columns, and the set of distinct values when small. The cross optimizer
@@ -134,49 +338,66 @@ type ColumnStats struct {
 
 const maxDistinct = 64
 
-// Stats computes fresh statistics for the named column. Statistics are
-// computed on demand rather than cached: tables in this engine are
-// bulk-loaded once per experiment.
+// statsChunk is the row granularity Stats streams a column at, so a
+// larger-than-RAM table never materializes whole for statistics.
+const statsChunk = 8192
+
+// Stats computes fresh statistics for the named column, streaming over
+// sealed segments and the tail in chunks. Statistics are computed on
+// demand rather than cached: tables in this engine are bulk-loaded once
+// per experiment.
 func (t *Table) Stats(col string) (*ColumnStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	idx := t.schema.IndexOf(col)
 	if idx < 0 {
 		return nil, fmt.Errorf("storage: table %s has no column %q", t.Name, col)
 	}
-	v := t.cols[idx]
-	st := &ColumnStats{Name: col, Min: math.Inf(1), Max: math.Inf(-1), NumRows: t.rows}
-	switch v.Type {
-	case types.Float, types.Int, types.Bool:
-		seen := make(map[float64]struct{})
-		for i := 0; i < t.rows; i++ {
-			x := v.AsFloat(i)
-			if x < st.Min {
-				st.Min = x
+	rows := t.NumRows()
+	typ := t.schema.Columns[idx].Type
+	st := &ColumnStats{Name: col, Min: math.Inf(1), Max: math.Inf(-1), NumRows: rows}
+	seenF := make(map[float64]struct{})
+	seenS := make(map[string]struct{})
+	v := types.NewVector(typ, 0)
+	for lo := 0; lo < rows; lo += statsChunk {
+		hi := min(lo+statsChunk, rows)
+		v.Reset()
+		if err := t.scanColumn(idx, lo, hi, v); err != nil {
+			return nil, err
+		}
+		n := v.Len()
+		switch typ {
+		case types.Float, types.Int, types.Bool:
+			for i := 0; i < n; i++ {
+				x := v.AsFloat(i)
+				if x < st.Min {
+					st.Min = x
+				}
+				if x > st.Max {
+					st.Max = x
+				}
+				if len(seenF) <= maxDistinct {
+					seenF[x] = struct{}{}
+				}
 			}
-			if x > st.Max {
-				st.Max = x
-			}
-			if len(seen) <= maxDistinct {
-				seen[x] = struct{}{}
+		case types.String:
+			for i := 0; i < n; i++ {
+				if len(seenS) <= maxDistinct {
+					seenS[v.Strings[i]] = struct{}{}
+				}
 			}
 		}
-		st.DistinctCount = len(seen)
-		if len(seen) <= maxDistinct {
-			for x := range seen {
+	}
+	switch typ {
+	case types.Float, types.Int, types.Bool:
+		st.DistinctCount = len(seenF)
+		if len(seenF) <= maxDistinct {
+			for x := range seenF {
 				st.Distinct = append(st.Distinct, x)
 			}
 		}
 	case types.String:
-		seen := make(map[string]struct{})
-		for i := 0; i < t.rows; i++ {
-			if len(seen) <= maxDistinct {
-				seen[v.Strings[i]] = struct{}{}
-			}
-		}
-		st.DistinctCount = len(seen)
-		if len(seen) <= maxDistinct {
-			for s := range seen {
+		st.DistinctCount = len(seenS)
+		if len(seenS) <= maxDistinct {
+			for s := range seenS {
 				st.DistinctStrings = append(st.DistinctStrings, s)
 			}
 		}

@@ -1,0 +1,138 @@
+package raven
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"raven/internal/sched"
+)
+
+// TestNegativeCompileCache covers the negative cache: a repeated
+// compile failure is answered from memory (counted as a NegHit), DDL
+// that could change the outcome invalidates immediately, and entries
+// expire on their TTL.
+func TestNegativeCompileCache(t *testing.T) {
+	db := MustOpen(WithResultCache(1 << 20))
+	if err := db.Exec(`CREATE TABLE neg_t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`INSERT INTO neg_t VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	bad := `SELECT a FROM neg_missing`
+	_, err1 := db.QueryContext(ctx, bad)
+	if err1 == nil {
+		t.Fatal("query against a missing table should fail")
+	}
+	info := db.Stats().ResultCache
+	if info.NegHits != 0 || info.NegEntries != 1 {
+		t.Fatalf("after first failure: NegHits=%d NegEntries=%d, want 0/1", info.NegHits, info.NegEntries)
+	}
+
+	// The retry is refused from the negative cache with the same error.
+	_, err2 := db.QueryContext(ctx, bad)
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("negative hit should repeat the original error: %v vs %v", err2, err1)
+	}
+	if info = db.Stats().ResultCache; info.NegHits != 1 {
+		t.Fatalf("NegHits=%d after a repeated failure, want 1", info.NegHits)
+	}
+
+	// DDL can turn the failure into a success, so it must invalidate:
+	// the very next call recompiles against the new catalog.
+	if err := db.Exec(`CREATE TABLE neg_missing (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryContext(ctx, bad)
+	if err != nil {
+		t.Fatalf("after DDL the same SQL should compile: %v", err)
+	}
+	rows.Close()
+
+	// Entries expire on their TTL rather than pinning the error.
+	old := negCacheTTL
+	negCacheTTL = 10 * time.Millisecond
+	defer func() { negCacheTTL = old }()
+	badCol := `SELECT nope FROM neg_t`
+	if _, err := db.QueryContext(ctx, badCol); err == nil {
+		t.Fatal("query against a missing column should fail")
+	}
+	time.Sleep(25 * time.Millisecond)
+	before := db.Stats().ResultCache.NegHits
+	if _, err := db.QueryContext(ctx, badCol); err == nil {
+		t.Fatal("recompile after expiry should still fail")
+	}
+	if got := db.Stats().ResultCache.NegHits; got != before {
+		t.Fatalf("expired negative entry served a hit (NegHits %d -> %d)", before, got)
+	}
+
+	// The parameterized surface shares the cache: same broken SQL, two
+	// calls, second one a negative hit.
+	negCacheTTL = time.Second
+	badParams := `SELECT a FROM neg_gone`
+	if _, err := db.QueryContextParams(ctx, badParams, DefaultQueryOptions()); err == nil {
+		t.Fatal("parameterized query against a missing table should fail")
+	}
+	before = db.Stats().ResultCache.NegHits
+	if _, err := db.QueryContextParams(ctx, badParams, DefaultQueryOptions()); err == nil {
+		t.Fatal("parameterized retry should fail")
+	}
+	if got := db.Stats().ResultCache.NegHits; got != before+1 {
+		t.Fatalf("parameterized retry: NegHits %d -> %d, want +1", before, got)
+	}
+}
+
+// TestResultCacheTenantHitOverflowFold pins the per-tenant hit map's
+// bound: past maxTenantHitKeys distinct tenants, further hits fold into
+// the scheduler's overflow bucket (sched.OverflowTenantName) so the two
+// per-tenant stats surfaces share one catch-all label.
+func TestResultCacheTenantHitOverflowFold(t *testing.T) {
+	db := MustOpen(WithResultCache(1 << 20))
+	if err := db.Exec(`CREATE TABLE fold_t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`INSERT INTO fold_t VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := `SELECT COUNT(*) AS n FROM fold_t`
+
+	// Populate the cache: the leader's result commits when the rows are
+	// drained and closed.
+	rows, err := db.QueryContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hits from more distinct tenants than the map tracks.
+	const extra = 12
+	for i := 0; i < maxTenantHitKeys+extra; i++ {
+		opts := DefaultQueryOptions()
+		opts.Tenant = fmt.Sprintf("fold-tenant-%04d", i)
+		r, err := db.QueryContextWithOptions(ctx, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+	}
+
+	info := db.Stats().ResultCache
+	if info.Hits < maxTenantHitKeys+extra {
+		t.Fatalf("expected every tenant call to hit, got %d hits", info.Hits)
+	}
+	if got := info.HitsByTenant[sched.OverflowTenantName]; got != extra {
+		t.Fatalf("overflow bucket %q has %d hits, want %d", sched.OverflowTenantName, got, extra)
+	}
+	if len(info.HitsByTenant) != maxTenantHitKeys+1 {
+		t.Fatalf("hit map has %d keys, want %d tracked + 1 overflow", len(info.HitsByTenant), maxTenantHitKeys)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // morsel exchange parallelizes end to end.
 func flightsDB(t testing.TB, rows int) *DB {
 	t.Helper()
-	db := Open()
+	db := MustOpen()
 	fl, err := data.GenFlightsWide(db.Catalog(), rows, 30, 10, 2000, 11)
 	if err != nil {
 		t.Fatal(err)
@@ -187,12 +187,12 @@ func TestConcurrentParallelQueriesOverSharedTables(t *testing.T) {
 }
 
 func TestOpenOptions(t *testing.T) {
-	db := Open(WithParallelism(3), WithMorselSize(2048))
+	db := MustOpen(WithParallelism(3), WithMorselSize(2048))
 	if db.DefaultParallelism != 3 || db.MorselSize != 2048 {
 		t.Fatalf("options not applied: dop=%d morsel=%d", db.DefaultParallelism, db.MorselSize)
 	}
 	// Out-of-range values keep defaults.
-	db2 := Open(WithParallelism(0), WithMorselSize(-1))
+	db2 := MustOpen(WithParallelism(0), WithMorselSize(-1))
 	if db2.DefaultParallelism < 1 || db2.MorselSize != 0 {
 		t.Fatalf("bad option handling: dop=%d morsel=%d", db2.DefaultParallelism, db2.MorselSize)
 	}

@@ -86,6 +86,7 @@ import (
 	"raven/internal/sql"
 	"raven/internal/storage"
 	"raven/internal/types"
+	"raven/internal/wal"
 	"raven/internal/xopt"
 )
 
@@ -218,6 +219,23 @@ type DB struct {
 	results         *rescache.Cache[*resultEntry]
 	resHitMu        sync.Mutex
 	resHitsByTenant map[string]uint64
+
+	// negCache remembers recent compile failures (parse/bind — the
+	// errors a wire front end maps to 4xx) so a client hammering the
+	// same broken query is refused from memory instead of re-parsing
+	// every time. Entries are tiny (an error string), capped at
+	// maxNegEntries, expire after negCacheTTL and are dropped the moment
+	// the catalog moves — DDL can turn the error into a success.
+	negMu    sync.Mutex
+	negCache map[string]negEntry
+	negHits  uint64
+
+	// durable is the on-disk storage backend; nil (the default) keeps the
+	// engine fully in-memory. Configured at Open by WithDataDir.
+	durable     *storage.Durable
+	dataDir     string
+	fsyncPolicy string
+	segmentRows int
 }
 
 // Admission failures, re-exported so API consumers can map them to
@@ -380,10 +398,41 @@ func (db *DB) tagFor(ctx context.Context, opts QueryOptions) sched.Tag {
 	return sched.Tag{Tenant: opts.Tenant, Priority: opts.Priority}
 }
 
-// Open creates an empty engine.
-func Open(opts ...Option) *DB {
+// WithDataDir makes the engine durable: every committed write is logged
+// to a write-ahead log under dir, table tails seal into on-disk columnar
+// segments, and Open recovers whatever a previous process — cleanly shut
+// down or killed — committed there. Without it the engine is fully
+// in-memory, exactly as before.
+func WithDataDir(dir string) Option {
+	return func(db *DB) { db.dataDir = dir }
+}
+
+// WithFsync selects the WAL sync policy for a durable engine: "always"
+// (default; an acknowledged write survives power loss), "interval"
+// (background sync; survives process death), or "off" (sync only at
+// checkpoint/close). Ignored without WithDataDir; an unknown spelling
+// fails Open.
+func WithFsync(policy string) Option {
+	return func(db *DB) { db.fsyncPolicy = policy }
+}
+
+// WithSegmentRows sets how many tail rows accumulate before a durable
+// table seals them into an immutable segment file (default 65536).
+// Smaller values bound memory: only the tail lives in RAM, so a table
+// can exceed it. Ignored without WithDataDir; values < 1 are ignored.
+func WithSegmentRows(n int) Option {
+	return func(db *DB) {
+		if n >= 1 {
+			db.segmentRows = n
+		}
+	}
+}
+
+// Open creates an engine. In-memory (the default) it cannot fail; with
+// WithDataDir it opens or recovers the data directory, so corrupt state
+// or I/O problems surface here, before any query runs.
+func Open(opts ...Option) (*DB, error) {
 	db := &DB{
-		catalog:            storage.NewCatalog(),
 		runtime:            rt.NewRuntime(),
 		vars:               make(map[string]string),
 		plans:              newPlanCache(defaultPlanCacheSize),
@@ -392,10 +441,67 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(db)
 	}
+	if db.dataDir != "" {
+		dopts := storage.DurableOptions{SegmentRows: db.segmentRows}
+		if db.fsyncPolicy != "" {
+			p, err := wal.ParsePolicy(db.fsyncPolicy)
+			if err != nil {
+				return nil, err
+			}
+			dopts.Fsync = p
+		}
+		c, d, err := storage.OpenDurable(db.dataDir, dopts)
+		if err != nil {
+			return nil, err
+		}
+		db.catalog = c
+		db.durable = d
+	} else {
+		db.catalog = storage.NewCatalog()
+	}
 	if db.schedOpts.MaxConcurrent > 0 {
 		db.sched = sched.New(db.schedOpts)
 	}
+	return db, nil
+}
+
+// MustOpen is Open for callers that cannot meaningfully handle an open
+// error (tests, examples, in-memory engines — where Open never fails).
+func MustOpen(opts ...Option) *DB {
+	db, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
 	return db
+}
+
+// Close shuts a durable engine down cleanly: a final checkpoint folds
+// the WAL into segments and the manifest, so the next Open replays
+// nothing. In-memory engines have nothing to close; Close is a no-op.
+func (db *DB) Close() error {
+	if db.durable == nil {
+		return nil
+	}
+	return db.durable.Close(true)
+}
+
+// Abort drops a durable engine without syncing or checkpointing — the
+// crash-simulation hook recovery tests and benchmarks use to model
+// kill -9 in-process. No-op for in-memory engines.
+func (db *DB) Abort() error {
+	if db.durable == nil {
+		return nil
+	}
+	return db.durable.Abort()
+}
+
+// Checkpoint forces a durable checkpoint now (seal tails, rotate the
+// WAL, rewrite the manifest). No-op without WithDataDir.
+func (db *DB) Checkpoint() error {
+	if db.durable == nil {
+		return nil
+	}
+	return db.durable.Checkpoint()
 }
 
 // QueryScheduler is the admission controller type behind DB.Scheduler,
@@ -544,7 +650,9 @@ func (db *DB) execOne(st sql.Statement) error {
 			return err
 		}
 		if x.PrimaryKey != "" {
-			db.catalog.SetUniqueKey(x.Name, x.PrimaryKey)
+			if err := db.catalog.SetUniqueKey(x.Name, x.PrimaryKey); err != nil {
+				return err
+			}
 		}
 		return nil
 	case *sql.DropTableStmt:
@@ -569,23 +677,40 @@ func (db *DB) execInsert(x *sql.InsertStmt) error {
 		return err
 	}
 	sch := t.Schema()
+	// Rows of one INSERT statement land as one append — and, on a
+	// durable engine, one WAL record. Semantics stay row-at-a-time: a
+	// bad row mid-statement still applies the valid prefix before it
+	// errors, exactly as when rows were appended one by one.
+	b := types.NewBatch(sch)
+	flush := func() error {
+		if b.Len() == 0 {
+			return nil
+		}
+		return t.AppendBatch(b)
+	}
 	for _, row := range x.Rows {
 		if len(row) != sch.Len() {
+			if err := flush(); err != nil {
+				return err
+			}
 			return fmt.Errorf("raven: INSERT row has %d values, table %s has %d columns", len(row), x.Table, sch.Len())
 		}
 		vals := make([]any, len(row))
 		for i, e := range row {
 			v, err := literalValue(e, sch.Columns[i].Type)
 			if err != nil {
+				if ferr := flush(); ferr != nil {
+					return ferr
+				}
 				return fmt.Errorf("raven: INSERT into %s column %s: %w", x.Table, sch.Columns[i].Name, err)
 			}
 			vals[i] = v
 		}
-		if err := t.AppendRow(vals...); err != nil {
+		if err := b.AppendRow(vals...); err != nil {
 			return err
 		}
 	}
-	return nil
+	return flush()
 }
 
 func literalValue(e sql.Expr, want types.DataType) (any, error) {
@@ -729,8 +854,13 @@ func (db *DB) QueryContextWithOptions(ctx context.Context, q string, opts QueryO
 	// scheduler slots, and a miss makes this call the flight leader other
 	// concurrent identical calls wait on instead of queueing themselves.
 	var fl *rescache.Flight[*resultEntry]
+	var key string
 	if db.resultCacheEligible(ctx, opts, q) {
-		rows, hit, flight, err := db.resultLookup(ctx, db.resultKey(q, opts, false, vars, nil), opts, start)
+		key = db.resultKey(q, opts, false, vars, nil)
+		if nerr := db.negLookup(key); nerr != nil {
+			return nil, nerr
+		}
+		rows, hit, flight, err := db.resultLookup(ctx, key, opts, start)
 		if hit || err != nil {
 			return rows, err
 		}
@@ -747,6 +877,7 @@ func (db *DB) QueryContextWithOptions(ctx context.Context, q string, opts QueryO
 	if err != nil {
 		release()
 		fl.Cancel()
+		db.noteNegative(key, err)
 		return nil, err
 	}
 	op, err := db.lower(ctx, tpl.graph, tpl.sessionKey, opts)
@@ -795,10 +926,17 @@ type Stats struct {
 	Scheduler *SchedulerStats `json:"scheduler,omitempty"`
 	// Adaptive is nil unless the engine was opened WithAdaptiveMorsels.
 	Adaptive *AdaptiveStats `json:"adaptive,omitempty"`
+	// Storage is nil unless the engine was opened WithDataDir.
+	Storage *StorageStats `json:"storage,omitempty"`
 	// Compiles counts full front-half compilations since Open.
 	Compiles       uint64 `json:"compiles"`
 	CatalogVersion uint64 `json:"catalog_version"`
 }
+
+// StorageStats is the durable backend's snapshot (see Stats.Storage),
+// aliased so API consumers can name it without importing internal
+// packages.
+type StorageStats = storage.DurableStats
 
 // Stats snapshots the engine's caches and scheduler.
 func (db *DB) Stats() Stats {
@@ -816,6 +954,10 @@ func (db *DB) Stats() Stats {
 	if db.tuner != nil {
 		a := db.tuner.Stats(db.DefaultParallelism)
 		st.Adaptive = &a
+	}
+	if db.durable != nil {
+		s := db.durable.Stats()
+		st.Storage = &s
 	}
 	return st
 }

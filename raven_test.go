@@ -55,7 +55,7 @@ func fig1Tree() *ml.DecisionTree {
 // Fig 1 decision-tree pipeline stored as "duration_of_stay".
 func hospitalDB(t testing.TB, rows int) (*DB, *data.Hospital) {
 	t.Helper()
-	db := Open()
+	db := MustOpen()
 	h, err := data.GenHospital(db.Catalog(), rows, 4000, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ WITH (length_of_stay FLOAT) AS p
 WHERE d.pregnant = 1 AND p.length_of_stay > 0.5;`
 
 func TestExecDDLAndInsert(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, x FLOAT, name VARCHAR(10), ok BIT);
 		INSERT INTO t VALUES (1, 2.5, 'a', TRUE), (2, 3.5, 'b', FALSE)`); err != nil {
 		t.Fatal(err)
@@ -317,7 +317,7 @@ func TestExplainShowsStages(t *testing.T) {
 }
 
 func TestProjectionPushdownNarrowsFlights(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	fl, err := data.GenFlightsWide(db.Catalog(), 5000, 60, 8, 4000, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -354,7 +354,7 @@ func TestProjectionPushdownNarrowsFlights(t *testing.T) {
 }
 
 func TestQueryErrors(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if _, err := db.Query("CREATE TABLE x (a INT)"); err == nil {
 		t.Error("Query without SELECT should fail")
 	}

@@ -179,14 +179,16 @@ func (db *DB) noteResultHit(ctx context.Context, opts QueryOptions) {
 		db.resHitsByTenant = make(map[string]uint64)
 	}
 	if _, ok := db.resHitsByTenant[tenant]; !ok && len(db.resHitsByTenant) >= maxTenantHitKeys {
-		tenant = "~other"
+		tenant = sched.OverflowTenantName
 	}
 	db.resHitsByTenant[tenant]++
 }
 
 // maxTenantHitKeys bounds the per-tenant hit map; beyond it, new
-// tenants fold into "~other" so an unbounded tenant-name stream cannot
-// grow the stats snapshot without limit.
+// tenants fold into the scheduler's overflow bucket so an unbounded
+// tenant-name stream cannot grow the stats snapshot without limit —
+// and so the cache's catch-all label always matches the scheduler's
+// (sched.OverflowTenantName) in merged per-tenant dashboards.
 const maxTenantHitKeys = 128
 
 // ResultCacheInfo is the result cache's stats snapshot (see
@@ -194,6 +196,11 @@ const maxTenantHitKeys = 128
 type ResultCacheInfo struct {
 	rescache.Stats
 	HitsByTenant map[string]uint64 `json:"hits_by_tenant,omitempty"`
+	// NegHits counts queries refused from the negative cache — repeat
+	// compile failures served without re-parsing; NegEntries is the
+	// number of remembered failures (each a short error string).
+	NegHits    uint64 `json:"neg_hits,omitempty"`
+	NegEntries int    `json:"neg_entries,omitempty"`
 }
 
 func (db *DB) resultCacheInfo() *ResultCacheInfo {
@@ -209,7 +216,75 @@ func (db *DB) resultCacheInfo() *ResultCacheInfo {
 		}
 	}
 	db.resHitMu.Unlock()
+	db.negMu.Lock()
+	info.NegHits = db.negHits
+	info.NegEntries = len(db.negCache)
+	db.negMu.Unlock()
 	return info
+}
+
+// negEntry is one remembered compile failure. The catalog version pins
+// its validity the same way resultEntryValid pins a positive entry's:
+// DDL or a model store may legitimately turn the error into a success,
+// so a stale-version entry never answers.
+type negEntry struct {
+	err     error
+	version uint64
+	until   time.Time
+}
+
+// negCacheTTL bounds how long a compile failure answers from memory.
+// Short on purpose: negative entries exist to absorb tight client retry
+// loops, not to make errors sticky. Tests may shorten it.
+var negCacheTTL = time.Second
+
+// maxNegEntries bounds the negative cache; at the cap an arbitrary
+// entry is evicted — with a 1s TTL the population self-cleans, the cap
+// only guards against a burst of distinct broken queries.
+const maxNegEntries = 256
+
+// negLookup answers a query from the negative cache: a non-nil return
+// is the remembered compile error, served before admission and before
+// the result-cache flight. Expired and stale-version entries are
+// dropped, not served.
+func (db *DB) negLookup(key string) error {
+	if db.results == nil || key == "" {
+		return nil
+	}
+	db.negMu.Lock()
+	defer db.negMu.Unlock()
+	e, ok := db.negCache[key]
+	if !ok {
+		return nil
+	}
+	if time.Now().After(e.until) || e.version != db.catalog.Version() {
+		delete(db.negCache, key)
+		return nil
+	}
+	db.negHits++
+	return e.err
+}
+
+// noteNegative remembers a compile failure under the query's result key.
+// Callers pass the key they looked up with (empty when the call was not
+// cache-eligible, which makes this a no-op) and the planFor error —
+// never execution or admission errors, which are transient.
+func (db *DB) noteNegative(key string, err error) {
+	if db.results == nil || key == "" || err == nil {
+		return
+	}
+	db.negMu.Lock()
+	defer db.negMu.Unlock()
+	if db.negCache == nil {
+		db.negCache = make(map[string]negEntry, maxNegEntries)
+	}
+	if _, ok := db.negCache[key]; !ok && len(db.negCache) >= maxNegEntries {
+		for k := range db.negCache {
+			delete(db.negCache, k)
+			break
+		}
+	}
+	db.negCache[key] = negEntry{err: err, version: db.catalog.Version(), until: time.Now().Add(negCacheTTL)}
 }
 
 // cachedBatchOp serves one cached batch as an operator so hits flow

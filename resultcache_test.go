@@ -13,7 +13,7 @@ import (
 // scratch table the invalidation tests mutate.
 func cacheTestDB(t *testing.T, cacheBytes int64, opts ...Option) *DB {
 	t.Helper()
-	db := Open(append([]Option{WithResultCache(cacheBytes)}, opts...)...)
+	db := MustOpen(append([]Option{WithResultCache(cacheBytes)}, opts...)...)
 	if err := db.Exec(`CREATE TABLE t (id INT, x FLOAT);
 		INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)`); err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestResultCacheInsertInvalidation(t *testing.T) {
 }
 
 func TestResultCacheDDLAndModelInvalidation(t *testing.T) {
-	db, err := genHospitalInto(Open(WithResultCache(1<<22)), 500)
+	db, err := genHospitalInto(MustOpen(WithResultCache(1<<22)), 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestAbandonedLeaderRowsReleasesWaiters(t *testing.T) {
 }
 
 func TestResultCacheSingleflightCollapse(t *testing.T) {
-	db := Open(WithResultCache(1<<22), WithParallelism(1),
+	db := MustOpen(WithResultCache(1<<22), WithParallelism(1),
 		WithMaxConcurrentQueries(4), WithSchedulerQueue(64, 0))
 	if _, err := genHospitalInto(db, 2000); err != nil {
 		t.Fatal(err)
@@ -254,7 +254,7 @@ func TestResultCacheSingleflightCollapse(t *testing.T) {
 }
 
 func TestResultCacheEvictionUnderBytePressure(t *testing.T) {
-	db := Open(WithResultCache(2048), WithParallelism(1))
+	db := MustOpen(WithResultCache(2048), WithParallelism(1))
 	if err := db.Exec(`CREATE TABLE big (id INT, x FLOAT)`); err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestResultCacheEvictionUnderBytePressure(t *testing.T) {
 // per-entry cap (maxBytes/4) is dropped while streaming — the query
 // itself still returns every row, and nothing lands in the cache.
 func TestResultCacheOversizeAbandoned(t *testing.T) {
-	db := Open(WithResultCache(4096), WithParallelism(1)) // entry cap: 1KB
+	db := MustOpen(WithResultCache(4096), WithParallelism(1)) // entry cap: 1KB
 	if err := db.Exec(`CREATE TABLE big (id INT, x FLOAT)`); err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +376,7 @@ func TestResultCacheSideEffectScriptNotCached(t *testing.T) {
 }
 
 func TestPreparedResultCacheParamsKeying(t *testing.T) {
-	db, err := genHospitalInto(Open(WithResultCache(1<<22)), 500)
+	db, err := genHospitalInto(MustOpen(WithResultCache(1<<22)), 500)
 	if err != nil {
 		t.Fatal(err)
 	}

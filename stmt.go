@@ -141,8 +141,13 @@ func (s *Stmt) QueryContext(ctx context.Context, params ...Param) (*Rows, error)
 	// variable snapshot (exactly what template() compiles with) plus the
 	// call's parameter values. A hit costs zero scheduler slots.
 	var fl *rescache.Flight[*resultEntry]
+	var key string
 	if db.resultCacheEligible(ctx, s.opts, s.sql) {
-		rows, hit, flight, err := db.resultLookup(ctx, db.resultKey(s.sql, s.opts, true, s.vars, params), s.opts, start)
+		key = db.resultKey(s.sql, s.opts, true, s.vars, params)
+		if nerr := db.negLookup(key); nerr != nil {
+			return nil, nerr
+		}
+		rows, hit, flight, err := db.resultLookup(ctx, key, s.opts, start)
 		if hit || err != nil {
 			return rows, err
 		}
@@ -157,6 +162,9 @@ func (s *Stmt) QueryContext(ctx context.Context, params ...Param) (*Rows, error)
 	if err != nil {
 		release()
 		fl.Cancel()
+		// A re-prepare failure is a compile error like any other: the
+		// catalog moved and the statement no longer binds.
+		db.noteNegative(key, err)
 		return nil, err
 	}
 	return db.executeTemplate(ctx, tpl, s.opts, params, release, start, fl)
@@ -206,8 +214,13 @@ func (db *DB) QueryContextParams(ctx context.Context, q string, opts QueryOption
 	start := time.Now()
 	vars := db.varsSnapshot()
 	var fl *rescache.Flight[*resultEntry]
+	var key string
 	if db.resultCacheEligible(ctx, opts, q) {
-		rows, hit, flight, err := db.resultLookup(ctx, db.resultKey(q, opts, true, vars, params), opts, start)
+		key = db.resultKey(q, opts, true, vars, params)
+		if nerr := db.negLookup(key); nerr != nil {
+			return nil, nerr
+		}
+		rows, hit, flight, err := db.resultLookup(ctx, key, opts, start)
 		if hit || err != nil {
 			return rows, err
 		}
@@ -222,6 +235,7 @@ func (db *DB) QueryContextParams(ctx context.Context, q string, opts QueryOption
 	if err != nil {
 		release()
 		fl.Cancel()
+		db.noteNegative(key, err)
 		return nil, err
 	}
 	return db.executeTemplate(ctx, tpl, opts, params, release, start, fl)
