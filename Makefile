@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor for `make cover` (percent of statements).
 COVER_FLOOR ?= 70
 
-.PHONY: all build test race vet fmt-check bench bench-quick bench-check bench-micro cover smoke smoke-serve smoke-cluster smoke-durable ci
+.PHONY: all build test race vet fmt-check bench bench-quick bench-check bench-micro cover smoke smoke-serve smoke-cluster smoke-durable smoke-pgwire ci
 
 all: ci
 
@@ -74,6 +74,17 @@ smoke-cluster:
 smoke-durable:
 	$(GO) run ./cmd/ravenserved -crashtest
 
+# smoke-pgwire boots ravenserved with both front ends on random ports
+# and drives the Postgres wire protocol end to end with an in-process
+# pg client: simple-protocol DDL + SELECT, PREDICT through both the
+# simple and extended (prepared, $1-parameterized) protocols with
+# byte-equivalent results against the HTTP/NDJSON path, pg sessions
+# billed to their startup-param tenant in /stats, and a zero-quota
+# tenant refused with SQLSTATE 53300. One process, exits non-zero on
+# any failure.
+smoke-pgwire:
+	$(GO) run ./cmd/ravenserved -pgselftest -rows 2000
+
 # bench regenerates the paper experiment tables at quick scale.
 bench:
 	$(GO) run ./cmd/ravenbench -quick
@@ -123,5 +134,5 @@ bench-micro:
 # ci runs the suite twice, not three times: cover subsumes a plain
 # `make test` (same tests, plus the coverage floor and cover.out), so
 # the gate is cover + race rather than test + race + a separate cover.
-ci: fmt-check build vet cover race smoke smoke-serve smoke-cluster smoke-durable
+ci: fmt-check build vet cover race smoke smoke-serve smoke-cluster smoke-durable smoke-pgwire
 	@$(MAKE) bench-quick BENCH_JSON=.bench_ci.json BENCH_SCALING_JSON=.bench_scaling_ci.json BENCH_SERVE_JSON=.bench_serve_ci.json BENCH_TENANT_JSON=.bench_tenant_ci.json BENCH_CLUSTER_JSON=.bench_cluster_ci.json BENCH_CACHE_JSON=.bench_cache_ci.json BENCH_WAL_JSON=.bench_wal_ci.json

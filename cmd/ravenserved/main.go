@@ -11,8 +11,20 @@
 //	            [-query-timeout D] [-drain-timeout D] [-drain-grace D]
 //	            [-result-cache-bytes N] [-tenant name=maxq[:maxslots] ...]
 //	            [-default-tenant NAME] [-preload] [-selftest]
+//	            [-pg-addr :5432] [-pgselftest]
 //	            [-data-dir DIR] [-fsync always|interval|off] [-segment-rows N]
 //	            [-crashtest]
+//
+// With -pg-addr the server also speaks the Postgres wire protocol
+// (internal/pgwire): psql, BI tools and pg drivers run SELECT/PREDICT/
+// INSERT/DDL against the same engine through the same admission path,
+// with the startup database/user parameters mapping onto the tenant
+// scheduler and engine errors mapping onto SQLSTATEs (429 ⇔ 53300,
+// draining ⇔ 57P01). Both front ends share one prepared-statement
+// registry and one request-options surface (internal/server/reqopt).
+// -pgselftest starts both listeners on random ports, runs the pg smoke
+// (byte-parity of pg results against the HTTP path included), drains,
+// and exits non-zero on failure — the `make smoke-pgwire` CI gate.
 //
 // With -data-dir the engine is durable: every write is logged to a
 // write-ahead log under DIR before it is acknowledged, cold tables are
@@ -70,7 +82,9 @@ import (
 	"raven"
 	"raven/internal/data"
 	"raven/internal/ml"
+	"raven/internal/pgwire"
 	"raven/internal/server"
+	"raven/internal/server/stmtreg"
 	"raven/internal/train"
 )
 
@@ -130,6 +144,8 @@ func main() {
 	flag.Var(&tenants, "tenant", "declare a tenant quota as name=maxQueries[:maxSlots] (repeatable; 0 queries shuts the tenant off; requires -max-queries > 0)")
 	defaultTenant := flag.String("default-tenant", "", "tenant untagged requests bill to (default \"default\")")
 	selftest := flag.Bool("selftest", false, "start on a random port, run the HTTP smoke, drain, exit")
+	pgAddr := flag.String("pg-addr", "", "Postgres wire protocol listen address (host:port; empty = pg front end disabled). psql/pgx connect here; database/user startup params pick the tenant")
+	pgselftest := flag.Bool("pgselftest", false, "start HTTP and pg listeners on random ports, run the pgwire smoke (pg vs HTTP result parity, tenant attribution, SQLSTATE mapping), drain, exit")
 	dataDir := flag.String("data-dir", "", "durable data directory: writes are WAL-logged before acknowledgement, cold rows are sealed into columnar segments, and restart recovers committed state before the listener opens (empty = in-memory)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy for -data-dir: always (group-committed fsync per append), interval (background fsync) or off")
 	segmentRows := flag.Int("segment-rows", 0, "rows per sealed on-disk segment for -data-dir (0 = default 65536)")
@@ -145,9 +161,15 @@ func main() {
 		return
 	}
 
-	if *selftest {
+	if *selftest || *pgselftest {
 		*addr = "127.0.0.1:0"
 		*drainGrace = 0 // nothing is routing to the selftest server
+	}
+	if *pgselftest {
+		*pgAddr = "127.0.0.1:0"
+		// The pg smoke proves admission refusals surface as SQLSTATE
+		// 53300: give it a tenant that is administratively shut off.
+		tenants = append(tenants, tenantQuota{"pg-blocked", 0, 0})
 	}
 
 	opts := []raven.Option{
@@ -195,7 +217,10 @@ func main() {
 		}
 	}
 
-	srv := server.New(db, server.Options{DefaultTimeout: *queryTimeout, DrainGrace: *drainGrace})
+	// One statement registry for both front ends: pg prepared statements
+	// and HTTP /prepare share a capacity budget and an id space.
+	reg := stmtreg.New(0)
+	srv := server.New(db, server.Options{DefaultTimeout: *queryTimeout, DrainGrace: *drainGrace, Statements: reg})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
@@ -204,17 +229,61 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ravenserved listening on %s (max-queries=%d queue=%d)\n",
 		l.Addr(), *maxQueries, *queueDepth)
 
+	var (
+		pgs        *pgwire.Server
+		pgServeErr chan error
+	)
+	if *pgAddr != "" {
+		pgl, err := net.Listen("tcp", *pgAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pg listen:", err)
+			os.Exit(1)
+		}
+		*pgAddr = pgl.Addr().String()
+		pgs = pgwire.New(db, reg, pgwire.Options{DefaultTimeout: *queryTimeout, DefaultTenant: *defaultTenant})
+		srv.SetPgwireStats(func() any { return pgs.Stats() })
+		fmt.Fprintf(os.Stderr, "ravenserved pg protocol on %s\n", pgl.Addr())
+		pgServeErr = make(chan error, 1)
+		go func() { pgServeErr <- pgs.Serve(pgl) }()
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 
-	if *selftest {
+	// drainAll shuts both front ends down in order: pg stops admitting
+	// first (so its refusals read 57P01, not connection resets), the HTTP
+	// Shutdown drains the engine once (the single engine-level drain —
+	// pgwire's Shutdown deliberately leaves it to the caller), then the
+	// pg connections unwind.
+	drainAll := func(ctx context.Context) error {
+		if pgs != nil {
+			pgs.BeginDrain()
+		}
+		err := srv.Shutdown(ctx)
+		if pgs != nil {
+			if perr := pgs.Shutdown(ctx); perr != nil && err == nil {
+				err = fmt.Errorf("pg shutdown: %w", perr)
+			}
+			if serr := <-pgServeErr; serr != nil && serr != pgwire.ErrServerClosed && err == nil {
+				err = serr
+			}
+		}
+		return err
+	}
+
+	if *selftest || *pgselftest {
 		base := "http://" + l.Addr().String()
-		err := server.Smoke(base)
+		var err error
+		if *pgselftest {
+			err = pgwire.Smoke(*pgAddr, base)
+		} else {
+			err = server.Smoke(base)
+		}
 		// Drain under load-free conditions must complete well inside the
 		// deadline; any error (smoke or drain) fails the selftest.
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if derr := srv.Shutdown(ctx); derr != nil && err == nil {
+		if derr := drainAll(ctx); derr != nil && err == nil {
 			err = fmt.Errorf("shutdown: %w", derr)
 		}
 		if serr := <-serveErr; serr != nil && serr != http.ErrServerClosed && err == nil {
@@ -241,7 +310,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%v: draining (up to %v)...\n", s, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		if err := drainAll(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "drain:", err)
 			os.Exit(1)
 		}

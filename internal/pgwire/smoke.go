@@ -1,0 +1,143 @@
+package pgwire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"raven/internal/server"
+)
+
+// smokePredictPg is the demo PREDICT statement over the preloaded
+// hospital workload, with the age threshold inlined (the simple
+// protocol carries no parameters).
+const smokePredictPg = `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
+	DATA=(SELECT * FROM patient_info AS pi
+	      JOIN blood_tests AS bt ON pi.id = bt.id
+	      JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+	WITH (score FLOAT) AS p WHERE d.age > 50`
+
+// smokePredictParam is the same statement as a pg extended-protocol
+// prepared statement: $1 is the age threshold.
+const smokePredictParam = `SELECT d.id, p.score FROM PREDICT(MODEL='duration_of_stay',
+	DATA=(SELECT * FROM patient_info AS pi
+	      JOIN blood_tests AS bt ON pi.id = bt.id
+	      JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d)
+	WITH (score FLOAT) AS p WHERE d.age > $1`
+
+// Smoke drives an end-to-end pass over the pg front end of a
+// ravenserved instance that also serves HTTP: DDL + SELECT through the
+// simple protocol, PREDICT through both protocols with byte-equivalent
+// results against the HTTP/NDJSON path, the extended protocol's
+// prepared PREDICT, tenant attribution of pg sessions in /stats
+// (including the pgwire section), and a zero-quota tenant refused with
+// SQLSTATE 53300. It is the body of `ravenserved -pgselftest` and the
+// `make smoke-pgwire` CI gate.
+func Smoke(pgAddr, httpBase string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	hc := &server.Client{Base: httpBase}
+
+	// Connect as database pg-smoke: the startup params are the tenant.
+	c, err := DialClient(ctx, pgAddr, DialOptions{User: "smoker", Database: "pg-smoke"})
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer c.Close()
+	if c.BackendPID == 0 && c.BackendSecret == 0 {
+		return errors.New("startup: no BackendKeyData")
+	}
+	if c.Params["server_encoding"] != "UTF8" {
+		return fmt.Errorf("startup: parameter statuses missing, got %v", c.Params)
+	}
+
+	// Simple protocol: session-setup shims, then DDL + INSERT + SELECT in
+	// one script, checking tags and rows.
+	if _, err := c.SimpleQuery(`SET application_name = 'smoke'`); err != nil {
+		return fmt.Errorf("SET shim: %w", err)
+	}
+	res, err := c.SimpleQuery(`
+		CREATE TABLE pg_smoke_kv (k INT PRIMARY KEY, v FLOAT);
+		INSERT INTO pg_smoke_kv VALUES (1, 1.5), (2, 2.5), (3, 3.5);
+		SELECT k, v FROM pg_smoke_kv WHERE v > 2.0`)
+	if err != nil {
+		return fmt.Errorf("ddl+select script: %w", err)
+	}
+	last := res[len(res)-1]
+	if last.Tag != "SELECT 2" || len(last.Rows) != 2 {
+		return fmt.Errorf("script select: tag %q, %d rows, want SELECT 2", last.Tag, len(last.Rows))
+	}
+	if len(last.Cols) != 2 || last.Cols[0].Name != "k" || last.Cols[0].OID != oidInt8 || last.Cols[1].OID != oidFloat8 {
+		return fmt.Errorf("script select: columns %+v", last.Cols)
+	}
+
+	// The acceptance bar: a PREDICT through psql's protocol returns
+	// byte-for-byte what the HTTP/NDJSON path returns.
+	pgRes, err := c.SimpleQuery(smokePredictPg)
+	if err != nil {
+		return fmt.Errorf("predict (simple): %w", err)
+	}
+	if len(pgRes) != 1 || len(pgRes[0].Rows) == 0 {
+		return errors.New("predict (simple) returned no rows")
+	}
+	httpRes, err := hc.Query(server.QueryRequest{SQL: smokePredictPg})
+	if err != nil {
+		return fmt.Errorf("predict (http): %w", err)
+	}
+	if pgRes[0].Fingerprint() != httpRes.Fingerprint() {
+		return errors.New("pg simple-protocol PREDICT differs from HTTP result")
+	}
+
+	// Extended protocol: prepared PREDICT with $1, same stream again.
+	extRes, err := c.QueryExtended(smokePredictParam, "50")
+	if err != nil {
+		return fmt.Errorf("predict (extended): %w", err)
+	}
+	if !strings.HasPrefix(extRes.Tag, "SELECT ") {
+		return fmt.Errorf("predict (extended): tag %q", extRes.Tag)
+	}
+	if extRes.Fingerprint() != httpRes.Fingerprint() {
+		return errors.New("pg extended-protocol PREDICT differs from HTTP result")
+	}
+
+	// Stats: the pg session's queries billed to the startup-param tenant,
+	// and the pgwire section is live.
+	st, err := hc.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Engine.Scheduler != nil {
+		ts := st.Engine.Scheduler.Tenants["pg-smoke"]
+		if ts.Admitted == 0 {
+			return fmt.Errorf("pg tenant did not reach the scheduler: %+v", st.Engine.Scheduler.Tenants)
+		}
+	}
+	if len(st.Pgwire) == 0 {
+		return errors.New("stats: no pgwire section")
+	}
+	var ps Stats
+	if err := json.Unmarshal(st.Pgwire, &ps); err != nil {
+		return fmt.Errorf("stats: bad pgwire section: %w", err)
+	}
+	if ps.Connections < 1 || ps.Queries < 3 || ps.Messages["parse"] == 0 {
+		return fmt.Errorf("stats: pgwire section implausible: %+v", ps)
+	}
+
+	// A zero-quota tenant is refused at admission with SQLSTATE 53300 —
+	// the same 429 the HTTP path maps, through the shared error table.
+	bc, err := DialClient(ctx, pgAddr, DialOptions{User: "blocked", Database: "pg-blocked"})
+	if err != nil {
+		return fmt.Errorf("dial blocked tenant: %w", err)
+	}
+	defer bc.Close()
+	_, err = bc.SimpleQuery(`SELECT k FROM pg_smoke_kv`)
+	var pgErr *PgError
+	if !errors.As(err, &pgErr) || pgErr.Code != "53300" {
+		return fmt.Errorf("blocked tenant: want SQLSTATE 53300, got %v", err)
+	}
+
+	return nil
+}

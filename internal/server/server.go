@@ -39,15 +39,14 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"runtime"
-	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"raven"
 	"raven/internal/ml"
+	"raven/internal/server/reqopt"
+	"raven/internal/server/stmtreg"
 )
 
 // Options tunes the server.
@@ -57,7 +56,15 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxStatements bounds the server-side prepared-statement registry
 	// (0 = default 1024). POST /prepare past the limit fails with 429.
+	// Ignored when Statements is supplied.
 	MaxStatements int
+	// Statements, when non-nil, is the prepared-statement registry to
+	// use — ravenserved passes one registry to both the HTTP and pg
+	// front ends so prepared statements share one capacity budget and
+	// one id space (a pg-prepared SELECT is executable via
+	// POST /stmt/{id}/query and vice versa is droppable via DELETE).
+	// Nil gets a private registry bounded by MaxStatements.
+	Statements *stmtreg.Registry
 	// DrainGrace is the lame-duck window between advertising draining on
 	// /healthz and refusing queries: Shutdown flips healthz to 503 first,
 	// waits DrainGrace (bounded by the shutdown context), and only then
@@ -76,9 +83,15 @@ type Server struct {
 	mux  *http.ServeMux
 	http *http.Server
 
-	mu     sync.Mutex
-	stmts  map[string]*stmtEntry
-	nextID uint64
+	// reg is the front-end-agnostic prepared-statement registry
+	// (possibly shared with pgwire; see Options.Statements). HTTP
+	// statements register under owner "" — they outlive any one
+	// connection, unlike pg statements which die with their session.
+	reg *stmtreg.Registry
+
+	// pgStats, when set (SetPgwireStats), contributes the pg front
+	// end's section to GET /stats.
+	pgStats func() any
 
 	// lameduck advertises draining on /healthz while query paths still
 	// accept (the probe-visible first phase of a graceful drain);
@@ -86,15 +99,15 @@ type Server struct {
 	lameduck atomic.Bool
 	draining atomic.Bool
 	queries  atomic.Uint64 // query executions started (ad-hoc + prepared)
-	prepares atomic.Uint64
 }
 
 // New builds a Server over db.
 func New(db *raven.DB, opts Options) *Server {
-	if opts.MaxStatements <= 0 {
-		opts.MaxStatements = 1024
+	reg := opts.Statements
+	if reg == nil {
+		reg = stmtreg.New(opts.MaxStatements)
 	}
-	s := &Server{db: db, opts: opts, stmts: make(map[string]*stmtEntry)}
+	s := &Server{db: db, opts: opts, reg: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
@@ -113,6 +126,12 @@ func New(db *raven.DB, opts Options) *Server {
 
 // Handler returns the route table (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetPgwireStats installs the pg front end's stats snapshot as the
+// "pgwire" section of GET /stats. A hook rather than an import so this
+// package stays protocol-agnostic (pgwire imports server's siblings,
+// never the reverse); ravenserved wires it. Call before Serve.
+func (s *Server) SetPgwireStats(f func() any) { s.pgStats = f }
 
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, like net/http (and
@@ -223,7 +242,7 @@ func (o *QueryOptions) engine() raven.QueryOptions {
 	if par < 0 {
 		par = 0
 	}
-	if cap := 8 * runtime.GOMAXPROCS(0); par > cap {
+	if cap := reqopt.MaxWireDOP(); par > cap {
 		par = cap
 	}
 	opts.Parallelism = par
@@ -304,46 +323,31 @@ type ServerStats struct {
 type StatsResponse struct {
 	Server ServerStats `json:"server"`
 	Engine raven.Stats `json:"engine"`
+	// Pgwire is the pg front end's section (absent when ravenserved runs
+	// without -pg-addr). Raw so this package needs no pgwire types.
+	Pgwire json.RawMessage `json:"pgwire,omitempty"`
 }
 
 // ---- handlers ----
 
-// statusFor maps an engine error to its HTTP status: admission outcomes
-// get distinct codes (the wire contract the scheduler exists for),
-// everything else is a client error — this server's query surface treats
-// malformed/unbindable SQL as 400 and reserves 500 for transport
-// failures.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, raven.ErrQueueFull),
-		errors.Is(err, raven.ErrTenantQuota):
-		return http.StatusTooManyRequests // 429: shed, retry with backoff
-	case errors.Is(err, raven.ErrQueueTimeout),
-		errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout // 504: waited, gave up
-	case errors.Is(err, raven.ErrDraining):
-		return http.StatusServiceUnavailable // 503: shutting down
-	case errors.Is(err, context.Canceled):
-		// Client went away; the code is never seen, but logs stay honest.
-		return 499
-	default:
-		return http.StatusBadRequest
-	}
-}
+// statusFor maps an engine error to its HTTP status through the shared
+// front-end error table (reqopt.Classify) — the same table pgwire maps
+// to SQLSTATEs, so the two protocols cannot classify one error
+// differently.
+func statusFor(err error) int { return reqopt.HTTPStatus(err) }
 
 func writeError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	status := statusFor(err)
+	cl := reqopt.Classify(err)
 	// Retry-After invites the client back: right for transient pressure
 	// (queue full, draining), wrong for a tenant administratively shut
 	// off with a zero quota — that 429 stays until the server is
 	// reconfigured, so hinting a 1s retry would just generate permanent
-	// polling load.
-	if (status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests) &&
-		!errors.Is(err, raven.ErrTenantQuota) {
+	// polling load. The shared table carries the distinction.
+	if cl.RetryAfter {
 		w.Header().Set("Retry-After", "1")
 	}
-	w.WriteHeader(status)
+	w.WriteHeader(cl.HTTPStatus)
 	json.NewEncoder(w).Encode(ErrorLine{Error: err.Error()})
 }
 
@@ -366,57 +370,55 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
-// Wire-supplied priorities are clamped to ±maxWirePriority: the
-// scheduler's aging guard closes one priority level per 100ms, so an
-// unbounded client value would let any tenant park ahead of everyone
-// else for hours — the priority knob is untrusted input exactly like
-// the tenant key and the requested DOP.
-const maxWirePriority = 100
+// maxWirePriority is the wire clamp (see reqopt.Clamp: the scheduler's
+// aging guard makes unbounded priorities a parking-ahead attack).
+const maxWirePriority = reqopt.MaxWirePriority
 
-// requestTag resolves a request's admission identity: body fields
-// first, overridden by the X-Raven-Tenant / X-Raven-Priority headers
-// (headers win so a fronting proxy can tag clients that cannot be
-// trusted to tag themselves). prioritySet reports whether either
-// carrier supplied a priority at all — the prepared path needs to tell
-// an explicit 0 from an absent one. A malformed priority header is a
-// client error, not silently priority 0.
-func requestTag(r *http.Request, req *QueryRequest) (tenant string, priority int, prioritySet bool, err error) {
-	tenant = req.Tenant
-	if req.Priority != nil {
-		priority, prioritySet = *req.Priority, true
+// bodyOptions lifts the JSON body's per-request fields into their
+// reqopt layer. The body fields (tenant/priority/no_cache/timeout_ms/
+// options.parallelism) are aliases of the X-Raven-* headers — one
+// surface, two carriers; headers win (a trusted fronting proxy tags
+// clients that cannot be trusted to tag themselves).
+func bodyOptions(req *QueryRequest) reqopt.Options {
+	o := reqopt.Options{
+		Tenant:   req.Tenant,
+		Priority: req.Priority,
+		NoCache:  req.NoCache,
 	}
-	if h := r.Header.Get("X-Raven-Tenant"); h != "" {
-		tenant = h
+	if req.TimeoutMillis > 0 {
+		o.Timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
 	}
-	if h := r.Header.Get("X-Raven-Priority"); h != "" {
-		p, perr := strconv.Atoi(h)
-		if perr != nil {
-			return "", 0, false, fmt.Errorf("bad X-Raven-Priority %q: not an integer", h)
-		}
-		priority, prioritySet = p, true
+	if req.Options != nil && req.Options.Parallelism > 0 {
+		o.DOP = req.Options.Parallelism
 	}
-	if priority > maxWirePriority {
-		priority = maxWirePriority
-	}
-	if priority < -maxWirePriority {
-		priority = -maxWirePriority
-	}
-	return tenant, priority, prioritySet, nil
+	return o
 }
 
-// queryCtx derives the execution context: the client connection (so a
-// disconnect cancels queued and running work) plus the request or
-// server-default deadline.
-func (s *Server) queryCtx(r *http.Request, req *QueryRequest) (context.Context, context.CancelFunc) {
-	ctx := r.Context()
-	timeout := s.opts.DefaultTimeout
-	if req.TimeoutMillis > 0 {
-		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+// requestOptions resolves a request's effective options across the
+// HTTP layers — headers > body > per-statement (stmt, may be zero) >
+// server default — and clamps the untrusted knobs.
+func (s *Server) requestOptions(r *http.Request, req *QueryRequest, stmt reqopt.Options) (reqopt.Options, error) {
+	hdr, err := reqopt.FromHeaders(r.Header)
+	if err != nil {
+		return reqopt.Options{}, err
 	}
-	if timeout > 0 {
-		return context.WithTimeout(ctx, timeout)
+	return reqopt.Resolve(
+		hdr,
+		bodyOptions(req),
+		stmt,
+		reqopt.Options{Timeout: s.opts.DefaultTimeout},
+	).Clamp(), nil
+}
+
+// requestTag is the legacy view of the resolved admission identity
+// (kept for tests pinning the header/body precedence and clamps).
+func requestTag(r *http.Request, req *QueryRequest) (tenant string, priority int, prioritySet bool, err error) {
+	hdr, err := reqopt.FromHeaders(r.Header)
+	if err != nil {
+		return "", 0, false, err
 	}
-	return context.WithCancel(ctx)
+	ro := reqopt.Resolve(hdr, bodyOptions(req)).Clamp()
+	return ro.Tenant, ro.PriorityOr(0), ro.Priority != nil, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -433,16 +435,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("missing sql"))
 		return
 	}
-	tenant, priority, _, err := requestTag(r, &req)
+	ro, err := s.requestOptions(r, &req, reqopt.Options{})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	ctx, cancel := s.queryCtx(r, &req)
+	ctx, cancel := ro.WithTimeout(r.Context())
 	defer cancel()
 	opts := req.Options.engine()
-	opts.Tenant, opts.Priority = tenant, priority
-	opts.NoResultCache = req.NoCache
+	ro.Apply(&opts)
 
 	// A script with no SELECT is pure DDL/DML: run it through ExecContext
 	// (deadline and client disconnect observed between statements; the
@@ -454,7 +455,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// script must be DECLAREs + one SELECT (the prepare surface compiles
 	// it and must not mutate the database).
 	if !scriptMayHaveSelect(req.SQL) {
-		if err := s.db.ExecContext(raven.ContextWithTenant(ctx, tenant, priority), req.SQL); err != nil {
+		if err := s.db.ExecContext(ro.Context(ctx), req.SQL); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -502,47 +503,39 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	// bind/cross-optimize per rejected request. (Re-checked at insert —
 	// concurrent prepares racing past this gate can each compile, but
 	// the registry never exceeds the cap.)
-	if s.statementCount() >= s.opts.MaxStatements {
+	if s.reg.Full() {
 		writeStmtLimit(w)
 		return
 	}
 	// PrepareContext runs the compile — the CPU the scheduler exists to
 	// protect — under a cost-1 admission slot billed to the registering
 	// tenant; /prepare is reachable by the same untrusted burst as
-	// /query. The tag is also remembered on the statement (per-statement
-	// tenant registration), so executions inherit it by default.
-	tenant, priority, _, err := requestTag(r, &req)
+	// /query. The tag is also remembered on the registry entry
+	// (per-statement tenant registration), so executions inherit it by
+	// default.
+	ro, err := s.requestOptions(r, &req, reqopt.Options{})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	ctx, cancel := s.queryCtx(r, &req)
+	ctx, cancel := ro.WithTimeout(r.Context())
 	defer cancel()
 	opts := req.Options.engine()
-	opts.Tenant, opts.Priority = tenant, priority
+	ro.Apply(&opts)
 	st, err := s.db.PrepareContextWithOptions(ctx, req.SQL, opts)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.mu.Lock()
-	if len(s.stmts) >= s.opts.MaxStatements {
-		s.mu.Unlock()
+	id, err := s.reg.Register("", &stmtreg.Entry{
+		Stmt: st,
+		Opts: reqopt.Options{Tenant: ro.Tenant, Priority: ro.Priority},
+	})
+	if err != nil {
 		writeStmtLimit(w)
 		return
 	}
-	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
-	s.stmts[id] = &stmtEntry{st: st, tenant: tenant, priority: priority}
-	s.mu.Unlock()
-	s.prepares.Add(1)
 	writeJSON(w, PrepareResponse{ID: id, Params: st.Params()})
-}
-
-func (s *Server) statementCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.stmts)
 }
 
 func writeStmtLimit(w http.ResponseWriter) {
@@ -551,32 +544,14 @@ func writeStmtLimit(w http.ResponseWriter) {
 	json.NewEncoder(w).Encode(ErrorLine{Error: "prepared-statement limit reached; DELETE unused statements"})
 }
 
-// stmtEntry is one registered server-side statement: the compiled Stmt
-// plus the admission tag it was registered under (per-statement tenant
-// registration — executions inherit it unless the request overrides).
-type stmtEntry struct {
-	st       *raven.Stmt
-	tenant   string
-	priority int
-}
-
-func (s *Server) stmt(id string) (*stmtEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.stmts[id]
-	return st, ok
-}
-
 func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, raven.ErrDraining)
 		return
 	}
-	e, ok := s.stmt(r.PathValue("id"))
-	if !ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusNotFound)
-		json.NewEncoder(w).Encode(ErrorLine{Error: "unknown statement id"})
+	e, err := s.reg.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err) // 404 via the shared error table
 		return
 	}
 	var req QueryRequest
@@ -584,33 +559,23 @@ func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	// Per-execution tag: the statement's registered tenant/priority
-	// unless the request overrides either half. Presence, not zeroness,
-	// decides the priority override, so an explicit 0 (header or body)
+	// Per-execution options: headers > body > the statement's registered
+	// layer. Presence, not zeroness, decides the priority override
+	// (Priority is a pointer through every layer), so an explicit 0
 	// demotes a statement registered at a higher priority. The context
 	// tag wins inside the engine over the Stmt's prepare-time options,
-	// so overrides actually take effect on the warm path.
-	tenant, priority, prioritySet, err := requestTag(r, &req)
+	// so overrides actually take effect on the warm path; a Stmt's
+	// options were fixed at prepare time, so no_cache travels by context
+	// too.
+	ro, err := s.requestOptions(r, &req, e.Opts)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	if tenant == "" {
-		tenant = e.tenant
-	}
-	if !prioritySet {
-		priority = e.priority
-	}
-	ctx, cancel := s.queryCtx(r, &req)
+	ctx, cancel := ro.WithTimeout(r.Context())
 	defer cancel()
 	s.queries.Add(1)
-	qctx := raven.ContextWithTenant(ctx, tenant, priority)
-	// A Stmt's options were fixed at prepare time, so the per-request
-	// no_cache flag travels by context instead.
-	if req.NoCache {
-		qctx = raven.ContextWithoutResultCache(qctx)
-	}
-	rows, err := e.st.QueryContext(qctx, paramList(req.Params)...)
+	rows, err := e.Stmt.QueryContext(ro.Context(ctx), paramList(req.Params)...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -619,33 +584,29 @@ func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStmtDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.stmts[id]
-	delete(s.stmts, id)
-	s.mu.Unlock()
-	if !ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusNotFound)
-		json.NewEncoder(w).Encode(ErrorLine{Error: "unknown statement id"})
+	if err := s.reg.Remove(r.PathValue("id")); err != nil {
+		writeError(w, err) // 404 via the shared error table
 		return
 	}
 	writeJSON(w, ExecResponse{OK: true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	open := len(s.stmts)
-	s.mu.Unlock()
-	writeJSON(w, StatsResponse{
+	resp := StatsResponse{
 		Server: ServerStats{
-			Statements: open,
-			Prepares:   s.prepares.Load(),
+			Statements: s.reg.Len(),
+			Prepares:   s.reg.Prepares(),
 			Queries:    s.queries.Load(),
 			Draining:   s.draining.Load(),
 		},
 		Engine: s.db.Stats(),
-	})
+	}
+	if s.pgStats != nil {
+		if b, err := json.Marshal(s.pgStats()); err == nil {
+			resp.Pgwire = b
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -696,7 +657,7 @@ func (s *Server) handleStoreModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("bad model payload: %w", err))
 		return
 	}
-	ctx, cancel := s.queryCtx(r, &QueryRequest{})
+	ctx, cancel := reqopt.Options{Timeout: s.opts.DefaultTimeout}.WithTimeout(r.Context())
 	defer cancel()
 	if err := s.db.StoreModelContext(raven.ContextWithTenant(ctx, tenant, 0), req.Name, p); err != nil {
 		writeError(w, err)
@@ -789,39 +750,10 @@ func paramList(m map[string]string) []raven.Param {
 	return out
 }
 
-// scriptMayHaveSelect routes /query scripts: true sends them to the
-// streaming query path, false to ExecContext. It is a cheap
-// case-insensitive token scan, not a parse — the warm SELECT path must
-// not pay a throwaway full parse per request (the plan cache serves
-// repeated texts without parsing at all). The one false positive — the
-// word SELECT inside a string literal of a side-effect-only script —
-// routes to the query path, which executes the side effects and then
-// reports "Query needs a SELECT", exactly what the engine's ad-hoc
-// surface does for that script; parse errors surface from whichever
-// path runs.
-// ScriptMayHaveSelect is scriptMayHaveSelect for other packages: the
-// cluster router classifies scripts with the same scan the server uses,
-// so the two never disagree about whether a script is a read (route to
-// one replica) or a pure side-effect script (replicate to all).
-func ScriptMayHaveSelect(script string) bool { return scriptMayHaveSelect(script) }
+// ScriptMayHaveSelect classifies scripts for other packages (the
+// cluster router routes reads to one replica and replicates side-effect
+// scripts to all). It is reqopt.MayHaveSelect — every front end
+// classifies with the same scanner, so protocols never disagree.
+func ScriptMayHaveSelect(script string) bool { return reqopt.MayHaveSelect(script) }
 
-func scriptMayHaveSelect(script string) bool {
-	up := strings.ToUpper(script)
-	for i := 0; ; {
-		j := strings.Index(up[i:], "SELECT")
-		if j < 0 {
-			return false
-		}
-		k := i + j
-		beforeOK := k == 0 || !isIdentByte(up[k-1])
-		afterOK := k+6 >= len(up) || !isIdentByte(up[k+6])
-		if beforeOK && afterOK {
-			return true
-		}
-		i = k + 6
-	}
-}
-
-func isIdentByte(c byte) bool {
-	return c == '_' || (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
-}
+func scriptMayHaveSelect(script string) bool { return reqopt.MayHaveSelect(script) }

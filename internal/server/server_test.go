@@ -647,3 +647,87 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestLegacyWireAliases pins the backward-compatibility contract of the
+// reqopt migration: every pre-unification carrier — the JSON body
+// fields (tenant/priority/no_cache/timeout_ms/options.parallelism) and
+// the X-Raven-* headers — still works, with the documented precedence
+// (headers > body), by sending raw JSON exactly as old clients encoded
+// it.
+func TestLegacyWireAliases(t *testing.T) {
+	db := raven.MustOpen(raven.WithMaxConcurrentQueries(4))
+	t.Cleanup(func() { db.Close() })
+	if err := db.ExecContext(context.Background(),
+		`CREATE TABLE legacy (a INT PRIMARY KEY); INSERT INTO legacy VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	c, _, hc := startServer(t, db, Options{})
+
+	post := func(body string, hdr map[string]string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST", c.Base+"/query", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Old-style body fields, verbatim raw JSON: all accepted, tenant
+	// billed.
+	resp := post(`{"sql":"SELECT a FROM legacy","tenant":"legacy-body","priority":2,"no_cache":true,"timeout_ms":5000,"options":{"parallelism":2}}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy body fields: status %d", resp.StatusCode)
+	}
+	if st := db.Stats().Scheduler; st == nil || st.Tenants["legacy-body"].Admitted == 0 {
+		t.Fatalf("legacy body tenant not billed: %+v", db.Stats().Scheduler)
+	}
+
+	// Old-style headers still override the body fields.
+	resp = post(`{"sql":"SELECT a FROM legacy","tenant":"body-loser","priority":1}`,
+		map[string]string{"X-Raven-Tenant": "hdr-winner", "X-Raven-Priority": "3"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy headers: status %d", resp.StatusCode)
+	}
+	st := db.Stats().Scheduler
+	if st.Tenants["hdr-winner"].Admitted == 0 {
+		t.Fatalf("header tenant did not win: %+v", st.Tenants)
+	}
+	if st.Tenants["body-loser"].Admitted != 0 {
+		t.Fatalf("body tenant billed despite header override: %+v", st.Tenants)
+	}
+
+	// The unified surface's new headers work on the same request.
+	resp = post(`{"sql":"SELECT a FROM legacy"}`,
+		map[string]string{"X-Raven-DOP": "2", "X-Raven-Timeout-Ms": "5000", "X-Raven-No-Cache": "1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("new headers: status %d", resp.StatusCode)
+	}
+
+	// Malformed headers are 400s, not silent zeros.
+	resp = post(`{"sql":"SELECT a FROM legacy"}`, map[string]string{"X-Raven-DOP": "many"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad DOP header: status %d", resp.StatusCode)
+	}
+
+	// Prepared path: prepare-time tenant still inherited at execution
+	// when the request carries no tenant (the per-statement layer).
+	pr, err := c.Prepare(QueryRequest{SQL: `SELECT a FROM legacy WHERE a > @n`, Tenant: "prep-tenant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StmtQuery(pr.ID, QueryRequest{Params: map[string]string{"n": "0"}}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Scheduler.Tenants["prep-tenant"].Admitted < 2 {
+		t.Fatalf("prepared statement's registered tenant not inherited: %+v",
+			db.Stats().Scheduler.Tenants)
+	}
+}

@@ -1,0 +1,110 @@
+package stmtreg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"raven/internal/server/reqopt"
+)
+
+func TestRegisterGetRemove(t *testing.T) {
+	r := New(4)
+	id, err := r.Register("", &Entry{Opts: reqopt.Options{Tenant: "a"}})
+	if err != nil || id != "s1" {
+		t.Fatalf("register: %q %v", id, err)
+	}
+	e, err := r.Get(id)
+	if err != nil || e.Opts.Tenant != "a" {
+		t.Fatalf("get: %+v %v", e, err)
+	}
+	if err := r.Remove(id); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := r.Get(id); !errors.Is(err, reqopt.ErrStmtNotFound) {
+		t.Fatalf("get after remove: %v", err)
+	}
+	if err := r.Remove(id); !errors.Is(err, reqopt.ErrStmtNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	// IDs never recycle.
+	if id2, _ := r.Register("", &Entry{}); id2 != "s2" {
+		t.Fatalf("id reuse: %q", id2)
+	}
+	if r.Prepares() != 2 {
+		t.Fatalf("prepares: %d", r.Prepares())
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	r := New(2)
+	r.Register("", &Entry{})
+	if r.Full() {
+		t.Fatal("not full at 1/2")
+	}
+	r.Register("", &Entry{})
+	if !r.Full() {
+		t.Fatal("full at 2/2")
+	}
+	if _, err := r.Register("", &Entry{}); !errors.Is(err, reqopt.ErrStmtLimit) {
+		t.Fatalf("over capacity: %v", err)
+	}
+	// The cap spans owners: a different owner is refused too.
+	if _, err := r.Register("pg:1", &Entry{}); !errors.Is(err, reqopt.ErrStmtLimit) {
+		t.Fatalf("over capacity (other owner): %v", err)
+	}
+	if New(0).Cap() != DefaultMax {
+		t.Fatalf("default cap: %d", New(0).Cap())
+	}
+}
+
+func TestOwnership(t *testing.T) {
+	r := New(16)
+	httpID, _ := r.Register("", &Entry{})
+	r.Register("pg:1", &Entry{})
+	r.Register("pg:1", &Entry{})
+	r.Register("pg:2", &Entry{})
+
+	if n := r.RemoveOwner("pg:1"); n != 2 {
+		t.Fatalf("remove owner: dropped %d, want 2", n)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len after owner removal: %d", r.Len())
+	}
+	// The HTTP statement and the other connection's survive.
+	if _, err := r.Get(httpID); err != nil {
+		t.Fatalf("http stmt gone: %v", err)
+	}
+	// Removing by id cleans the owner index too.
+	if n := r.RemoveOwner("missing"); n != 0 {
+		t.Fatalf("remove missing owner: %d", n)
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("pg:%d", g)
+			for i := 0; i < 16; i++ {
+				id, err := r.Register(owner, &Entry{})
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				if _, err := r.Get(id); err != nil {
+					t.Errorf("get: %v", err)
+				}
+			}
+			r.RemoveOwner(owner)
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("len after concurrent churn: %d", r.Len())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"raven/internal/ir"
 	"raven/internal/plan"
 	"raven/internal/rescache"
+	"raven/internal/types"
 )
 
 // Param is one named execute-time argument of a prepared statement,
@@ -110,6 +111,28 @@ func (s *Stmt) template() (*cachedPlan, error) {
 
 // SQL returns the statement text.
 func (s *Stmt) SQL() string { return s.sql }
+
+// ResultSchema reports the statement's output schema without executing
+// it: the compiled template is lowered into an operator tree — cheap
+// relative to the front half, and lowering never evaluates parameter
+// placeholders — whose schema is read and which is then discarded
+// unopened. Wire front ends use it to describe results (the pg extended
+// protocol's Describe must answer RowDescription before any Execute).
+// Like every execution it tracks the catalog: after DDL or a model
+// store the template transparently re-prepares first.
+func (s *Stmt) ResultSchema(ctx context.Context) (*types.Schema, error) {
+	tpl, err := s.template()
+	if err != nil {
+		return nil, err
+	}
+	op, err := s.db.lower(ctx, tpl.graph, tpl.sessionKey, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	sch := op.Schema()
+	op.Close()
+	return sch, nil
+}
 
 // Params returns the names of the execute-time parameters the statement
 // expects, sorted.
