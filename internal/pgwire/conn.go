@@ -60,6 +60,16 @@ type conn struct {
 	curCancel context.CancelFunc
 }
 
+// maxSessionStmts/maxSessionPortals bound the per-connection named
+// namespaces. Side-effect statements bypass the capped shared registry
+// (their SQL lives locally) and portals are purely local, so without
+// these an unauthenticated client could grow server memory without
+// bound by Parsing/Binding under ever-new names.
+const (
+	maxSessionStmts   = 4096
+	maxSessionPortals = 4096
+)
+
 // preparedStmt is one named (or unnamed) statement in this session.
 type preparedStmt struct {
 	regID   string // shared-registry id; "" for side-effect scripts
@@ -75,6 +85,14 @@ type portal struct {
 }
 
 func (s *Server) serveConn(nc net.Conn) {
+	// Defense in depth: a handler bug on one malformed frame must cost
+	// that connection, not the process. teardown is deferred below this,
+	// so it still runs (LIFO) before the panic is swallowed here.
+	defer func() {
+		if r := recover(); r != nil {
+			nc.Close()
+		}
+	}()
 	c := &conn{
 		srv:     s,
 		nc:      nc,
@@ -191,13 +209,11 @@ func (c *conn) finishStartup(params map[string]string) bool {
 		return false
 	}
 	c.sessOpts = sess
-	pid, secret, ok := c.srv.register(c)
-	if !ok {
+	if !c.srv.register(c) {
 		c.startupError(reqopt.SQLStateAdminShutdown, "server is shutting down")
 		return false
 	}
-	c.pid, c.secret = pid, secret
-	c.owner = fmt.Sprintf("pg:%d", pid)
+	c.owner = fmt.Sprintf("pg:%d", c.pid)
 
 	// Trust auth: AuthenticationOk straight away, then the parameter
 	// statuses a driver expects before it will talk, the cancellation
@@ -613,8 +629,12 @@ func (c *conn) writeDataRow(vals []any) bool {
 // ---- extended protocol ----
 
 // rewritePlaceholders turns pg's positional $1..$n placeholders into
-// the engine's named @p1..@pn parameters, skipping string literals.
-// Returns the rewritten text and the parameter count (the highest $n
+// the engine's named @p1..@pn parameters. The scan skips everything the
+// pg lexer would not treat as a parameter: single-quoted literals,
+// double-quoted identifiers, line (--) and block (/* */, nesting)
+// comments, and dollar-quoted strings. A placeholder glued to an
+// identifier ("$1abc") is rejected like postgres rejects it. Returns
+// the rewritten text and the parameter count (the highest $n
 // referenced — pg semantics, where $2 alone implies two parameters).
 func rewritePlaceholders(q string) (string, int, error) {
 	var sb strings.Builder
@@ -622,13 +642,14 @@ func rewritePlaceholders(q string) (string, int, error) {
 	maxN := 0
 	for i := 0; i < len(q); {
 		ch := q[i]
-		if ch == '\'' {
-			// String literal: copy verbatim through the closing quote
-			// ('' escapes stay inside).
+		switch {
+		case ch == '\'' || ch == '"':
+			// Quoted literal/identifier: copy verbatim through the closing
+			// quote (doubled quotes stay inside).
 			j := i + 1
 			for j < len(q) {
-				if q[j] == '\'' {
-					if j+1 < len(q) && q[j+1] == '\'' {
+				if q[j] == ch {
+					if j+1 < len(q) && q[j+1] == ch {
 						j += 2
 						continue
 					}
@@ -639,12 +660,39 @@ func rewritePlaceholders(q string) (string, int, error) {
 			}
 			sb.WriteString(q[i:j])
 			i = j
-			continue
-		}
-		if ch == '$' && i+1 < len(q) && q[i+1] >= '0' && q[i+1] <= '9' {
-			j := i + 1
-			for j < len(q) && q[j] >= '0' && q[j] <= '9' {
+		case ch == '-' && i+1 < len(q) && q[i+1] == '-':
+			// Line comment: verbatim through end of line.
+			j := i + 2
+			for j < len(q) && q[j] != '\n' {
 				j++
+			}
+			sb.WriteString(q[i:j])
+			i = j
+		case ch == '/' && i+1 < len(q) && q[i+1] == '*':
+			// Block comment, nesting per the SQL standard.
+			depth := 1
+			j := i + 2
+			for j < len(q) && depth > 0 {
+				switch {
+				case j+1 < len(q) && q[j] == '/' && q[j+1] == '*':
+					depth++
+					j += 2
+				case j+1 < len(q) && q[j] == '*' && q[j+1] == '/':
+					depth--
+					j += 2
+				default:
+					j++
+				}
+			}
+			sb.WriteString(q[i:j])
+			i = j
+		case ch == '$' && i+1 < len(q) && isDigit(q[i+1]):
+			j := i + 1
+			for j < len(q) && isDigit(q[j]) {
+				j++
+			}
+			if j < len(q) && isIdentStart(q[j]) {
+				return "", 0, fmt.Errorf("bad parameter placeholder %q", q[i:j+1])
 			}
 			n, err := strconv.Atoi(q[i+1 : j])
 			if err != nil || n < 1 {
@@ -656,19 +704,55 @@ func rewritePlaceholders(q string) (string, int, error) {
 			sb.WriteString("@p")
 			sb.WriteString(q[i+1 : j])
 			i = j
-			continue
+		case ch == '$':
+			if end, ok := dollarQuoteEnd(q, i); ok {
+				sb.WriteString(q[i:end])
+				i = end
+				continue
+			}
+			sb.WriteByte(ch)
+			i++
+		default:
+			sb.WriteByte(ch)
+			i++
 		}
-		sb.WriteByte(ch)
-		i++
 	}
 	return sb.String(), maxN, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isIdentStart matches the pg lexer's ident_start class (letters,
+// underscore, any high-bit byte).
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+// dollarQuoteEnd reports whether q[i] opens a dollar-quoted string
+// ($$..$$ or $tag$..$tag$) and returns the index just past its closing
+// delimiter. An unterminated opener swallows the rest of the text —
+// the engine parser reports the real syntax error.
+func dollarQuoteEnd(q string, i int) (int, bool) {
+	j := i + 1
+	for j < len(q) && (isIdentStart(q[j]) || isDigit(q[j])) {
+		j++
+	}
+	if j >= len(q) || q[j] != '$' {
+		return 0, false
+	}
+	tag := q[i : j+1]
+	rest := strings.Index(q[j+1:], tag)
+	if rest < 0 {
+		return len(q), true
+	}
+	return j + 1 + rest + len(tag), true
 }
 
 func (c *conn) handleParse(m *msgReader) bool {
 	name, err1 := m.cstring()
 	q, err2 := m.cstring()
 	nOids, err3 := m.int16()
-	if err1 != nil || err2 != nil || err3 != nil {
+	if err1 != nil || err2 != nil || err3 != nil || nOids < 0 {
 		return c.protoError(errShortMessage)
 	}
 	for i := 0; i < nOids; i++ {
@@ -678,6 +762,10 @@ func (c *conn) handleParse(m *msgReader) bool {
 		if _, err := m.uint32(); err != nil {
 			return c.protoError(err)
 		}
+	}
+	if _, exists := c.stmts[name]; !exists && len(c.stmts) >= maxSessionStmts {
+		return c.extError(reqopt.SQLStateTooManyConns,
+			fmt.Sprintf("too many prepared statements on this connection (limit %d); close some", maxSessionStmts))
 	}
 	if c.srv.draining.Load() {
 		c.errored = true
@@ -757,7 +845,7 @@ func (c *conn) handleBind(m *msgReader) bool {
 	portalName, err1 := m.cstring()
 	stmtName, err2 := m.cstring()
 	nFmt, err3 := m.int16()
-	if err1 != nil || err2 != nil || err3 != nil {
+	if err1 != nil || err2 != nil || err3 != nil || nFmt < 0 {
 		return c.protoError(errShortMessage)
 	}
 	formats := make([]int, nFmt)
@@ -769,8 +857,8 @@ func (c *conn) handleBind(m *msgReader) bool {
 		formats[i] = f
 	}
 	nVals, err := m.int16()
-	if err != nil {
-		return c.protoError(err)
+	if err != nil || nVals < 0 {
+		return c.protoError(errShortMessage)
 	}
 	vals := make([][]byte, nVals)
 	nulls := make([]bool, nVals)
@@ -790,8 +878,8 @@ func (c *conn) handleBind(m *msgReader) bool {
 		vals[i] = v
 	}
 	nResFmt, err := m.int16()
-	if err != nil {
-		return c.protoError(err)
+	if err != nil || nResFmt < 0 {
+		return c.protoError(errShortMessage)
 	}
 	for i := 0; i < nResFmt; i++ {
 		f, err := m.int16()
@@ -811,6 +899,10 @@ func (c *conn) handleBind(m *msgReader) bool {
 	if !ok {
 		return c.extError(reqopt.SQLStateInvalidStmtName,
 			fmt.Sprintf("prepared statement %q does not exist", stmtName))
+	}
+	if _, exists := c.portals[portalName]; !exists && len(c.portals) >= maxSessionPortals {
+		return c.extError(reqopt.SQLStateTooManyConns,
+			fmt.Sprintf("too many portals on this connection (limit %d); close some", maxSessionPortals))
 	}
 	if nVals != ps.nParams {
 		return c.extError(reqopt.SQLStateProtocolViolation,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -258,6 +259,118 @@ func TestExtendedProtocolErrors(t *testing.T) {
 	}
 }
 
+func TestMalformedBindCounts(t *testing.T) {
+	db, _, addr := newTestServer(t, nil)
+	seedNums(t, db)
+	c := dial(t, addr, DialOptions{})
+
+	// A Bind frame whose count bytes read back as -1 (0xFFFF) must be
+	// refused as a protocol error, not crash the server in make().
+	c.SendParse("", `SELECT a FROM nums`)
+	c.buf.start(msgBind)
+	c.buf.cstring("") // portal
+	c.buf.cstring("") // statement
+	c.buf.int16(-1)   // parameter-format count 0xFFFF
+	c.buf.finish(c.w)
+	c.SendSync()
+	if typ, _, err := c.Recv(); err != nil || typ != msgParseComplete {
+		t.Fatalf("parse: %q %v", typ, err)
+	}
+	typ, payload, err := c.Recv()
+	if err != nil || typ != msgErrorResponse {
+		t.Fatalf("bind: %q %v", typ, err)
+	}
+	if e := parsePgError(payload); e.Code != "08P01" {
+		t.Fatalf("negative format count: code %q, want 08P01", e.Code)
+	}
+	if typ, _, err := c.Recv(); err != nil || typ != msgReadyForQuery {
+		t.Fatalf("after error: %q %v", typ, err)
+	}
+
+	// Same for the bound-value count.
+	c.buf.start(msgBind)
+	c.buf.cstring("")
+	c.buf.cstring("")
+	c.buf.int16(0)  // no param formats
+	c.buf.int16(-1) // value count 0xFFFF
+	c.buf.finish(c.w)
+	c.SendSync()
+	typ, payload, _ = c.Recv()
+	if e := parsePgError(payload); typ != msgErrorResponse || e.Code != "08P01" {
+		t.Fatalf("negative value count: %q %+v", typ, e)
+	}
+	c.Recv() // RFQ
+
+	// The connection (and server) survived and still works.
+	if res, err := c.QueryExtended(`SELECT a FROM nums WHERE a = $1`, "2"); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("after recovery: %+v %v", res, err)
+	}
+}
+
+func TestSessionObjectLimits(t *testing.T) {
+	db, _, addr := newTestServer(t, nil)
+	seedNums(t, db)
+	c := dial(t, addr, DialOptions{})
+
+	// Fill the statement namespace with cheap local (shim) statements,
+	// pipelined; the first Parse past the cap is refused with 53300.
+	for i := 0; i < maxSessionStmts; i++ {
+		c.SendParse("s"+strconv.Itoa(i), "SET app=x")
+	}
+	c.SendParse("straw", "SET app=x")
+	c.SendSync()
+	for i := 0; i < maxSessionStmts; i++ {
+		if typ, _, err := c.Recv(); err != nil || typ != msgParseComplete {
+			t.Fatalf("parse %d: %q %v", i, typ, err)
+		}
+	}
+	typ, payload, err := c.Recv()
+	if err != nil || typ != msgErrorResponse {
+		t.Fatalf("over-limit parse: %q %v", typ, err)
+	}
+	if e := parsePgError(payload); e.Code != "53300" {
+		t.Fatalf("stmt limit: code %q, want 53300", e.Code)
+	}
+	c.Recv() // RFQ
+
+	// Overwriting an existing name is replacement, not growth — allowed.
+	c.SendParse("s0", "SET app=y")
+	c.SendSync()
+	if typ, _, err := c.Recv(); err != nil || typ != msgParseComplete {
+		t.Fatalf("overwrite parse at cap: %q %v", typ, err)
+	}
+	c.Recv() // RFQ
+
+	// Portals have the same cap.
+	for i := 0; i < maxSessionPortals; i++ {
+		c.SendBind("p"+strconv.Itoa(i), "s0", nil)
+	}
+	c.SendBind("pstraw", "s0", nil)
+	c.SendSync()
+	for i := 0; i < maxSessionPortals; i++ {
+		if typ, _, err := c.Recv(); err != nil || typ != msgBindComplete {
+			t.Fatalf("bind %d: %q %v", i, typ, err)
+		}
+	}
+	typ, payload, _ = c.Recv()
+	if e := parsePgError(payload); typ != msgErrorResponse || e.Code != "53300" {
+		t.Fatalf("portal limit: %q %+v", typ, e)
+	}
+	c.Recv() // RFQ
+
+	// Closing a portal frees a slot.
+	c.SendClose('P', "p0")
+	c.SendBind("pnew", "s0", nil)
+	c.SendSync()
+	if typ, _, err := c.Recv(); err != nil || typ != msgCloseComplete {
+		t.Fatalf("close portal: %q %v", typ, err)
+	}
+	if typ, _, err := c.Recv(); err != nil || typ != msgBindComplete {
+		t.Fatalf("bind after close: %q %v", typ, err)
+	}
+	c.Recv() // RFQ
+}
+
 func TestPreparedStatementRegistrySharing(t *testing.T) {
 	reg := stmtreg.New(0)
 	db, _, addr := newTestServer(t, reg)
@@ -437,6 +550,15 @@ func TestRewritePlaceholders(t *testing.T) {
 		{in: `SELECT $2 FROM t`, out: `SELECT @p2 FROM t`, n: 2}, // $2 alone implies 2 params
 		{in: `SELECT a FROM t`, out: `SELECT a FROM t`, n: 0},
 		{in: `SELECT $0 FROM t`, isErr: true},
+		{in: `SELECT "$1" FROM t WHERE a = $1`, out: `SELECT "$1" FROM t WHERE a = @p1`, n: 1},
+		{in: `SELECT "a""$2" FROM t`, out: `SELECT "a""$2" FROM t`, n: 0},
+		{in: "SELECT a -- $3 comment\nFROM t WHERE a = $1", out: "SELECT a -- $3 comment\nFROM t WHERE a = @p1", n: 1},
+		{in: `SELECT a /* $3 */ FROM t WHERE a = $1`, out: `SELECT a /* $3 */ FROM t WHERE a = @p1`, n: 1},
+		{in: `SELECT a /* outer /* $9 */ still */ FROM t`, out: `SELECT a /* outer /* $9 */ still */ FROM t`, n: 0},
+		{in: `SELECT $$lit $1$$ FROM t WHERE a = $2`, out: `SELECT $$lit $1$$ FROM t WHERE a = @p2`, n: 2},
+		{in: `SELECT $tag$body $1 $$ more$tag$ FROM t`, out: `SELECT $tag$body $1 $$ more$tag$ FROM t`, n: 0},
+		{in: `SELECT $$unterminated $1`, out: `SELECT $$unterminated $1`, n: 0},
+		{in: `SELECT a + $1abc FROM t`, isErr: true}, // placeholder glued to an identifier
 	}
 	for _, c := range cases {
 		out, n, err := rewritePlaceholders(c.in)

@@ -232,24 +232,28 @@ func (s *Server) activeQueries() int {
 	return n
 }
 
-// register assigns the connection its BackendKeyData identity.
-func (s *Server) register(c *conn) (pid, secret uint32, ok bool) {
+// register assigns the connection its BackendKeyData identity. c.pid
+// and c.secret are written under s.mu BEFORE the conn is published into
+// byPID, so Server.cancel (which reads them under the same lock) can
+// never observe a registered conn with an unset identity.
+func (s *Server) register(c *conn) bool {
 	var sb [4]byte
 	if _, err := rand.Read(sb[:]); err != nil {
-		return 0, 0, false
+		return false
 	}
-	secret = binary.BigEndian.Uint32(sb[:])
+	secret := binary.BigEndian.Uint32(sb[:])
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.shutdown {
-		return 0, 0, false
+		return false
 	}
 	s.nextPID++
-	pid = s.nextPID
+	c.pid = s.nextPID
+	c.secret = secret
 	s.conns[c] = struct{}{}
-	s.byPID[pid] = c
+	s.byPID[c.pid] = c
 	s.stats.totalConns.Add(1)
-	return pid, secret, true
+	return true
 }
 
 func (s *Server) unregister(c *conn) {
@@ -266,10 +270,9 @@ func (s *Server) unregister(c *conn) {
 func (s *Server) cancel(pid, secret uint32) {
 	s.mu.Lock()
 	c := s.byPID[pid]
+	match := c != nil && c.secret == secret // secret read under the lock that ordered its write
 	s.mu.Unlock()
-	if c != nil && c.secret == secret {
-		if c.cancelCurrent() {
-			s.stats.cancels.Add(1)
-		}
+	if match && c.cancelCurrent() {
+		s.stats.cancels.Add(1)
 	}
 }
